@@ -1,0 +1,88 @@
+//! Throughput of the simulator itself: cache lookups, DRAM accesses,
+//! ranged accesses through the full memory system, and an end-to-end
+//! offload run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pim_core::{ExecutionMode, OffloadEngine};
+use pim_memsim::{
+    AccessKind, BankArray, Cache, CacheConfig, DramConfig, MemConfig, MemorySystem,
+};
+
+fn memsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsim");
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("cache_streaming_10k_lines", |b| {
+        let mut cache = Cache::new(CacheConfig::soc_llc());
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                cache.access(addr, AccessKind::Read);
+                addr = addr.wrapping_add(64);
+            }
+        })
+    });
+
+    g.bench_function("dram_bank_10k_accesses", |b| {
+        let mut banks = BankArray::new(DramConfig::lpddr3());
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                banks.access(addr, 64, AccessKind::Read);
+                addr = addr.wrapping_add(64);
+            }
+        })
+    });
+
+    g.throughput(Throughput::Bytes(4096 * 256));
+    g.bench_function("memory_system_ranged_1mb", |b| {
+        let mut m = MemorySystem::new(MemConfig::chromebook_like());
+        let mut now = 0;
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..256u64 {
+                let out = m.access(base + i * 4096, 4096, AccessKind::Read, now);
+                now += out.latency_ps;
+            }
+            base = base.wrapping_add(1 << 20);
+        })
+    });
+
+    g.bench_function("pim_port_ranged_1mb", |b| {
+        let mut m = MemorySystem::new(MemConfig::pim_device());
+        let mut now = 0;
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..256u64 {
+                let out =
+                    m.access_from(pim_memsim::Port::PimCore, base + i * 4096, 4096, AccessKind::Read, now);
+                now += out.latency_ps;
+            }
+            base = base.wrapping_add(1 << 20);
+        })
+    });
+    g.finish();
+}
+
+fn offload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("offload");
+    g.sample_size(10);
+    let engine = OffloadEngine::new();
+    g.bench_function("tiling_kernel_full_sweep_128", |b| {
+        b.iter(|| {
+            let mut k = pim_chrome::tiling::TextureTilingKernel::new(128, 128, 1);
+            let r = engine.run_all(&mut k);
+            r.len()
+        })
+    });
+    g.bench_function("tiling_kernel_cpu_only_256", |b| {
+        b.iter(|| {
+            let mut k = pim_chrome::tiling::TextureTilingKernel::new(256, 256, 1);
+            engine.run(&mut k, ExecutionMode::CpuOnly).runtime_ps
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, memsim, offload);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//! per-vault PIM-core parallelism, SIMD width (§3.3's "empirically set to
+//! 4"), the FR-FCFS scheduler (Table 1), internal stack bandwidth, and the
+//! §8.2 coherence costs.
+
+use pim_chrome::tiling::TextureTilingKernel;
+use pim_core::{
+    EnergyParams, EngineTiming, ExecutionMode, Kernel, OffloadEngine, Platform, Port, SimContext,
+};
+use pim_memsim::{CoherenceConfig, DramKind, SchedulerPolicy};
+use pim_vp9::driver::SubPixelInterpolationKernel;
+use pim_vp9::frame::SyntheticVideo;
+
+fn tiling() -> TextureTilingKernel {
+    TextureTilingKernel::new(512, 512, 0x7e97)
+}
+
+fn subpel() -> SubPixelInterpolationKernel {
+    SubPixelInterpolationKernel::new(SyntheticVideo::new(1280, 720, 2, 0xd0), 1)
+}
+
+/// Per-vault PIM-core parallelism: the paper places one PIM core in each of
+/// the 16 vaults; our default PIM-Core mode conservatively uses one.
+pub fn pim_cluster() -> String {
+    let mut out = String::from(
+        "Ablation — PIM-Core cluster size (one core per vault, Table 1)\n\n\
+         cores   tiling speedup   sub-pel speedup   energy vs 1 core\n",
+    );
+    let base_engine = OffloadEngine::new();
+    let t_cpu = base_engine.run(&mut tiling(), ExecutionMode::CpuOnly);
+    let s_cpu = base_engine.run(&mut subpel(), ExecutionMode::CpuOnly);
+    let e1 = base_engine.run(&mut tiling(), ExecutionMode::PimCore).energy.total_pj();
+    for n in [1usize, 2, 4, 8, 16] {
+        let engine = OffloadEngine::new().with_pim_cluster(n);
+        let t = engine.run(&mut tiling(), ExecutionMode::PimCore);
+        let s = engine.run(&mut subpel(), ExecutionMode::PimCore);
+        out.push_str(&format!(
+            "{n:>5}        {:>6.2}x           {:>6.2}x            {:>6.3}\n",
+            t.speedup_vs(&t_cpu),
+            s.speedup_vs(&s_cpu),
+            t.energy.total_pj() / e1,
+        ));
+    }
+    out.push_str(
+        "\nEnergy is cluster-size invariant (same ops, same traffic); the\n\
+         paper's PIM-Core speedups (avg 1.45x) sit between our 1-core and\n\
+         4-core points — see EXPERIMENTS.md gap #1.\n",
+    );
+    out
+}
+
+/// SIMD width of the PIM core: the paper empirically settles on 4 (§3.3).
+pub fn simd_width() -> String {
+    let mut out = String::from(
+        "Ablation — PIM-core SIMD width (§3.3 picks 4)\n\n\
+         width   runtime vs w=4   energy vs w=4\n",
+    );
+    // Kernels count SIMD ops at 4 lanes; width w retires them at w/4 the
+    // rate and costs ~linear datapath energy.
+    let runs: Vec<(usize, f64, f64)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| {
+            let mut timing = EngineTiming::pim_core();
+            timing.simd_ipc *= w as f64 / 4.0;
+            let mut platform = Platform::pim();
+            platform.energy.pim_simd_pj =
+                EnergyParams::default().pim_simd_pj * (0.4 + 0.6 * w as f64 / 4.0);
+            let mut ctx = SimContext::new(platform, timing, Port::PimCore);
+            let mut k = subpel();
+            k.run(&mut ctx);
+            (w, ctx.now_ps() as f64, ctx.total_energy().total_pj())
+        })
+        .collect();
+    let (_, t4, e4) = runs.iter().find(|(w, _, _)| *w == 4).copied().expect("w=4 in sweep");
+    for (w, t, e) in &runs {
+        out.push_str(&format!("{w:>5}        {:>6.3}          {:>6.3}\n", t / t4, e / e4));
+    }
+    out.push_str(
+        "\nWidth 4 is the knee for the sub-pel interpolation target: width 8\n\
+         buys little runtime (memory takes over) at higher datapath energy,\n\
+         matching the paper's empirical choice.\n",
+    );
+    out
+}
+
+/// Memory-controller scheduling: FR-FCFS (Table 1) vs strict FCFS.
+pub fn scheduler() -> String {
+    let mut out = String::from("Ablation — FR-FCFS vs FCFS memory scheduling\n\n");
+    for policy in [SchedulerPolicy::FrFcfs { window: 4 }, SchedulerPolicy::Fcfs] {
+        let mut platform = Platform::baseline();
+        if let DramKind::Lpddr3 { ref mut timing, .. } = platform.mem.dram {
+            timing.policy = policy;
+        }
+        let engine = OffloadEngine::new().with_baseline(platform);
+        let r = engine.run(&mut tiling(), ExecutionMode::CpuOnly);
+        let hits = r.activity.row_hits;
+        let total = r.activity.row_hits + r.activity.row_misses;
+        out.push_str(&format!(
+            "{:<22} row-hit {:>5.1}%   runtime {:>7.3} ms   energy {:>7.3} mJ\n",
+            format!("{policy:?}"),
+            100.0 * hits as f64 / total.max(1) as f64,
+            r.runtime_ms(),
+            r.energy_mj(),
+        ));
+    }
+    out.push_str("\nThe reorder window rescues row locality that strict FCFS destroys\non the tiler's strided write stream.\n");
+    out
+}
+
+/// Internal (TSV) bandwidth of the stack: PIM sensitivity.
+pub fn bandwidth() -> String {
+    let mut out = String::from(
+        "Ablation — 3D-stack internal bandwidth (Table 1: 256 GB/s)\n\n\
+         GB/s    PIM-Acc speedup vs CPU-Only (texture tiling)\n",
+    );
+    let cpu = OffloadEngine::new().run(&mut tiling(), ExecutionMode::CpuOnly);
+    for gbps in [64.0, 128.0, 256.0, 512.0] {
+        let mut platform = Platform::pim();
+        if let DramKind::Stacked(ref mut s) = platform.mem.dram {
+            s.internal_gbps = gbps;
+        }
+        let engine = OffloadEngine::new().with_pim_platform(platform);
+        let r = engine.run(&mut tiling(), ExecutionMode::PimAcc);
+        out.push_str(&format!("{gbps:>5.0}        {:>6.2}x\n", r.speedup_vs(&cpu)));
+    }
+    out.push_str("\nThe accelerator is bandwidth-fed: halving the TSV budget costs\nthroughput directly, as expected for a streaming reorganization kernel.\n");
+    out
+}
+
+/// §8.2 coherence costs: sweep the dirty fraction and message latency.
+pub fn coherence() -> String {
+    let mut out = String::from(
+        "Ablation — CPU<->PIM coherence cost (§8.2)\n\n\
+         dirty%   msg us   offload overhead (% of kernel runtime)\n",
+    );
+    for (dirty, msg_us) in [(0.01, 0.04), (0.05, 0.04), (0.20, 0.04), (0.05, 0.4), (0.20, 0.4)] {
+        let mut platform = Platform::pim();
+        platform.coherence = CoherenceConfig {
+            dirty_fraction: dirty,
+            msg_latency_ps: (msg_us * 1e6) as u64,
+            ..CoherenceConfig::default()
+        };
+        let engine = OffloadEngine::new().with_pim_platform(platform);
+        let r = engine.run(&mut tiling(), ExecutionMode::PimAcc);
+        // Re-measure the transition cost on a fresh context.
+        let mut ctx = engine.context_for(ExecutionMode::PimAcc);
+        let t0 = ctx.now_ps();
+        ctx.offload_transition(tiling().working_set_bytes(), true);
+        ctx.offload_transition(tiling().working_set_bytes(), false);
+        let overhead = (ctx.now_ps() - t0) as f64 / r.runtime_ps as f64;
+        out.push_str(&format!(
+            "{:>5.0}%   {msg_us:>6.2}   {:>6.2}%\n",
+            100.0 * dirty,
+            100.0 * overhead
+        ));
+    }
+    out.push_str(
+        "\nEven a pessimistic 20% dirty working set and 10x message latency\n\
+         keeps the hand-off in the low percent range: the fine-grained\n\
+         coherence of §8.2 is not the bottleneck.\n",
+    );
+    out
+}
+
+/// §4.3.2's extension: user-transparent file-system compression becomes
+/// affordable once (de)compression lives in memory.
+pub fn fs_compression() -> String {
+    use pim_chrome::lzo::CompressionKernel;
+    let mut out = String::from(
+        "Extension — user-transparent file-system compression (§4.3.2)\n\n",
+    );
+    // File blocks: larger units than swap pages, similar content mix.
+    let blocks = pim_chrome::lzo::synthetic_tab_dump(1024, 0xf5);
+    let engine = OffloadEngine::new();
+    let mut k = CompressionKernel::new(blocks);
+    let cpu = engine.run(&mut k, ExecutionMode::CpuOnly);
+    let acc = engine.run(&mut k, ExecutionMode::PimAcc);
+    out.push_str(&format!(
+        "compressing 4 MB of file blocks:\n  CPU path: {:.3} mJ, {:.3} ms\n  PIM-Acc:  {:.3} mJ, {:.3} ms\n",
+        cpu.energy_mj(),
+        cpu.runtime_ms(),
+        acc.energy_mj(),
+        acc.runtime_ms()
+    ));
+    out.push_str(&format!(
+        "\nIn-memory compression cuts {:.0}% of the energy and {:.0}% of the\n\
+         latency that keep OS-level compressed file systems (BTRFS/ZFS-style)\n\
+         out of mobile devices, as §4.3.2 argues.\n",
+        100.0 * (1.0 - acc.energy_vs(&cpu)),
+        100.0 * (1.0 - acc.runtime_ps as f64 / cpu.runtime_ps as f64)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_ablation_shows_frfcfs_advantage() {
+        let s = scheduler();
+        assert!(s.contains("FrFcfs"));
+        assert!(s.contains("Fcfs"));
+    }
+
+    #[test]
+    fn coherence_overheads_stay_small() {
+        let s = coherence();
+        // Every reported overhead line should be single-digit percent.
+        for line in s.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit())) {
+            if let Some(pct) = line.split_whitespace().last() {
+                if let Ok(v) = pct.trim_end_matches('%').parse::<f64>() {
+                    assert!(v < 10.0, "overhead too large: {line}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p pim-bench --release --bin repro                 # everything
+//! cargo run -p pim-bench --release --bin repro -- --experiment fig18
+//! cargo run -p pim-bench --release --bin repro -- --list
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            for id in pim_bench::EXPERIMENTS {
+                banner(id);
+                println!("{}", pim_bench::run_experiment(id));
+            }
+            ExitCode::SUCCESS
+        }
+        [flag] if flag == "--list" => {
+            for id in pim_bench::EXPERIMENTS {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        [flag, id] if flag == "--experiment" => {
+            if !pim_bench::EXPERIMENTS.contains(&id.as_str()) {
+                eprintln!("unknown experiment {id:?}; try --list");
+                return ExitCode::FAILURE;
+            }
+            banner(id);
+            println!("{}", pim_bench::run_experiment(id));
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: repro [--list | --experiment <id>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn banner(id: &str) {
+    println!("{}", "=".repeat(72));
+    println!("== {id}");
+    println!("{}", "=".repeat(72));
+}

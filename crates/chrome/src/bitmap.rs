@@ -1,0 +1,154 @@
+//! RGBA bitmaps and synthetic page content.
+
+use pim_core::rng::SplitMix64;
+
+/// An RGBA8888 bitmap (one `u32` per pixel), row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    pixels: Vec<u32>,
+}
+
+impl Bitmap {
+    /// A bitmap filled with `color`.
+    pub fn filled(width: usize, height: usize, color: u32) -> Self {
+        Self { width, height, pixels: vec![color; width * height] }
+    }
+
+    /// A zeroed (transparent black) bitmap.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::filled(width, height, 0)
+    }
+
+    /// Deterministic synthetic content: rectangles of solid color over a
+    /// gradient, resembling rasterized page output (text/blocks/images).
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut bm = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let g = ((x * 255 / width.max(1)) as u32) << 16
+                    | ((y * 255 / height.max(1)) as u32) << 8;
+                bm.pixels[y * width + x] = 0xFF00_0000 | g;
+            }
+        }
+        // Scatter opaque rectangles ("render objects").
+        for _ in 0..(width * height / 8192).max(4) {
+            let w = rng.next_range(4, (width as u64 / 2).max(5)) as usize;
+            let h = rng.next_range(4, (height as u64 / 2).max(5)) as usize;
+            let x0 = rng.next_below((width - w).max(1) as u64) as usize;
+            let y0 = rng.next_below((height - h).max(1) as u64) as usize;
+            let color = 0xFF00_0000 | (rng.next_u64() as u32 & 0x00FF_FFFF);
+            for y in y0..y0 + h {
+                for x in x0..x0 + w {
+                    bm.pixels[y * width + x] = color;
+                }
+            }
+        }
+        bm
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel data, row-major.
+    pub fn pixels(&self) -> &[u32] {
+        &self.pixels
+    }
+
+    /// Mutable pixel data, row-major.
+    pub fn pixels_mut(&mut self) -> &mut [u32] {
+        &mut self.pixels
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.pixels.len() * 4) as u64
+    }
+
+    /// One pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> u32 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+}
+
+/// Alpha-blend `src` over `dst` (per-channel, 8-bit, premultiplied-free).
+///
+/// The core arithmetic of the Skia color blitter the paper profiles:
+/// `out = src*a + dst*(1-a)` per channel.
+pub fn blend_pixel(src: u32, dst: u32) -> u32 {
+    let a = src >> 24;
+    let inv = 255 - a;
+    let mut out = 0u32;
+    for shift in [0u32, 8, 16] {
+        let s = (src >> shift) & 0xFF;
+        let d = (dst >> shift) & 0xFF;
+        let c = (s * a + d * inv + 127) / 255;
+        out |= (c & 0xFF) << shift;
+    }
+    let da = (dst >> 24) & 0xFF;
+    let oa = a + (da * inv + 127) / 255;
+    out | (oa.min(255) << 24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        assert_eq!(Bitmap::synthetic(64, 64, 5), Bitmap::synthetic(64, 64, 5));
+        assert_ne!(
+            Bitmap::synthetic(64, 64, 5).pixels(),
+            Bitmap::synthetic(64, 64, 6).pixels()
+        );
+    }
+
+    #[test]
+    fn blend_opaque_src_wins() {
+        let src = 0xFF12_3456;
+        assert_eq!(blend_pixel(src, 0xFF65_4321) & 0x00FF_FFFF, src & 0x00FF_FFFF);
+    }
+
+    #[test]
+    fn blend_transparent_src_keeps_dst() {
+        let dst = 0xFFAB_CDEF;
+        assert_eq!(blend_pixel(0x0000_0000, dst), dst);
+    }
+
+    #[test]
+    fn blend_half_alpha_is_midpoint() {
+        // src = 50% white over black ≈ mid gray.
+        let out = blend_pixel(0x80FF_FFFF, 0xFF00_0000);
+        let r = out & 0xFF;
+        assert!((125..=131).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn bitmap_geometry() {
+        let bm = Bitmap::new(10, 20);
+        assert_eq!(bm.width(), 10);
+        assert_eq!(bm.height(), 20);
+        assert_eq!(bm.bytes(), 800);
+        assert_eq!(bm.pixel(9, 19), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pixel_oob_panics() {
+        Bitmap::new(4, 4).pixel(4, 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! A miniature DOM + layout engine (paper §4.1).
+//!
+//! Chrome parses HTML into a DOM tree, computes a layout (position and
+//! size for every render object), and paints the result through Skia's
+//! blitters. The §4.2 scrolling study stresses exactly this pipeline, so
+//! the reproduction provides a real — if small — version of it: a typed
+//! node tree, a block/inline flow layout with text wrapping, and a paint
+//! pass that emits the draw commands the [`crate::blit`] blitter consumes.
+//!
+//! [`crate::scroll`] uses a calibrated traffic model for the Figure 1/2
+//! numbers; this module backs the `scroll_dom` example-path where every
+//! layout coordinate is actually computed.
+
+use pim_core::rng::SplitMix64;
+
+/// How a node participates in layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Display {
+    /// Stacks vertically, fills the container width.
+    Block,
+    /// A run of text; wraps into lines.
+    Text,
+    /// A fixed-size replaced element (image).
+    Image,
+}
+
+/// Style subset that affects layout and painting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Style {
+    /// Layout mode.
+    pub display: Display,
+    /// Vertical padding+margin, px.
+    pub spacing: u32,
+    /// Font size (line height = 1.25x), px; ignored for non-text.
+    pub font_px: u32,
+    /// Fixed size for images, px.
+    pub image: (u32, u32),
+    /// Paint color (RGBA).
+    pub color: u32,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Self {
+            display: Display::Block,
+            spacing: 8,
+            font_px: 14,
+            image: (0, 0),
+            color: 0xFF33_3333,
+        }
+    }
+}
+
+/// One DOM node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Element name (diagnostics only).
+    pub tag: &'static str,
+    /// Resolved style.
+    pub style: Style,
+    /// Text length in characters (for `Display::Text`).
+    pub text_len: u32,
+    /// Children, in document order.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// A block container.
+    pub fn block(tag: &'static str, children: Vec<Node>) -> Self {
+        Self { tag, style: Style::default(), text_len: 0, children }
+    }
+
+    /// A text run of `chars` characters.
+    pub fn text(chars: u32, font_px: u32) -> Self {
+        Self {
+            tag: "#text",
+            style: Style { display: Display::Text, font_px, ..Style::default() },
+            text_len: chars,
+            children: Vec::new(),
+        }
+    }
+
+    /// An image of the given size.
+    pub fn image(w: u32, h: u32) -> Self {
+        Self {
+            tag: "img",
+            style: Style { display: Display::Image, image: (w, h), ..Style::default() },
+            text_len: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Total node count of the subtree.
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(Node::count).sum::<usize>()
+    }
+}
+
+/// A laid-out box in page coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutBox {
+    /// Page-space position and size, px.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Width.
+    pub w: u32,
+    /// Height.
+    pub h: u32,
+    /// What the box paints as.
+    pub display: Display,
+    /// Characters (text boxes) painted in this box.
+    pub text_chars: u32,
+    /// Paint color.
+    pub color: u32,
+}
+
+/// Flow-layout a tree into boxes for a viewport `viewport_w` px wide.
+///
+/// Block boxes stack vertically and fill their container; text wraps at
+/// ~0.55 * font_px per character; images keep their intrinsic size.
+/// Returns the boxes in paint order plus the total page height.
+pub fn layout(root: &Node, viewport_w: u32) -> (Vec<LayoutBox>, u32) {
+    let mut boxes = Vec::with_capacity(root.count());
+    let h = layout_into(root, 0, 0, viewport_w.max(1), &mut boxes);
+    (boxes, h)
+}
+
+fn layout_into(node: &Node, x: u32, y: u32, w: u32, out: &mut Vec<LayoutBox>) -> u32 {
+    match node.style.display {
+        Display::Text => {
+            let glyph_w = (node.style.font_px * 55 / 100).max(1);
+            let per_line = (w / glyph_w).max(1);
+            let lines = node.text_len.div_ceil(per_line).max(1);
+            let line_h = node.style.font_px * 5 / 4;
+            let h = lines * line_h;
+            out.push(LayoutBox {
+                x,
+                y,
+                w,
+                h,
+                display: Display::Text,
+                text_chars: node.text_len,
+                color: node.style.color,
+            });
+            h
+        }
+        Display::Image => {
+            let (iw, ih) = node.style.image;
+            let iw = iw.min(w);
+            out.push(LayoutBox {
+                x,
+                y,
+                w: iw,
+                h: ih,
+                display: Display::Image,
+                text_chars: 0,
+                color: node.style.color,
+            });
+            ih
+        }
+        Display::Block => {
+            let pad = node.style.spacing;
+            let inner_w = w.saturating_sub(2 * pad).max(1);
+            let me = out.len();
+            out.push(LayoutBox {
+                x,
+                y,
+                w,
+                h: 0,
+                display: Display::Block,
+                text_chars: 0,
+                color: node.style.color,
+            });
+            let mut cy = y + pad;
+            for child in &node.children {
+                let ch = layout_into(child, x + pad, cy, inner_w, out);
+                cy += ch + child.style.spacing;
+            }
+            let h = (cy + pad).saturating_sub(y);
+            out[me].h = h;
+            h
+        }
+    }
+}
+
+/// Generate a synthetic article-like DOM: header, paragraphs, images and
+/// sidebar blocks, deterministic in `seed`.
+pub fn synthetic_page(paragraphs: usize, seed: u64) -> Node {
+    let mut rng = SplitMix64::new(seed);
+    let mut body = Vec::new();
+    body.push(Node::block("header", vec![Node::text(60, 28)]));
+    for i in 0..paragraphs {
+        let mut section = vec![Node::text(rng.next_range(200, 900) as u32, 14)];
+        if rng.chance(0.3) {
+            section.push(Node::image(
+                rng.next_range(120, 480) as u32,
+                rng.next_range(80, 280) as u32,
+            ));
+        }
+        if i % 7 == 3 {
+            section.push(Node::block(
+                "aside",
+                vec![Node::text(rng.next_range(80, 200) as u32, 12)],
+            ));
+        }
+        body.push(Node::block("p", section));
+    }
+    Node::block("body", body)
+}
+
+/// The boxes intersecting the viewport `[scroll_y, scroll_y + viewport_h)`,
+/// i.e. what a scroll step must repaint.
+pub fn visible<'a>(boxes: &'a [LayoutBox], scroll_y: u32, viewport_h: u32) -> Vec<&'a LayoutBox> {
+    boxes
+        .iter()
+        .filter(|b| b.y < scroll_y + viewport_h && b.y + b.h > scroll_y)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_stack_without_overlap() {
+        let tree = Node::block(
+            "body",
+            vec![Node::text(100, 14), Node::text(100, 14), Node::image(50, 40)],
+        );
+        let (boxes, height) = layout(&tree, 400);
+        // boxes[0] is the body; children follow in order.
+        assert_eq!(boxes.len(), 4);
+        for pair in boxes[1..].windows(2) {
+            assert!(pair[0].y + pair[0].h <= pair[1].y, "{pair:?}");
+        }
+        assert!(height >= boxes.last().map(|b| b.y + b.h).unwrap_or(0) - boxes[0].y);
+    }
+
+    #[test]
+    fn children_stay_inside_the_parent() {
+        let tree = synthetic_page(12, 5);
+        let (boxes, _) = layout(&tree, 800);
+        let body = boxes[0];
+        for b in &boxes[1..] {
+            assert!(b.x >= body.x && b.x + b.w <= body.x + body.w, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn narrower_viewport_makes_text_taller() {
+        let tree = Node::block("body", vec![Node::text(2000, 14)]);
+        let (_, wide) = layout(&tree, 1200);
+        let (_, narrow) = layout(&tree, 300);
+        assert!(narrow > 2 * wide, "narrow {narrow} vs wide {wide}");
+    }
+
+    #[test]
+    fn images_keep_intrinsic_size_unless_clamped() {
+        let tree = Node::block("body", vec![Node::image(5000, 100), Node::image(120, 90)]);
+        let (boxes, _) = layout(&tree, 600);
+        assert!(boxes[1].w <= 600);
+        assert_eq!((boxes[2].w, boxes[2].h), (120, 90));
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let a = layout(&synthetic_page(20, 9), 800);
+        let b = layout(&synthetic_page(20, 9), 800);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn visible_filters_by_scroll_window() {
+        let tree = synthetic_page(40, 3);
+        let (boxes, height) = layout(&tree, 800);
+        assert!(height > 2000, "page should scroll: {height}");
+        let top = visible(&boxes, 0, 600);
+        let bottom = visible(&boxes, height - 600, 600);
+        assert!(!top.is_empty() && !bottom.is_empty());
+        // Scrolling far enough changes the visible set.
+        let top_ids: Vec<u32> = top.iter().map(|b| b.y).collect();
+        let bot_ids: Vec<u32> = bottom.iter().map(|b| b.y).collect();
+        assert_ne!(top_ids, bot_ids);
+    }
+
+    #[test]
+    fn node_count_counts_subtree() {
+        let tree = Node::block("a", vec![Node::block("b", vec![Node::text(1, 10)])]);
+        assert_eq!(tree.count(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! Chrome browser workload models (paper §4).
+//!
+//! Reproduces the two user interactions the paper studies and the four PIM
+//! targets they expose:
+//!
+//! * **Page scrolling** (§4.2) — [`scroll`] drives layout, rasterization
+//!   (via the [`blit`] color blitter), [`tiling`] of rasterized bitmaps
+//!   into 4 kB GPU tiles, and compositing over the synthetic [`page`]
+//!   models (Google Docs, Gmail, Calendar, WordPress, Twitter, animation).
+//! * **Tab switching** (§4.3) — [`tabs`] models 50 tabs under a 2 GB
+//!   memory budget, compressing inactive tabs into a [`zram`] pool with the
+//!   from-scratch [`lzo`] compressor and decompressing on revisit.
+//!
+//! The PIM-target kernels ([`tiling::TextureTilingKernel`],
+//! [`blit::ColorBlittingKernel`], [`lzo::CompressionKernel`],
+//! [`lzo::DecompressionKernel`]) compute real outputs and implement
+//! [`pim_core::Kernel`], so the Figure 18 evaluation runs them unmodified
+//! under CPU-Only, PIM-Core and PIM-Acc.
+
+pub mod bitmap;
+pub mod blit;
+pub mod dom;
+pub mod lzo;
+pub mod page;
+pub mod scroll;
+pub mod scroll_dom;
+pub mod tabs;
+pub mod tiling;
+pub mod zram;
+
+pub use bitmap::Bitmap;
+pub use blit::{BlitOp, ColorBlittingKernel};
+pub use lzo::{compress, decompress, CompressionKernel, DecompressionKernel};
+pub use page::PageModel;
+pub use scroll::{run_scroll, ScrollBreakdown};
+pub use scroll_dom::{scroll_page_dom, DomScrollReport};
+pub use tabs::{TabSwitchConfig, TabSwitchResult};
+pub use tiling::{tile_bitmap, untile_bitmap, TextureTilingKernel, TILE_PX};
+pub use zram::ZramPool;

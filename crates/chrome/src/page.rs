@@ -1,0 +1,165 @@
+//! Synthetic web-page models for the §4.2 scrolling study.
+//!
+//! The paper drives real Chrome with Telemetry over six pages (Google Docs,
+//! Gmail, Google Calendar, WordPress, Twitter, and an animation-heavy
+//! page). We cannot run Blink/Skia, so each page is reduced to the
+//! quantities that determine its scrolling energy profile: how many pixels
+//! are rasterized and tiled per scroll frame, how text-heavy the raster
+//! work is (alpha blending vs. copies), and how much layout/JavaScript/
+//! miscellaneous-library work rides along ("Other" in Figure 1). The
+//! parameters are calibrated so the CPU-only breakdown lands near the
+//! paper's Figure 1/2 fractions; see `EXPERIMENTS.md`.
+
+/// Per-frame workload parameters of one page during scrolling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageModel {
+    /// Page name as in Figure 1.
+    pub name: &'static str,
+    /// Bytes of rasterized texture re-tiled per scroll frame.
+    pub texture_bytes: u64,
+    /// Bytes of raster output blitted per scroll frame.
+    pub raster_bytes: u64,
+    /// Fraction of raster pixels drawn with alpha blending (text-heavy
+    /// pages blend more; image-heavy pages copy more).
+    pub blend_fraction: f64,
+    /// Streaming traffic of all other functions per frame (style, layout,
+    /// paint bookkeeping, IPC, V8 heap walks...).
+    pub other_bytes: u64,
+    /// Compute of all other functions per frame (layout + JS dominate).
+    pub other_ops: u64,
+    /// Scroll frames to simulate (the paper scrolls for a few seconds at
+    /// 60 FPS; a smaller steady-state sample has the same fractions).
+    pub frames: usize,
+    /// Resident memory footprint once loaded, for the tab-switching study.
+    pub footprint_mb: u64,
+}
+
+impl PageModel {
+    /// Google Docs: dense text, heavy repaint on scroll (§4.2.1's running
+    /// example: texture tiling 25.7% and color blitting 19.1% of energy).
+    pub fn google_docs() -> Self {
+        Self {
+            name: "GoogleDocs",
+            texture_bytes: 1_500 << 10,
+            raster_bytes: 620 << 10,
+            blend_fraction: 0.65,
+            other_bytes: 5_500 << 10,
+            other_ops: 3_200_000,
+            frames: 16,
+            footprint_mb: 290,
+        }
+    }
+
+    /// Gmail: mixed text/layout, more scripting.
+    pub fn gmail() -> Self {
+        Self {
+            name: "Gmail",
+            texture_bytes: 1_100 << 10,
+            raster_bytes: 500 << 10,
+            blend_fraction: 0.55,
+            other_bytes: 5_200 << 10,
+            other_ops: 4_200_000,
+            frames: 16,
+            footprint_mb: 310,
+        }
+    }
+
+    /// Google Calendar: grid layout, moderate repaint.
+    pub fn google_calendar() -> Self {
+        Self {
+            name: "GoogleCalendar",
+            texture_bytes: 1_200 << 10,
+            raster_bytes: 520 << 10,
+            blend_fraction: 0.50,
+            other_bytes: 5_000 << 10,
+            other_ops: 3_600_000,
+            frames: 16,
+            footprint_mb: 260,
+        }
+    }
+
+    /// WordPress: article page, image-heavy rasterization.
+    pub fn wordpress() -> Self {
+        Self {
+            name: "WordPress",
+            texture_bytes: 1_400 << 10,
+            raster_bytes: 700 << 10,
+            blend_fraction: 0.30,
+            other_bytes: 5_600 << 10,
+            other_ops: 3_000_000,
+            frames: 16,
+            footprint_mb: 230,
+        }
+    }
+
+    /// Twitter: infinite feed, frequent new content while scrolling.
+    pub fn twitter() -> Self {
+        Self {
+            name: "Twitter",
+            texture_bytes: 1_350 << 10,
+            raster_bytes: 600 << 10,
+            blend_fraction: 0.55,
+            other_bytes: 5_300 << 10,
+            other_ops: 3_800_000,
+            frames: 16,
+            footprint_mb: 330,
+        }
+    }
+
+    /// The animation-heavy Telemetry page: repaints nearly everything.
+    pub fn animation() -> Self {
+        Self {
+            name: "Animation",
+            texture_bytes: 2_000 << 10,
+            raster_bytes: 900 << 10,
+            blend_fraction: 0.40,
+            other_bytes: 4_200 << 10,
+            other_ops: 2_600_000,
+            frames: 16,
+            footprint_mb: 190,
+        }
+    }
+
+    /// The six pages of Figure 1, in the paper's order.
+    pub fn all() -> Vec<PageModel> {
+        vec![
+            Self::google_docs(),
+            Self::gmail(),
+            Self::google_calendar(),
+            Self::wordpress(),
+            Self::twitter(),
+            Self::animation(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_pages_with_unique_names() {
+        let pages = PageModel::all();
+        assert_eq!(pages.len(), 6);
+        let mut names: Vec<_> = pages.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn parameters_are_positive_and_sane() {
+        for p in PageModel::all() {
+            assert!(p.texture_bytes > 0 && p.raster_bytes > 0);
+            assert!((0.0..=1.0).contains(&p.blend_fraction));
+            assert!(p.frames > 0);
+            assert!(p.footprint_mb >= 100, "{} footprint too small", p.name);
+        }
+    }
+
+    #[test]
+    fn animation_repaints_most_texture() {
+        let max = PageModel::all().iter().map(|p| p.texture_bytes).max().unwrap();
+        assert_eq!(PageModel::animation().texture_bytes, max);
+    }
+}

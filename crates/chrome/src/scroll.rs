@@ -1,0 +1,191 @@
+//! The page-scrolling driver (paper §4.2, Figures 1 and 2).
+//!
+//! Each scroll frame performs layout, rasterization (color blitting),
+//! texture tiling, and compositing. The driver streams the page model's
+//! per-frame byte/op quantities through the simulation context with the
+//! same per-byte op densities as the real kernels in [`crate::blit`] and
+//! [`crate::tiling`], attributing work to the paper's three categories:
+//! `texture_tiling`, `color_blitting`, and `other`.
+
+use pim_core::{OpMix, SimContext};
+
+use crate::page::PageModel;
+
+/// Result of scrolling one page: the Figure 1 / Figure 2 quantities.
+#[derive(Debug, Clone)]
+pub struct ScrollBreakdown {
+    /// Page name.
+    pub page: &'static str,
+    /// Energy fractions per category: (tag, fraction of total).
+    pub fractions: Vec<(String, f64)>,
+    /// Total energy (pJ).
+    pub total_pj: f64,
+    /// Whole-run data-movement fraction (Figure 2 left: 77% for Docs).
+    pub data_movement_fraction: f64,
+    /// Data-movement fraction *within* each kernel (Figure 2 right).
+    pub kernel_dm_fraction: Vec<(String, f64)>,
+    /// LLC misses per kilo-instruction during the scroll.
+    pub mpki: f64,
+    /// Per-component totals (pJ) for the Figure 2 left panel.
+    pub energy: pim_core::EnergyBreakdown,
+}
+
+/// Stream `bytes` through memory as `chunks` ranged accesses alternating
+/// read/write, advancing through a large cold arena.
+fn stream(ctx: &mut SimContext, arena: pim_core::Buffer, cursor: &mut u64, bytes: u64, write_every: u64) {
+    const CHUNK: u64 = 4096;
+    let mut left = bytes;
+    let mut i = 0;
+    while left > 0 {
+        let n = left.min(CHUNK);
+        let at = *cursor % (arena.len() - CHUNK);
+        if write_every != 0 && i % write_every == write_every - 1 {
+            ctx.write(arena.addr(at), n);
+        } else {
+            ctx.read(arena.addr(at), n);
+        }
+        *cursor += n;
+        left -= n;
+        i += 1;
+    }
+}
+
+/// Scroll a page for `page.frames` frames, returning its energy breakdown.
+///
+/// Run this on a CPU-only context for the Figure 1/2 characterization; the
+/// PIM comparisons for the extracted kernels live in Figure 18.
+pub fn run_scroll(page: &PageModel, ctx: &mut SimContext) -> ScrollBreakdown {
+    // A 64 MB cold arena: scrolling constantly touches fresh page content,
+    // so the kernels see streaming misses, as in the paper (MPKI ~21).
+    let arena = ctx.alloc(64 << 20);
+    let mut cur_tile = 0u64;
+    let mut cur_raster = 0u64;
+    let mut cur_other = 0u64;
+
+    for _ in 0..page.frames {
+        // --- Layout + JS + everything else ("Other" in Figure 1). ---
+        ctx.scoped("other", |ctx| {
+            ctx.ops(OpMix {
+                scalar: page.other_ops * 7 / 10,
+                branch: page.other_ops * 2 / 10,
+                mul: page.other_ops / 10,
+                ..OpMix::default()
+            });
+            stream(ctx, arena, &mut cur_other, page.other_bytes, 4);
+        });
+
+        // --- Rasterization: the color blitter (§4.2.2). ---
+        ctx.scoped("color_blitting", |ctx| {
+            let blended = (page.raster_bytes as f64 * page.blend_fraction) as u64;
+            let copied = page.raster_bytes - blended;
+            // Copy path: read src, write dst; ~1 op/4 B (wide copies).
+            stream(ctx, arena, &mut cur_raster, copied * 2, 2);
+            ctx.ops(OpMix { scalar: copied / 8, simd: copied / 16, ..OpMix::default() });
+            // Blend path: read src + dst, write dst; Skia's per-pixel
+            // unpack/mul/add/repack chain (~3 ops per byte).
+            stream(ctx, arena, &mut cur_raster, blended * 3, 3);
+            ctx.ops(OpMix {
+                scalar: blended * 2,
+                mul: blended / 2,
+                simd: blended / 8,
+                ..OpMix::default()
+            });
+        });
+
+        // --- Texture tiling (§4.2.2): read linear bitmap, write tiles. ---
+        ctx.scoped("texture_tiling", |ctx| {
+            stream(ctx, arena, &mut cur_tile, page.texture_bytes * 2, 2);
+            // Address swizzling + wide copies per 128 B tile row.
+            let rows = page.texture_bytes / 128;
+            ctx.ops(OpMix { scalar: rows * 8, simd: rows * 8, ..OpMix::default() });
+        });
+
+        // --- Compositing upload handshake (GPU-side work not modeled). ---
+        ctx.scoped("other", |ctx| {
+            stream(ctx, arena, &mut cur_other, page.texture_bytes / 8, 0);
+            ctx.ops(OpMix::scalar(20_000));
+        });
+    }
+
+    let total = ctx.total_energy();
+    let tags = ["texture_tiling", "color_blitting", "other"];
+    let fractions = tags
+        .iter()
+        .map(|&t| {
+            let e = ctx.tag(t).map(|s| s.energy.total_pj()).unwrap_or(0.0);
+            (t.to_string(), e / total.total_pj())
+        })
+        .collect();
+    let kernel_dm_fraction = tags
+        .iter()
+        .map(|&t| {
+            let f = ctx.tag(t).map(|s| s.data_movement_fraction()).unwrap_or(0.0);
+            (t.to_string(), f)
+        })
+        .collect();
+    ScrollBreakdown {
+        page: page.name,
+        fractions,
+        total_pj: total.total_pj(),
+        data_movement_fraction: total.data_movement_fraction(),
+        kernel_dm_fraction,
+        mpki: ctx.mpki(),
+        energy: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_core::{Platform, SimContext};
+
+    fn scroll(page: &PageModel) -> ScrollBreakdown {
+        let mut ctx = SimContext::cpu_only(Platform::baseline());
+        run_scroll(page, &mut ctx)
+    }
+
+    #[test]
+    fn docs_breakdown_matches_paper_shape() {
+        let b = scroll(&PageModel::google_docs());
+        let get = |t: &str| b.fractions.iter().find(|(n, _)| n == t).unwrap().1;
+        // §4.2.1: tiling 25.7%, blitting 19.1%, total DM 77%.
+        assert!((0.18..0.34).contains(&get("texture_tiling")), "tiling {}", get("texture_tiling"));
+        assert!((0.12..0.27).contains(&get("color_blitting")), "blit {}", get("color_blitting"));
+        assert!(
+            (0.65..0.88).contains(&b.data_movement_fraction),
+            "DM {}",
+            b.data_movement_fraction
+        );
+        assert!(b.mpki > 10.0, "MPKI {}", b.mpki);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = scroll(&PageModel::gmail());
+        let sum: f64 = b.fractions.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn average_tiling_plus_blitting_is_significant() {
+        // Figure 1: 41.9% of scrolling energy across pages.
+        let mut total = 0.0;
+        let pages = PageModel::all();
+        for p in &pages {
+            let b = scroll(p);
+            total += b.fractions[0].1 + b.fractions[1].1;
+        }
+        let avg = total / pages.len() as f64;
+        assert!((0.30..0.55).contains(&avg), "avg tiling+blit = {avg}");
+    }
+
+    #[test]
+    fn tiling_is_more_dm_dominated_than_blitting() {
+        // §4.2.2: tiling is 81.5% DM; blitting 63.9% (it computes more).
+        let b = scroll(&PageModel::google_docs());
+        let get = |t: &str| b.kernel_dm_fraction.iter().find(|(n, _)| n == t).unwrap().1;
+        assert!(get("texture_tiling") > get("color_blitting"));
+        assert!(get("texture_tiling") > 0.7);
+        assert!(get("color_blitting") > 0.5);
+    }
+}

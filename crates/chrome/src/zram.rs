@@ -1,0 +1,141 @@
+//! ZRAM: the DRAM-backed compressed swap pool (paper §4.3).
+
+use std::collections::HashMap;
+
+use crate::lzo::{compress, decompress};
+
+/// A page identifier: (tab, page index within the tab).
+pub type PageId = (u32, u32);
+
+/// A compressed in-memory swap pool.
+///
+/// Chrome (via the OS) compresses inactive-tab pages into ZRAM when free
+/// memory falls below a threshold and decompresses them on access,
+/// avoiding disk I/O. The pool tracks cumulative swap traffic, which is
+/// what Figure 4 plots.
+#[derive(Debug, Default)]
+pub struct ZramPool {
+    pages: HashMap<PageId, Vec<u8>>,
+    stored_bytes: u64,
+    total_swapped_out: u64,
+    total_swapped_in: u64,
+}
+
+impl ZramPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compress and store a page. Returns the compressed size.
+    pub fn swap_out(&mut self, id: PageId, data: &[u8]) -> usize {
+        let c = compress(data);
+        let n = c.len();
+        if let Some(old) = self.pages.insert(id, c) {
+            self.stored_bytes -= old.len() as u64;
+        }
+        self.stored_bytes += n as u64;
+        self.total_swapped_out += data.len() as u64;
+        n
+    }
+
+    /// Remove and decompress a page. Returns `None` if absent.
+    pub fn swap_in(&mut self, id: PageId) -> Option<Vec<u8>> {
+        let c = self.pages.remove(&id)?;
+        self.stored_bytes -= c.len() as u64;
+        let data = decompress(&c).expect("pool stores only streams it created");
+        self.total_swapped_in += data.len() as u64;
+        Some(data)
+    }
+
+    /// Whether a page is resident in the pool.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.pages.contains_key(&id)
+    }
+
+    /// Number of resident compressed pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Bytes of compressed data currently held.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Cumulative uncompressed bytes swapped out (Figure 4, left).
+    pub fn total_swapped_out(&self) -> u64 {
+        self.total_swapped_out
+    }
+
+    /// Cumulative uncompressed bytes swapped in (Figure 4, right).
+    pub fn total_swapped_in(&self) -> u64 {
+        self.total_swapped_in
+    }
+
+    /// Effective compression ratio of resident data (1.0 when empty).
+    pub fn ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            return 1.0;
+        }
+        let raw = self.resident_pages() as u64 * 4096;
+        raw as f64 / self.stored_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lzo::synthetic_tab_dump;
+
+    #[test]
+    fn swap_roundtrip_preserves_data() {
+        let mut pool = ZramPool::new();
+        let pages = synthetic_tab_dump(8, 3);
+        for (i, p) in pages.iter().enumerate() {
+            pool.swap_out((0, i as u32), p);
+        }
+        assert_eq!(pool.resident_pages(), 8);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(pool.swap_in((0, i as u32)).unwrap(), *p);
+        }
+        assert_eq!(pool.resident_pages(), 0);
+        assert_eq!(pool.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let mut pool = ZramPool::new();
+        let page = vec![7u8; 4096];
+        pool.swap_out((1, 1), &page);
+        pool.swap_out((1, 2), &page);
+        pool.swap_in((1, 1));
+        assert_eq!(pool.total_swapped_out(), 8192);
+        assert_eq!(pool.total_swapped_in(), 4096);
+    }
+
+    #[test]
+    fn missing_page_returns_none() {
+        assert!(ZramPool::new().swap_in((9, 9)).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking() {
+        let mut pool = ZramPool::new();
+        let page = vec![1u8; 4096];
+        pool.swap_out((0, 0), &page);
+        let first = pool.stored_bytes();
+        pool.swap_out((0, 0), &page);
+        assert_eq!(pool.stored_bytes(), first);
+        assert_eq!(pool.resident_pages(), 1);
+    }
+
+    #[test]
+    fn compressible_pool_ratio_above_one() {
+        let mut pool = ZramPool::new();
+        for (i, p) in synthetic_tab_dump(64, 9).iter().enumerate() {
+            pool.swap_out((0, i as u32), p);
+        }
+        assert!(pool.ratio() > 1.5, "ratio {}", pool.ratio());
+    }
+}

@@ -1,0 +1,378 @@
+//! The simulation context: one engine executing against one memory system.
+
+use std::collections::BTreeMap;
+
+use pim_cpusim::{EngineTiming, OpMix};
+use pim_energy::{Component, EnergyBreakdown, EnergyParams, OpClass};
+use pim_memsim::{
+    AccessKind, Activity, CoherenceModel, MemorySystem, Port, Ps, LINE_BYTES,
+};
+
+use crate::buffer::Buffer;
+use crate::platform::Platform;
+
+/// Default attribution tag for work outside any [`SimContext::scoped`] call.
+pub const OTHER_TAG: &str = "other";
+
+/// Per-function-tag accounting (drives the paper's per-function breakdowns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TagStats {
+    /// Energy attributed to the tag.
+    pub energy: EnergyBreakdown,
+    /// Execution + exposed-stall time attributed to the tag, in ps.
+    pub time_ps: Ps,
+    /// Retired operations.
+    pub ops: OpMix,
+    /// Memory-system activity.
+    pub activity: Activity,
+    /// Lines that missed the last private cache level and went to memory.
+    pub memory_lines: u64,
+}
+
+impl TagStats {
+    /// Fraction of this tag's energy that is data movement.
+    pub fn data_movement_fraction(&self) -> f64 {
+        self.energy.data_movement_fraction()
+    }
+}
+
+/// One compute engine executing a kernel against a simulated memory system.
+///
+/// The context keeps a monotonically advancing clock (picoseconds), a bump
+/// allocator for simulated addresses, a per-tag energy/time ledger, and the
+/// CPU↔PIM coherence model. See the crate docs for the full workflow.
+#[derive(Debug)]
+pub struct SimContext {
+    mem: MemorySystem,
+    timing: EngineTiming,
+    port: Port,
+    params: EnergyParams,
+    now_ps: Ps,
+    tag_stack: Vec<&'static str>,
+    accounts: BTreeMap<&'static str, TagStats>,
+    next_addr: u64,
+    coherence: CoherenceModel,
+    offloaded: bool,
+}
+
+impl SimContext {
+    /// Build a context for an arbitrary engine/port combination.
+    pub fn new(platform: Platform, timing: EngineTiming, port: Port) -> Self {
+        Self {
+            mem: MemorySystem::new(platform.mem),
+            coherence: CoherenceModel::new(platform.coherence),
+            params: platform.energy,
+            timing,
+            port,
+            now_ps: 0,
+            tag_stack: Vec::new(),
+            accounts: BTreeMap::new(),
+            next_addr: 0x1_0000,
+            offloaded: false,
+        }
+    }
+
+    /// A CPU-only context on the given platform (most tests start here).
+    pub fn cpu_only(platform: Platform) -> Self {
+        Self::new(platform, EngineTiming::soc_cpu(), Port::Cpu)
+    }
+
+    /// The engine currently executing.
+    pub fn timing(&self) -> EngineTiming {
+        self.timing
+    }
+
+    /// The memory port in use.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Current simulated time, in ps.
+    pub fn now_ps(&self) -> Ps {
+        self.now_ps
+    }
+
+    /// Energy parameters in use.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Allocate `bytes` of simulated address space (4 kB aligned).
+    pub fn alloc(&mut self, bytes: u64) -> Buffer {
+        let base = self.next_addr;
+        self.next_addr += bytes.max(1).div_ceil(4096) * 4096;
+        Buffer::new(base, bytes)
+    }
+
+    fn current_tag(&self) -> &'static str {
+        self.tag_stack.last().copied().unwrap_or(OTHER_TAG)
+    }
+
+    fn account(&mut self) -> &mut TagStats {
+        let tag = self.current_tag();
+        self.accounts.entry(tag).or_default()
+    }
+
+    /// Attribute everything inside `f` to `tag` (nesting: innermost wins).
+    pub fn scoped<R>(&mut self, tag: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.tag_stack.push(tag);
+        let r = f(self);
+        self.tag_stack.pop();
+        r
+    }
+
+    /// Perform a memory access of `bytes` at `addr`.
+    pub fn access(&mut self, addr: u64, bytes: u64, kind: AccessKind) {
+        if bytes == 0 {
+            return;
+        }
+        let out = self.mem.access_from(self.port, addr, bytes, kind, self.now_ps);
+        let stall = self.timing.exposed_stall_ps(out.latency_ps);
+        self.now_ps += stall;
+        if self.port != Port::Cpu {
+            for _ in 0..out.memory_lines {
+                self.coherence.directory_lookup();
+            }
+        }
+        let e = self.params.price_activity(&out.activity);
+        let acc = self.account();
+        acc.energy += e;
+        acc.time_ps += stall;
+        acc.activity += out.activity;
+        acc.memory_lines += out.memory_lines;
+    }
+
+    /// A load of `bytes` at `addr`.
+    pub fn read(&mut self, addr: u64, bytes: u64) {
+        self.access(addr, bytes, AccessKind::Read);
+    }
+
+    /// A store of `bytes` at `addr`.
+    pub fn write(&mut self, addr: u64, bytes: u64) {
+        self.access(addr, bytes, AccessKind::Write);
+    }
+
+    /// Retire an operation mix on the active engine.
+    pub fn ops(&mut self, mix: OpMix) {
+        let dur = self.timing.execute_ps(&mix);
+        self.now_ps += dur;
+        let engine = self.timing.engine;
+        let pj = mix.scalar as f64 * self.params.op_energy_pj(engine, OpClass::Scalar)
+            + mix.simd as f64 * self.params.op_energy_pj(engine, OpClass::Simd)
+            + mix.mul as f64 * self.params.op_energy_pj(engine, OpClass::Mul)
+            + mix.branch as f64 * self.params.op_energy_pj(engine, OpClass::Branch);
+        let acc = self.account();
+        acc.energy.add_pj(Component::Cpu, pj);
+        acc.time_ps += dur;
+        acc.ops += mix;
+    }
+
+    /// Retire an op mix spread evenly across `threads` cores: wall-clock
+    /// time divides by the thread count, energy does not (used for the
+    /// multithreaded GEMM kernel, which TensorFlow runs on all SoC cores).
+    pub fn ops_parallel(&mut self, mix: OpMix, threads: u64) {
+        let t0 = self.now_ps;
+        self.ops(mix);
+        let full = self.now_ps - t0;
+        self.now_ps = t0 + full / threads.max(1);
+        // Keep per-tag time consistent with the wall clock.
+        let acc = self.account();
+        acc.time_ps -= full - full / threads.max(1);
+    }
+
+    /// Advance the clock without doing work (idle wait / dependency).
+    pub fn advance(&mut self, ps: Ps) {
+        self.now_ps += ps;
+    }
+
+    /// Switch which engine executes (used when a kernel hands work between
+    /// host and PIM inside one timeline).
+    pub fn switch_engine(&mut self, timing: EngineTiming, port: Port) {
+        self.timing = timing;
+        self.port = port;
+    }
+
+    /// Charge an offload transition (§8.2): flush/invalidate CPU caches for
+    /// a region of `region_bytes`, exchange hand-off messages.
+    pub fn offload_transition(&mut self, region_bytes: u64, begin: bool) {
+        let cost = if begin {
+            self.offloaded = true;
+            self.coherence.offload_begin(region_bytes)
+        } else {
+            self.offloaded = false;
+            self.coherence.offload_end(region_bytes)
+        };
+        // Dirty lines flushed at `begin` become DRAM writes over the
+        // off-chip path; invalidations at `end` are message-only.
+        let mut act = Activity::new();
+        if begin {
+            let dirty = self.mem.flush_cpu_caches().max(cost.lines);
+            act.dram_write_bytes = dirty * LINE_BYTES;
+            act.offchip_bytes = dirty * LINE_BYTES;
+            act.memctrl_requests = dirty;
+        }
+        act.offchip_bytes += cost.message_bytes;
+        self.now_ps += cost.latency_ps;
+        let msg_pj = 2.0 * self.params.coherence_msg_pj;
+        let e = self.params.price_activity(&act);
+        let acc = self.account();
+        acc.energy += e;
+        acc.energy.add_pj(Component::Interconnect, msg_pj);
+        acc.time_ps += cost.latency_ps;
+        acc.activity += act;
+    }
+
+    /// Total energy across all tags.
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        self.accounts
+            .values()
+            .fold(EnergyBreakdown::new(), |acc, t| acc + t.energy)
+    }
+
+    /// Total memory activity across all tags.
+    pub fn total_activity(&self) -> Activity {
+        let mut a = Activity::new();
+        for t in self.accounts.values() {
+            a += t.activity;
+        }
+        a
+    }
+
+    /// Total retired operations (the paper's instruction count proxy).
+    pub fn instructions(&self) -> u64 {
+        self.accounts.values().map(|t| t.ops.total()).sum()
+    }
+
+    /// Lines that left the last private cache level toward memory.
+    pub fn memory_lines(&self) -> u64 {
+        self.accounts.values().map(|t| t.memory_lines).sum()
+    }
+
+    /// Last-level-cache misses per kilo-instruction (§3.2's criterion 3).
+    pub fn mpki(&self) -> f64 {
+        let instr = self.instructions();
+        if instr == 0 {
+            0.0
+        } else {
+            self.memory_lines() as f64 * 1000.0 / instr as f64
+        }
+    }
+
+    /// Per-tag ledger, in tag order.
+    pub fn tag_stats(&self) -> &BTreeMap<&'static str, TagStats> {
+        &self.accounts
+    }
+
+    /// Stats for one tag, if it was ever used.
+    pub fn tag(&self, tag: &str) -> Option<&TagStats> {
+        self.accounts.get(tag)
+    }
+
+    /// Coherence counters (messages, flushes, directory lookups).
+    pub fn coherence_stats(&self) -> pim_memsim::CoherenceStats {
+        self.coherence.stats()
+    }
+
+    /// Direct access to the memory system (stats, cache contents).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> SimContext {
+        SimContext::cpu_only(Platform::baseline())
+    }
+
+    #[test]
+    fn clock_advances_with_work() {
+        let mut c = ctx();
+        let t0 = c.now_ps();
+        c.ops(OpMix::scalar(1000));
+        assert!(c.now_ps() > t0);
+        let t1 = c.now_ps();
+        c.read(0x1000, 4096);
+        assert!(c.now_ps() > t1);
+    }
+
+    #[test]
+    fn tags_attribute_energy() {
+        let mut c = ctx();
+        c.scoped("tiling", |c| c.read(0, 64 * 1024));
+        c.scoped("blit", |c| c.ops(OpMix::scalar(100)));
+        let tiling = c.tag("tiling").unwrap();
+        let blit = c.tag("blit").unwrap();
+        assert!(tiling.energy.data_movement_pj() > 0.0);
+        assert_eq!(tiling.energy.compute_pj(), 0.0);
+        assert!(blit.energy.compute_pj() > 0.0);
+        assert!(c.tag("nope").is_none());
+    }
+
+    #[test]
+    fn nested_scopes_attribute_to_innermost() {
+        let mut c = ctx();
+        c.scoped("outer", |c| {
+            c.ops(OpMix::scalar(10));
+            c.scoped("inner", |c| c.ops(OpMix::scalar(20)));
+        });
+        assert_eq!(c.tag("outer").unwrap().ops.scalar, 10);
+        assert_eq!(c.tag("inner").unwrap().ops.scalar, 20);
+    }
+
+    #[test]
+    fn untagged_work_lands_in_other() {
+        let mut c = ctx();
+        c.ops(OpMix::scalar(5));
+        assert_eq!(c.tag(OTHER_TAG).unwrap().ops.scalar, 5);
+    }
+
+    #[test]
+    fn mpki_reflects_streaming_misses() {
+        let mut c = ctx();
+        // Memory-intensive: stream 1 MB with barely any compute.
+        c.read(0, 1 << 20);
+        c.ops(OpMix::scalar(1000));
+        assert!(c.mpki() > 10.0, "mpki = {}", c.mpki());
+    }
+
+    #[test]
+    fn alloc_is_disjoint_and_aligned() {
+        let mut c = ctx();
+        let a = c.alloc(100);
+        let b = c.alloc(100);
+        assert_eq!(a.base() % 4096, 0);
+        assert!(b.base() >= a.base() + 4096);
+    }
+
+    #[test]
+    fn offload_transition_costs_time_and_energy() {
+        let mut c = SimContext::new(Platform::pim(), EngineTiming::pim_core(), Port::PimCore);
+        let t0 = c.now_ps();
+        let e0 = c.total_energy().total_pj();
+        c.offload_transition(1 << 20, true);
+        assert!(c.now_ps() > t0);
+        assert!(c.total_energy().total_pj() > e0);
+        c.offload_transition(1 << 20, false);
+        assert_eq!(c.coherence_stats().messages, 4);
+    }
+
+    #[test]
+    fn directory_lookups_counted_for_pim_port() {
+        let mut c = SimContext::new(Platform::pim(), EngineTiming::pim_core(), Port::PimCore);
+        c.read(0, 64 * 1024);
+        assert!(c.coherence_stats().directory_lookups > 0);
+    }
+
+    #[test]
+    fn total_energy_sums_tags() {
+        let mut c = ctx();
+        c.scoped("a", |c| c.ops(OpMix::scalar(10)));
+        c.scoped("b", |c| c.ops(OpMix::scalar(10)));
+        let total = c.total_energy().total_pj();
+        let parts: f64 = c.tag_stats().values().map(|t| t.energy.total_pj()).sum();
+        assert!((total - parts).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! The §3.2 PIM-target identification pipeline.
+//!
+//! A function is a PIM-target *candidate* when it (1) is among the top
+//! energy consumers of its workload, (2) spends a significant share of the
+//! workload's energy on data movement, (3) is memory-intensive
+//! (MPKI > 10), and (4) is itself dominated by data movement. A candidate
+//! *passes* when it additionally (5) loses no performance on PIM logic and
+//! (6) fits the per-vault area budget.
+
+use std::fmt;
+
+use crate::area::AreaModel;
+
+/// Measured profile of one candidate function within its workload.
+#[derive(Debug, Clone)]
+pub struct CandidateProfile {
+    /// Function name (tag).
+    pub name: String,
+    /// This function's share of the workload's total energy, `[0, 1]`.
+    pub workload_energy_fraction: f64,
+    /// Share of the *workload's* energy that is this function's data
+    /// movement, `[0, 1]`.
+    pub workload_dm_fraction: f64,
+    /// The function's LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Fraction of the function's own energy that is data movement.
+    pub own_dm_fraction: f64,
+    /// PIM runtime / CPU runtime (≤ 1 means no performance loss on PIM).
+    pub pim_slowdown: f64,
+    /// Proposed accelerator footprint, mm².
+    pub accel_area_mm2: f64,
+}
+
+/// Verdict of the identification pipeline for one candidate.
+#[derive(Debug, Clone)]
+pub struct Candidacy {
+    /// Whether every criterion passed.
+    pub passes: bool,
+    /// Human-readable pass/fail notes, one per criterion.
+    pub criteria: Vec<(String, bool)>,
+}
+
+impl fmt::Display for Candidacy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", if self.passes { "PASS" } else { "FAIL" })?;
+        for (desc, ok) in &self.criteria {
+            writeln!(f, "  [{}] {desc}", if *ok { "ok" } else { "NO" })?;
+        }
+        Ok(())
+    }
+}
+
+/// MPKI threshold for "memory-intensive" (§3.2, after prior work).
+pub const MPKI_THRESHOLD: f64 = 10.0;
+
+/// Minimum share of workload energy for a function to be "significant".
+pub const ENERGY_SIGNIFICANCE: f64 = 0.05;
+
+/// Apply the §3.2 criteria to a candidate profile.
+pub fn evaluate(profile: &CandidateProfile, area: &AreaModel) -> Candidacy {
+    let mut criteria = Vec::new();
+    let c1 = profile.workload_energy_fraction >= ENERGY_SIGNIFICANCE;
+    criteria.push((
+        format!(
+            "consumes a significant share of workload energy ({:.1}% >= {:.0}%)",
+            100.0 * profile.workload_energy_fraction,
+            100.0 * ENERGY_SIGNIFICANCE
+        ),
+        c1,
+    ));
+    let c2 = profile.workload_dm_fraction >= ENERGY_SIGNIFICANCE;
+    criteria.push((
+        format!(
+            "its data movement is a significant share of workload energy ({:.1}%)",
+            100.0 * profile.workload_dm_fraction
+        ),
+        c2,
+    ));
+    let c3 = profile.mpki > MPKI_THRESHOLD;
+    criteria.push((format!("memory-intensive (MPKI {:.1} > 10)", profile.mpki), c3));
+    let c4 = profile.own_dm_fraction > 0.5;
+    criteria.push((
+        format!(
+            "data movement dominates the function's energy ({:.1}% > 50%)",
+            100.0 * profile.own_dm_fraction
+        ),
+        c4,
+    ));
+    let c5 = profile.pim_slowdown <= 1.0;
+    criteria.push((
+        format!("no performance loss on PIM logic ({:.2}x runtime)", profile.pim_slowdown),
+        c5,
+    ));
+    let c6 = area.fits(profile.accel_area_mm2);
+    criteria.push((
+        format!(
+            "fits the vault area budget ({:.2} mm² of {:.2} mm²)",
+            profile.accel_area_mm2, area.vault_budget_mm2
+        ),
+        c6,
+    ));
+    Candidacy { passes: c1 && c2 && c3 && c4 && c5 && c6, criteria }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good() -> CandidateProfile {
+        CandidateProfile {
+            name: "texture_tiling".into(),
+            workload_energy_fraction: 0.25,
+            workload_dm_fraction: 0.20,
+            mpki: 21.4,
+            own_dm_fraction: 0.81,
+            pim_slowdown: 0.6,
+            accel_area_mm2: 0.25,
+        }
+    }
+
+    #[test]
+    fn good_candidate_passes_all_six() {
+        let c = evaluate(&good(), &AreaModel::default());
+        assert!(c.passes);
+        assert_eq!(c.criteria.len(), 6);
+        assert!(c.criteria.iter().all(|(_, ok)| *ok));
+        assert!(c.to_string().contains("PASS"));
+    }
+
+    #[test]
+    fn compute_dominated_function_fails() {
+        // Conv2D/MatMul-like: most energy goes to computation (§5.2 excludes
+        // them for this reason).
+        let mut p = good();
+        p.name = "conv2d".into();
+        p.own_dm_fraction = 0.325;
+        let c = evaluate(&p, &AreaModel::default());
+        assert!(!c.passes);
+    }
+
+    #[test]
+    fn low_mpki_function_fails() {
+        // Entropy decoding-like: working set fits in cache (§6.2.1).
+        let mut p = good();
+        p.mpki = 2.0;
+        assert!(!evaluate(&p, &AreaModel::default()).passes);
+    }
+
+    #[test]
+    fn slow_on_pim_fails() {
+        let mut p = good();
+        p.pim_slowdown = 1.4;
+        assert!(!evaluate(&p, &AreaModel::default()).passes);
+    }
+
+    #[test]
+    fn oversized_accelerator_fails() {
+        // Tetris/Neurocube-scale logic (§11) would not fit a vault budget.
+        let mut p = good();
+        p.accel_area_mm2 = 5.0;
+        assert!(!evaluate(&p, &AreaModel::default()).passes);
+    }
+
+    #[test]
+    fn insignificant_function_fails() {
+        let mut p = good();
+        p.workload_energy_fraction = 0.004;
+        assert!(!evaluate(&p, &AreaModel::default()).passes);
+    }
+}

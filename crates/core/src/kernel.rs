@@ -1,0 +1,59 @@
+//! The kernel abstraction: a PIM-target candidate as runnable code.
+
+use crate::context::SimContext;
+
+/// A workload kernel that can execute on any engine.
+///
+/// Implementations perform their *real* computation (the reproduction's
+/// kernels produce verifiable outputs) while reporting loads, stores and
+/// retired operations to the [`SimContext`]. The same `run` is executed on
+/// the CPU, the PIM core and the PIM accelerator; only the context's engine
+/// and memory path differ, mirroring how the paper evaluates each PIM
+/// target in isolation (§9).
+pub trait Kernel {
+    /// Stable name used in reports (e.g. `"texture_tiling"`).
+    fn name(&self) -> &'static str;
+
+    /// Execute the kernel against the context.
+    fn run(&mut self, ctx: &mut SimContext);
+
+    /// Approximate bytes of data shared with the host across the offload
+    /// boundary; drives the §8.2 coherence flush/invalidate cost. Zero for
+    /// kernels evaluated standalone.
+    fn working_set_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Ops per element ratio hint for reports (optional diagnostics).
+    fn is_compute_intensive(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use pim_cpusim::OpMix;
+
+    struct Nop;
+    impl Kernel for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn run(&mut self, ctx: &mut SimContext) {
+            ctx.ops(OpMix::scalar(1));
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let mut k = Nop;
+        assert_eq!(k.name(), "nop");
+        assert_eq!(k.working_set_bytes(), 0);
+        assert!(!k.is_compute_intensive());
+        let mut ctx = SimContext::cpu_only(Platform::baseline());
+        k.run(&mut ctx);
+        assert_eq!(ctx.instructions(), 1);
+    }
+}

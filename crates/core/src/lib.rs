@@ -1,0 +1,70 @@
+//! The PIM offload framework — the paper's primary contribution as a library.
+//!
+//! This crate ties the substrates together into the methodology of
+//! Boroumand et al. (ASPLOS 2018):
+//!
+//! 1. Write a workload kernel as ordinary Rust that computes real results,
+//!    but routes its loads/stores and retired ops through a [`SimContext`]
+//!    (see [`Kernel`]).
+//! 2. Run it under each [`ExecutionMode`] — `CpuOnly`, `PimCore`, `PimAcc` —
+//!    with the [`OffloadEngine`], which swaps the compute engine, memory
+//!    path and platform underneath the kernel and charges CPU↔PIM
+//!    coherence costs at offload boundaries (§8.2).
+//! 3. Inspect the [`RunReport`]: per-component energy (Figure 2's CPU / L1 /
+//!    LLC / interconnect / memctrl / DRAM split), per-function tags,
+//!    runtime, MPKI and traffic.
+//! 4. Feed a workload-level profile through [`identify`] to apply the §3.2
+//!    PIM-target criteria, and through [`area`] to check the §3.3 vault
+//!    area budget.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_core::{ExecutionMode, Kernel, OffloadEngine, SimContext};
+//! use pim_cpusim::OpMix;
+//!
+//! /// Stream 1 MB through the memory system, doubling each 64-bit word.
+//! struct Doubler;
+//! impl Kernel for Doubler {
+//!     fn name(&self) -> &'static str { "doubler" }
+//!     fn working_set_bytes(&self) -> u64 { 1 << 20 }
+//!     fn run(&mut self, ctx: &mut SimContext) {
+//!         let buf = ctx.alloc(1 << 20);
+//!         ctx.scoped("double", |ctx| {
+//!             for chunk in 0..256u64 {
+//!                 ctx.read(buf.addr(chunk * 4096), 4096);
+//!                 ctx.ops(OpMix::simd(4096 / 32));
+//!                 ctx.write(buf.addr(chunk * 4096), 4096);
+//!             }
+//!         });
+//!     }
+//! }
+//!
+//! let engine = OffloadEngine::default();
+//! let cpu = engine.run(&mut Doubler, ExecutionMode::CpuOnly);
+//! let pim = engine.run(&mut Doubler, ExecutionMode::PimCore);
+//! assert!(pim.energy.total_pj() < cpu.energy.total_pj());
+//! ```
+
+pub mod area;
+pub mod buffer;
+pub mod context;
+pub mod identify;
+pub mod kernel;
+pub mod offload;
+pub mod platform;
+pub mod report;
+pub mod rng;
+
+pub use area::{AreaModel, PimTargetKind};
+pub use buffer::{Buffer, Tracked};
+pub use context::{SimContext, TagStats};
+pub use identify::{Candidacy, CandidateProfile};
+pub use kernel::Kernel;
+pub use offload::{offload_region, overlap_ps, ExecutionMode, OffloadEngine, RunReport};
+pub use platform::Platform;
+
+// Re-export the vocabulary types users need alongside this crate.
+pub use pim_cpusim::{EngineTiming, OpMix};
+pub use pim_energy::{Component, EnergyBreakdown, EnergyParams, Engine, OpClass, COMPONENTS};
+pub use pim_memsim::{AccessKind, Activity, MemConfig, Port, Ps};

@@ -1,0 +1,338 @@
+//! The offload engine: run a kernel as CPU-only, PIM-core or PIM-accelerator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pim_cpusim::EngineTiming;
+use pim_energy::EnergyBreakdown;
+use pim_memsim::{Activity, Port, Ps};
+
+use crate::context::{SimContext, TagStats};
+use crate::kernel::Kernel;
+use crate::platform::Platform;
+
+/// Where a kernel executes (the x-axis of Figures 18–20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// On the SoC CPU against the LPDDR3 baseline (the paper's `CPU-Only`).
+    CpuOnly,
+    /// On the in-memory general-purpose core (`PIM-Core`).
+    PimCore,
+    /// On the fixed-function in-memory accelerator (`PIM-Acc`).
+    PimAcc,
+}
+
+impl ExecutionMode {
+    /// All modes in the paper's presentation order.
+    pub const ALL: [ExecutionMode; 3] =
+        [ExecutionMode::CpuOnly, ExecutionMode::PimCore, ExecutionMode::PimAcc];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionMode::CpuOnly => "CPU-Only",
+            ExecutionMode::PimCore => "PIM-Core",
+            ExecutionMode::PimAcc => "PIM-Acc",
+        }
+    }
+}
+
+impl fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything measured about one kernel execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Mode it ran under.
+    pub mode: ExecutionMode,
+    /// End-to-end runtime, in ps.
+    pub runtime_ps: Ps,
+    /// Six-component energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Total memory activity.
+    pub activity: Activity,
+    /// Per-function-tag ledger.
+    pub by_tag: BTreeMap<&'static str, TagStats>,
+    /// Retired operations.
+    pub instructions: u64,
+    /// LLC (or PIM-L1) misses per kilo-instruction.
+    pub mpki: f64,
+}
+
+impl RunReport {
+    /// Runtime in milliseconds.
+    pub fn runtime_ms(&self) -> f64 {
+        self.runtime_ps as f64 / 1e9
+    }
+
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy.total_pj() / 1e9
+    }
+
+    /// Energy of this run normalized to a baseline run.
+    pub fn energy_vs(&self, baseline: &RunReport) -> f64 {
+        self.energy.total_pj() / baseline.energy.total_pj()
+    }
+
+    /// Speedup of this run relative to a baseline run.
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        baseline.runtime_ps as f64 / self.runtime_ps as f64
+    }
+}
+
+/// Runs kernels under the three execution modes of the study.
+///
+/// `CpuOnly` executes on [`Platform::baseline`] (SoC + LPDDR3); the PIM
+/// modes execute on [`Platform::pim`] (SoC + 3D-stacked memory) with the
+/// §8.2 coherence hand-off charged at the offload boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct OffloadEngine {
+    baseline: Option<Platform>,
+    pim: Option<Platform>,
+    pim_cluster: Option<usize>,
+}
+
+impl OffloadEngine {
+    /// Engine with the default Table 1 platforms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the CPU-only platform.
+    pub fn with_baseline(mut self, p: Platform) -> Self {
+        self.baseline = Some(p);
+        self
+    }
+
+    /// Override the PIM platform.
+    pub fn with_pim_platform(mut self, p: Platform) -> Self {
+        self.pim = Some(p);
+        self
+    }
+
+    /// Run `PimCore` mode as a data-parallel cluster of `n` cores, one per
+    /// vault (Table 1). The default is the conservative single core.
+    pub fn with_pim_cluster(mut self, n: usize) -> Self {
+        self.pim_cluster = Some(n.max(1));
+        self
+    }
+
+    /// The platform a mode runs on.
+    pub fn platform_for(&self, mode: ExecutionMode) -> Platform {
+        match mode {
+            ExecutionMode::CpuOnly => self.baseline.unwrap_or_else(Platform::baseline),
+            _ => self.pim.unwrap_or_else(Platform::pim),
+        }
+    }
+
+    /// Build the context a mode runs in (exposed for drivers that need to
+    /// interleave host work, like the TensorFlow pipeline of Figure 19).
+    pub fn context_for(&self, mode: ExecutionMode) -> SimContext {
+        let platform = self.platform_for(mode);
+        match mode {
+            ExecutionMode::CpuOnly => {
+                SimContext::new(platform, EngineTiming::soc_cpu(), Port::Cpu)
+            }
+            ExecutionMode::PimCore => {
+                let timing = match self.pim_cluster {
+                    Some(n) if n > 1 => EngineTiming::pim_core_cluster(n),
+                    _ => EngineTiming::pim_core(),
+                };
+                SimContext::new(platform, timing, Port::PimCore)
+            }
+            ExecutionMode::PimAcc => {
+                SimContext::new(platform, EngineTiming::pim_accel(), Port::PimAccel)
+            }
+        }
+    }
+
+    /// Execute `kernel` under `mode` and collect the report.
+    pub fn run(&self, kernel: &mut dyn Kernel, mode: ExecutionMode) -> RunReport {
+        let mut ctx = self.context_for(mode);
+        if mode != ExecutionMode::CpuOnly {
+            ctx.offload_transition(kernel.working_set_bytes(), true);
+        }
+        kernel.run(&mut ctx);
+        if mode != ExecutionMode::CpuOnly {
+            ctx.offload_transition(kernel.working_set_bytes(), false);
+        }
+        RunReport {
+            kernel: kernel.name(),
+            mode,
+            runtime_ps: ctx.now_ps(),
+            energy: ctx.total_energy(),
+            activity: ctx.total_activity(),
+            by_tag: ctx.tag_stats().clone(),
+            instructions: ctx.instructions(),
+            mpki: ctx.mpki(),
+        }
+    }
+
+    /// Run a kernel under every mode, in presentation order.
+    pub fn run_all(&self, kernel: &mut dyn Kernel) -> Vec<RunReport> {
+        ExecutionMode::ALL
+            .iter()
+            .map(|&m| self.run(kernel, m))
+            .collect()
+    }
+}
+
+/// Execute `f` as an offload region (§8.1's macro interface): the §8.2
+/// coherence hand-off is charged when the region begins and ends, exactly
+/// as [`OffloadEngine::run`] does around a whole kernel. Use this when a
+/// kernel offloads fine-grained sections interleaved with host work.
+///
+/// ```
+/// use pim_core::{offload_region, ExecutionMode, OffloadEngine, OpMix};
+/// let engine = OffloadEngine::new();
+/// let mut ctx = engine.context_for(ExecutionMode::PimCore);
+/// offload_region(&mut ctx, 1 << 16, |ctx| ctx.ops(OpMix::simd(1024)));
+/// assert_eq!(ctx.coherence_stats().messages, 4);
+/// ```
+pub fn offload_region<R>(
+    ctx: &mut SimContext,
+    region_bytes: u64,
+    f: impl FnOnce(&mut SimContext) -> R,
+) -> R {
+    ctx.offload_transition(region_bytes, true);
+    let r = f(ctx);
+    ctx.offload_transition(region_bytes, false);
+    r
+}
+
+/// Model two phases executing concurrently on different engines (CPU work
+/// overlapped with PIM work), as in Figures 3b, 5b, 8b and the Figure 19
+/// pipeline: total time is the longer of the two phases plus a hand-off.
+pub fn overlap_ps(host_ps: Ps, pim_ps: Ps, handoff_ps: Ps) -> Ps {
+    host_ps.max(pim_ps) + handoff_ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_cpusim::OpMix;
+
+    /// A deliberately memory-bound kernel: stream 4 MB, 1 op per 64 B.
+    struct Stream;
+    impl Kernel for Stream {
+        fn name(&self) -> &'static str {
+            "stream"
+        }
+        fn working_set_bytes(&self) -> u64 {
+            4 << 20
+        }
+        fn run(&mut self, ctx: &mut SimContext) {
+            let buf = ctx.alloc(4 << 20);
+            ctx.scoped("stream", |ctx| {
+                for i in 0..(4 << 20) / 4096u64 {
+                    ctx.read(buf.addr(i * 4096), 4096);
+                    ctx.ops(OpMix::simd(16));
+                }
+            });
+        }
+    }
+
+    /// A compute-bound kernel: tiny working set, lots of multiplies.
+    struct Crunch;
+    impl Kernel for Crunch {
+        fn name(&self) -> &'static str {
+            "crunch"
+        }
+        fn run(&mut self, ctx: &mut SimContext) {
+            let buf = ctx.alloc(4096);
+            ctx.read(buf.addr(0), 4096);
+            ctx.ops(OpMix::mul(2_000_000));
+        }
+    }
+
+    #[test]
+    fn memory_bound_kernel_wins_big_from_pim() {
+        let eng = OffloadEngine::new();
+        let cpu = eng.run(&mut Stream, ExecutionMode::CpuOnly);
+        let pim = eng.run(&mut Stream, ExecutionMode::PimCore);
+        let acc = eng.run(&mut Stream, ExecutionMode::PimAcc);
+        assert!(pim.energy_vs(&cpu) < 0.7, "pim/cpu = {}", pim.energy_vs(&cpu));
+        assert!(acc.energy_vs(&cpu) <= pim.energy_vs(&cpu));
+        assert!(pim.speedup_vs(&cpu) > 1.0);
+        assert!(cpu.mpki > 10.0);
+    }
+
+    #[test]
+    fn compute_bound_kernel_prefers_accelerator_over_pim_core() {
+        let eng = OffloadEngine::new();
+        let cpu = eng.run(&mut Crunch, ExecutionMode::CpuOnly);
+        let pim = eng.run(&mut Crunch, ExecutionMode::PimCore);
+        let acc = eng.run(&mut Crunch, ExecutionMode::PimAcc);
+        // The in-order PIM core is slower than the OoO CPU on pure compute.
+        assert!(pim.speedup_vs(&cpu) < 1.0);
+        // The accelerator's throughput restores the win.
+        assert!(acc.speedup_vs(&cpu) > 1.0);
+        assert!(acc.energy_mj() < pim.energy_mj());
+    }
+
+    #[test]
+    fn run_all_covers_every_mode() {
+        let reports = OffloadEngine::new().run_all(&mut Stream);
+        let modes: Vec<_> = reports.iter().map(|r| r.mode).collect();
+        assert_eq!(modes, ExecutionMode::ALL.to_vec());
+        for r in &reports {
+            assert!(r.runtime_ps > 0);
+            assert!(r.energy.total_pj() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pim_runs_pay_coherence_messages() {
+        let eng = OffloadEngine::new();
+        let mut ctx = eng.context_for(ExecutionMode::PimCore);
+        ctx.offload_transition(1 << 20, true);
+        ctx.offload_transition(1 << 20, false);
+        assert_eq!(ctx.coherence_stats().messages, 4);
+    }
+
+    #[test]
+    fn overlap_takes_the_longer_phase() {
+        assert_eq!(overlap_ps(100, 300, 10), 310);
+        assert_eq!(overlap_ps(300, 100, 10), 310);
+    }
+
+    #[test]
+    fn cluster_speeds_up_pim_core_without_changing_energy() {
+        let single = OffloadEngine::new();
+        let cluster = OffloadEngine::new().with_pim_cluster(16);
+        let a = single.run(&mut Stream, ExecutionMode::PimCore);
+        let b = cluster.run(&mut Stream, ExecutionMode::PimCore);
+        assert!(b.runtime_ps < a.runtime_ps, "{} vs {}", b.runtime_ps, a.runtime_ps);
+        let ratio = b.energy.total_pj() / a.energy.total_pj();
+        assert!((0.95..1.05).contains(&ratio), "energy ratio {ratio}");
+        // CPU-only and PIM-Acc are unaffected by the cluster setting.
+        let c = cluster.run(&mut Stream, ExecutionMode::CpuOnly);
+        let d = single.run(&mut Stream, ExecutionMode::CpuOnly);
+        assert_eq!(c.runtime_ps, d.runtime_ps);
+    }
+
+    #[test]
+    fn offload_region_brackets_coherence() {
+        let engine = OffloadEngine::new();
+        let mut ctx = engine.context_for(ExecutionMode::PimAcc);
+        let out = offload_region(&mut ctx, 4096, |ctx| {
+            ctx.ops(OpMix::scalar(10));
+            7
+        });
+        assert_eq!(out, 7);
+        assert_eq!(ctx.coherence_stats().messages, 4);
+    }
+
+    #[test]
+    fn mode_labels_match_paper() {
+        assert_eq!(ExecutionMode::CpuOnly.label(), "CPU-Only");
+        assert_eq!(ExecutionMode::PimCore.to_string(), "PIM-Core");
+        assert_eq!(ExecutionMode::PimAcc.label(), "PIM-Acc");
+    }
+}

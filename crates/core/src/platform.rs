@@ -1,0 +1,95 @@
+//! Platform presets reproducing Table 1 of the paper.
+
+use pim_energy::EnergyParams;
+use pim_memsim::{CoherenceConfig, DramKind, MemConfig};
+
+/// A complete simulated platform: memory system, energy constants,
+/// coherence parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Memory-system configuration.
+    pub mem: MemConfig,
+    /// Energy constants.
+    pub energy: EnergyParams,
+    /// CPU↔PIM coherence parameters.
+    pub coherence: CoherenceConfig,
+}
+
+impl Platform {
+    /// The CPU-only baseline: SoC caches in front of LPDDR3 (Table 1,
+    /// "Baseline Memory" row).
+    pub fn baseline() -> Self {
+        Self {
+            mem: MemConfig::chromebook_like(),
+            energy: EnergyParams::default(),
+            coherence: CoherenceConfig::default(),
+        }
+    }
+
+    /// The PIM-capable device: the same SoC with 2 GB of 3D-stacked memory,
+    /// 16 vaults, 256 GB/s internal and 32 GB/s off-chip bandwidth
+    /// (Table 1, "3D-Stacked Memory" row).
+    pub fn pim() -> Self {
+        Self {
+            mem: MemConfig::pim_device(),
+            ..Self::baseline()
+        }
+    }
+
+    /// A cache-scaled platform for small-input tests: capacities divided
+    /// by `shrink` so that test-sized working sets exhibit the same
+    /// cache-pressure behaviour as full-sized workloads on Table 1's
+    /// hierarchy. Timing/energy constants are unchanged.
+    pub fn reduced(shrink: u64) -> Self {
+        let mut p = Self::baseline();
+        let s = shrink.max(1);
+        p.mem.cpu_l1.capacity_bytes = (p.mem.cpu_l1.capacity_bytes / s).max(4096);
+        p.mem.llc.capacity_bytes = (p.mem.llc.capacity_bytes / s).max(16384);
+        p
+    }
+
+    /// Render the Table 1 configuration summary.
+    pub fn table1(&self) -> String {
+        let mut s = String::new();
+        s.push_str("SoC: 4 OoO cores, 8-wide issue; L1 I/D: 64 kB private, 4-way; ");
+        s.push_str("L2: 2 MB shared, 8-way; coherence: MESI-style flush/invalidate\n");
+        s.push_str("PIM core: 1 per vault, 1-wide issue, 4-wide SIMD, 32 kB L1\n");
+        match self.mem.dram {
+            DramKind::Stacked(c) => s.push_str(&format!(
+                "3D-stacked memory: 2 GB cube, {} vaults; internal {} GB/s; off-chip {} GB/s\n",
+                c.vaults, c.internal_gbps, c.offchip_gbps
+            )),
+            DramKind::Lpddr3 { channel_gbps, .. } => s.push_str(&format!(
+                "Baseline memory: LPDDR3, 2 GB, FR-FCFS scheduler, {channel_gbps} GB/s\n"
+            )),
+        }
+        s
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_no_pim() {
+        assert!(!Platform::baseline().mem.supports_pim());
+        assert!(Platform::pim().mem.supports_pim());
+    }
+
+    #[test]
+    fn table1_mentions_key_parameters() {
+        let t = Platform::pim().table1();
+        assert!(t.contains("16 vaults"));
+        assert!(t.contains("256 GB/s"));
+        let b = Platform::baseline().table1();
+        assert!(b.contains("LPDDR3"));
+        assert!(b.contains("FR-FCFS"));
+    }
+}

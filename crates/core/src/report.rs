@@ -1,0 +1,115 @@
+//! Table/series formatting for the figure-regeneration harness.
+
+use pim_energy::{EnergyBreakdown, COMPONENTS};
+
+use crate::offload::RunReport;
+
+/// Format a stacked-energy table (rows = labels, columns = components),
+/// with values normalized to the first row's total — the layout of
+/// Figures 18–20's left panels.
+pub fn energy_table(rows: &[(String, EnergyBreakdown)]) -> String {
+    let mut out = String::new();
+    let base = rows.first().map(|(_, e)| e.total_pj()).unwrap_or(1.0).max(f64::MIN_POSITIVE);
+    out.push_str(&format!("{:<28}", "configuration"));
+    for c in COMPONENTS {
+        out.push_str(&format!("{:>14}", c.label()));
+    }
+    out.push_str(&format!("{:>14}\n", "total"));
+    for (label, e) in rows {
+        out.push_str(&format!("{label:<28}"));
+        for c in COMPONENTS {
+            out.push_str(&format!("{:>14.4}", e.get(c) / base));
+        }
+        out.push_str(&format!("{:>14.4}\n", e.total_pj() / base));
+    }
+    out
+}
+
+/// Format a fraction-of-total table (each row sums to 1) — the layout of
+/// Figures 1, 6, 7, 10 and 15.
+pub fn fraction_table(rows: &[(String, Vec<(String, f64)>)]) -> String {
+    let mut out = String::new();
+    for (label, parts) in rows {
+        let total: f64 = parts.iter().map(|(_, v)| v).sum();
+        let total = total.max(f64::MIN_POSITIVE);
+        out.push_str(&format!("{label:<20}"));
+        for (name, v) in parts {
+            out.push_str(&format!("  {name}: {:>5.1}%", 100.0 * v / total));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Summarize runtime/energy of a mode sweep, normalized to the first run —
+/// the right-hand panels of Figures 18 and 20.
+pub fn mode_sweep_table(reports: &[RunReport]) -> String {
+    let mut out = String::new();
+    let Some(base) = reports.first() else {
+        return out;
+    };
+    out.push_str(&format!(
+        "{:<20}{:>12}{:>14}{:>12}{:>12}{:>10}\n",
+        "mode", "energy", "runtime", "speedup", "DM frac", "MPKI"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<20}{:>12.4}{:>14.4}{:>11.2}x{:>11.1}%{:>10.1}\n",
+            r.mode.label(),
+            r.energy_vs(base),
+            r.runtime_ps as f64 / base.runtime_ps as f64,
+            r.speedup_vs(base),
+            100.0 * r.energy.data_movement_fraction(),
+            r.mpki,
+        ));
+    }
+    out
+}
+
+/// Geometric-mean helper for aggregate statements ("on average across all
+/// workloads"), which the paper computes over per-workload ratios.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_energy::Component;
+
+    #[test]
+    fn energy_table_normalizes_to_first_row() {
+        let mut a = EnergyBreakdown::new();
+        a.add_pj(Component::Dram, 100.0);
+        let mut b = EnergyBreakdown::new();
+        b.add_pj(Component::Dram, 50.0);
+        let t = energy_table(&[("base".into(), a), ("half".into(), b)]);
+        assert!(t.contains("base"));
+        assert!(t.contains("0.5000"));
+        assert!(t.contains("1.0000"));
+    }
+
+    #[test]
+    fn fraction_table_sums_to_100() {
+        let t = fraction_table(&[(
+            "page".into(),
+            vec![("tiling".into(), 3.0), ("blit".into(), 1.0)],
+        )]);
+        assert!(t.contains("75.0%"));
+        assert!(t.contains("25.0%"));
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn mode_sweep_table_handles_empty() {
+        assert!(mode_sweep_table(&[]).is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! The six-component energy breakdown used throughout the paper.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A system component that consumes energy (the x-axis of Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// Compute energy of whichever engine executed (CPU, PIM core, or
+    /// PIM accelerator). This is the paper's "compute" share.
+    Cpu,
+    /// Private first-level caches (CPU L1, PIM L1, accelerator scratch).
+    L1,
+    /// The shared last-level cache.
+    Llc,
+    /// Off-chip interconnect (SoC <-> memory channel).
+    Interconnect,
+    /// Memory controller.
+    MemCtrl,
+    /// DRAM arrays plus in-stack (TSV) transport.
+    Dram,
+}
+
+/// All components in presentation order.
+pub const COMPONENTS: [Component; 6] = [
+    Component::Cpu,
+    Component::L1,
+    Component::Llc,
+    Component::Interconnect,
+    Component::MemCtrl,
+    Component::Dram,
+];
+
+impl Component {
+    /// Short label used in printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Cpu => "CPU",
+            Component::L1 => "L1",
+            Component::Llc => "LLC",
+            Component::Interconnect => "Interconnect",
+            Component::MemCtrl => "MemCtrl",
+            Component::Dram => "DRAM",
+        }
+    }
+
+    /// Whether this component counts as data movement (everything but CPU),
+    /// per the paper's definition in §4.2.1.
+    pub fn is_data_movement(self) -> bool {
+        !matches!(self, Component::Cpu)
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Energy per component, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    values: [f64; 6],
+}
+
+impl EnergyBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn idx(c: Component) -> usize {
+        COMPONENTS.iter().position(|&x| x == c).expect("component in table")
+    }
+
+    /// Energy of one component, in pJ.
+    pub fn get(&self, c: Component) -> f64 {
+        self.values[Self::idx(c)]
+    }
+
+    /// Add `pj` picojoules to one component.
+    pub fn add_pj(&mut self, c: Component, pj: f64) {
+        debug_assert!(pj >= 0.0, "energy must be non-negative");
+        self.values[Self::idx(c)] += pj;
+    }
+
+    /// Total energy across all components, in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Energy spent moving data (all components except CPU), in pJ.
+    pub fn data_movement_pj(&self) -> f64 {
+        self.total_pj() - self.get(Component::Cpu)
+    }
+
+    /// Compute energy (the CPU component), in pJ.
+    pub fn compute_pj(&self) -> f64 {
+        self.get(Component::Cpu)
+    }
+
+    /// Fraction of total energy spent on data movement, in `[0, 1]`.
+    ///
+    /// Returns 0 for an empty breakdown.
+    pub fn data_movement_fraction(&self) -> f64 {
+        let t = self.total_pj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.data_movement_pj() / t
+        }
+    }
+
+    /// Iterate `(component, pJ)` pairs in presentation order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, f64)> + '_ {
+        COMPONENTS.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    /// Scale every component by a factor (used for amortizing per-frame
+    /// measurements up to full-clip numbers).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut out = *self;
+        for v in &mut out.values {
+            *v *= factor;
+        }
+        out
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = Self;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        for (a, b) in self.values.iter_mut().zip(rhs.values.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_pj().max(f64::MIN_POSITIVE);
+        for (i, (c, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{}: {:.1}%", c, 100.0 * v / total)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut e = EnergyBreakdown::new();
+        e.add_pj(Component::Cpu, 10.0);
+        e.add_pj(Component::Dram, 30.0);
+        assert_eq!(e.total_pj(), 40.0);
+        assert_eq!(e.compute_pj(), 10.0);
+        assert_eq!(e.data_movement_pj(), 30.0);
+        assert!((e.data_movement_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_fraction_is_zero() {
+        assert_eq!(EnergyBreakdown::new().data_movement_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sum_of_breakdowns() {
+        let mut a = EnergyBreakdown::new();
+        a.add_pj(Component::L1, 1.0);
+        let mut b = EnergyBreakdown::new();
+        b.add_pj(Component::L1, 2.0);
+        b.add_pj(Component::Llc, 5.0);
+        let c = a + b;
+        assert_eq!(c.get(Component::L1), 3.0);
+        assert_eq!(c.get(Component::Llc), 5.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let mut a = EnergyBreakdown::new();
+        a.add_pj(Component::MemCtrl, 4.0);
+        assert_eq!(a.scaled(2.5).get(Component::MemCtrl), 10.0);
+    }
+
+    #[test]
+    fn component_classification() {
+        assert!(!Component::Cpu.is_data_movement());
+        for c in COMPONENTS.iter().skip(1) {
+            assert!(c.is_data_movement(), "{c} should be data movement");
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut e = EnergyBreakdown::new();
+        e.add_pj(Component::Dram, 1.0);
+        assert!(format!("{e}").contains("DRAM"));
+    }
+}

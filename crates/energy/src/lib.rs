@@ -1,0 +1,38 @@
+//! Energy model for the consumer-device PIM study.
+//!
+//! Prices the [`pim_memsim::Activity`] records produced by the memory
+//! simulator, plus per-instruction compute energy, into the six-component
+//! breakdown the paper reports in Figures 2, 11, 18, 19 and 20: **CPU, L1,
+//! LLC, interconnect, memory controller, DRAM**. "Data movement energy" is
+//! everything except the CPU/compute component, exactly as defined in
+//! §4.2.1 of the paper.
+//!
+//! Absolute joules are built from public literature values (see
+//! [`EnergyParams`]) and a mini-CACTI analytic cache model ([`cacti`]) at
+//! 22 nm; the reproduction targets relative shape, not the authors'
+//! unpublished absolute measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_energy::{EnergyParams, Component};
+//! use pim_memsim::Activity;
+//!
+//! let params = EnergyParams::default();
+//! let mut act = Activity::new();
+//! act.l1_accesses = 1000;
+//! act.dram_read_bytes = 64 * 1000;
+//! act.offchip_bytes = 64 * 1000;
+//! let e = params.price_activity(&act);
+//! assert!(e.get(Component::Dram) > 0.0);
+//! assert!(e.data_movement_pj() > 0.0);
+//! assert_eq!(e.get(Component::Cpu), 0.0); // no compute in this activity
+//! ```
+
+pub mod breakdown;
+pub mod cacti;
+pub mod params;
+
+pub use breakdown::{Component, EnergyBreakdown, COMPONENTS};
+pub use cacti::cache_access_energy_pj;
+pub use params::{Engine, EnergyParams, OpClass};

@@ -1,0 +1,228 @@
+//! Energy parameters and pricing of simulator activity.
+
+use crate::breakdown::{Component, EnergyBreakdown};
+use crate::cacti::cache_access_energy_pj;
+use pim_memsim::Activity;
+
+/// The engine executing instructions (determines per-op energy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// An out-of-order SoC CPU core (fetch/decode/rename overheads included).
+    SocCpu,
+    /// The 1-wide in-order PIM core (ARM Cortex-R8-class, §3.3).
+    PimCore,
+    /// A fixed-function PIM accelerator (20x the CPU's efficiency, §3.1).
+    PimAccel,
+    /// Dedicated on-SoC codec hardware (VP9 decoder/encoder RTL, §6.3/§7.3);
+    /// an order of magnitude more efficient than PIM-core software (§10.3.2).
+    CodecHw,
+}
+
+/// Instruction classes with distinct energy/throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Scalar integer ALU / logic / address math.
+    Scalar,
+    /// A 4-wide SIMD operation (counts as one op).
+    Simd,
+    /// Integer multiply (or multiply-accumulate lane).
+    Mul,
+    /// Branch (resolved; misprediction costs are folded into IPC).
+    Branch,
+}
+
+/// All energy constants of the model, in picojoules (per op / per bit).
+///
+/// Defaults are drawn from the public literature the paper cites:
+/// Keckler et al. (IEEE Micro'11) for pJ/bit ratios of on-/off-chip
+/// transport, the HMC/HBM specs for in-stack transport, Vasilakis (TR-450)
+/// for ARM per-instruction energy, and CACTI-style SRAM scaling (see
+/// [`crate::cacti`]). The PIM accelerator is priced at CPU efficiency / 20,
+/// following §3.1's conservative assumption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per scalar instruction on the SoC CPU.
+    pub cpu_op_pj: f64,
+    /// Energy per SIMD instruction on the SoC CPU (NEON-class, 128-bit).
+    pub cpu_simd_pj: f64,
+    /// Energy per scalar instruction on the PIM core.
+    pub pim_op_pj: f64,
+    /// Energy per SIMD instruction on the PIM core (4-wide, §3.3).
+    pub pim_simd_pj: f64,
+    /// Energy per operation on a fixed-function PIM accelerator.
+    pub accel_op_pj: f64,
+    /// Energy per operation on dedicated SoC codec hardware.
+    pub codec_hw_op_pj: f64,
+    /// L1 access energy (computed from geometry by [`EnergyParams::default`]).
+    pub l1_access_pj: f64,
+    /// LLC access energy.
+    pub llc_access_pj: f64,
+    /// Accelerator scratch-buffer access energy.
+    pub scratch_access_pj: f64,
+    /// Memory-controller energy per bit of DRAM traffic.
+    pub memctrl_pj_per_bit: f64,
+    /// LPDDR3 DRAM array energy per bit.
+    pub lpddr3_array_pj_per_bit: f64,
+    /// Off-chip interconnect (channel/PHY/SerDes) energy per bit.
+    pub offchip_pj_per_bit: f64,
+    /// 3D-stacked DRAM array + TSV transport energy per bit.
+    pub stacked_internal_pj_per_bit: f64,
+    /// Row activation energy (per activation), shared by both DRAM kinds.
+    pub row_activate_pj: f64,
+    /// Energy per CPU<->PIM coherence message.
+    pub coherence_msg_pj: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            cpu_op_pj: 75.0,
+            cpu_simd_pj: 150.0,
+            pim_op_pj: 12.0,
+            pim_simd_pj: 25.0,
+            accel_op_pj: 75.0 / 20.0,
+            codec_hw_op_pj: 1.5,
+            l1_access_pj: cache_access_energy_pj(64 * 1024, 4),
+            llc_access_pj: cache_access_energy_pj(2 * 1024 * 1024, 8),
+            scratch_access_pj: cache_access_energy_pj(32 * 1024, 4),
+            memctrl_pj_per_bit: 1.0,
+            lpddr3_array_pj_per_bit: 4.0,
+            offchip_pj_per_bit: 12.0,
+            stacked_internal_pj_per_bit: 4.0,
+            row_activate_pj: 900.0,
+            coherence_msg_pj: 200.0,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Energy of one instruction of `class` on `engine`, in pJ.
+    pub fn op_energy_pj(&self, engine: Engine, class: OpClass) -> f64 {
+        match engine {
+            Engine::SocCpu => match class {
+                OpClass::Simd => self.cpu_simd_pj,
+                OpClass::Mul => self.cpu_op_pj * 1.3,
+                _ => self.cpu_op_pj,
+            },
+            Engine::PimCore => match class {
+                OpClass::Simd => self.pim_simd_pj,
+                OpClass::Mul => self.pim_op_pj * 1.3,
+                _ => self.pim_op_pj,
+            },
+            Engine::PimAccel => self.accel_op_pj,
+            Engine::CodecHw => self.codec_hw_op_pj,
+        }
+    }
+
+    /// Price a memory-activity record into the component breakdown.
+    ///
+    /// DRAM bytes moved over the off-chip path use the LPDDR3/off-chip
+    /// constants; bytes that stayed in-stack use the cheaper internal
+    /// constant. Row activations are charged per miss.
+    pub fn price_activity(&self, act: &Activity) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::new();
+        e.add_pj(Component::L1, act.l1_accesses as f64 * self.l1_access_pj);
+        e.add_pj(Component::L1, act.scratch_accesses as f64 * self.scratch_access_pj);
+        e.add_pj(Component::Llc, act.llc_accesses as f64 * self.llc_access_pj);
+
+        let dram_bits = (act.dram_read_bytes + act.dram_write_bytes) as f64 * 8.0;
+        e.add_pj(Component::MemCtrl, act.memctrl_requests as f64 * 64.0 * 8.0 * self.memctrl_pj_per_bit);
+        e.add_pj(Component::Interconnect, act.offchip_bytes as f64 * 8.0 * self.offchip_pj_per_bit);
+
+        // In-stack traffic (TSVs) is charged to DRAM at the internal rate;
+        // traffic with no internal component (LPDDR3) uses the array rate.
+        if act.internal_bytes > 0 {
+            e.add_pj(Component::Dram, act.internal_bytes as f64 * 8.0 * self.stacked_internal_pj_per_bit);
+        } else {
+            e.add_pj(Component::Dram, dram_bits * self.lpddr3_array_pj_per_bit);
+        }
+        e.add_pj(Component::Dram, act.row_misses as f64 * self.row_activate_pj);
+        e
+    }
+
+    /// Price raw byte movement over a path, without a simulator activity.
+    ///
+    /// Used by the analytic hardware-codec model (§6.3/§7.3), which reports
+    /// per-frame traffic rather than per-access traces. `offchip` selects the
+    /// SoC<->DRAM path; otherwise the in-stack PIM path is priced.
+    pub fn price_bulk_transfer(&self, bytes: u64, offchip: bool) -> EnergyBreakdown {
+        let bits = bytes as f64 * 8.0;
+        let mut e = EnergyBreakdown::new();
+        if offchip {
+            e.add_pj(Component::Interconnect, bits * self.offchip_pj_per_bit);
+            e.add_pj(Component::MemCtrl, bits * self.memctrl_pj_per_bit);
+            e.add_pj(Component::Dram, bits * self.stacked_internal_pj_per_bit);
+        } else {
+            e.add_pj(Component::Dram, bits * self.stacked_internal_pj_per_bit);
+            e.add_pj(Component::MemCtrl, bits * self.memctrl_pj_per_bit * 0.5);
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accel_is_20x_more_efficient_than_cpu() {
+        let p = EnergyParams::default();
+        let ratio = p.op_energy_pj(Engine::SocCpu, OpClass::Scalar)
+            / p.op_energy_pj(Engine::PimAccel, OpClass::Scalar);
+        assert!((ratio - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pim_core_cheaper_than_cpu() {
+        let p = EnergyParams::default();
+        for class in [OpClass::Scalar, OpClass::Simd, OpClass::Mul, OpClass::Branch] {
+            assert!(
+                p.op_energy_pj(Engine::PimCore, class) < p.op_energy_pj(Engine::SocCpu, class),
+                "{class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn offchip_transfer_costs_more_than_internal() {
+        let p = EnergyParams::default();
+        let off = p.price_bulk_transfer(1 << 20, true).total_pj();
+        let int = p.price_bulk_transfer(1 << 20, false).total_pj();
+        assert!(off > 3.0 * int, "off {off} vs internal {int}");
+    }
+
+    #[test]
+    fn pricing_internal_traffic_is_cheaper_than_lpddr3_path() {
+        let p = EnergyParams::default();
+        // Same DRAM bytes: once over the off-chip LPDDR3 path, once in-stack.
+        let mut cpu = Activity::new();
+        cpu.dram_read_bytes = 4096;
+        cpu.offchip_bytes = 4096;
+        cpu.memctrl_requests = 64;
+        let mut pim = Activity::new();
+        pim.dram_read_bytes = 4096;
+        pim.internal_bytes = 4096;
+        pim.memctrl_requests = 64;
+        let e_cpu = p.price_activity(&cpu).total_pj();
+        let e_pim = p.price_activity(&pim).total_pj();
+        assert!(e_cpu > 2.0 * e_pim, "cpu path {e_cpu} vs pim path {e_pim}");
+    }
+
+    #[test]
+    fn row_misses_add_activation_energy() {
+        let p = EnergyParams::default();
+        let mut hit = Activity::new();
+        hit.dram_read_bytes = 64;
+        hit.row_hits = 1;
+        let mut miss = hit;
+        miss.row_hits = 0;
+        miss.row_misses = 1;
+        assert!(p.price_activity(&miss).total_pj() > p.price_activity(&hit).total_pj());
+    }
+
+    #[test]
+    fn codec_hw_is_cheapest_engine() {
+        let p = EnergyParams::default();
+        assert!(p.op_energy_pj(Engine::CodecHw, OpClass::Scalar) < p.accel_op_pj);
+    }
+}

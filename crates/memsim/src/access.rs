@@ -1,0 +1,175 @@
+//! Access primitives shared by every level of the memory model.
+
+/// Cache-line size used throughout the model, in bytes.
+///
+/// The paper's Chromebook platform (Intel Celeron N3060) and essentially all
+/// mobile SoCs use 64-byte lines.
+pub const LINE_BYTES: u64 = 64;
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load: data moves from memory toward the compute unit.
+    Read,
+    /// A store: data moves from the compute unit toward memory.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// Aggregate activity caused by one or more accesses.
+///
+/// An [`Activity`] is the currency between the memory model and the energy
+/// model: every counter here corresponds to a component of the paper's
+/// energy breakdown (CPU, L1, LLC, interconnect, memory controller, DRAM —
+/// Figure 2). Activities are cheap to add together, so callers can aggregate
+/// them per function tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Activity {
+    /// Lookups performed in a private L1 cache (CPU- or PIM-side).
+    pub l1_accesses: u64,
+    /// Lookups performed in the shared last-level cache.
+    pub llc_accesses: u64,
+    /// Requests that reached a memory controller.
+    pub memctrl_requests: u64,
+    /// Bytes read from DRAM arrays.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM arrays (including cache writebacks).
+    pub dram_write_bytes: u64,
+    /// Bytes that crossed the off-chip channel (SoC <-> memory).
+    pub offchip_bytes: u64,
+    /// Bytes that crossed only the in-stack (TSV) path of 3D-stacked memory.
+    pub internal_bytes: u64,
+    /// DRAM accesses that hit an open row.
+    pub row_hits: u64,
+    /// DRAM accesses that required activating a new row.
+    pub row_misses: u64,
+    /// Accesses served from a PIM accelerator's scratch buffer.
+    pub scratch_accesses: u64,
+}
+
+impl Activity {
+    /// An empty activity record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes touched in DRAM arrays.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Accumulate another record into this one.
+    pub fn merge(&mut self, other: &Activity) {
+        self.l1_accesses += other.l1_accesses;
+        self.llc_accesses += other.llc_accesses;
+        self.memctrl_requests += other.memctrl_requests;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.offchip_bytes += other.offchip_bytes;
+        self.internal_bytes += other.internal_bytes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.scratch_accesses += other.scratch_accesses;
+    }
+}
+
+impl core::ops::AddAssign for Activity {
+    fn add_assign(&mut self, rhs: Self) {
+        self.merge(&rhs);
+    }
+}
+
+/// Iterator over the cache lines touched by a `[addr, addr+bytes)` access.
+///
+/// Yields the line-aligned address of every line the access overlaps. Used by
+/// every level of the hierarchy to split ranged (streaming) accesses.
+///
+/// ```
+/// use pim_memsim::access::lines_of;
+/// let lines: Vec<u64> = lines_of(60, 8).collect(); // straddles a boundary
+/// assert_eq!(lines, vec![0, 64]);
+/// ```
+pub fn lines_of(addr: u64, bytes: u64) -> impl Iterator<Item = u64> {
+    let first = addr / LINE_BYTES;
+    let last = if bytes == 0 {
+        first
+    } else {
+        (addr + bytes - 1) / LINE_BYTES
+    };
+    (first..=last).map(|l| l * LINE_BYTES)
+}
+
+/// Number of cache lines touched by a `[addr, addr+bytes)` access.
+pub fn line_count(addr: u64, bytes: u64) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    (addr + bytes - 1) / LINE_BYTES - addr / LINE_BYTES + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_of_single_line() {
+        assert_eq!(lines_of(0, 1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(lines_of(63, 1).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn lines_of_straddle() {
+        assert_eq!(lines_of(63, 2).collect::<Vec<_>>(), vec![0, 64]);
+    }
+
+    #[test]
+    fn lines_of_large_range() {
+        assert_eq!(line_count(0, 4096), 64);
+        assert_eq!(lines_of(0, 4096).count(), 64);
+    }
+
+    #[test]
+    fn line_count_zero_bytes() {
+        assert_eq!(line_count(100, 0), 0);
+    }
+
+    #[test]
+    fn line_count_unaligned() {
+        // 32..96 touches lines 0 and 64.
+        assert_eq!(line_count(32, 64), 2);
+    }
+
+    #[test]
+    fn activity_merge_adds_all_fields() {
+        let mut a = Activity::new();
+        let b = Activity {
+            l1_accesses: 1,
+            llc_accesses: 2,
+            memctrl_requests: 3,
+            dram_read_bytes: 4,
+            dram_write_bytes: 5,
+            offchip_bytes: 6,
+            internal_bytes: 7,
+            row_hits: 8,
+            row_misses: 9,
+            scratch_accesses: 10,
+        };
+        a.merge(&b);
+        a += b;
+        assert_eq!(a.l1_accesses, 2);
+        assert_eq!(a.dram_bytes(), 18);
+        assert_eq!(a.scratch_accesses, 20);
+    }
+
+    #[test]
+    fn access_kind_is_write() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+}

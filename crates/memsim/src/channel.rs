@@ -1,0 +1,131 @@
+//! Bandwidth-limited transfer channels with busy-until queueing.
+
+use crate::Ps;
+
+/// A point-to-point transfer resource with finite bandwidth.
+///
+/// The off-chip channel (32 GB/s in Table 1), the in-stack TSV path
+/// (256 GB/s aggregate) and each vault's slice of it are all `Channel`s.
+/// A transfer occupies the channel for `bytes / bandwidth`; if the channel
+/// is still busy from earlier transfers the new one queues, which is how
+/// bandwidth saturation turns into latency in this model.
+///
+/// ```
+/// use pim_memsim::Channel;
+/// let mut ch = Channel::new(32.0); // 32 GB/s
+/// let t1 = ch.transfer(64, 0);
+/// let t2 = ch.transfer(64, 0); // queued behind t1
+/// assert_eq!(t2, 2 * t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel {
+    ps_per_byte: f64,
+    busy_until: Ps,
+    carry: f64,
+    bytes_moved: u64,
+    stall_ps: u64,
+}
+
+impl Channel {
+    /// Create a channel with the given bandwidth in GB/s (1e9 bytes/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gb_per_s` is not positive.
+    pub fn new(gb_per_s: f64) -> Self {
+        assert!(gb_per_s > 0.0, "bandwidth must be positive");
+        Self {
+            // 1 GB/s == 1 byte/ns == 1000 ps per byte at 1 GB/s.
+            ps_per_byte: 1000.0 / gb_per_s,
+            busy_until: 0,
+            carry: 0.0,
+            bytes_moved: 0,
+            stall_ps: 0,
+        }
+    }
+
+    /// Occupy the channel for `bytes` starting no earlier than `now`.
+    ///
+    /// Returns the latency from `now` until the transfer completes, i.e.
+    /// queueing delay plus serialization time.
+    pub fn transfer(&mut self, bytes: u64, now: Ps) -> Ps {
+        let start = self.busy_until.max(now);
+        let exact = bytes as f64 * self.ps_per_byte + self.carry;
+        let dur = exact as u64;
+        self.carry = exact - dur as f64;
+        self.busy_until = start + dur;
+        self.bytes_moved += bytes;
+        self.stall_ps += start - now;
+        self.busy_until - now
+    }
+
+    /// Total bytes moved across the channel.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Accumulated queueing delay experienced by transfers, in ps.
+    pub fn total_stall_ps(&self) -> u64 {
+        self.stall_ps
+    }
+
+    /// Time at which the channel next becomes idle.
+    pub fn busy_until(&self) -> Ps {
+        self.busy_until
+    }
+
+    /// Forget queueing state but keep traffic counters.
+    pub fn reset_clock(&mut self) {
+        self.busy_until = 0;
+        self.carry = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_matches_bandwidth() {
+        let mut ch = Channel::new(1.0); // 1 GB/s -> 1000 ps/B
+        assert_eq!(ch.transfer(64, 0), 64_000);
+    }
+
+    #[test]
+    fn idle_channel_does_not_queue() {
+        let mut ch = Channel::new(32.0);
+        let l1 = ch.transfer(64, 0);
+        // Start the next transfer after the first has fully drained.
+        let l2 = ch.transfer(64, 1_000_000);
+        assert_eq!(l1, l2);
+        assert_eq!(ch.total_stall_ps(), 0);
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue() {
+        let mut ch = Channel::new(32.0);
+        let l1 = ch.transfer(64, 0);
+        let l2 = ch.transfer(64, 0);
+        assert_eq!(l2, 2 * l1);
+        assert_eq!(ch.total_stall_ps(), l1);
+    }
+
+    #[test]
+    fn bytes_are_counted() {
+        let mut ch = Channel::new(32.0);
+        ch.transfer(64, 0);
+        ch.transfer(128, 0);
+        assert_eq!(ch.bytes_moved(), 192);
+    }
+
+    #[test]
+    fn fractional_ps_per_byte_accumulates() {
+        // 3 GB/s -> 333.33 ps/B. 3000 transfers of 1 byte must total ~1 ms.
+        let mut ch = Channel::new(3.0);
+        for _ in 0..3000 {
+            ch.transfer(1, 0);
+        }
+        let total = ch.busy_until();
+        assert!((total as i64 - 1_000_000).abs() < 10, "total = {total}");
+    }
+}

@@ -1,0 +1,158 @@
+//! CPU↔PIM coherence cost model (paper §8.2).
+//!
+//! The paper argues most PIM targets are fine-grained functions interleaved
+//! with CPU work, so coherence between the CPU caches and PIM logic must be
+//! cheap. It adopts a PIM-side directory in the logic layer with the CPU-side
+//! directory as the global ordering point. We model the *costs* of that
+//! scheme rather than its mechanism:
+//!
+//! * when an offload region begins, dirty CPU-cached lines belonging to the
+//!   region are flushed so PIM observes them (one writeback each), and a
+//!   directory hand-off message is exchanged;
+//! * while PIM executes, each PIM miss consults the PIM-side directory
+//!   (counted, priced by the energy model);
+//! * when the region ends, CPU caches invalidate stale copies and another
+//!   hand-off message is exchanged.
+
+use crate::Ps;
+
+/// Latency/size parameters for coherence actions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceConfig {
+    /// One-way CPU↔PIM message latency across the off-chip channel, in ps.
+    pub msg_latency_ps: Ps,
+    /// Payload of a coherence message, in bytes (a header-sized packet).
+    pub msg_bytes: u64,
+    /// Fraction of an offload region's working set assumed dirty in CPU
+    /// caches when the offload begins (drives flush traffic).
+    pub dirty_fraction: f64,
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        Self { msg_latency_ps: 40_000, msg_bytes: 16, dirty_fraction: 0.05 }
+    }
+}
+
+/// Counters describing coherence work performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Hand-off and acknowledgment messages exchanged.
+    pub messages: u64,
+    /// Dirty lines flushed from CPU caches at offload starts.
+    pub flushed_lines: u64,
+    /// Lines invalidated in CPU caches at offload ends.
+    pub invalidated_lines: u64,
+    /// PIM-side directory lookups.
+    pub directory_lookups: u64,
+}
+
+/// The cost of one offload transition (begin or end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionCost {
+    /// Latency added to the critical path, in ps.
+    pub latency_ps: Ps,
+    /// Cache lines written back to memory (begin) or invalidated (end).
+    pub lines: u64,
+    /// Bytes of coherence-message traffic crossing the off-chip channel.
+    pub message_bytes: u64,
+}
+
+/// Tracks coherence activity across a simulation.
+#[derive(Debug, Clone, Default)]
+pub struct CoherenceModel {
+    config: CoherenceConfig,
+    stats: CoherenceStats,
+}
+
+impl CoherenceModel {
+    /// Create a model with the given parameters.
+    pub fn new(config: CoherenceConfig) -> Self {
+        Self { config, stats: CoherenceStats::default() }
+    }
+
+    /// Parameters in use.
+    pub fn config(&self) -> CoherenceConfig {
+        self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// An offload region over `region_bytes` of data begins.
+    ///
+    /// Dirty CPU-cached lines covering the region are flushed; a hand-off
+    /// message and its acknowledgment cross the channel.
+    pub fn offload_begin(&mut self, region_bytes: u64) -> TransitionCost {
+        let lines = ((region_bytes as f64 * self.config.dirty_fraction) / 64.0).ceil() as u64;
+        self.stats.messages += 2;
+        self.stats.flushed_lines += lines;
+        TransitionCost {
+            // Flushes overlap each other; one round trip plus a drain tail.
+            latency_ps: 2 * self.config.msg_latency_ps + lines / 8 * 1_000,
+            lines,
+            message_bytes: 2 * self.config.msg_bytes,
+        }
+    }
+
+    /// The offload region ends; CPU caches shoot down stale copies.
+    pub fn offload_end(&mut self, region_bytes: u64) -> TransitionCost {
+        let lines = ((region_bytes as f64 * self.config.dirty_fraction) / 64.0).ceil() as u64;
+        self.stats.messages += 2;
+        self.stats.invalidated_lines += lines;
+        TransitionCost {
+            latency_ps: 2 * self.config.msg_latency_ps,
+            lines,
+            message_bytes: 2 * self.config.msg_bytes,
+        }
+    }
+
+    /// Record a PIM-side directory lookup (one per PIM cache miss).
+    pub fn directory_lookup(&mut self) {
+        self.stats.directory_lookups += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_flushes_scale_with_region() {
+        let mut m = CoherenceModel::new(CoherenceConfig::default());
+        let small = m.offload_begin(64 * 1024);
+        let large = m.offload_begin(64 * 1024 * 1024);
+        assert!(large.lines > small.lines);
+        assert!(large.latency_ps >= small.latency_ps);
+        assert_eq!(m.stats().messages, 4);
+    }
+
+    #[test]
+    fn end_invalidates_without_flush_traffic() {
+        let mut m = CoherenceModel::new(CoherenceConfig::default());
+        let t = m.offload_end(1024 * 1024);
+        assert!(t.lines > 0);
+        assert_eq!(m.stats().flushed_lines, 0);
+        assert!(m.stats().invalidated_lines > 0);
+        assert_eq!(t.message_bytes, 32);
+    }
+
+    #[test]
+    fn directory_lookups_counted() {
+        let mut m = CoherenceModel::default();
+        for _ in 0..5 {
+            m.directory_lookup();
+        }
+        assert_eq!(m.stats().directory_lookups, 5);
+    }
+
+    #[test]
+    fn zero_byte_region_costs_only_messages() {
+        let mut m = CoherenceModel::default();
+        let t = m.offload_begin(0);
+        assert_eq!(t.lines, 0);
+        assert_eq!(t.latency_ps, 2 * m.config().msg_latency_ps);
+    }
+}

@@ -1,0 +1,94 @@
+//! Top-level memory-system configuration.
+
+use crate::cache::CacheConfig;
+use crate::dram::DramConfig;
+use crate::stacked::StackedConfig;
+use crate::Ps;
+
+/// Which main-memory technology backs the system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DramKind {
+    /// Conventional off-chip LPDDR3 (Table 1's baseline memory).
+    Lpddr3 {
+        /// Channel bandwidth in GB/s (LPDDR3-1600 x64 ≈ 12.8 GB/s).
+        channel_gbps: f64,
+        /// Bank timing.
+        timing: DramConfig,
+    },
+    /// 3D-stacked memory with a logic layer (enables PIM).
+    Stacked(StackedConfig),
+}
+
+/// Full memory-system configuration: caches plus main memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Per-core CPU L1.
+    pub cpu_l1: CacheConfig,
+    /// Shared last-level cache.
+    pub llc: CacheConfig,
+    /// PIM-core private L1 (only used on stacked systems).
+    pub pim_l1: CacheConfig,
+    /// PIM-accelerator scratch buffer (32 kB in §9).
+    pub scratch: CacheConfig,
+    /// L1 hit latency, in ps.
+    pub l1_hit_ps: Ps,
+    /// LLC hit latency (beyond L1), in ps.
+    pub llc_hit_ps: Ps,
+    /// Memory-controller queueing/processing overhead per request, in ps.
+    pub memctrl_ps: Ps,
+    /// Main-memory technology.
+    pub dram: DramKind,
+}
+
+impl MemConfig {
+    /// The paper's characterization platform: SoC caches in front of LPDDR3.
+    pub fn chromebook_like() -> Self {
+        Self {
+            cpu_l1: CacheConfig::soc_l1(),
+            llc: CacheConfig::soc_llc(),
+            pim_l1: CacheConfig::pim_l1(),
+            scratch: CacheConfig::pim_l1(),
+            l1_hit_ps: 1_500,
+            llc_hit_ps: 10_000,
+            memctrl_ps: 10_000,
+            dram: DramKind::Lpddr3 { channel_gbps: 12.8, timing: DramConfig::lpddr3() },
+        }
+    }
+
+    /// The paper's PIM platform: same SoC, 3D-stacked memory (Table 1).
+    pub fn pim_device() -> Self {
+        Self {
+            dram: DramKind::Stacked(StackedConfig::hmc_like()),
+            ..Self::chromebook_like()
+        }
+    }
+
+    /// Whether this system has a logic layer PIM can live in.
+    pub fn supports_pim(&self) -> bool {
+        matches!(self.dram, DramKind::Stacked(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_agree_with_table1() {
+        let base = MemConfig::chromebook_like();
+        assert!(!base.supports_pim());
+        assert_eq!(base.cpu_l1.capacity_bytes, 64 * 1024);
+        assert_eq!(base.llc.capacity_bytes, 2 * 1024 * 1024);
+
+        let pim = MemConfig::pim_device();
+        assert!(pim.supports_pim());
+        match pim.dram {
+            DramKind::Stacked(s) => {
+                assert_eq!(s.vaults, 16);
+                assert_eq!(s.internal_gbps, 256.0);
+                assert_eq!(s.offchip_gbps, 32.0);
+            }
+            DramKind::Lpddr3 { .. } => panic!("pim_device must be stacked"),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! HMC/HBM-like 3D-stacked memory: vaults, TSV path, off-chip channel.
+
+use crate::access::AccessKind;
+use crate::channel::Channel;
+use crate::dram::{BankArray, DramConfig, DramOutcome, DramStats};
+use crate::Ps;
+
+/// Geometry and bandwidth of a 3D-stacked memory cube (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackedConfig {
+    /// Number of vertical vaults in the cube.
+    pub vaults: usize,
+    /// Aggregate internal (logic-layer) bandwidth in GB/s.
+    pub internal_gbps: f64,
+    /// Off-chip channel bandwidth toward the SoC in GB/s.
+    pub offchip_gbps: f64,
+    /// Extra latency of crossing the off-chip channel (SerDes + controller),
+    /// in ps.
+    pub offchip_extra_ps: Ps,
+    /// Per-vault DRAM timing.
+    pub vault: DramConfig,
+}
+
+impl StackedConfig {
+    /// The paper's configuration: 2 GB cube, 16 vaults, 256 GB/s internal,
+    /// 32 GB/s off-chip channel.
+    pub fn hmc_like() -> Self {
+        Self {
+            vaults: 16,
+            internal_gbps: 256.0,
+            offchip_gbps: 32.0,
+            offchip_extra_ps: 20_000,
+            vault: DramConfig::stacked_vault(),
+        }
+    }
+}
+
+/// The result of one stacked-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackedOutcome {
+    /// Total latency including channel time, in ps.
+    pub latency_ps: Ps,
+    /// Whether the vault access was a row hit.
+    pub row_hit: bool,
+    /// Which vault served the request.
+    pub vault: usize,
+}
+
+/// A 3D-stacked DRAM cube with per-vault bank arrays.
+///
+/// Two ports exist:
+///
+/// * [`StackedMemory::access_offchip`] — the SoC path: request crosses the
+///   32 GB/s off-chip channel, then the internal path, then a vault.
+/// * [`StackedMemory::access_internal`] — the PIM path: logic-layer compute
+///   reaches its vault over the TSVs only, with 8x the bandwidth and no
+///   off-chip serialization (the source of PIM's data-movement savings).
+#[derive(Debug, Clone)]
+pub struct StackedMemory {
+    config: StackedConfig,
+    vaults: Vec<BankArray>,
+    vault_channels: Vec<Channel>,
+    offchip: Channel,
+}
+
+impl StackedMemory {
+    /// Create a cube with all rows closed and channels idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vaults` is zero.
+    pub fn new(config: StackedConfig) -> Self {
+        assert!(config.vaults > 0, "need at least one vault");
+        let per_vault = config.internal_gbps / config.vaults as f64;
+        Self {
+            vaults: (0..config.vaults).map(|_| BankArray::new(config.vault)).collect(),
+            vault_channels: (0..config.vaults).map(|_| Channel::new(per_vault)).collect(),
+            offchip: Channel::new(config.offchip_gbps),
+            config,
+        }
+    }
+
+    /// The configuration this cube was built with.
+    pub fn config(&self) -> &StackedConfig {
+        &self.config
+    }
+
+    fn vault_of(&self, addr: u64) -> usize {
+        // Interleave vaults at row granularity: consecutive rows round-robin
+        // across vaults, the HMC default for streaming parallelism.
+        ((addr / self.config.vault.row_bytes) % self.config.vaults as u64) as usize
+    }
+
+    fn vault_access(&mut self, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> (DramOutcome, Ps, usize) {
+        let v = self.vault_of(addr);
+        let out = self.vaults[v].access(addr, bytes, kind);
+        let chan = self.vault_channels[v].transfer(bytes, now);
+        (out, chan, v)
+    }
+
+    /// Access from the SoC over the off-chip channel.
+    pub fn access_offchip(&mut self, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> StackedOutcome {
+        let off = self.offchip.transfer(bytes, now) + self.config.offchip_extra_ps;
+        let (out, chan, v) = self.vault_access(addr, bytes, kind, now + off);
+        StackedOutcome { latency_ps: off + chan + out.latency_ps, row_hit: out.row_hit, vault: v }
+    }
+
+    /// Access from PIM logic in the logic layer (internal path only).
+    pub fn access_internal(&mut self, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> StackedOutcome {
+        let (out, chan, v) = self.vault_access(addr, bytes, kind, now);
+        StackedOutcome { latency_ps: chan + out.latency_ps, row_hit: out.row_hit, vault: v }
+    }
+
+    /// Aggregate row/traffic counters across all vaults.
+    pub fn stats(&self) -> DramStats {
+        let mut total = DramStats::default();
+        for v in &self.vaults {
+            let s = v.stats();
+            total.row_hits += s.row_hits;
+            total.row_misses += s.row_misses;
+            total.read_bytes += s.read_bytes;
+            total.write_bytes += s.write_bytes;
+        }
+        total
+    }
+
+    /// Bytes that have crossed the off-chip channel.
+    pub fn offchip_bytes(&self) -> u64 {
+        self.offchip.bytes_moved()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_path_is_faster_than_offchip() {
+        let mut m = StackedMemory::new(StackedConfig::hmc_like());
+        let off = m.access_offchip(0, 64, AccessKind::Read, 0);
+        let mut m2 = StackedMemory::new(StackedConfig::hmc_like());
+        let int = m2.access_internal(0, 64, AccessKind::Read, 0);
+        assert!(int.latency_ps < off.latency_ps);
+    }
+
+    #[test]
+    fn rows_interleave_across_vaults() {
+        let m = StackedMemory::new(StackedConfig::hmc_like());
+        let row = m.config().vault.row_bytes;
+        assert_eq!(m.vault_of(0), 0);
+        assert_eq!(m.vault_of(row), 1);
+        assert_eq!(m.vault_of(row * 16), 0);
+    }
+
+    #[test]
+    fn offchip_traffic_counted_only_on_offchip_port() {
+        let mut m = StackedMemory::new(StackedConfig::hmc_like());
+        m.access_internal(0, 64, AccessKind::Read, 0);
+        assert_eq!(m.offchip_bytes(), 0);
+        m.access_offchip(0, 64, AccessKind::Read, 0);
+        assert_eq!(m.offchip_bytes(), 64);
+    }
+
+    #[test]
+    fn vault_stats_aggregate() {
+        let mut m = StackedMemory::new(StackedConfig::hmc_like());
+        let row = m.config().vault.row_bytes;
+        for v in 0..4u64 {
+            m.access_internal(v * row, 64, AccessKind::Write, 0);
+        }
+        let s = m.stats();
+        assert_eq!(s.write_bytes, 4 * 64);
+        assert_eq!(s.row_misses, 4);
+    }
+
+    #[test]
+    fn parallel_vaults_beat_one_vault_under_load() {
+        // Stream to 16 different vaults vs 16 accesses to one vault:
+        // the former should finish sooner because vault channels are parallel.
+        let cfg = StackedConfig::hmc_like();
+        let row = cfg.vault.row_bytes;
+
+        let mut spread = StackedMemory::new(cfg);
+        let mut spread_done = 0;
+        for v in 0..16u64 {
+            let out = spread.access_internal(v * row, 4096, AccessKind::Read, 0);
+            spread_done = spread_done.max(out.latency_ps);
+        }
+
+        let mut single = StackedMemory::new(cfg);
+        let mut single_done = 0;
+        for i in 0..16u64 {
+            let out = single.access_internal(i * row * 16, 4096, AccessKind::Read, 0);
+            single_done = single_done.max(out.latency_ps);
+        }
+        assert!(spread_done < single_done);
+    }
+}

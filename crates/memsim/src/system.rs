@@ -1,0 +1,436 @@
+//! The assembled memory system: caches in front of a DRAM backend.
+
+use crate::access::{lines_of, AccessKind, Activity, LINE_BYTES};
+use crate::cache::{Cache, CacheStats};
+use crate::channel::Channel;
+use crate::config::{DramKind, MemConfig};
+use crate::dram::{BankArray, DramStats};
+use crate::stacked::StackedMemory;
+use crate::Ps;
+
+/// Which compute engine is issuing an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// A SoC CPU core: L1 → LLC → (channel) → DRAM.
+    Cpu,
+    /// A PIM core in the logic layer: PIM L1 → vault DRAM over TSVs.
+    PimCore,
+    /// A PIM accelerator: 32 kB scratch buffer → vault DRAM over TSVs.
+    PimAccel,
+}
+
+/// Latency and component activity of one (possibly ranged) access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Critical-path latency seen by the issuing engine, in ps.
+    pub latency_ps: Ps,
+    /// Component activity for the energy model.
+    pub activity: Activity,
+    /// Cache lines that missed the last private level and went to memory.
+    pub memory_lines: u64,
+    /// Total lines the access touched.
+    pub lines: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Lpddr3 { banks: BankArray, channel: Channel },
+    Stacked(StackedMemory),
+}
+
+/// A complete memory system instance.
+///
+/// Ranged accesses are first-class: a 4 kB streaming read is one call, the
+/// model walks its cache lines, and the returned latency assumes the lines
+/// pipeline (lead-in latency of the deepest level touched plus per-line
+/// occupancy, with DRAM-bound lines serialized on the bandwidth-limited
+/// channel). Channel queueing state persists across calls, so sustained
+/// misses saturate bandwidth exactly as in hardware.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemConfig,
+    cpu_l1: Cache,
+    llc: Cache,
+    pim_l1: Cache,
+    scratch: Cache,
+    backend: Backend,
+}
+
+impl MemorySystem {
+    /// Build a memory system from a configuration.
+    pub fn new(config: MemConfig) -> Self {
+        let backend = match config.dram {
+            DramKind::Lpddr3 { channel_gbps, timing } => Backend::Lpddr3 {
+                banks: BankArray::new(timing),
+                channel: Channel::new(channel_gbps),
+            },
+            DramKind::Stacked(s) => Backend::Stacked(StackedMemory::new(s)),
+        };
+        Self {
+            cpu_l1: Cache::new(config.cpu_l1),
+            llc: Cache::new(config.llc),
+            pim_l1: Cache::new(config.pim_l1),
+            scratch: Cache::new(config.scratch),
+            backend,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Convenience: CPU-port access (see [`Self::access_from`]).
+    pub fn access(&mut self, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> AccessOutcome {
+        self.access_from(Port::Cpu, addr, bytes, kind, now)
+    }
+
+    /// Issue an access of `bytes` at `addr` from the given port at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a PIM port is used on a system whose memory is not
+    /// 3D-stacked ([`MemConfig::supports_pim`] is `false`).
+    pub fn access_from(
+        &mut self,
+        port: Port,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        now: Ps,
+    ) -> AccessOutcome {
+        if bytes == 0 {
+            return AccessOutcome::default();
+        }
+        match port {
+            Port::Cpu => self.cpu_access(addr, bytes, kind, now),
+            Port::PimCore | Port::PimAccel => self.pim_access(port, addr, bytes, kind, now),
+        }
+    }
+
+    fn cpu_access(&mut self, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> AccessOutcome {
+        let mut out = AccessOutcome::default();
+        let mut lead: Ps = 0;
+        let mut occupancy: Ps = 0;
+        let mut mem_finish: Ps = now;
+        let cfg = self.config;
+        for line in lines_of(addr, bytes) {
+            out.lines += 1;
+            out.activity.l1_accesses += 1;
+            let l1 = self.cpu_l1.access(line, kind);
+            if l1.hit {
+                lead = lead.max(cfg.l1_hit_ps);
+                occupancy += 500; // one line per 2 GHz cycle
+                continue;
+            }
+            // L1 writeback goes to the LLC (traffic only, off critical path).
+            if let Some(wb) = l1.writeback {
+                out.activity.llc_accesses += 1;
+                if let Some(wb2) = self.llc.access(wb, AccessKind::Write).writeback {
+                    self.memory_write(wb2, &mut out.activity, now);
+                }
+            }
+            out.activity.llc_accesses += 1;
+            let llc = self.llc.access(line, AccessKind::Read);
+            if llc.hit {
+                lead = lead.max(cfg.l1_hit_ps + cfg.llc_hit_ps);
+                occupancy += 2_000;
+                continue;
+            }
+            if let Some(wb) = llc.writeback {
+                self.memory_write(wb, &mut out.activity, now);
+            }
+            out.memory_lines += 1;
+            out.activity.memctrl_requests += 1;
+            let (lat, array) = self.memory_read(line, &mut out.activity, now);
+            lead = lead.max(cfg.l1_hit_ps + cfg.llc_hit_ps + cfg.memctrl_ps + array);
+            mem_finish = mem_finish.max(now + lat);
+        }
+        out.latency_ps = lead + occupancy + (mem_finish - now);
+        out
+    }
+
+    fn pim_access(&mut self, port: Port, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> AccessOutcome {
+        assert!(
+            self.config.supports_pim(),
+            "PIM ports require 3D-stacked memory (MemConfig::pim_device)"
+        );
+        let mut out = AccessOutcome::default();
+        let mut lead: Ps = 0;
+        let mut occupancy: Ps = 0;
+        let mut mem_finish: Ps = now;
+        let (cache, hit_ps): (&mut Cache, Ps) = match port {
+            Port::PimCore => (&mut self.pim_l1, 2_000),
+            Port::PimAccel => (&mut self.scratch, 1_000),
+            Port::Cpu => unreachable!(),
+        };
+        let stacked = match &mut self.backend {
+            Backend::Stacked(s) => s,
+            Backend::Lpddr3 { .. } => unreachable!("supports_pim checked above"),
+        };
+        for line in lines_of(addr, bytes) {
+            out.lines += 1;
+            if port == Port::PimAccel {
+                out.activity.scratch_accesses += 1;
+            } else {
+                out.activity.l1_accesses += 1;
+            }
+            let c = cache.access(line, kind);
+            if c.hit {
+                lead = lead.max(hit_ps);
+                occupancy += 1_000; // one line per 1 GHz PIM cycle
+                continue;
+            }
+            if let Some(wb) = c.writeback {
+                let o = stacked.access_internal(wb, LINE_BYTES, AccessKind::Write, now);
+                out.activity.dram_write_bytes += LINE_BYTES;
+                out.activity.internal_bytes += LINE_BYTES;
+                if o.row_hit {
+                    out.activity.row_hits += 1;
+                } else {
+                    out.activity.row_misses += 1;
+                }
+            }
+            out.memory_lines += 1;
+            out.activity.memctrl_requests += 1;
+            let o = stacked.access_internal(line, LINE_BYTES, kind, now);
+            out.activity.internal_bytes += LINE_BYTES;
+            if kind.is_write() {
+                out.activity.dram_write_bytes += LINE_BYTES;
+            } else {
+                out.activity.dram_read_bytes += LINE_BYTES;
+            }
+            if o.row_hit {
+                out.activity.row_hits += 1;
+            } else {
+                out.activity.row_misses += 1;
+            }
+            lead = lead.max(hit_ps);
+            mem_finish = mem_finish.max(now + o.latency_ps);
+        }
+        out.latency_ps = lead + occupancy + (mem_finish - now);
+        out
+    }
+
+    /// A writeback or fill reaching main memory from the CPU side.
+    fn memory_write(&mut self, addr: u64, act: &mut Activity, now: Ps) {
+        act.memctrl_requests += 1;
+        act.dram_write_bytes += LINE_BYTES;
+        match &mut self.backend {
+            Backend::Lpddr3 { banks, channel } => {
+                banks.access(addr, LINE_BYTES, AccessKind::Write);
+                channel.transfer(LINE_BYTES, now);
+                act.offchip_bytes += LINE_BYTES;
+            }
+            Backend::Stacked(s) => {
+                let o = s.access_offchip(addr, LINE_BYTES, AccessKind::Write, now);
+                act.offchip_bytes += LINE_BYTES;
+                act.internal_bytes += LINE_BYTES;
+                if o.row_hit {
+                    act.row_hits += 1;
+                } else {
+                    act.row_misses += 1;
+                }
+            }
+        }
+    }
+
+    /// A demand fill from main memory on the CPU side.
+    ///
+    /// Returns `(latency from now, array-only latency)`.
+    fn memory_read(&mut self, addr: u64, act: &mut Activity, now: Ps) -> (Ps, Ps) {
+        act.dram_read_bytes += LINE_BYTES;
+        match &mut self.backend {
+            Backend::Lpddr3 { banks, channel } => {
+                let d = banks.access(addr, LINE_BYTES, AccessKind::Read);
+                let ch = channel.transfer(LINE_BYTES, now);
+                act.offchip_bytes += LINE_BYTES;
+                if d.row_hit {
+                    act.row_hits += 1;
+                } else {
+                    act.row_misses += 1;
+                }
+                (ch + d.latency_ps, d.latency_ps)
+            }
+            Backend::Stacked(s) => {
+                let o = s.access_offchip(addr, LINE_BYTES, AccessKind::Read, now);
+                act.offchip_bytes += LINE_BYTES;
+                act.internal_bytes += LINE_BYTES;
+                if o.row_hit {
+                    act.row_hits += 1;
+                } else {
+                    act.row_misses += 1;
+                }
+                // Approximate the array component for lead-in purposes.
+                (o.latency_ps, s.config().vault.row_hit_ps)
+            }
+        }
+    }
+
+    /// Statistics of the CPU L1.
+    pub fn cpu_l1_stats(&self) -> CacheStats {
+        self.cpu_l1.stats()
+    }
+
+    /// Statistics of the shared LLC (drives the paper's MPKI criterion).
+    pub fn llc_stats(&self) -> CacheStats {
+        self.llc.stats()
+    }
+
+    /// Statistics of the PIM-core L1.
+    pub fn pim_l1_stats(&self) -> CacheStats {
+        self.pim_l1.stats()
+    }
+
+    /// Row-locality and traffic counters of the DRAM backend.
+    pub fn dram_stats(&self) -> DramStats {
+        match &self.backend {
+            Backend::Lpddr3 { banks, .. } => banks.stats(),
+            Backend::Stacked(s) => s.stats(),
+        }
+    }
+
+    /// Flush (invalidate) all CPU-side caches, returning dirty lines dropped.
+    ///
+    /// Used at offload boundaries so PIM logic observes CPU writes; the
+    /// caller is responsible for pricing the returned writebacks.
+    pub fn flush_cpu_caches(&mut self) -> u64 {
+        self.cpu_l1.flush_all() + self.llc.flush_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> MemorySystem {
+        MemorySystem::new(MemConfig::chromebook_like())
+    }
+
+    fn pim() -> MemorySystem {
+        MemorySystem::new(MemConfig::pim_device())
+    }
+
+    #[test]
+    fn cold_miss_costs_more_than_hit() {
+        let mut m = base();
+        let cold = m.access(0, 64, AccessKind::Read, 0);
+        let warm = m.access(0, 64, AccessKind::Read, cold.latency_ps);
+        assert!(cold.latency_ps > warm.latency_ps);
+        assert_eq!(cold.memory_lines, 1);
+        assert_eq!(warm.memory_lines, 0);
+        assert_eq!(warm.activity.dram_read_bytes, 0);
+    }
+
+    #[test]
+    fn ranged_access_touches_all_lines() {
+        let mut m = base();
+        let out = m.access(0, 4096, AccessKind::Read, 0);
+        assert_eq!(out.lines, 64);
+        assert_eq!(out.activity.l1_accesses, 64);
+        assert_eq!(out.activity.dram_read_bytes, 64 * 64);
+    }
+
+    #[test]
+    fn ranged_access_pipelines_instead_of_summing() {
+        let mut m = base();
+        let one = m.access(1 << 30, 64, AccessKind::Read, 0).latency_ps;
+        let mut m2 = base();
+        let range = m2.access(0, 4096, AccessKind::Read, 0).latency_ps;
+        assert!(range < 64 * one, "range {range} vs 64x single {}", 64 * one);
+        assert!(range > one);
+    }
+
+    #[test]
+    fn pim_port_panics_on_lpddr3() {
+        let mut m = base();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.access_from(Port::PimCore, 0, 64, AccessKind::Read, 0)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn pim_core_access_avoids_offchip_channel() {
+        let mut m = pim();
+        let out = m.access_from(Port::PimCore, 0, 4096, AccessKind::Read, 0);
+        assert_eq!(out.activity.offchip_bytes, 0);
+        assert_eq!(out.activity.internal_bytes, 4096);
+        assert_eq!(out.activity.llc_accesses, 0);
+    }
+
+    #[test]
+    fn cpu_access_on_stacked_crosses_both_paths() {
+        let mut m = pim();
+        let out = m.access(0, 64, AccessKind::Read, 0);
+        assert_eq!(out.activity.offchip_bytes, 64);
+        assert_eq!(out.activity.internal_bytes, 64);
+    }
+
+    #[test]
+    fn pim_streaming_is_faster_than_cpu_streaming() {
+        // A large cold stream: PIM's internal path should beat the CPU path.
+        let mut cpu = pim();
+        let mut t_cpu = 0;
+        for i in 0..256u64 {
+            t_cpu += cpu.access(i * 4096, 4096, AccessKind::Read, t_cpu).latency_ps;
+        }
+        let mut pimdev = pim();
+        let mut t_pim = 0;
+        for i in 0..256u64 {
+            t_pim += pimdev
+                .access_from(Port::PimCore, i * 4096, 4096, AccessKind::Read, t_pim)
+                .latency_ps;
+        }
+        assert!(
+            t_pim < t_cpu,
+            "pim stream {t_pim} ps should beat cpu stream {t_cpu} ps"
+        );
+    }
+
+    #[test]
+    fn dirty_evictions_generate_dram_writes() {
+        let mut m = base();
+        // Write far more data than L1+LLC capacity, then stream a second
+        // region; evictions must show up as DRAM writes.
+        let mb = 4 * 1024 * 1024;
+        m.access(0, mb, AccessKind::Write, 0);
+        let out = m.access(1 << 30, mb, AccessKind::Read, 0);
+        assert!(out.activity.dram_write_bytes > 0, "expected writebacks");
+    }
+
+    #[test]
+    fn flush_cpu_caches_reports_dirty_lines() {
+        let mut m = base();
+        m.access(0, 64 * 10, AccessKind::Write, 0);
+        let dirty = m.flush_cpu_caches();
+        assert!(dirty >= 10);
+        // After a flush the same read misses again.
+        let out = m.access(0, 64, AccessKind::Read, 0);
+        assert_eq!(out.memory_lines, 1);
+    }
+
+    #[test]
+    fn llc_stats_expose_mpki_numerator() {
+        let mut m = base();
+        for i in 0..1000u64 {
+            m.access(i * 4096, 64, AccessKind::Read, 0);
+        }
+        assert!(m.llc_stats().misses >= 900);
+    }
+
+    #[test]
+    fn bandwidth_saturation_grows_latency() {
+        let mut m = base();
+        // Issue many cold lines at the same timestamp: channel queueing
+        // must make later lines slower.
+        let first = m.access(0, 64, AccessKind::Read, 0).latency_ps;
+        let mut worst = first;
+        for i in 1..512u64 {
+            let out = m.access(i * 4096, 64, AccessKind::Read, 0);
+            worst = worst.max(out.latency_ps);
+        }
+        assert!(worst > 4 * first, "queueing should dominate: {worst} vs {first}");
+    }
+}

@@ -1,0 +1,136 @@
+//! 2-D convolution lowered to GEMM via im2col (paper §5.1).
+//!
+//! A convolution layer applies `out_channels` filters of
+//! `kh x kw x in_channels` across the input feature map. TensorFlow Mobile
+//! lowers it to matrix multiplication: the *im2col* transform lays each
+//! receptive field out as a matrix row, after which Conv2D is one GEMM of
+//! shape `(out_h*out_w) x (kh*kw*in_c) x out_c`.
+
+use crate::gemm::{gemm_quantized, GemmShape};
+use crate::matrix::Matrix;
+
+/// Parameters of one convolution layer (stride 1, valid padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Output channels.
+    pub out_c: usize,
+}
+
+impl Conv2dParams {
+    /// Output height (valid padding, stride 1).
+    pub fn out_h(&self) -> usize {
+        self.in_h + 1 - self.kh
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.in_w + 1 - self.kw
+    }
+
+    /// The GEMM this layer lowers to.
+    pub fn gemm_shape(&self) -> GemmShape {
+        GemmShape {
+            m: self.out_h() * self.out_w(),
+            k: self.kh * self.kw * self.in_c,
+            n: self.out_c,
+        }
+    }
+}
+
+/// The im2col transform: input `(h, w, c)` HWC → matrix of receptive
+/// fields, one row per output position.
+pub fn im2col(input: &[u8], p: Conv2dParams) -> Matrix<u8> {
+    assert_eq!(input.len(), p.in_h * p.in_w * p.in_c, "input size mismatch");
+    let shape = p.gemm_shape();
+    let mut m = Matrix::zeroed(shape.m, shape.k);
+    let mut row = 0;
+    for oy in 0..p.out_h() {
+        for ox in 0..p.out_w() {
+            let mut col = 0;
+            for ky in 0..p.kh {
+                for kx in 0..p.kw {
+                    for c in 0..p.in_c {
+                        let v = input[((oy + ky) * p.in_w + (ox + kx)) * p.in_c + c];
+                        m.set(row, col, v);
+                        col += 1;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+    m
+}
+
+/// Run a quantized convolution: im2col, then GEMM against the filter
+/// matrix (`k x out_c`, one column per filter).
+///
+/// # Panics
+///
+/// Panics if filter dimensions disagree with `p`.
+pub fn conv2d(input: &[u8], filters: &Matrix<u8>, p: Conv2dParams, in_zp: i32, f_zp: i32) -> Matrix<i32> {
+    let shape = p.gemm_shape();
+    assert_eq!(filters.rows(), shape.k, "filter depth mismatch");
+    assert_eq!(filters.cols(), shape.n, "filter count mismatch");
+    let cols = im2col(input, p);
+    gemm_quantized(&cols, filters, in_zp, f_zp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_geometry() {
+        let p = Conv2dParams { in_h: 5, in_w: 6, in_c: 3, kh: 3, kw: 3, out_c: 8 };
+        assert_eq!(p.out_h(), 3);
+        assert_eq!(p.out_w(), 4);
+        let s = p.gemm_shape();
+        assert_eq!((s.m, s.k, s.n), (12, 27, 8));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel, single channel, single filter of weight 1.
+        let p = Conv2dParams { in_h: 3, in_w: 3, in_c: 1, kh: 1, kw: 1, out_c: 1 };
+        let input: Vec<u8> = (1..=9).collect();
+        let filters = Matrix::from_vec(1, 1, vec![1u8]);
+        let out = conv2d(&input, &filters, p, 0, 0);
+        assert_eq!(out.data(), &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn box_filter_sums_receptive_field() {
+        // 2x2 all-ones kernel over a known input.
+        let p = Conv2dParams { in_h: 2, in_w: 2, in_c: 1, kh: 2, kw: 2, out_c: 1 };
+        let input = vec![1u8, 2, 3, 4];
+        let filters = Matrix::from_vec(4, 1, vec![1u8; 4]);
+        let out = conv2d(&input, &filters, p, 0, 0);
+        assert_eq!(out.data(), &[10]);
+    }
+
+    #[test]
+    fn multichannel_im2col_interleaves_channels() {
+        let p = Conv2dParams { in_h: 1, in_w: 2, in_c: 2, kh: 1, kw: 2, out_c: 1 };
+        // HWC input: (x0: c0=1 c1=2), (x1: c0=3 c1=4).
+        let m = im2col(&[1, 2, 3, 4], p);
+        assert_eq!(m.row(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn wrong_input_size_panics() {
+        let p = Conv2dParams { in_h: 2, in_w: 2, in_c: 1, kh: 1, kw: 1, out_c: 1 };
+        im2col(&[0u8; 3], p);
+    }
+}

@@ -1,0 +1,36 @@
+//! TensorFlow Mobile workload models (paper §5).
+//!
+//! Inference on consumer devices runs quantized GEMM through the gemmlowp
+//! library. Around the GEMM kernel sit the two PIM targets the paper
+//! identifies:
+//!
+//! * **packing/unpacking** ([`pack`]) — reordering matrix chunks into the
+//!   kernel's cache-friendly layout and back (up to 40% of system energy),
+//! * **quantization** ([`quantize`]) — the min/max scan plus 32-bit → 8-bit
+//!   conversion performed before and after every Conv2D
+//!   (re-quantization), growing with network depth.
+//!
+//! [`gemm`] implements the low-precision GEMM itself (u8 × u8 → i32 with
+//! zero points, 16-lane SIMD MACs), [`conv`] lowers 2-D convolution via
+//! im2col, [`network`] describes the four evaluated networks (VGG-19,
+//! ResNet-v2-152, Inception-ResNet-v2, Residual-GRU) at reproduction
+//! scale, and [`inference`] drives whole-network runs for Figures 6 and 7.
+//! [`pipeline`] models the Figure 19 CPU/PIM overlap.
+
+pub mod conv;
+pub mod gemm;
+pub mod inference;
+pub mod matrix;
+pub mod network;
+pub mod pack;
+pub mod pipeline;
+pub mod quantize;
+
+pub use conv::{conv2d, Conv2dParams};
+pub use gemm::{gemm_quantized, GemmShape};
+pub use inference::{run_inference, InferenceBreakdown};
+pub use matrix::Matrix;
+pub use network::{Network, NetworkKind};
+pub use pack::{pack_lhs, pack_rhs, unpack_result, PackingKernel, PACK_BLOCK};
+pub use pipeline::{run_pipeline, PipelineResult};
+pub use quantize::{dequantize, quantize_f32, requantize_i32, QuantParams, QuantizationKernel};

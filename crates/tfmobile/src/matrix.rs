@@ -1,0 +1,139 @@
+//! Dense row-major matrices for the quantized-GEMM pipeline.
+
+use pim_core::rng::SplitMix64;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// A zeroed matrix.
+    pub fn zeroed(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Build from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dimension mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl Matrix<f32> {
+    /// Deterministic synthetic activations/weights in `[-scale, scale]`.
+    pub fn synthetic(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let data = (0..rows * cols)
+            .map(|_| (rng.next_f64() as f32 * 2.0 - 1.0) * scale)
+            .collect();
+        Self { rows, cols, data }
+    }
+}
+
+impl Matrix<u8> {
+    /// Deterministic synthetic quantized data.
+    pub fn synthetic_u8(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let data = (0..rows * cols).map(|_| rng.next_u8()).collect();
+        Self { rows, cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m: Matrix<i32> = Matrix::zeroed(3, 4);
+        m.set(2, 3, 7);
+        assert_eq!(m.get(2, 3), 7);
+        assert_eq!(m.get(0, 0), 0);
+        assert_eq!(m.row(2), &[0, 0, 0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        Matrix::<u8>::zeroed(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bad_from_vec_panics() {
+        Matrix::from_vec(2, 2, vec![1u8; 3]);
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_bounded() {
+        let a = Matrix::synthetic(8, 8, 2.0, 1);
+        let b = Matrix::synthetic(8, 8, 2.0, 1);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|v| v.abs() <= 2.0));
+    }
+}

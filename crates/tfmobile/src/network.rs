@@ -1,0 +1,280 @@
+//! The four evaluated networks (paper §3.1): VGG-19, ResNet-v2-152,
+//! Inception-ResNet-v2, Residual-GRU.
+//!
+//! For the energy/traffic study each layer is its GEMM lowering
+//! ([`crate::gemm::GemmShape`]) plus the size of the activation tensor that
+//! is quantized before the layer. VGG-19 and ResNet-v2-152 follow their
+//! published architectures exactly; Inception-ResNet-v2 and Residual-GRU
+//! are built from their blocks' published shapes (the paper does not list
+//! per-layer tables, so the block structure is reproduced from the
+//! original architecture papers). `scaled()` shrinks spatial dimensions
+//! for fast tests; benches run full scale.
+
+use crate::gemm::GemmShape;
+
+/// One weight layer: the GEMM it lowers to and the activations quantized
+/// before it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layer {
+    /// GEMM shape after im2col.
+    pub gemm: GemmShape,
+    /// Elements of the (pre-im2col) input activation tensor.
+    pub quant_in_elems: usize,
+}
+
+impl Layer {
+    fn conv(hw: usize, in_c: usize, k_edge: usize, out_c: usize) -> Self {
+        Layer {
+            gemm: GemmShape { m: hw * hw, k: k_edge * k_edge * in_c, n: out_c },
+            quant_in_elems: hw * hw * in_c,
+        }
+    }
+
+    fn fc(in_d: usize, out_d: usize) -> Self {
+        Layer {
+            gemm: GemmShape { m: 1, k: in_d, n: out_d },
+            quant_in_elems: in_d,
+        }
+    }
+}
+
+/// Which network (Figure 6's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// VGG-19 (Simonyan & Zisserman): 16 convs + 3 FC; few, huge GEMMs.
+    Vgg19,
+    /// ResNet-v2-152 (He et al.): 156 Conv2D operations (§5.3).
+    ResNetV2152,
+    /// Inception-ResNet-v2 (Szegedy et al.).
+    InceptionResNetV2,
+    /// Residual-GRU image compression (Toderici et al.).
+    ResidualGru,
+}
+
+impl NetworkKind {
+    /// All four, in the paper's Figure 6 order.
+    pub const ALL: [NetworkKind; 4] = [
+        NetworkKind::ResNetV2152,
+        NetworkKind::Vgg19,
+        NetworkKind::ResidualGru,
+        NetworkKind::InceptionResNetV2,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkKind::Vgg19 => "VGG-19",
+            NetworkKind::ResNetV2152 => "ResNet-V2",
+            NetworkKind::InceptionResNetV2 => "Inception-ResNet",
+            NetworkKind::ResidualGru => "Residual-GRU",
+        }
+    }
+}
+
+/// A network: an ordered list of weight layers.
+#[derive(Debug, Clone)]
+pub struct Network {
+    kind: NetworkKind,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Build a network at full published scale.
+    pub fn new(kind: NetworkKind) -> Self {
+        Self::scaled(kind, 1)
+    }
+
+    /// Build with spatial dimensions divided by `shrink` (≥ 1). Channel
+    /// structure and layer count — which drive the paper's quantization-
+    /// overhead trend — are preserved.
+    pub fn scaled(kind: NetworkKind, shrink: usize) -> Self {
+        let s = shrink.max(1);
+        let layers = match kind {
+            NetworkKind::Vgg19 => vgg19(s),
+            NetworkKind::ResNetV2152 => resnet152(s),
+            NetworkKind::InceptionResNetV2 => inception_resnet(s),
+            NetworkKind::ResidualGru => residual_gru(s),
+        };
+        Self { kind, layers }
+    }
+
+    /// Which network this is.
+    pub fn kind(&self) -> NetworkKind {
+        self.kind
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of Conv2D/MatMul operations.
+    pub fn gemm_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total multiply-accumulates.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.gemm.macs()).sum()
+    }
+}
+
+fn d(v: usize, s: usize) -> usize {
+    (v / s).max(1)
+}
+
+fn vgg19(s: usize) -> Vec<Layer> {
+    let mut l = Vec::new();
+    let cfg: &[(usize, usize, &[usize])] = &[
+        (224, 3, &[64, 64]),
+        (112, 64, &[128, 128]),
+        (56, 128, &[256, 256, 256, 256]),
+        (28, 256, &[512, 512, 512, 512]),
+        (14, 512, &[512, 512, 512, 512]),
+    ];
+    for &(hw, mut in_c, outs) in cfg {
+        for &out_c in outs {
+            l.push(Layer::conv(d(hw, s), in_c, 3, out_c));
+            in_c = out_c;
+        }
+    }
+    l.push(Layer::fc(d(7, s) * d(7, s) * 512, 4096));
+    l.push(Layer::fc(4096, 4096));
+    l.push(Layer::fc(4096, 1000));
+    l
+}
+
+fn resnet152(s: usize) -> Vec<Layer> {
+    let mut l = vec![Layer::conv(d(112, s), 3, 7, 64)];
+    // Stages: (spatial, bottleneck width, output width, blocks).
+    let stages: &[(usize, usize, usize, usize)] = &[
+        (56, 64, 256, 3),
+        (28, 128, 512, 8),
+        (14, 256, 1024, 36),
+        (7, 512, 2048, 3),
+    ];
+    let mut in_c = 64;
+    for &(hw, mid, out, blocks) in stages {
+        // Projection shortcut on the first block of each stage.
+        l.push(Layer::conv(d(hw, s), in_c, 1, out));
+        for b in 0..blocks {
+            let c_in = if b == 0 { in_c } else { out };
+            l.push(Layer::conv(d(hw, s), c_in, 1, mid));
+            l.push(Layer::conv(d(hw, s), mid, 3, mid));
+            l.push(Layer::conv(d(hw, s), mid, 1, out));
+        }
+        in_c = out;
+    }
+    l.push(Layer::fc(2048, 1000));
+    l
+}
+
+fn inception_resnet(s: usize) -> Vec<Layer> {
+    let mut l = Vec::new();
+    // Stem.
+    l.push(Layer::conv(d(149, s), 3, 3, 32));
+    l.push(Layer::conv(d(147, s), 32, 3, 32));
+    l.push(Layer::conv(d(147, s), 32, 3, 64));
+    l.push(Layer::conv(d(73, s), 64, 1, 80));
+    l.push(Layer::conv(d(71, s), 80, 3, 192));
+    l.push(Layer::conv(d(35, s), 192, 1, 320));
+    // 10x Inception-ResNet-A (3 branches: 1, 2, 3 convs + merge).
+    for _ in 0..10 {
+        l.push(Layer::conv(d(35, s), 320, 1, 32));
+        l.push(Layer::conv(d(35, s), 320, 1, 32));
+        l.push(Layer::conv(d(35, s), 32, 3, 32));
+        l.push(Layer::conv(d(35, s), 320, 1, 32));
+        l.push(Layer::conv(d(35, s), 32, 3, 48));
+        l.push(Layer::conv(d(35, s), 48, 3, 64));
+        l.push(Layer::conv(d(35, s), 128, 1, 320));
+    }
+    // 20x Inception-ResNet-B at 17x17.
+    for _ in 0..20 {
+        l.push(Layer::conv(d(17, s), 1088, 1, 192));
+        l.push(Layer::conv(d(17, s), 1088, 1, 128));
+        l.push(Layer::conv(d(17, s), 128, 7, 192)); // 1x7+7x1 folded
+        l.push(Layer::conv(d(17, s), 384, 1, 1088));
+    }
+    // 10x Inception-ResNet-C at 8x8.
+    for _ in 0..10 {
+        l.push(Layer::conv(d(8, s), 2080, 1, 192));
+        l.push(Layer::conv(d(8, s), 192, 3, 256)); // 1x3+3x1 folded
+        l.push(Layer::conv(d(8, s), 448, 1, 2080));
+    }
+    l.push(Layer::fc(1536, 1000));
+    l
+}
+
+fn residual_gru(s: usize) -> Vec<Layer> {
+    // Full-resolution image compression (Toderici et al.): an encoder of
+    // conv-GRUs and a decoder of conv-GRUs run for 16 refinement
+    // iterations on 32x32 patches. Each GRU cell lowers to two GEMMs
+    // (update/reset gates fused, candidate separately).
+    let mut l = Vec::new();
+    l.push(Layer::conv(d(32, s), 3, 3, 64)); // encoder input conv
+    for _ in 0..16 {
+        // Encoder GRUs at 16, 8, 4; decoder at 4, 8, 16, 32.
+        for &(hw, c) in &[(16, 256), (8, 512), (4, 512)] {
+            l.push(Layer::conv(d(hw, s), c, 3, c));
+            l.push(Layer::conv(d(hw, s), c, 1, c));
+        }
+        for &(hw, c) in &[(4, 512), (8, 512), (16, 256), (32, 128)] {
+            l.push(Layer::conv(d(hw, s), c, 3, c));
+            l.push(Layer::conv(d(hw, s), c, 1, c));
+        }
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg19_has_19_weight_layers() {
+        // §5.3: "VGG requires only 19 Conv2D operations".
+        assert_eq!(Network::new(NetworkKind::Vgg19).gemm_count(), 19);
+    }
+
+    #[test]
+    fn resnet152_has_156_convs() {
+        // §5.3: "ResNet requires 156 Conv2D operations".
+        assert_eq!(Network::new(NetworkKind::ResNetV2152).gemm_count(), 156);
+    }
+
+    #[test]
+    fn deeper_nets_have_more_but_smaller_gemms() {
+        let vgg = Network::new(NetworkKind::Vgg19);
+        let res = Network::new(NetworkKind::ResNetV2152);
+        assert!(res.gemm_count() > 8 * vgg.gemm_count());
+        let avg_vgg = vgg.total_macs() / vgg.gemm_count() as u64;
+        let avg_res = res.total_macs() / res.gemm_count() as u64;
+        assert!(avg_vgg > 10 * avg_res);
+    }
+
+    #[test]
+    fn scaling_shrinks_work_not_depth() {
+        let full = Network::new(NetworkKind::InceptionResNetV2);
+        let small = Network::scaled(NetworkKind::InceptionResNetV2, 4);
+        assert_eq!(full.gemm_count(), small.gemm_count());
+        assert!(small.total_macs() < full.total_macs() / 4);
+    }
+
+    #[test]
+    fn vgg_total_macs_matches_published_order() {
+        // Published VGG-19 ≈ 19.6 GMACs.
+        let macs = Network::new(NetworkKind::Vgg19).total_macs();
+        assert!((15_000_000_000..25_000_000_000).contains(&macs), "{macs}");
+    }
+
+    #[test]
+    fn all_layers_have_positive_dims() {
+        for kind in NetworkKind::ALL {
+            let n = Network::scaled(kind, 4);
+            for l in n.layers() {
+                assert!(l.gemm.m > 0 && l.gemm.k > 0 && l.gemm.n > 0);
+                assert!(l.quant_in_elems > 0);
+            }
+        }
+    }
+}

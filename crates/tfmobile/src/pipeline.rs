@@ -1,0 +1,176 @@
+//! The Figure 19 pipeline: PIM handles packing + quantization while the
+//! CPU executes GEMM kernels in parallel.
+//!
+//! In the CPU-only configuration every step is serial on the CPU. With
+//! PIM, the PIM logic packs chunk *i+1* and re-quantizes/unpacks chunk
+//! *i-1* while the CPU multiplies chunk *i* (§5.3), so per-GEMM cost is
+//! the *maximum* of the CPU and PIM stage times, not their sum — and the
+//! benefit grows with the number of back-to-back GEMM operations.
+
+use pim_core::{overlap_ps, ExecutionMode, OffloadEngine, Ps};
+
+use crate::gemm::{gemm_tracked, GemmShape};
+use crate::inference::ROW_BLOCK;
+use crate::pack::{pack_tracked, unpack_tracked};
+use crate::quantize::quantize_tracked;
+
+/// Result of the Figure 19 sweep for one GEMM count.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelinePoint {
+    /// Number of back-to-back GEMM operations.
+    pub gemms: usize,
+    /// CPU-only runtime, ps.
+    pub cpu_only_ps: Ps,
+    /// Runtime with packing/quantization on the PIM core, ps.
+    pub pim_core_ps: Ps,
+    /// Runtime with packing/quantization on the PIM accelerator, ps.
+    pub pim_acc_ps: Ps,
+}
+
+impl PipelinePoint {
+    /// Speedup of PIM-Core over CPU-only.
+    pub fn speedup_core(&self) -> f64 {
+        self.cpu_only_ps as f64 / self.pim_core_ps as f64
+    }
+
+    /// Speedup of PIM-Acc over CPU-only.
+    pub fn speedup_acc(&self) -> f64 {
+        self.cpu_only_ps as f64 / self.pim_acc_ps as f64
+    }
+}
+
+/// Result of the sweep plus the energy comparison of the offloaded stages.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// One point per requested GEMM count.
+    pub points: Vec<PipelinePoint>,
+    /// Energy of packing+quantization per GEMM: CPU / PIM-Core / PIM-Acc, pJ.
+    pub stage_energy_pj: [f64; 3],
+}
+
+/// Time and energy of the offloadable stage (quantize + pack + requantize
+/// + unpack) for one GEMM, measured on the given mode's engine.
+fn stage_cost(engine: &OffloadEngine, mode: ExecutionMode, g: GemmShape, quant_in: usize) -> (Ps, f64) {
+    let mut ctx = engine.context_for(mode);
+    quantize_tracked(&mut ctx, quant_in);
+    pack_tracked(&mut ctx, g.m, g.k, g.n, ROW_BLOCK);
+    quantize_tracked(&mut ctx, g.m * g.n);
+    unpack_tracked(&mut ctx, g.m, g.n);
+    (ctx.now_ps(), ctx.total_energy().total_pj())
+}
+
+/// Time of the GEMM kernel itself on the CPU of the given platform.
+fn gemm_cost(engine: &OffloadEngine, mode: ExecutionMode, g: GemmShape) -> (Ps, f64) {
+    let mut ctx = match mode {
+        // GEMM always runs on the SoC CPU; the platform (LPDDR3 vs 3D-
+        // stacked) follows the configuration under test.
+        ExecutionMode::CpuOnly => engine.context_for(ExecutionMode::CpuOnly),
+        _ => {
+            let mut c = engine.context_for(mode);
+            c.switch_engine(pim_core::EngineTiming::soc_cpu(), pim_core::Port::Cpu);
+            c
+        }
+    };
+    gemm_tracked(&mut ctx, g);
+    (ctx.now_ps(), ctx.total_energy().total_pj())
+}
+
+/// Sweep the number of back-to-back GEMMs (Figure 19 uses 1, 4, 16).
+pub fn run_pipeline(g: GemmShape, quant_in: usize, counts: &[usize]) -> PipelineResult {
+    let engine = OffloadEngine::new();
+    let (stage_cpu_ps, stage_cpu_pj) = stage_cost(&engine, ExecutionMode::CpuOnly, g, quant_in);
+    let (stage_core_ps, stage_core_pj) = stage_cost(&engine, ExecutionMode::PimCore, g, quant_in);
+    let (stage_acc_ps, stage_acc_pj) = stage_cost(&engine, ExecutionMode::PimAcc, g, quant_in);
+    let (gemm_base_ps, _) = gemm_cost(&engine, ExecutionMode::CpuOnly, g);
+    let (gemm_stacked_ps, _) = gemm_cost(&engine, ExecutionMode::PimCore, g);
+
+    // Offload hand-off latency per chunk (coherence round trip, §8.2).
+    let handoff: Ps = {
+        let mut ctx = engine.context_for(ExecutionMode::PimCore);
+        let t0 = ctx.now_ps();
+        ctx.offload_transition(g.bytes(), true);
+        ctx.offload_transition(g.bytes(), false);
+        ctx.now_ps() - t0
+    };
+
+    let points = counts
+        .iter()
+        .map(|&n| {
+            let cpu_only_ps = n as u64 * (stage_cpu_ps + gemm_base_ps);
+            // Pipelined: the first chunk's input pack fills the pipe
+            // (~2/5 of the stage), each GEMM then overlaps the neighbor
+            // chunks' PIM work, and the last chunk's re-quantization
+            // drains (~1/5 of the stage).
+            let steady_core = overlap_ps(gemm_stacked_ps, stage_core_ps, handoff / n as u64 + 1);
+            let steady_acc = overlap_ps(gemm_stacked_ps, stage_acc_ps, handoff / n as u64 + 1);
+            let pim_core_ps = 2 * stage_core_ps / 5 + n as u64 * steady_core + stage_core_ps / 5;
+            let pim_acc_ps = 2 * stage_acc_ps / 5 + n as u64 * steady_acc + stage_acc_ps / 5;
+            PipelinePoint { gemms: n, cpu_only_ps, pim_core_ps, pim_acc_ps }
+        })
+        .collect();
+
+    PipelineResult {
+        points,
+        stage_energy_pj: [stage_cpu_pj, stage_core_pj, stage_acc_pj],
+    }
+}
+
+/// The representative convolution GEMM used for the Figure 19 sweep.
+pub fn paper_shape() -> (GemmShape, usize) {
+    (GemmShape { m: 784, k: 1152, n: 256 }, 784 * 128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> PipelineResult {
+        let (g, q) = paper_shape();
+        run_pipeline(g, q, &[1, 4, 16])
+    }
+
+    #[test]
+    fn speedup_grows_with_gemm_count() {
+        // Figure 19 right: PIM speedups grow from ~13–17% at 1 GEMM to
+        // ~57–98% at 16 GEMMs.
+        let r = sweep();
+        let s: Vec<f64> = r.points.iter().map(|p| p.speedup_core()).collect();
+        assert!(s[0] < s[1] && s[1] < s[2], "core speedups {s:?}");
+        let a: Vec<f64> = r.points.iter().map(|p| p.speedup_acc()).collect();
+        assert!(a[0] < a[1] && a[1] < a[2], "acc speedups {a:?}");
+    }
+
+    #[test]
+    fn sixteen_gemms_land_in_paper_band() {
+        let r = sweep();
+        let p16 = r.points[2];
+        assert!(
+            (1.25..2.2).contains(&p16.speedup_core()),
+            "core @16 = {}",
+            p16.speedup_core()
+        );
+        assert!(
+            (1.30..2.6).contains(&p16.speedup_acc()),
+            "acc @16 = {}",
+            p16.speedup_acc()
+        );
+        assert!(p16.speedup_acc() > p16.speedup_core());
+    }
+
+    #[test]
+    fn one_gemm_still_wins_modestly() {
+        let r = sweep();
+        let p1 = r.points[0];
+        assert!(p1.speedup_core() > 0.95 && p1.speedup_core() < 1.6, "core @1 = {}", p1.speedup_core());
+        assert!(p1.speedup_acc() >= p1.speedup_core());
+    }
+
+    #[test]
+    fn offloaded_stage_saves_energy() {
+        // Figure 19 left: PIM-Core/PIM-Acc cut pack+quant energy ~50%+.
+        let r = sweep();
+        let [cpu, core, acc] = r.stage_energy_pj;
+        assert!(core < 0.65 * cpu, "core {core} vs cpu {cpu}");
+        assert!(acc <= core * 1.05);
+    }
+}

@@ -1,0 +1,161 @@
+//! The in-loop deblocking filter (paper §6.2.2).
+//!
+//! Block-based prediction leaves discontinuities at block borders. The
+//! loop filter walks every 8-pixel block edge, tests whether the pixels
+//! straddling it look like a blocking artifact rather than a real edge,
+//! and if so applies a short low-pass filter (VP8/VP9's `filter4`): up to
+//! two pixels on each side are adjusted. It is arithmetic-and-bitwise
+//! only, but touches every block edge in the frame with poor locality —
+//! the paper's second video PIM target.
+
+use crate::frame::Plane;
+
+/// Edge threshold: skip filtering across real edges.
+const EDGE_LIMIT: i32 = 24;
+/// Inner threshold on second-neighbor differences.
+const INTERIOR_LIMIT: i32 = 6;
+
+fn clamp_s7(v: i32) -> i32 {
+    v.clamp(-128, 127)
+}
+
+/// The VP8-style 4-tap edge filter applied to one pixel quad
+/// `(p1, p0 | q0, q1)` (values 0..255). Returns the filtered quad.
+pub fn filter4(p1: u8, p0: u8, q0: u8, q1: u8) -> (u8, u8, u8, u8) {
+    // Work on sign-shifted values, as the codec does.
+    let (p1s, p0s, q0s, q1s) =
+        (p1 as i32 - 128, p0 as i32 - 128, q0 as i32 - 128, q1 as i32 - 128);
+    let a = clamp_s7(clamp_s7(p1s - q1s) + 3 * (q0s - p0s));
+    let f1 = clamp_s7(a + 4) >> 3;
+    let f2 = clamp_s7(a + 3) >> 3;
+    let q0n = clamp_s7(q0s - f1) + 128;
+    let p0n = clamp_s7(p0s + f2) + 128;
+    // Outer pixels move by half the inner adjustment.
+    let a2 = (f1 + 1) >> 1;
+    let q1n = clamp_s7(q1s - a2) + 128;
+    let p1n = clamp_s7(p1s + a2) + 128;
+    (p1n as u8, p0n as u8, q0n as u8, q1n as u8)
+}
+
+/// Whether the quad straddles a filterable (artifact-like) edge.
+pub fn should_filter(p1: u8, p0: u8, q0: u8, q1: u8) -> bool {
+    let step = (p0 as i32 - q0 as i32).abs();
+    let gentle = (p1 as i32 - p0 as i32).abs() <= INTERIOR_LIMIT
+        && (q1 as i32 - q0 as i32).abs() <= INTERIOR_LIMIT;
+    step > 0 && step * 2 + (p1 as i32 - q1 as i32).abs() / 2 <= EDGE_LIMIT && gentle
+}
+
+/// Statistics of one deblocking pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeblockStats {
+    /// Edge pixel quads examined.
+    pub examined: u64,
+    /// Quads actually filtered.
+    pub filtered: u64,
+}
+
+/// Filter all vertical and horizontal 8x8 block edges of a plane in place.
+pub fn deblock_plane(plane: &mut Plane, block: usize) -> DeblockStats {
+    let mut stats = DeblockStats::default();
+    let (w, h) = (plane.width(), plane.height());
+    // Vertical edges (filter across columns).
+    for ex in (block..w).step_by(block) {
+        for y in 0..h {
+            let quad = (
+                plane.pixel(ex - 2, y),
+                plane.pixel(ex - 1, y),
+                plane.pixel(ex, y),
+                plane.pixel((ex + 1).min(w - 1), y),
+            );
+            stats.examined += 1;
+            if should_filter(quad.0, quad.1, quad.2, quad.3) {
+                let (p1, p0, q0, q1) = filter4(quad.0, quad.1, quad.2, quad.3);
+                plane.set_pixel(ex - 2, y, p1);
+                plane.set_pixel(ex - 1, y, p0);
+                plane.set_pixel(ex, y, q0);
+                plane.set_pixel((ex + 1).min(w - 1), y, q1);
+                stats.filtered += 1;
+            }
+        }
+    }
+    // Horizontal edges (filter across rows).
+    for ey in (block..h).step_by(block) {
+        for x in 0..w {
+            let quad = (
+                plane.pixel(x, ey - 2),
+                plane.pixel(x, ey - 1),
+                plane.pixel(x, ey),
+                plane.pixel(x, (ey + 1).min(h - 1)),
+            );
+            stats.examined += 1;
+            if should_filter(quad.0, quad.1, quad.2, quad.3) {
+                let (p1, p0, q0, q1) = filter4(quad.0, quad.1, quad.2, quad.3);
+                plane.set_pixel(x, ey - 2, p1);
+                plane.set_pixel(x, ey - 1, p0);
+                plane.set_pixel(x, ey, q0);
+                plane.set_pixel(x, (ey + 1).min(h - 1), q1);
+                stats.filtered += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_region_untouched() {
+        // No step at the edge: nothing to filter.
+        assert!(!should_filter(80, 80, 80, 80));
+        let mut p = Plane::filled(32, 32, 80);
+        deblock_plane(&mut p, 8);
+        assert!(p.data().iter().all(|&v| v == 80));
+    }
+
+    #[test]
+    fn small_step_is_smoothed() {
+        let (p1, p0, q0, q1) = (100, 100, 108, 108);
+        assert!(should_filter(p1, p0, q0, q1));
+        let (np1, np0, nq0, nq1) = filter4(p1, p0, q0, q1);
+        let step_before = (q0 as i32 - p0 as i32).abs();
+        let step_after = (nq0 as i32 - np0 as i32).abs();
+        assert!(step_after < step_before, "{step_after} vs {step_before}");
+        // Outer pixels move toward the edge, monotonically.
+        assert!(np1 >= p1 && nq1 <= q1);
+    }
+
+    #[test]
+    fn strong_real_edge_is_preserved() {
+        // A 0 -> 255 edge must not be filtered (it is real content).
+        assert!(!should_filter(0, 0, 255, 255));
+    }
+
+    #[test]
+    fn blocky_plane_gets_smoother() {
+        // Alternate 8x8 blocks of two nearby values: classic blockiness.
+        let mut p = Plane::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                let v = if ((x / 8) + (y / 8)) % 2 == 0 { 100 } else { 108 };
+                p.set_pixel(x, y, v);
+            }
+        }
+        let stats = deblock_plane(&mut p, 8);
+        assert!(stats.filtered > 0);
+        assert!(stats.filtered <= stats.examined);
+        // Edge steps shrank.
+        let step = (p.pixel(7, 0) as i32 - p.pixel(8, 0) as i32).abs();
+        assert!(step < 8, "step {step}");
+    }
+
+    #[test]
+    fn filter_preserves_pixel_range() {
+        for a in [0u8, 1, 127, 128, 254, 255] {
+            let (p1, p0, q0, q1) = filter4(a, a.wrapping_add(3), a.wrapping_add(5), a.wrapping_add(9));
+            // All outputs are valid u8 by construction; sanity-check order.
+            let _ = (p1, p0, q0, q1);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The VP9-style encoder pipeline (paper Figure 14).
+//!
+//! Per 16x16 macro-block: motion estimation against up to three reference
+//! frames (or flat intra prediction on keyframes), residual transform
+//! (4x4 WHT), quantization, boolean-coder entropy coding, and in-loop
+//! reconstruction so the encoder and decoder share bit-identical
+//! reference frames. The reconstructed frame is deblocked before becoming
+//! a reference, exactly as the decoder will deblock its output.
+
+use crate::deblock::{deblock_plane, DeblockStats};
+use crate::entropy::{write_coeffs, write_mv_component, BoolWriter};
+use crate::frame::Plane;
+use crate::mc::{predict_block, reconstruct, residual};
+use crate::me::{motion_search, MotionVector, SearchStats};
+use crate::transform::{dequantize, forward4x4, inverse4x4, quant_step, quantize, Block4};
+
+/// Macro-block edge, in pixels.
+pub const MB: usize = 16;
+
+/// Encoder parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderConfig {
+    /// Quality index, `0..=63` (0 = lossless).
+    pub q: u8,
+    /// Motion-search range in pixels.
+    pub range: i32,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self { q: 12, range: 16 }
+    }
+}
+
+/// An encoded frame: the bitstream plus its header facts.
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    /// The boolean-coded bitstream.
+    pub data: Vec<u8>,
+    /// Whether this is a keyframe (no references).
+    pub keyframe: bool,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Quality index used.
+    pub q: u8,
+}
+
+/// What the encoder did (drives the instrumented drivers and tests).
+#[derive(Debug, Clone, Default)]
+pub struct EncodeStats {
+    /// Motion-search statistics summed over all macro-blocks.
+    pub search: SearchStats,
+    /// Chosen `(reference index, motion vector)` per macro-block.
+    pub mvs: Vec<(usize, MotionVector)>,
+    /// Macro-blocks encoded.
+    pub macroblocks: u64,
+    /// 4x4 blocks with at least one nonzero quantized coefficient.
+    pub coded_blocks: u64,
+    /// Macro-blocks whose vector has a sub-pel component.
+    pub subpel_mbs: u64,
+    /// Loop-filter statistics of the in-loop reconstruction.
+    pub deblock: DeblockStats,
+}
+
+/// Encode one frame against `refs` (empty slice = keyframe).
+///
+/// Returns the bitstream, the reconstructed (deblocked) frame that must be
+/// used as the reference for the next frame, and statistics.
+///
+/// # Panics
+///
+/// Panics if the frame dimensions are not multiples of 16, or if more
+/// than 4 references are supplied.
+pub fn encode_frame(cur: &Plane, refs: &[&Plane], cfg: EncoderConfig) -> (EncodedFrame, Plane, EncodeStats) {
+    assert!(cur.width() % MB == 0 && cur.height() % MB == 0, "frame must be MB-aligned");
+    assert!(refs.len() <= 4, "at most 4 reference frames");
+    let (w, h) = (cur.width(), cur.height());
+    let keyframe = refs.is_empty();
+    let step = quant_step(cfg.q);
+
+    let mut writer = BoolWriter::new();
+    // Header: keyframe, q, dimensions in MBs.
+    writer.put_literal(keyframe as u32, 1);
+    writer.put_literal(cfg.q as u32, 6);
+    writer.put_literal((w / MB) as u32, 10);
+    writer.put_literal((h / MB) as u32, 10);
+
+    let mut recon = Plane::new(w, h);
+    let mut stats = EncodeStats::default();
+
+    for my in (0..h).step_by(MB) {
+        for mx in (0..w).step_by(MB) {
+            stats.macroblocks += 1;
+            // Prediction.
+            let (ref_idx, mv, pred) = if keyframe {
+                (0, MotionVector::default(), vec![128u8; MB * MB])
+            } else {
+                let (idx, mv, _, s) = motion_search(cur, refs, mx, my, MB, cfg.range);
+                stats.search.integer_candidates += s.integer_candidates;
+                stats.search.subpel_candidates += s.subpel_candidates;
+                (idx, mv, predict_block(refs[idx], mx, my, MB, mv))
+            };
+            if !keyframe {
+                writer.put_literal(ref_idx as u32, 2);
+                write_mv_component(&mut writer, mv.x8);
+                write_mv_component(&mut writer, mv.y8);
+                if mv.is_subpel() {
+                    stats.subpel_mbs += 1;
+                }
+            }
+            stats.mvs.push((ref_idx, mv));
+
+            // Source pixels and residual for the whole MB.
+            let mut src = vec![0u8; MB * MB];
+            for dy in 0..MB {
+                for dx in 0..MB {
+                    src[dy * MB + dx] = cur.pixel(mx + dx, my + dy);
+                }
+            }
+            let res = residual(&src, &pred);
+
+            // Transform/quantize/code each 4x4, reconstructing as we go.
+            let mut rec_res = vec![0i32; MB * MB];
+            for by in (0..MB).step_by(4) {
+                for bx in (0..MB).step_by(4) {
+                    let mut block: Block4 = [0; 16];
+                    for y in 0..4 {
+                        for x in 0..4 {
+                            block[y * 4 + x] = res[(by + y) * MB + bx + x];
+                        }
+                    }
+                    let mut coeffs = forward4x4(&block);
+                    quantize(&mut coeffs, step);
+                    write_coeffs(&mut writer, &coeffs);
+                    if coeffs.iter().any(|&c| c != 0) {
+                        stats.coded_blocks += 1;
+                    }
+                    dequantize(&mut coeffs, step);
+                    let rec = inverse4x4(&coeffs);
+                    for y in 0..4 {
+                        for x in 0..4 {
+                            rec_res[(by + y) * MB + bx + x] = rec[y * 4 + x];
+                        }
+                    }
+                }
+            }
+            let rec_px = reconstruct(&pred, &rec_res);
+            for dy in 0..MB {
+                for dx in 0..MB {
+                    recon.set_pixel(mx + dx, my + dy, rec_px[dy * MB + dx]);
+                }
+            }
+        }
+    }
+
+    // In-loop deblocking: part of the reconstruction both sides perform.
+    stats.deblock = deblock_plane(&mut recon, 8);
+
+    let frame = EncodedFrame { data: writer.finish(), keyframe, width: w, height: h, q: cfg.q };
+    (frame, recon, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::SyntheticVideo;
+
+    #[test]
+    fn keyframe_round_trips_through_reconstruction() {
+        let src = SyntheticVideo::new(64, 48, 0, 1).frame(0);
+        let (frame, recon, stats) = encode_frame(&src, &[], EncoderConfig { q: 4, range: 8 });
+        assert!(frame.keyframe);
+        assert_eq!(stats.macroblocks, 12);
+        assert!(recon.psnr(&src) > 34.0, "psnr {}", recon.psnr(&src));
+        assert!(!frame.data.is_empty());
+    }
+
+    #[test]
+    fn lossless_keyframe_is_exact_before_deblock() {
+        // q=0 (step 1): reconstruction differs from source only where the
+        // loop filter touched block edges.
+        let src = SyntheticVideo::new(32, 32, 0, 2).frame(0);
+        let (_, recon, _) = encode_frame(&src, &[], EncoderConfig { q: 0, range: 8 });
+        assert!(recon.psnr(&src) > 44.0, "psnr {}", recon.psnr(&src));
+    }
+
+    #[test]
+    fn inter_frame_is_cheaper_than_keyframe() {
+        let v = SyntheticVideo::new(64, 64, 0, 3);
+        let f0 = v.frame(0);
+        let f1 = v.frame(1);
+        let cfg = EncoderConfig::default();
+        let (key, recon0, _) = encode_frame(&f0, &[], cfg);
+        let (inter, _, stats) = encode_frame(&f1, &[&recon0], cfg);
+        assert!(
+            inter.data.len() < key.data.len(),
+            "inter {} vs key {}",
+            inter.data.len(),
+            key.data.len()
+        );
+        // Panning content: most MBs should use sub-pel vectors.
+        assert!(stats.subpel_mbs * 2 > stats.macroblocks, "{stats:?}");
+    }
+
+    #[test]
+    fn bitstream_is_much_smaller_than_raw() {
+        let v = SyntheticVideo::new(96, 96, 0, 4);
+        let f0 = v.frame(0);
+        let (key, recon0, _) = encode_frame(&f0, &[], EncoderConfig::default());
+        let (inter, _, _) = encode_frame(&v.frame(1), &[&recon0], EncoderConfig::default());
+        let raw = (96 * 96) as usize;
+        assert!(key.data.len() < raw, "key {} vs raw {raw}", key.data.len());
+        assert!(inter.data.len() < raw / 4, "inter {} vs raw {raw}", inter.data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "MB-aligned")]
+    fn unaligned_frame_panics() {
+        let p = Plane::new(60, 64);
+        encode_frame(&p, &[], EncoderConfig::default());
+    }
+}

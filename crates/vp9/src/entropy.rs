@@ -1,0 +1,341 @@
+//! The VP8/VP9 boolean arithmetic coder and the symbol layer.
+//!
+//! VP9's entire bitstream is driven by a binary arithmetic coder with
+//! 8-bit probabilities ("bool coder"). This module implements it —
+//! carry propagation and all — plus the small symbol layer the
+//! reproduction codec needs: literals, signed values, motion vectors and
+//! 4x4 coefficient blocks with static probabilities.
+//!
+//! The paper observes (§6.2.1) that entropy decoding generates little
+//! data movement because its working set (the bitstream window and
+//! probability state) fits in cache; the instrumented driver reproduces
+//! that by charging only streaming reads of the bitstream itself.
+
+use crate::transform::Block4;
+
+/// Probability that a coefficient is zero (8-bit, out of 256).
+const P_ZERO: u8 = 160;
+/// Probability used for raw literal bits (uniform).
+const P_HALF: u8 = 128;
+/// Probability that a motion-vector component is zero.
+const P_MV_ZERO: u8 = 96;
+
+/// The boolean arithmetic encoder.
+#[derive(Debug, Default)]
+pub struct BoolWriter {
+    low: u32,
+    range: u32,
+    count: i32,
+    out: Vec<u8>,
+}
+
+impl BoolWriter {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        Self { low: 0, range: 255, count: -24, out: Vec::new() }
+    }
+
+    /// Encode one bool with probability `prob`/256 of being false.
+    ///
+    /// Follows the libvpx VP8 encoder: `low` is a 24-bit sliding window of
+    /// the arithmetic interval's lower bound; when 8 fresh bits
+    /// accumulate, the top byte is emitted, propagating any carry into
+    /// already-emitted bytes.
+    pub fn put(&mut self, prob: u8, bit: bool) {
+        let split = 1 + (((self.range - 1) * prob as u32) >> 8);
+        if bit {
+            self.low += split;
+            self.range -= split;
+        } else {
+            self.range = split;
+        }
+        let mut shift = (self.range as u8).leading_zeros() as i32; // to reach >= 128
+        self.range <<= shift;
+        self.count += shift;
+        if self.count >= 0 {
+            let offset = shift - self.count;
+            if (self.low << (offset - 1)) & 0x8000_0000 != 0 {
+                // Carry into already-emitted bytes.
+                let mut i = self.out.len();
+                loop {
+                    assert!(i > 0, "carry out of an empty stream");
+                    i -= 1;
+                    if self.out[i] == 0xFF {
+                        self.out[i] = 0;
+                    } else {
+                        self.out[i] += 1;
+                        break;
+                    }
+                }
+            }
+            self.out.push((self.low >> (24 - offset)) as u8);
+            self.low <<= offset;
+            shift = self.count;
+            self.low &= 0x00FF_FFFF;
+            self.count -= 8;
+        }
+        self.low <<= shift;
+    }
+
+    /// Encode `n` raw bits of `value`, MSB first.
+    pub fn put_literal(&mut self, value: u32, n: u32) {
+        for i in (0..n).rev() {
+            self.put(P_HALF, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Finish the stream and return the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..32 {
+            self.put(P_HALF, false);
+        }
+        self.out
+    }
+}
+
+/// The boolean arithmetic decoder.
+#[derive(Debug)]
+pub struct BoolReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    value: u64,
+    range: u32,
+    bits: i32,
+    /// Bytes consumed from the stream (for traffic accounting).
+    pub consumed: usize,
+}
+
+impl<'a> BoolReader<'a> {
+    /// Start decoding `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        let mut r = Self { data, pos: 0, value: 0, range: 255, bits: -8, consumed: 0 };
+        r.fill();
+        r
+    }
+
+    fn fill(&mut self) {
+        while self.bits < 0 {
+            let byte = if self.pos < self.data.len() {
+                let b = self.data[self.pos];
+                self.pos += 1;
+                self.consumed += 1;
+                b
+            } else {
+                0
+            };
+            self.value = (self.value << 8) | byte as u64;
+            self.bits += 8;
+        }
+    }
+
+    /// Decode one bool with probability `prob`/256 of being false.
+    pub fn get(&mut self, prob: u8) -> bool {
+        let split = 1 + (((self.range - 1) * prob as u32) >> 8);
+        let big = (split as u64) << self.bits;
+        let bit = self.value >= big;
+        if bit {
+            self.range -= split;
+            self.value -= big;
+        } else {
+            self.range = split;
+        }
+        while self.range < 128 {
+            self.range <<= 1;
+            self.bits -= 1;
+            if self.bits < 0 {
+                self.fill();
+            }
+        }
+        bit
+    }
+
+    /// Decode `n` raw bits, MSB first.
+    pub fn get_literal(&mut self, n: u32) -> u32 {
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.get(P_HALF) as u32;
+        }
+        v
+    }
+}
+
+/// Encode one 4x4 coefficient block.
+pub fn write_coeffs(w: &mut BoolWriter, coeffs: &Block4) {
+    for &c in coeffs {
+        if c == 0 {
+            w.put(P_ZERO, false);
+            continue;
+        }
+        w.put(P_ZERO, true);
+        w.put(P_HALF, c < 0);
+        let mag = c.unsigned_abs();
+        // Unary prefix for 1..=3, escape to a 14-bit literal.
+        if mag <= 3 {
+            for _ in 1..mag {
+                w.put(P_HALF, true);
+            }
+            w.put(P_HALF, false);
+        } else {
+            w.put(P_HALF, true);
+            w.put(P_HALF, true);
+            w.put(P_HALF, true);
+            w.put_literal(mag.min((1 << 14) - 1), 14);
+        }
+    }
+}
+
+/// Decode one 4x4 coefficient block.
+pub fn read_coeffs(r: &mut BoolReader<'_>) -> Block4 {
+    let mut out = [0i32; 16];
+    for c in out.iter_mut() {
+        if !r.get(P_ZERO) {
+            continue;
+        }
+        let neg = r.get(P_HALF);
+        let mut mag = 1u32;
+        while mag <= 3 && r.get(P_HALF) {
+            mag += 1;
+        }
+        if mag == 4 {
+            mag = r.get_literal(14);
+        }
+        *c = if neg { -(mag as i32) } else { mag as i32 };
+    }
+    out
+}
+
+/// Encode a motion-vector component in 1/8-pel units (|v| < 1024).
+pub fn write_mv_component(w: &mut BoolWriter, v: i32) {
+    if v == 0 {
+        w.put(P_MV_ZERO, false);
+        return;
+    }
+    w.put(P_MV_ZERO, true);
+    w.put(P_HALF, v < 0);
+    w.put_literal(v.unsigned_abs().min(1023), 10);
+}
+
+/// Decode a motion-vector component.
+pub fn read_mv_component(r: &mut BoolReader<'_>) -> i32 {
+    if !r.get(P_MV_ZERO) {
+        return 0;
+    }
+    let neg = r.get(P_HALF);
+    let mag = r.get_literal(10) as i32;
+    if neg {
+        -mag
+    } else {
+        mag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_core::rng::SplitMix64;
+
+    #[test]
+    fn bool_roundtrip_uniform() {
+        let mut w = BoolWriter::new();
+        let bits: Vec<bool> = (0..1000).map(|i| (i * 7) % 3 == 0).collect();
+        for &b in &bits {
+            w.put(P_HALF, b);
+        }
+        let data = w.finish();
+        let mut r = BoolReader::new(&data);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(r.get(P_HALF), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn bool_roundtrip_random_probs() {
+        let mut rng = SplitMix64::new(17);
+        let seq: Vec<(u8, bool)> = (0..5000)
+            .map(|_| (rng.next_range(1, 255) as u8, rng.chance(0.3)))
+            .collect();
+        let mut w = BoolWriter::new();
+        for &(p, b) in &seq {
+            w.put(p, b);
+        }
+        let data = w.finish();
+        let mut r = BoolReader::new(&data);
+        for (i, &(p, b)) in seq.iter().enumerate() {
+            assert_eq!(r.get(p), b, "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn skewed_bits_compress_well() {
+        // 4096 mostly-false bits at a matching probability: far under
+        // 512 bytes of output.
+        let mut rng = SplitMix64::new(5);
+        let bits: Vec<bool> = (0..4096).map(|_| rng.chance(0.03)).collect();
+        let mut w = BoolWriter::new();
+        for &b in &bits {
+            w.put(235, b);
+        }
+        let data = w.finish();
+        assert!(data.len() < 200, "{} bytes", data.len());
+        let mut r = BoolReader::new(&data);
+        for &b in &bits {
+            assert_eq!(r.get(235), b);
+        }
+    }
+
+    #[test]
+    fn literal_roundtrip() {
+        let mut w = BoolWriter::new();
+        for v in [0u32, 1, 127, 255, 1023, 0x3FFF] {
+            w.put_literal(v, 14);
+        }
+        let data = w.finish();
+        let mut r = BoolReader::new(&data);
+        for v in [0u32, 1, 127, 255, 1023, 0x3FFF] {
+            assert_eq!(r.get_literal(14), v);
+        }
+    }
+
+    #[test]
+    fn coeff_block_roundtrip() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            let mut block = [0i32; 16];
+            for c in &mut block {
+                if rng.chance(0.4) {
+                    *c = rng.next_below(9000) as i32 - 4500;
+                }
+            }
+            let mut w = BoolWriter::new();
+            write_coeffs(&mut w, &block);
+            let data = w.finish();
+            let mut r = BoolReader::new(&data);
+            assert_eq!(read_coeffs(&mut r), block);
+        }
+    }
+
+    #[test]
+    fn mv_component_roundtrip() {
+        let values = [-1023, -100, -8, -1, 0, 1, 7, 64, 1023];
+        let mut w = BoolWriter::new();
+        for &v in &values {
+            write_mv_component(&mut w, v);
+        }
+        let data = w.finish();
+        let mut r = BoolReader::new(&data);
+        for &v in &values {
+            assert_eq!(read_mv_component(&mut r), v);
+        }
+    }
+
+    #[test]
+    fn sparse_blocks_cost_few_bytes() {
+        let mut w = BoolWriter::new();
+        for _ in 0..64 {
+            write_coeffs(&mut w, &[0i32; 16]);
+        }
+        let data = w.finish();
+        // 1024 zero symbols at p=160/256 ≈ 0.68 bit each.
+        assert!(data.len() < 120, "{} bytes", data.len());
+    }
+}

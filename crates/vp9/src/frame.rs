@@ -1,0 +1,281 @@
+//! Planar frames, tracked planes, and the synthetic video source.
+
+use pim_core::rng::SplitMix64;
+use pim_core::{AccessKind, Buffer, SimContext};
+
+/// One 8-bit image plane (luma; chroma planes are half-size).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Plane {
+    /// A plane filled with `value`.
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        Self { width, height, data: vec![value; width * height] }
+    }
+
+    /// A mid-gray plane (the keyframe predictor).
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::filled(width, height, 128)
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.width * self.height) as u64
+    }
+
+    /// Pixel at `(x, y)` with edge clamping (codec border extension).
+    pub fn pixel_clamped(&self, x: isize, y: isize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Set pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set_pixel(&mut self, x: usize, y: usize, v: u8) {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of bounds");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// One row.
+    pub fn row(&self, y: usize) -> &[u8] {
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Raw data, row-major.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Peak signal-to-noise ratio against another plane, in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn psnr(&self, other: &Plane) -> f64 {
+        assert_eq!((self.width, self.height), (other.width, other.height), "size mismatch");
+        let mse: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / self.data.len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+}
+
+/// A plane bound to simulated addresses: real pixels plus traffic reporting.
+#[derive(Debug, Clone)]
+pub struct TrackedPlane {
+    /// The pixel data.
+    pub plane: Plane,
+    buf: Buffer,
+}
+
+impl TrackedPlane {
+    /// Bind a plane to freshly allocated simulated memory.
+    pub fn new(ctx: &mut SimContext, plane: Plane) -> Self {
+        let buf = ctx.alloc(plane.bytes());
+        Self { plane, buf }
+    }
+
+    /// Report access to the rectangle `(x, y, w, h)`, one ranged access per
+    /// row (how a streaming engine or cache sees 2-D block traffic).
+    /// Coordinates are clamped to the plane.
+    pub fn touch_rect(&self, ctx: &mut SimContext, x: isize, y: isize, w: usize, h: usize, kind: AccessKind) {
+        let pw = self.plane.width() as isize;
+        let ph = self.plane.height() as isize;
+        for dy in 0..h as isize {
+            let yy = (y + dy).clamp(0, ph - 1);
+            let x0 = x.clamp(0, pw - 1);
+            let x1 = (x + w as isize).clamp(1, pw);
+            let n = (x1 - x0).max(1) as u64;
+            let off = (yy * pw + x0) as u64;
+            ctx.access(self.buf.addr(off), n, kind);
+        }
+    }
+
+    /// Report a whole-plane streaming access.
+    pub fn touch_all(&self, ctx: &mut SimContext, kind: AccessKind) {
+        for y in 0..self.plane.height() {
+            let off = (y * self.plane.width()) as u64;
+            ctx.access(self.buf.addr(off), self.plane.width() as u64, kind);
+        }
+    }
+}
+
+/// Deterministic synthetic video: a textured background panning at a
+/// non-integer velocity (so most motion is sub-pixel, as in natural
+/// video), plus moving rectangles and optional sensor noise.
+#[derive(Debug, Clone)]
+pub struct SyntheticVideo {
+    width: usize,
+    height: usize,
+    noise: u8,
+    seed: u64,
+}
+
+impl SyntheticVideo {
+    /// A source of `width` x `height` frames.
+    ///
+    /// `noise` adds +/- that much per-pixel per-frame noise (capture grain);
+    /// 0 gives perfectly predictable content.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless dimensions are positive multiples of 16.
+    pub fn new(width: usize, height: usize, noise: u8, seed: u64) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be positive");
+        assert!(width % 16 == 0 && height % 16 == 0, "dimensions must be multiples of 16");
+        Self { width, height, noise, seed }
+    }
+
+    /// Frame width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Generate frame `index`.
+    pub fn frame(&self, index: usize) -> Plane {
+        let mut p = Plane::new(self.width, self.height);
+        // Global pan at 1.375 px/frame horizontally, 0.625 vertically:
+        // forces 1/8-pel motion vectors.
+        let ox = index as f64 * 1.375;
+        let oy = index as f64 * 0.625;
+        let mut noise_rng = SplitMix64::new(self.seed ^ (index as u64).wrapping_mul(0x9E37));
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let u = x as f64 + ox;
+                let v = y as f64 + oy;
+                // Smooth texture: two incommensurate sinusoids + gradient.
+                let t = 96.0
+                    + 60.0 * ((u * 0.131).sin() * (v * 0.077).cos())
+                    + 40.0 * ((u * 0.023 + v * 0.041).sin())
+                    + (x as f64 / self.width as f64) * 24.0;
+                let mut val = t.clamp(0.0, 255.0) as i32;
+                if self.noise > 0 {
+                    let n = noise_rng.next_below(2 * self.noise as u64 + 1) as i32 - self.noise as i32;
+                    val += n;
+                }
+                p.set_pixel(x, y, val.clamp(0, 255) as u8);
+            }
+        }
+        // A foreground object moving against the pan.
+        let bx = (self.width as f64 * 0.25 + index as f64 * 2.5) as usize % (self.width - 16);
+        let by = self.height / 3;
+        for y in by..(by + 12).min(self.height) {
+            for x in bx..(bx + 14).min(self.width) {
+                p.set_pixel(x, y, 230);
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_core::Platform;
+
+    #[test]
+    fn plane_accessors_and_clamping() {
+        let mut p = Plane::new(16, 16);
+        p.set_pixel(0, 0, 10);
+        assert_eq!(p.pixel(0, 0), 10);
+        assert_eq!(p.pixel_clamped(-5, -5), 10);
+        assert_eq!(p.pixel_clamped(100, 0), p.pixel(15, 0));
+        assert_eq!(p.row(0)[0], 10);
+    }
+
+    #[test]
+    fn psnr_identity_is_infinite() {
+        let p = SyntheticVideo::new(32, 32, 0, 1).frame(0);
+        assert!(p.psnr(&p).is_infinite());
+        let q = SyntheticVideo::new(32, 32, 0, 1).frame(3);
+        assert!(p.psnr(&q) < 40.0);
+    }
+
+    #[test]
+    fn video_is_deterministic_and_moving() {
+        let v = SyntheticVideo::new(64, 48, 2, 9);
+        assert_eq!(v.frame(1), v.frame(1));
+        assert_ne!(v.frame(0), v.frame(1));
+    }
+
+    #[test]
+    fn consecutive_frames_correlate_more_than_distant_ones() {
+        // Temporal redundancy: the property motion estimation exploits.
+        let v = SyntheticVideo::new(64, 64, 0, 4);
+        let f0 = v.frame(0);
+        assert!(f0.psnr(&v.frame(1)) > f0.psnr(&v.frame(8)));
+    }
+
+    #[test]
+    fn tracked_plane_reports_rect_traffic() {
+        let mut ctx = SimContext::cpu_only(Platform::baseline());
+        let tp = TrackedPlane::new(&mut ctx, Plane::new(64, 64));
+        let before = ctx.total_activity().l1_accesses;
+        tp.touch_rect(&mut ctx, 0, 0, 64, 4, AccessKind::Read);
+        assert_eq!(ctx.total_activity().l1_accesses - before, 4);
+    }
+
+    #[test]
+    fn touch_rect_clamps_out_of_bounds() {
+        let mut ctx = SimContext::cpu_only(Platform::baseline());
+        let tp = TrackedPlane::new(&mut ctx, Plane::new(32, 32));
+        // Must not panic at negative or overflowing coordinates.
+        tp.touch_rect(&mut ctx, -8, -8, 16, 16, AccessKind::Read);
+        tp.touch_rect(&mut ctx, 28, 28, 16, 16, AccessKind::Write);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 16")]
+    fn unaligned_video_panics() {
+        SyntheticVideo::new(100, 64, 0, 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Analytic traffic/energy model of the hardware VP9 codec
+//! (paper §6.3, §7.3; Figures 12, 16 and 21).
+//!
+//! The hardware decoder/encoder stream whole-frame traffic patterns that
+//! the paper measures from RTL, not from a cache simulator: reference-
+//! frame fetches (batched MC with large SRAM line buffers), current/
+//! reconstructed frame I/O, the bitstream, and optional lossless frame
+//! compression. This module reproduces those per-frame byte budgets and
+//! prices the three §6.3.2/§7.3.2 configurations: the baseline on-SoC
+//! codec, the codec with MC(+ME)+deblocking moved onto a PIM core, and
+//! onto a PIM accelerator embedding the codec's own datapaths in memory.
+//!
+//! Per-pixel coefficients are set so the CPU-side shares match Figure 12
+//! and Figure 16 (reference ~60–75% of traffic, reconstructed frame
+//! ~12–25%, lossless compression removing ~55–60% of reference bytes).
+
+use pim_energy::{Component, EnergyBreakdown, EnergyParams, Engine, OpClass};
+
+/// Video resolution of the hardware study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// 1280x720 ("HD" in Figures 12/16).
+    Hd,
+    /// 3840x2160 ("4K").
+    Uhd4k,
+}
+
+impl Resolution {
+    /// Pixels per frame.
+    pub fn pixels(self) -> u64 {
+        match self {
+            Resolution::Hd => 1280 * 720,
+            Resolution::Uhd4k => 3840 * 2160,
+        }
+    }
+
+    /// Label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resolution::Hd => "HD",
+            Resolution::Uhd4k => "4K",
+        }
+    }
+
+    /// Reference pixels fetched per current pixel by the hardware
+    /// *decoder*'s MC. The paper reports 2.9 for 4K (§6.3.1) and a larger
+    /// per-pixel overfetch at HD (its Figure 12 shares and the 4.6x
+    /// 4K-vs-HD total imply ~6.9): the measured clips' motion makes the
+    /// SRAM window less effective at the smaller frame.
+    fn decode_overfetch(self) -> f64 {
+        match self {
+            Resolution::Hd => 6.0,
+            Resolution::Uhd4k => 2.9,
+        }
+    }
+
+    /// Reference pixels fetched per current pixel per reference frame by
+    /// the *encoder*'s ME (predictable sliding search window, §7.3).
+    fn encode_overfetch(self) -> f64 {
+        match self {
+            Resolution::Hd => 2.2,
+            Resolution::Uhd4k => 2.1,
+        }
+    }
+}
+
+/// Bytes per pixel of a YUV 4:2:0 frame.
+const BYTES_PER_PX: f64 = 1.5;
+/// Fraction of reference/reconstructed traffic left by lossless frame
+/// compression (paper §7.3.1: ~59.7% reduction).
+const COMPRESS_KEEP: f64 = 0.42;
+/// Compression metadata traffic, bytes per pixel.
+const COMPRESS_INFO: f64 = 0.12;
+
+/// One labeled traffic component, in bytes per frame.
+pub type TrafficPart = (&'static str, f64);
+
+/// Off-chip traffic of the hardware decoder for one frame (Figure 12).
+pub fn decoder_traffic(res: Resolution, compression: bool) -> Vec<TrafficPart> {
+    let px = res.pixels() as f64;
+    let keep = if compression { COMPRESS_KEEP } else { 1.0 };
+    let mut parts = vec![
+        ("Reference Frame", px * BYTES_PER_PX * res.decode_overfetch() * keep),
+        ("Decoder Data", px * 0.35),
+        ("Reconst. Frame Metadata", px * 0.20),
+        ("Deblocking Filter", px * 0.50),
+        ("Reconstructed Frame", px * BYTES_PER_PX * keep),
+    ];
+    if compression {
+        parts.insert(1, ("Compression Info", px * COMPRESS_INFO));
+    }
+    parts
+}
+
+/// Off-chip traffic of the hardware encoder for one frame (Figure 16).
+pub fn encoder_traffic(res: Resolution, compression: bool) -> Vec<TrafficPart> {
+    let px = res.pixels() as f64;
+    let keep = if compression { COMPRESS_KEEP } else { 1.0 };
+    let mut parts = vec![
+        // The source frame cannot be compressed (it arrives raw, §7.3.1).
+        ("Current Frame", px * (BYTES_PER_PX + 0.66)),
+        ("Reference Frame", px * BYTES_PER_PX * 3.0 * res.encode_overfetch() * keep),
+        ("Deblocking Filter", px * 0.40),
+        ("Reconstructed Frame", px * BYTES_PER_PX * keep),
+        ("Encoded Bitstream", px * 0.10),
+        ("Other", px * 0.25),
+    ];
+    if compression {
+        parts.insert(2, ("Compression Info", px * COMPRESS_INFO));
+    }
+    parts
+}
+
+/// Total bytes of a traffic breakdown.
+pub fn total_bytes(parts: &[TrafficPart]) -> f64 {
+    parts.iter().map(|(_, b)| b).sum()
+}
+
+/// Which logic runs the MC/ME + deblocking stages (Figure 21's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwPimMode {
+    /// Everything on the on-SoC VP9 hardware (the baseline).
+    Baseline,
+    /// MC/ME + deblocking on the in-memory general-purpose core.
+    PimCore,
+    /// MC/ME + deblocking on in-memory fixed-function units (§6.3.2).
+    PimAcc,
+}
+
+impl HwPimMode {
+    /// All modes in presentation order.
+    pub const ALL: [HwPimMode; 3] = [HwPimMode::Baseline, HwPimMode::PimCore, HwPimMode::PimAcc];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HwPimMode::Baseline => "VP9",
+            HwPimMode::PimCore => "PIM-Core",
+            HwPimMode::PimAcc => "PIM-Acc",
+        }
+    }
+}
+
+/// Datapath operations per pixel of the offloadable stages (MC + deblock
+/// for the decoder; ME + MC + deblock for the encoder).
+fn offload_ops_per_px(encode: bool) -> f64 {
+    if encode {
+        80.0
+    } else {
+        30.0
+    }
+}
+
+/// Remaining (non-offloadable) datapath ops per pixel (entropy, transform,
+/// control).
+fn residual_ops_per_px(encode: bool) -> f64 {
+    if encode {
+        25.0
+    } else {
+        12.0
+    }
+}
+
+/// Energy of decoding or encoding one frame under a PIM mode.
+///
+/// Traffic that stays with the on-SoC codec crosses the off-chip channel;
+/// traffic belonging to the offloaded stages (reference + reconstructed +
+/// deblock bytes) moves at in-stack rates when MC/deblock live in memory.
+pub fn hw_energy(res: Resolution, compression: bool, mode: HwPimMode, encode: bool, params: &EnergyParams) -> EnergyBreakdown {
+    let parts = if encode {
+        encoder_traffic(res, compression)
+    } else {
+        decoder_traffic(res, compression)
+    };
+    let px = res.pixels() as f64;
+    let mut e = EnergyBreakdown::new();
+
+    // With ME in memory, the encoder's current-frame reads also stay
+    // in-stack (§7.3.2); lossless frame compression composes with PIM
+    // (§10.3.2's best configuration), so compressed byte counts apply on
+    // both paths.
+    let offloaded_part = |name: &str| {
+        matches!(name, "Reference Frame" | "Reconstructed Frame" | "Deblocking Filter")
+            || (encode && name == "Current Frame")
+    };
+
+    for (name, bytes) in &parts {
+        let stays_offchip = mode == HwPimMode::Baseline || !offloaded_part(name);
+        e += params.price_bulk_transfer(*bytes as u64, stays_offchip);
+    }
+
+    // Compute energy. A general-purpose core needs ~2 instructions per
+    // fused datapath operation of the fixed-function pipelines, which is
+    // why PIM-Core loses to the baseline codec on compute (§10.3.2).
+    let (off_engine, off_ops) = match mode {
+        HwPimMode::Baseline => (Engine::CodecHw, offload_ops_per_px(encode)),
+        HwPimMode::PimCore => (Engine::PimCore, 2.0 * offload_ops_per_px(encode)),
+        HwPimMode::PimAcc => (Engine::PimAccel, offload_ops_per_px(encode)),
+    };
+    e.add_pj(
+        Component::Cpu,
+        px * off_ops * params.op_energy_pj(off_engine, OpClass::Scalar),
+    );
+    e.add_pj(
+        Component::Cpu,
+        px * residual_ops_per_px(encode) * params.op_energy_pj(Engine::CodecHw, OpClass::Scalar),
+    );
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn share(parts: &[TrafficPart], name: &str) -> f64 {
+        let total = total_bytes(parts);
+        parts.iter().find(|(n, _)| *n == name).map(|(_, b)| b / total).unwrap_or(0.0)
+    }
+
+    #[test]
+    fn decoder_reference_share_matches_fig12() {
+        // §6.3.1: up to 75.5% (HD) and 59.6% (4K) without compression;
+        // 62.2% / 48.8% with.
+        let hd = decoder_traffic(Resolution::Hd, false);
+        assert!((0.70..0.80).contains(&share(&hd, "Reference Frame")), "{}", share(&hd, "Reference Frame"));
+        let k4 = decoder_traffic(Resolution::Uhd4k, false);
+        assert!((0.55..0.66).contains(&share(&k4, "Reference Frame")), "{}", share(&k4, "Reference Frame"));
+        let k4c = decoder_traffic(Resolution::Uhd4k, true);
+        assert!((0.42..0.55).contains(&share(&k4c, "Reference Frame")), "{}", share(&k4c, "Reference Frame"));
+        // Reconstructed frame is the second contributor (~22.2%).
+        assert!((0.15..0.30).contains(&share(&k4, "Reconstructed Frame")));
+    }
+
+    #[test]
+    fn fourk_decode_costs_about_4_6x_hd() {
+        // §6.3.1: "decoding one 4K frame requires 4.6x the data movement
+        // of a single HD frame".
+        let ratio = total_bytes(&decoder_traffic(Resolution::Uhd4k, false))
+            / total_bytes(&decoder_traffic(Resolution::Hd, false));
+        assert!((3.5..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn compression_reduces_but_does_not_eliminate_reference_traffic() {
+        for res in [Resolution::Hd, Resolution::Uhd4k] {
+            let no = total_bytes(&decoder_traffic(res, false));
+            let yes = total_bytes(&decoder_traffic(res, true));
+            assert!(yes < no);
+            assert!(yes > 0.35 * no);
+        }
+    }
+
+    #[test]
+    fn encoder_reference_share_matches_fig16() {
+        // §7.3.1: reference = 65.1% of HD encoder traffic (no comp);
+        // current frame rises to ~31.9% with compression.
+        let hd = encoder_traffic(Resolution::Hd, false);
+        assert!((0.58..0.72).contains(&share(&hd, "Reference Frame")), "{}", share(&hd, "Reference Frame"));
+        assert!((0.10..0.20).contains(&share(&hd, "Current Frame")));
+        let hdc = encoder_traffic(Resolution::Hd, true);
+        assert!((0.22..0.40).contains(&share(&hdc, "Current Frame")), "{}", share(&hdc, "Current Frame"));
+    }
+
+    #[test]
+    fn fig21_shape_holds() {
+        let p = EnergyParams::default();
+        for encode in [false, true] {
+            for compression in [false, true] {
+                let base = hw_energy(Resolution::Uhd4k, compression, HwPimMode::Baseline, encode, &p).total_pj();
+                let acc = hw_energy(Resolution::Uhd4k, compression, HwPimMode::PimAcc, encode, &p).total_pj();
+                // §10.3.2: PIM-Acc cuts 69.8–75.1% of codec energy
+                // (uncompressed); the margin narrows once the baseline
+                // also compresses.
+                let cut = 1.0 - acc / base;
+                let band = if compression { 0.25..0.85 } else { 0.45..0.85 };
+                assert!(band.contains(&cut), "encode={encode} comp={compression}: cut {cut}");
+            }
+            // PIM-Core pays codec-hw-grade compute on a general core and
+            // loses to the compressed baseline (§10.3.2: +63.4%).
+            let base_comp = hw_energy(Resolution::Uhd4k, true, HwPimMode::Baseline, encode, &p).total_pj();
+            let core_comp = hw_energy(Resolution::Uhd4k, true, HwPimMode::PimCore, encode, &p).total_pj();
+            assert!(core_comp > base_comp, "encode={encode}: core {core_comp} vs base {base_comp}");
+            // PIM-Acc without compression still beats the baseline *with*
+            // compression (§10.3.2, fourth observation).
+            let acc_nocomp = hw_energy(Resolution::Uhd4k, false, HwPimMode::PimAcc, encode, &p).total_pj();
+            assert!(acc_nocomp < base_comp, "encode={encode}");
+        }
+    }
+
+    #[test]
+    fn labels_cover_all_modes() {
+        let labels: Vec<_> = HwPimMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["VP9", "PIM-Core", "PIM-Acc"]);
+    }
+}

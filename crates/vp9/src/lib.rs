@@ -1,0 +1,41 @@
+//! VP9-style video codec workload (paper §6 and §7).
+//!
+//! A functional, from-scratch implementation of the codec structure the
+//! paper profiles — Figure 9 (decoder) and Figure 14 (encoder):
+//!
+//! * [`frame`] — planar frames, tracked planes, a deterministic synthetic
+//!   video generator (stand-in for the Netflix/Derf clips, §9),
+//! * [`interp`] — 1/8-pel sub-pixel interpolation with VP9-class 8-tap
+//!   filters (the dominant PIM target of §6.2.2),
+//! * [`transform`] — the 4x4 Walsh–Hadamard transform (VP9's lossless-mode
+//!   transform) plus uniform quantization,
+//! * [`entropy`] — the VP8/VP9 boolean arithmetic coder and the symbol
+//!   layer for motion vectors and coefficients,
+//! * [`deblock`] — the in-loop deblocking filter (§6.2.2's second target),
+//! * [`me`] — diamond-search motion estimation over three reference
+//!   frames with sub-pixel refinement (§7.2.2),
+//! * [`mc`] — motion compensation,
+//! * [`encoder`] / [`decoder`] — the full pipelines; decoding an encoded
+//!   stream reproduces the encoder's reconstruction bit-exactly,
+//! * [`driver`] — instrumented software-codec runs for Figures 10/11/15
+//!   and the Figure 20 PIM-target kernels,
+//! * [`hw`] — the analytic hardware-codec traffic/energy model for
+//!   Figures 12, 16 and 21.
+
+pub mod deblock;
+pub mod decoder;
+pub mod driver;
+pub mod encoder;
+pub mod entropy;
+pub mod frame;
+pub mod hw;
+pub mod interp;
+pub mod mc;
+pub mod me;
+pub mod transform;
+
+pub use decoder::{decode_frame, DecodedFrame};
+pub use encoder::{encode_frame, EncodedFrame, EncoderConfig};
+pub use frame::{Plane, SyntheticVideo, TrackedPlane};
+pub use interp::{interpolate_block, SUBPEL_FILTERS, SUBPEL_SHIFTS};
+pub use me::{diamond_search, MotionVector};

@@ -1,0 +1,80 @@
+//! Motion compensation: build the predictor and apply residuals
+//! (paper §6.1, block 3 of Figure 9).
+
+use crate::frame::Plane;
+use crate::interp::interpolate_block;
+use crate::me::MotionVector;
+
+/// Predict a `bs` x `bs` block of the current frame at `(cx, cy)` from
+/// `reference` displaced by `mv` (1/8-pel), using sub-pixel interpolation
+/// when the vector is fractional.
+pub fn predict_block(reference: &Plane, cx: usize, cy: usize, bs: usize, mv: MotionVector) -> Vec<u8> {
+    interpolate_block(
+        reference,
+        cx as isize * 8 + mv.x8 as isize,
+        cy as isize * 8 + mv.y8 as isize,
+        bs,
+        bs,
+    )
+}
+
+/// Reconstruct pixels: predictor plus residual, clamped to 0..255.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn reconstruct(pred: &[u8], residual: &[i32]) -> Vec<u8> {
+    assert_eq!(pred.len(), residual.len(), "length mismatch");
+    pred.iter()
+        .zip(residual)
+        .map(|(&p, &r)| (p as i32 + r).clamp(0, 255) as u8)
+        .collect()
+}
+
+/// Residual between source pixels and a predictor.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn residual(src: &[u8], pred: &[u8]) -> Vec<i32> {
+    assert_eq!(src.len(), pred.len(), "length mismatch");
+    src.iter().zip(pred).map(|(&s, &p)| s as i32 - p as i32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::SyntheticVideo;
+
+    #[test]
+    fn zero_mv_prediction_is_a_copy() {
+        let p = SyntheticVideo::new(64, 64, 0, 2).frame(0);
+        let pred = predict_block(&p, 16, 16, 8, MotionVector::default());
+        for dy in 0..8 {
+            for dx in 0..8 {
+                assert_eq!(pred[dy * 8 + dx], p.pixel(16 + dx, 16 + dy));
+            }
+        }
+    }
+
+    #[test]
+    fn residual_reconstruct_roundtrip() {
+        let p = SyntheticVideo::new(64, 64, 3, 2).frame(1);
+        let src: Vec<u8> = (0..64).map(|i| p.data()[i]).collect();
+        let pred = vec![100u8; 64];
+        let r = residual(&src, &pred);
+        assert_eq!(reconstruct(&pred, &r), src);
+    }
+
+    #[test]
+    fn reconstruct_clamps() {
+        assert_eq!(reconstruct(&[250], &[100]), vec![255]);
+        assert_eq!(reconstruct(&[5], &[-100]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        reconstruct(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Diamond-search motion estimation (paper §7.2.2).
+//!
+//! libvpx locates matching blocks with the diamond search of Zhu & Ma,
+//! scoring candidates by the sum of absolute differences (SAD). The
+//! encoder checks up to three reference frames per macro-block, which is
+//! what makes ME the dominant source of encoder data movement (§7.2.1).
+
+use crate::frame::Plane;
+use crate::interp::interpolate_block;
+
+/// A motion vector in 1/8-pel units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MotionVector {
+    /// Horizontal component (1/8-pel).
+    pub x8: i32,
+    /// Vertical component (1/8-pel).
+    pub y8: i32,
+}
+
+impl MotionVector {
+    /// Whether either component has a fractional (sub-pel) part.
+    pub fn is_subpel(&self) -> bool {
+        self.x8 % 8 != 0 || self.y8 % 8 != 0
+    }
+}
+
+/// Counters describing one block's search (for op/traffic accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Integer-position candidates evaluated (each one SAD over the block).
+    pub integer_candidates: u64,
+    /// Sub-pel candidates evaluated (each one interpolation + SAD).
+    pub subpel_candidates: u64,
+}
+
+/// SAD between the `bs` x `bs` block of `cur` at `(cx, cy)` and the
+/// block of `reference` at integer offset `(rx, ry)` (edge-clamped).
+pub fn sad(cur: &Plane, cx: usize, cy: usize, reference: &Plane, rx: isize, ry: isize, bs: usize) -> u64 {
+    let mut total = 0u64;
+    for dy in 0..bs {
+        for dx in 0..bs {
+            let a = cur.pixel(cx + dx, cy + dy) as i64;
+            let b = reference.pixel_clamped(rx + dx as isize, ry + dy as isize) as i64;
+            total += (a - b).unsigned_abs();
+        }
+    }
+    total
+}
+
+fn sad_subpel(cur: &Plane, cx: usize, cy: usize, reference: &Plane, x8: i32, y8: i32, bs: usize) -> u64 {
+    let pred = interpolate_block(reference, x8 as isize, y8 as isize, bs, bs);
+    let mut total = 0u64;
+    for dy in 0..bs {
+        for dx in 0..bs {
+            let a = cur.pixel(cx + dx, cy + dy) as i64;
+            total += (a - pred[dy * bs + dx] as i64).unsigned_abs();
+        }
+    }
+    total
+}
+
+/// Large/small diamond search at integer precision.
+///
+/// Returns the best integer motion vector (in pixels), its SAD, and the
+/// search statistics. `range` bounds each component.
+pub fn diamond_search(
+    cur: &Plane,
+    reference: &Plane,
+    cx: usize,
+    cy: usize,
+    bs: usize,
+    range: i32,
+) -> (i32, i32, u64, SearchStats) {
+    const LDSP: [(i32, i32); 8] =
+        [(0, -2), (0, 2), (-2, 0), (2, 0), (-1, -1), (1, -1), (-1, 1), (1, 1)];
+    const SDSP: [(i32, i32); 4] = [(0, -1), (0, 1), (-1, 0), (1, 0)];
+
+    let mut stats = SearchStats::default();
+    let mut best = (0i32, 0i32);
+    let mut best_sad = sad(cur, cx, cy, reference, cx as isize, cy as isize, bs);
+    stats.integer_candidates += 1;
+
+    // Large diamond until the center wins.
+    for _ in 0..range {
+        let mut moved = false;
+        for &(dx, dy) in &LDSP {
+            let c = (best.0 + dx, best.1 + dy);
+            if c.0.abs() > range || c.1.abs() > range {
+                continue;
+            }
+            let s = sad(cur, cx, cy, reference, cx as isize + c.0 as isize, cy as isize + c.1 as isize, bs);
+            stats.integer_candidates += 1;
+            if s < best_sad {
+                best_sad = s;
+                best = c;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    // Small diamond refinement.
+    for &(dx, dy) in &SDSP {
+        let c = (best.0 + dx, best.1 + dy);
+        if c.0.abs() > range || c.1.abs() > range {
+            continue;
+        }
+        let s = sad(cur, cx, cy, reference, cx as isize + c.0 as isize, cy as isize + c.1 as isize, bs);
+        stats.integer_candidates += 1;
+        if s < best_sad {
+            best_sad = s;
+            best = c;
+        }
+    }
+    (best.0, best.1, best_sad, stats)
+}
+
+/// Refine an integer motion vector to 1/8-pel by successive halving
+/// (half, quarter, eighth), checking the plus-pattern at each step.
+pub fn subpel_refine(
+    cur: &Plane,
+    reference: &Plane,
+    cx: usize,
+    cy: usize,
+    bs: usize,
+    int_mv: (i32, i32),
+    base_sad: u64,
+) -> (MotionVector, u64, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut best = MotionVector { x8: int_mv.0 * 8, y8: int_mv.1 * 8 };
+    let mut best_sad = base_sad;
+    for step in [4, 2, 1] {
+        for (dx, dy) in [(-step, 0), (step, 0), (0, -step), (0, step)] {
+            let c = MotionVector { x8: best.x8 + dx, y8: best.y8 + dy };
+            let s = sad_subpel(cur, cx, cy, reference, cx as i32 * 8 + c.x8, cy as i32 * 8 + c.y8, bs);
+            stats.subpel_candidates += 1;
+            if s < best_sad {
+                best_sad = s;
+                best = c;
+            }
+        }
+    }
+    (best, best_sad, stats)
+}
+
+/// Full search over multiple reference frames (§7.1: three references):
+/// integer diamond search on every reference, then sub-pel refinement on
+/// the winner only, as libvpx does.
+pub fn motion_search(
+    cur: &Plane,
+    refs: &[&Plane],
+    cx: usize,
+    cy: usize,
+    bs: usize,
+    range: i32,
+) -> (usize, MotionVector, u64, SearchStats) {
+    assert!(!refs.is_empty(), "need at least one reference");
+    let mut total = SearchStats::default();
+    let mut best = (0usize, (0i32, 0i32), u64::MAX);
+    for (i, reference) in refs.iter().enumerate() {
+        let (ix, iy, isad, s1) = diamond_search(cur, reference, cx, cy, bs, range);
+        total.integer_candidates += s1.integer_candidates;
+        if isad < best.2 {
+            best = (i, (ix, iy), isad);
+        }
+    }
+    let (idx, int_mv, isad) = best;
+    let (mv, sad, s2) = subpel_refine(cur, refs[idx], cx, cy, bs, int_mv, isad);
+    total.subpel_candidates += s2.subpel_candidates;
+    (idx, mv, sad, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::SyntheticVideo;
+
+    #[test]
+    fn sad_of_identical_blocks_is_zero() {
+        let p = SyntheticVideo::new(64, 64, 0, 1).frame(0);
+        assert_eq!(sad(&p, 16, 16, &p, 16, 16, 16), 0);
+        assert!(sad(&p, 16, 16, &p, 20, 20, 16) > 0);
+    }
+
+    #[test]
+    fn diamond_finds_a_pure_translation() {
+        // Shift a frame by (3, -2): the search must find (-3, 2)... i.e.
+        // the offset that maps current back onto the reference.
+        let v = SyntheticVideo::new(96, 96, 0, 7);
+        let reference = v.frame(0);
+        let mut cur = crate::frame::Plane::new(96, 96);
+        for y in 0..96 {
+            for x in 0..96 {
+                cur.set_pixel(x, y, reference.pixel_clamped(x as isize + 3, y as isize - 2));
+            }
+        }
+        let (dx, dy, s, stats) = diamond_search(&cur, &reference, 40, 40, 16, 16);
+        assert_eq!((dx, dy), (3, -2));
+        assert_eq!(s, 0);
+        assert!(stats.integer_candidates > 5);
+    }
+
+    #[test]
+    fn subpel_refinement_improves_sad_on_panning_video() {
+        let v = SyntheticVideo::new(96, 96, 0, 3);
+        let f0 = v.frame(0);
+        let f1 = v.frame(1); // pan of (1.375, 0.625) px
+        let (ix, iy, isad, _) = diamond_search(&f1, &f0, 40, 40, 16, 16);
+        let (mv, ssad, _) = subpel_refine(&f1, &f0, 40, 40, 16, (ix, iy), isad);
+        assert!(ssad <= isad);
+        assert!(mv.is_subpel(), "pan should need a sub-pel mv: {mv:?}");
+    }
+
+    #[test]
+    fn multi_ref_search_picks_the_closest_frame() {
+        let v = SyntheticVideo::new(96, 96, 0, 5);
+        let far = v.frame(0);
+        let near = v.frame(3);
+        let cur = v.frame(4);
+        let (idx, _, _, stats) = motion_search(&cur, &[&far, &near], 40, 40, 16, 16);
+        assert_eq!(idx, 1, "nearest reference should win");
+        assert!(stats.integer_candidates > 10);
+        assert_eq!(stats.subpel_candidates, 12); // best ref * 3 steps * 4
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reference")]
+    fn empty_refs_panics() {
+        let p = crate::frame::Plane::new(32, 32);
+        motion_search(&p, &[], 0, 0, 16, 8);
+    }
+}

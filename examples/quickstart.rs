@@ -1,0 +1,49 @@
+//! Quickstart: evaluate one PIM target under all three execution modes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Takes the paper's texture-tiling microbenchmark (a 512x512 RGBA bitmap
+//! reorganized into 4 kB GPU tiles), runs it CPU-only on the LPDDR3
+//! baseline, then on the PIM core and the PIM accelerator inside
+//! 3D-stacked memory, and prints the Figure 18-style comparison.
+
+use dmpim::chrome::tiling::TextureTilingKernel;
+use dmpim::core::report::mode_sweep_table;
+use dmpim::core::OffloadEngine;
+
+fn main() {
+    let engine = OffloadEngine::new();
+    let mut kernel = TextureTilingKernel::paper_input();
+
+    println!("texture tiling, 512x512 RGBA (paper §9)\n");
+    let reports = engine.run_all(&mut kernel);
+    print!("{}", mode_sweep_table(&reports));
+
+    let cpu = &reports[0];
+    let acc = &reports[2];
+    println!(
+        "\nPIM-Acc saves {:.1}% energy and runs {:.2}x faster than CPU-only.",
+        100.0 * (1.0 - acc.energy_vs(cpu)),
+        acc.speedup_vs(cpu)
+    );
+    println!(
+        "CPU-only spends {:.1}% of its energy moving data (MPKI {:.1}).",
+        100.0 * cpu.energy.data_movement_fraction(),
+        cpu.mpki
+    );
+
+    // The identification pipeline of §3.2, on measured numbers.
+    let profile = dmpim::core::identify::CandidateProfile {
+        name: "texture_tiling".into(),
+        workload_energy_fraction: 0.257, // Figure 2
+        workload_dm_fraction: 0.257 * 0.815,
+        mpki: cpu.mpki,
+        own_dm_fraction: cpu.energy.data_movement_fraction(),
+        pim_slowdown: acc.runtime_ps as f64 / cpu.runtime_ps as f64,
+        accel_area_mm2: dmpim::core::PimTargetKind::TextureTiling.accelerator_mm2(),
+    };
+    let verdict = dmpim::core::identify::evaluate(&profile, &dmpim::core::AreaModel::default());
+    println!("\n§3.2 identification verdict:\n{verdict}");
+}

@@ -1,0 +1,66 @@
+//! Encode and decode a synthetic clip with the VP9-style codec, then
+//! evaluate the video PIM targets.
+//!
+//! ```text
+//! cargo run --release --example video_pipeline
+//! ```
+
+use dmpim::core::{ExecutionMode, OffloadEngine};
+use dmpim::vp9::decoder::decode_frame;
+use dmpim::vp9::driver::{MotionEstimationKernel, SubPixelInterpolationKernel};
+use dmpim::vp9::encoder::{encode_frame, EncoderConfig};
+use dmpim::vp9::frame::{Plane, SyntheticVideo};
+
+fn main() {
+    // --- Encode a 10-frame GOP and decode it back. ---
+    let video = SyntheticVideo::new(320, 192, 2, 0x51d);
+    let cfg = EncoderConfig { q: 16, range: 16 };
+    let mut enc_refs: Vec<Plane> = Vec::new();
+    let mut dec_refs: Vec<Plane> = Vec::new();
+    let mut raw_bytes = 0usize;
+    let mut coded_bytes = 0usize;
+    let mut psnr_sum = 0.0;
+    for i in 0..10 {
+        let src = video.frame(i);
+        raw_bytes += src.data().len();
+        let er: Vec<&Plane> = enc_refs.iter().rev().take(3).collect();
+        let (frame, recon, stats) = encode_frame(&src, &er, cfg);
+        coded_bytes += frame.data.len();
+        let dr: Vec<&Plane> = dec_refs.iter().rev().take(3).collect();
+        let dec = decode_frame(&frame.data, &dr).expect("own stream decodes");
+        assert_eq!(dec.plane, recon, "decoder must match encoder reconstruction");
+        psnr_sum += dec.plane.psnr(&src);
+        println!(
+            "frame {i}: {:>6} bytes, {:>3.0}% sub-pel MBs, PSNR {:.1} dB",
+            frame.data.len(),
+            100.0 * stats.subpel_mbs as f64 / stats.macroblocks as f64,
+            dec.plane.psnr(&src)
+        );
+        enc_refs.push(recon);
+        dec_refs.push(dec.plane);
+    }
+    println!(
+        "\nclip: {:.1}:1 compression, {:.1} dB average PSNR, decoder bit-exact\n",
+        raw_bytes as f64 / coded_bytes as f64,
+        psnr_sum / 10.0
+    );
+
+    // --- The two decoder-side PIM targets (small inputs for speed). ---
+    let engine = OffloadEngine::new();
+    let mut subpel = SubPixelInterpolationKernel::small();
+    let cpu = engine.run(&mut subpel, ExecutionMode::CpuOnly);
+    let acc = engine.run(&mut subpel, ExecutionMode::PimAcc);
+    println!(
+        "sub-pixel interpolation: PIM-Acc saves {:.1}% energy, {:.2}x faster",
+        100.0 * (1.0 - acc.energy_vs(&cpu)),
+        acc.speedup_vs(&cpu)
+    );
+    let mut me = MotionEstimationKernel::small();
+    let cpu = engine.run(&mut me, ExecutionMode::CpuOnly);
+    let acc = engine.run(&mut me, ExecutionMode::PimAcc);
+    println!(
+        "motion estimation:       PIM-Acc saves {:.1}% energy, {:.2}x faster",
+        100.0 * (1.0 - acc.energy_vs(&cpu)),
+        acc.speedup_vs(&cpu)
+    );
+}

@@ -1,0 +1,26 @@
+//! # dmpim — data-movement analysis & processing-in-memory offload simulator
+//!
+//! Umbrella crate re-exporting the full reproduction of Boroumand et al.,
+//! *"Google Workloads for Consumer Devices: Mitigating Data Movement
+//! Bottlenecks"* (ASPLOS 2018). See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! The sub-crates:
+//!
+//! * [`memsim`] — caches, LPDDR3 and 3D-stacked DRAM, channels, coherence.
+//! * [`energy`] — per-component energy parameters and accounting.
+//! * [`cpusim`] — SoC core, PIM core and PIM accelerator engine models.
+//! * [`core`] — the offload framework: [`core::SimContext`], platforms,
+//!   execution modes, PIM-target identification, area model, reports.
+//! * [`chrome`] — texture tiling, color blitting, LZO/ZRAM, page scrolling
+//!   and tab switching.
+//! * [`tfmobile`] — quantized GEMM, packing, quantization, four networks.
+//! * [`vp9`] — VP9-style software codec and hardware-codec traffic model.
+
+pub use pim_chrome as chrome;
+pub use pim_core as core;
+pub use pim_cpusim as cpusim;
+pub use pim_energy as energy;
+pub use pim_memsim as memsim;
+pub use pim_tfmobile as tfmobile;
+pub use pim_vp9 as vp9;

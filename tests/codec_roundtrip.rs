@@ -1,0 +1,121 @@
+//! End-to-end data-integrity tests across the workload substrates: the
+//! codec GOP, the compression/ZRAM path, and the quantized-GEMM path.
+
+use dmpim::chrome::zram::ZramPool;
+use dmpim::chrome::{compress, decompress};
+use dmpim::tfmobile::gemm::gemm_quantized;
+use dmpim::tfmobile::matrix::Matrix;
+use dmpim::tfmobile::pack::{pack_lhs, pack_rhs, PACK_BLOCK};
+use dmpim::tfmobile::quantize::{dequantize, quantize_f32};
+use dmpim::vp9::decoder::decode_frame;
+use dmpim::vp9::encoder::{encode_frame, EncoderConfig};
+use dmpim::vp9::frame::{Plane, SyntheticVideo};
+
+#[test]
+fn ten_frame_gop_is_bit_exact_and_improves_over_time() {
+    let video = SyntheticVideo::new(160, 128, 2, 0xabc);
+    let cfg = EncoderConfig { q: 14, range: 12 };
+    let mut enc_refs: Vec<Plane> = Vec::new();
+    let mut dec_refs: Vec<Plane> = Vec::new();
+    let mut key_size = 0;
+    for i in 0..10 {
+        let src = video.frame(i);
+        let er: Vec<&Plane> = enc_refs.iter().rev().take(3).collect();
+        let (frame, recon, _) = encode_frame(&src, &er, cfg);
+        let dr: Vec<&Plane> = dec_refs.iter().rev().take(3).collect();
+        let dec = decode_frame(&frame.data, &dr).expect("stream decodes");
+        assert_eq!(dec.plane, recon, "frame {i} diverged");
+        assert!(dec.plane.psnr(&src) > 30.0, "frame {i} quality");
+        if i == 0 {
+            key_size = frame.data.len();
+        } else {
+            assert!(frame.data.len() < key_size, "inter frames must be smaller");
+        }
+        enc_refs.push(recon);
+        dec_refs.push(dec.plane);
+    }
+}
+
+#[test]
+fn zram_pool_round_trips_a_whole_tab() {
+    let mut pool = ZramPool::new();
+    let pages = dmpim::chrome::lzo::synthetic_tab_dump(128, 77);
+    for (i, p) in pages.iter().enumerate() {
+        pool.swap_out((3, i as u32), p);
+    }
+    assert!(pool.ratio() > 1.5, "tab memory must compress: {}", pool.ratio());
+    // Swap in out of order and verify bytes.
+    for (i, p) in pages.iter().enumerate().rev() {
+        assert_eq!(pool.swap_in((3, i as u32)).unwrap(), *p, "page {i}");
+    }
+    assert_eq!(pool.stored_bytes(), 0);
+}
+
+#[test]
+fn lzo_handles_pathological_inputs() {
+    let cases: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0u8; 1 << 16],                        // 64 kB of zeros
+        (0..=255u8).cycle().take(70_000).collect(), // periodic, long matches
+        vec![0xAB; 3],                              // below MIN_MATCH
+        (0..70_000).map(|i| (i * 2_654_435_761u64 >> 24) as u8).collect(), // pseudo-random
+    ];
+    for (i, data) in cases.iter().enumerate() {
+        let c = compress(data);
+        assert_eq!(&decompress(&c).unwrap(), data, "case {i}");
+    }
+}
+
+#[test]
+fn quantized_gemm_through_pack_layouts_matches_direct_gemm() {
+    // Packing is layout-only: packing then unpacking operands must leave
+    // the multiplication's result unchanged.
+    let a = Matrix::synthetic(12, 20, 1.0, 5);
+    let b = Matrix::synthetic(20, 8, 1.0, 6);
+    let (qa, pa) = quantize_f32(&a);
+    let (qb, pb) = quantize_f32(&b);
+    let direct = gemm_quantized(&qa, &qb, pa.zero_point, pb.zero_point);
+
+    // Rebuild operands from their packed forms, then multiply.
+    let packed_a = pack_lhs(&qa);
+    let blocks = qa.rows().div_ceil(PACK_BLOCK);
+    let mut rebuilt_a = Matrix::zeroed(qa.rows(), qa.cols());
+    let mut idx = 0;
+    for blk in 0..blocks {
+        for c in 0..qa.cols() {
+            for r in blk * PACK_BLOCK..(blk + 1) * PACK_BLOCK {
+                if r < qa.rows() {
+                    rebuilt_a.set(r, c, packed_a[idx]);
+                }
+                idx += 1;
+            }
+        }
+    }
+    let packed_b = pack_rhs(&qb);
+    let cblocks = qb.cols().div_ceil(PACK_BLOCK);
+    let mut rebuilt_b = Matrix::zeroed(qb.rows(), qb.cols());
+    idx = 0;
+    for blk in 0..cblocks {
+        for r in 0..qb.rows() {
+            for c in blk * PACK_BLOCK..(blk + 1) * PACK_BLOCK {
+                if c < qb.cols() {
+                    rebuilt_b.set(r, c, packed_b[idx]);
+                }
+                idx += 1;
+            }
+        }
+    }
+    let via_pack = gemm_quantized(&rebuilt_a, &rebuilt_b, pa.zero_point, pb.zero_point);
+    assert_eq!(via_pack.data(), direct.data());
+
+    // And the dequantized result approximates the float product.
+    let approx = dequantize(
+        &Matrix::from_vec(
+            12,
+            8,
+            direct.data().iter().map(|&v| (v.clamp(0, 255)) as u8).collect(),
+        ),
+        pa,
+    );
+    assert_eq!(approx.rows(), 12);
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration: every PIM-target kernel through the full
+//! offload engine, checking the paper's structural claims end to end.
+
+use dmpim::chrome::lzo::{CompressionKernel, DecompressionKernel};
+use dmpim::chrome::lzo::synthetic_tab_dump;
+use dmpim::chrome::tiling::TextureTilingKernel;
+use dmpim::chrome::ColorBlittingKernel;
+use dmpim::core::{ExecutionMode, Kernel, OffloadEngine};
+use dmpim::tfmobile::pack::PackingKernel;
+use dmpim::tfmobile::quantize::QuantizationKernel;
+use dmpim::vp9::driver::{DeblockingFilterKernel, MotionEstimationKernel, SubPixelInterpolationKernel};
+use dmpim::vp9::frame::SyntheticVideo;
+
+/// Small-input versions of all nine PIM-target kernels.
+fn small_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(TextureTilingKernel::new(128, 128, 1)),
+        Box::new(ColorBlittingKernel::new(vec![32, 64, 128], 256, 2)),
+        Box::new(CompressionKernel::new(synthetic_tab_dump(48, 3))),
+        Box::new(DecompressionKernel::new(
+            synthetic_tab_dump(48, 3).iter().map(|p| dmpim::chrome::compress(p)).collect(),
+        )),
+        Box::new(PackingKernel::new(vec![(196, 288, 64)])),
+        Box::new(QuantizationKernel::new(vec![(196, 128)])),
+        Box::new(SubPixelInterpolationKernel::new(SyntheticVideo::new(192, 144, 1, 4), 1)),
+        Box::new(DeblockingFilterKernel::new(SyntheticVideo::new(192, 144, 3, 5), 1)),
+        Box::new(MotionEstimationKernel::new(SyntheticVideo::new(128, 96, 1, 6), 1, 8)),
+    ]
+}
+
+#[test]
+fn every_kernel_runs_under_every_mode() {
+    let engine = OffloadEngine::new();
+    for mut k in small_kernels() {
+        let reports = engine.run_all(k.as_mut());
+        assert_eq!(reports.len(), 3, "{}", k.name());
+        for r in &reports {
+            assert!(r.runtime_ps > 0, "{} {:?}", k.name(), r.mode);
+            assert!(r.energy.total_pj() > 0.0, "{} {:?}", k.name(), r.mode);
+            assert!(r.instructions > 0, "{} {:?}", k.name(), r.mode);
+        }
+    }
+}
+
+#[test]
+fn pim_modes_always_cut_data_movement_energy() {
+    // The core claim: moving the computation to memory removes the
+    // off-chip interconnect from every kernel's energy bill.
+    let engine = OffloadEngine::new();
+    for mut k in small_kernels() {
+        let reports = engine.run_all(k.as_mut());
+        let (cpu, core, acc) = (&reports[0], &reports[1], &reports[2]);
+        let dm = |r: &dmpim::core::RunReport| r.energy.data_movement_pj();
+        assert!(
+            dm(core) < dm(cpu),
+            "{}: PIM-Core DM {} !< CPU DM {}",
+            k.name(),
+            dm(core),
+            dm(cpu)
+        );
+        assert!(dm(acc) < dm(cpu), "{}", k.name());
+        // And no off-chip traffic beyond the coherence hand-off.
+        assert!(
+            core.activity.offchip_bytes < cpu.activity.offchip_bytes / 4,
+            "{}: offchip {} vs {}",
+            k.name(),
+            core.activity.offchip_bytes,
+            cpu.activity.offchip_bytes
+        );
+    }
+}
+
+#[test]
+fn accelerator_never_loses_to_pim_core_on_energy() {
+    let engine = OffloadEngine::new();
+    for mut k in small_kernels() {
+        let reports = engine.run_all(k.as_mut());
+        assert!(
+            reports[2].energy.total_pj() <= reports[1].energy.total_pj() * 1.05,
+            "{}: acc {} vs core {}",
+            k.name(),
+            reports[2].energy.total_pj(),
+            reports[1].energy.total_pj()
+        );
+        assert!(
+            reports[2].runtime_ps <= reports[1].runtime_ps,
+            "{}: accelerator should not be slower than the PIM core",
+            k.name()
+        );
+    }
+}
+
+#[test]
+fn coherence_messages_only_appear_in_pim_modes() {
+    let engine = OffloadEngine::new();
+    let mut k = TextureTilingKernel::new(64, 64, 1);
+    let cpu = engine.run(&mut k, ExecutionMode::CpuOnly);
+    let pim = engine.run(&mut k, ExecutionMode::PimCore);
+    // CPU-only has zero internal-stack traffic; PIM has zero LLC activity.
+    assert_eq!(cpu.activity.internal_bytes, 0);
+    assert_eq!(pim.by_tag.get("texture_tiling").unwrap().activity.llc_accesses, 0);
+}
+
+#[test]
+fn reports_expose_consistent_per_tag_accounting() {
+    let engine = OffloadEngine::new();
+    let mut k = ColorBlittingKernel::new(vec![64, 128], 256, 7);
+    let r = engine.run(&mut k, ExecutionMode::CpuOnly);
+    let tag_total: f64 = r.by_tag.values().map(|t| t.energy.total_pj()).sum();
+    assert!((tag_total - r.energy.total_pj()).abs() < 1e-6 * r.energy.total_pj());
+    let tag_instr: u64 = r.by_tag.values().map(|t| t.ops.total()).sum();
+    assert_eq!(tag_instr, r.instructions);
+}

@@ -1,0 +1,80 @@
+//! The reproduction's fidelity bands: fast versions of the headline
+//! claims, pinned so regressions in any substrate show up here.
+
+use dmpim::chrome::page::PageModel;
+use dmpim::chrome::scroll::run_scroll;
+use dmpim::core::{ExecutionMode, OffloadEngine, Platform, SimContext};
+use dmpim::energy::EnergyParams;
+use dmpim::tfmobile::inference::run_inference;
+use dmpim::tfmobile::network::{Network, NetworkKind};
+use dmpim::vp9::hw::{hw_energy, HwPimMode, Resolution};
+
+#[test]
+fn data_movement_dominates_the_consumer_workloads() {
+    // §1: 62.7% of total system energy goes to data movement, averaged
+    // across the workloads. Check the two fast characterizations.
+    let mut ctx = SimContext::cpu_only(Platform::baseline());
+    let scroll = run_scroll(&PageModel::google_docs(), &mut ctx);
+    assert!(scroll.data_movement_fraction > 0.6, "scroll DM {}", scroll.data_movement_fraction);
+
+    let mut ctx = SimContext::cpu_only(Platform::baseline());
+    let infer = run_inference(&Network::scaled(NetworkKind::ResNetV2152, 4), &mut ctx);
+    assert!(infer.dm_fraction > 0.5, "inference DM {}", infer.dm_fraction);
+}
+
+#[test]
+fn pim_cuts_energy_for_a_representative_target() {
+    // §12: PIM-Core ~49.1% / PIM-Acc ~55.4% average energy reduction.
+    let engine = OffloadEngine::new();
+    let mut k = dmpim::chrome::tiling::TextureTilingKernel::new(256, 256, 9);
+    let cpu = engine.run(&mut k, ExecutionMode::CpuOnly);
+    let core = engine.run(&mut k, ExecutionMode::PimCore);
+    let acc = engine.run(&mut k, ExecutionMode::PimAcc);
+    assert!((0.30..0.70).contains(&core.energy_vs(&cpu)), "core {}", core.energy_vs(&cpu));
+    assert!(acc.energy_vs(&cpu) <= core.energy_vs(&cpu) + 0.02);
+    assert!(core.speedup_vs(&cpu) > 1.0);
+    assert!(acc.speedup_vs(&cpu) > core.speedup_vs(&cpu));
+}
+
+#[test]
+fn hardware_codec_crossovers_hold() {
+    // §10.3.2's four observations, end to end through the energy model.
+    let p = EnergyParams::default();
+    for encode in [false, true] {
+        let base = hw_energy(Resolution::Uhd4k, false, HwPimMode::Baseline, encode, &p).total_pj();
+        let base_comp = hw_energy(Resolution::Uhd4k, true, HwPimMode::Baseline, encode, &p).total_pj();
+        let core_comp = hw_energy(Resolution::Uhd4k, true, HwPimMode::PimCore, encode, &p).total_pj();
+        let acc = hw_energy(Resolution::Uhd4k, false, HwPimMode::PimAcc, encode, &p).total_pj();
+        let acc_comp = hw_energy(Resolution::Uhd4k, true, HwPimMode::PimAcc, encode, &p).total_pj();
+        // Compression helps the baseline.
+        assert!(base_comp < base);
+        // PIM-Core loses to the compressed baseline (compute inefficiency).
+        assert!(core_comp > base_comp, "encode={encode}");
+        // PIM-Acc wins big...
+        assert!(acc < 0.6 * base, "encode={encode}");
+        // ...even without compression, against the compressed baseline...
+        assert!(acc < base_comp, "encode={encode}");
+        // ...and combining PIM-Acc with compression is the best config.
+        assert!(acc_comp < acc, "encode={encode}");
+    }
+}
+
+#[test]
+fn pim_area_budget_is_respected_by_every_target() {
+    let area = dmpim::core::AreaModel::default();
+    assert!(area.pim_core_fraction() < 0.095);
+    for t in dmpim::core::PimTargetKind::ALL {
+        assert!(area.fits(t.accelerator_mm2()), "{t}");
+        assert!(area.fraction_of_vault(t.accelerator_mm2()) <= 0.355, "{t}");
+    }
+}
+
+#[test]
+fn table1_platforms_differ_only_in_memory() {
+    let base = Platform::baseline();
+    let pim = Platform::pim();
+    assert_eq!(base.mem.cpu_l1, pim.mem.cpu_l1);
+    assert_eq!(base.mem.llc, pim.mem.llc);
+    assert!(!base.mem.supports_pim());
+    assert!(pim.mem.supports_pim());
+}

@@ -1,0 +1,142 @@
+//! Property-based tests on the core data structures and invariants.
+
+use dmpim::chrome::tiling::{tile_bitmap, untile_bitmap};
+use dmpim::chrome::Bitmap;
+use dmpim::chrome::{compress, decompress};
+use dmpim::memsim::{AccessKind, Cache, CacheConfig, Channel, MemConfig, MemorySystem};
+use dmpim::tfmobile::matrix::Matrix;
+use dmpim::tfmobile::quantize::{dequantize, quantize_f32};
+use dmpim::vp9::entropy::{read_coeffs, write_coeffs, BoolReader, BoolWriter};
+use dmpim::vp9::transform::{dequantize as deq4, forward4x4, inverse4x4, quantize as q4};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LZO round-trips arbitrary byte strings.
+    #[test]
+    fn lzo_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// LZO round-trips highly repetitive strings (the match-heavy path).
+    #[test]
+    fn lzo_roundtrip_repetitive(
+        unit in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..600,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// The boolean coder reproduces any bit/probability sequence.
+    #[test]
+    fn bool_coder_roundtrip(seq in proptest::collection::vec((1u8..=255, any::<bool>()), 0..2000)) {
+        let mut w = BoolWriter::new();
+        for &(p, b) in &seq {
+            w.put(p, b);
+        }
+        let data = w.finish();
+        let mut r = BoolReader::new(&data);
+        for (i, &(p, b)) in seq.iter().enumerate() {
+            prop_assert_eq!(r.get(p), b, "symbol {}", i);
+        }
+    }
+
+    /// Coefficient blocks survive entropy coding exactly.
+    #[test]
+    fn coeff_coding_roundtrip(block in proptest::array::uniform16(-8000i32..8000)) {
+        let mut w = BoolWriter::new();
+        write_coeffs(&mut w, &block);
+        let data = w.finish();
+        let mut r = BoolReader::new(&data);
+        prop_assert_eq!(read_coeffs(&mut r), block);
+    }
+
+    /// The 4x4 WHT is an exact integer bijection on residual-range blocks.
+    #[test]
+    fn wht_roundtrip(block in proptest::array::uniform16(-255i32..=255)) {
+        prop_assert_eq!(inverse4x4(&forward4x4(&block)), block);
+    }
+
+    /// Quantize/dequantize error is bounded by half a step.
+    #[test]
+    fn transform_quant_error_bound(
+        block in proptest::array::uniform16(-255i32..=255),
+        q in 0u8..=63,
+    ) {
+        let step = dmpim::vp9::transform::quant_step(q);
+        let mut coeffs = forward4x4(&block);
+        q4(&mut coeffs, step);
+        deq4(&mut coeffs, step);
+        let rec = inverse4x4(&coeffs);
+        for (a, b) in block.iter().zip(rec.iter()) {
+            // Coefficient error <= step/2 per coefficient; the inverse
+            // averages 16 coefficients (plus rounding).
+            prop_assert!((a - b).abs() <= step / 2 + 1, "{} vs {} at step {}", a, b, step);
+        }
+    }
+
+    /// Texture tiling is a bijection on tile-aligned bitmaps.
+    #[test]
+    fn tiling_bijection(w in 1usize..6, h in 1usize..6, seed in any::<u64>()) {
+        let bm = Bitmap::synthetic(w * 32, h * 32, seed);
+        let tiled = tile_bitmap(&bm);
+        prop_assert_eq!(untile_bitmap(&tiled, w * 32, h * 32), bm);
+    }
+
+    /// f32 quantization error is bounded by one scale step.
+    #[test]
+    fn f32_quant_error(vals in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        let n = vals.len();
+        let m = Matrix::from_vec(1, n, vals);
+        let (q, p) = quantize_f32(&m);
+        let back = dequantize(&q, p);
+        for (a, b) in m.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= p.scale * 1.001, "{} vs {}", a, b);
+        }
+    }
+
+    /// A cache never reports more hits than accesses, and re-accessing the
+    /// same line immediately always hits.
+    #[test]
+    fn cache_sanity(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = Cache::new(CacheConfig { capacity_bytes: 4096, associativity: 4 });
+        for &a in &addrs {
+            c.access(a, AccessKind::Read);
+            let again = c.access(a, AccessKind::Read);
+            prop_assert!(again.hit);
+        }
+        let s = c.stats();
+        prop_assert!(s.hits + s.misses == s.accesses);
+        prop_assert!(s.hits >= addrs.len() as u64); // the immediate re-reads
+    }
+
+    /// Channel time is monotone in bytes and never negative.
+    #[test]
+    fn channel_monotone(sizes in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let mut ch = Channel::new(16.0);
+        let mut last_busy = 0;
+        for &s in &sizes {
+            ch.transfer(s, 0);
+            prop_assert!(ch.busy_until() >= last_busy);
+            last_busy = ch.busy_until();
+        }
+        prop_assert_eq!(ch.bytes_moved(), sizes.iter().sum::<u64>());
+    }
+
+    /// Memory-system accesses preserve byte accounting: DRAM traffic is
+    /// line-aligned and never smaller than the demand-missed bytes.
+    #[test]
+    fn memory_accounting(ranges in proptest::collection::vec((0u64..1_000_000, 1u64..4096), 1..40)) {
+        let mut m = MemorySystem::new(MemConfig::chromebook_like());
+        for &(addr, bytes) in &ranges {
+            let out = m.access(addr, bytes, AccessKind::Read, 0);
+            prop_assert_eq!(out.activity.dram_read_bytes % 64, 0);
+            prop_assert_eq!(out.activity.dram_read_bytes / 64, out.memory_lines);
+            prop_assert!(out.lines >= 1);
+        }
+    }
+}
