@@ -1,7 +1,14 @@
 //! Wall-clock throughput of the real workload kernels (the library's own
 //! compute, independent of the simulator).
+//!
+//! A self-contained harness (`cargo bench -p pim-bench --bench kernels`):
+//! the container has no third-party benchmark crate, so each kernel is
+//! timed with `std::time::Instant` over a fixed iteration count after a
+//! short warm-up.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
 use pim_chrome::bitmap::{blend_pixel, Bitmap};
 use pim_chrome::lzo::{compress, decompress, synthetic_tab_dump};
 use pim_chrome::tiling::tile_bitmap;
@@ -17,93 +24,105 @@ use pim_vp9::frame::SyntheticVideo;
 use pim_vp9::interp::interpolate_block;
 use pim_vp9::me::diamond_search;
 
-fn chrome_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chrome");
-    let bm = Bitmap::synthetic(512, 512, 1);
-    g.throughput(Throughput::Bytes(bm.bytes()));
-    g.bench_function("texture_tiling_512", |b| b.iter(|| tile_bitmap(&bm)));
+/// Time `f` over `iters` iterations (plus a 10% warm-up) and print the
+/// per-iteration latency; `bytes` (if nonzero) adds a throughput column.
+fn bench<T>(name: &str, iters: u32, bytes: u64, mut f: impl FnMut() -> T) {
+    for _ in 0..iters.div_ceil(10) {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_s = t0.elapsed().as_secs_f64() / iters as f64;
+    if bytes > 0 {
+        let mbps = bytes as f64 / per_s / (1 << 20) as f64;
+        println!("{name:<32} {:>10.1} us/iter  {mbps:>8.0} MB/s", per_s * 1e6);
+    } else {
+        println!("{name:<32} {:>10.1} us/iter", per_s * 1e6);
+    }
+}
 
-    g.bench_function("alpha_blend_64k_px", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for i in 0..65_536u32 {
-                acc ^= blend_pixel(0x80FF_00FF ^ i, 0xFF00_FF00 | i);
-            }
-            acc
-        })
+fn chrome_kernels() {
+    println!("[chrome]");
+    let bm = Bitmap::synthetic(512, 512, 1);
+    bench("texture_tiling_512", 50, bm.bytes(), || tile_bitmap(&bm));
+
+    bench("alpha_blend_64k_px", 50, 0, || {
+        let mut acc = 0u32;
+        for i in 0..65_536u32 {
+            acc ^= blend_pixel(0x80FF_00FF ^ i, 0xFF00_FF00 | i);
+        }
+        acc
     });
 
     let pages = synthetic_tab_dump(64, 2);
     let total: u64 = pages.iter().map(|p| p.len() as u64).sum();
-    g.throughput(Throughput::Bytes(total));
-    g.bench_function("lzo_compress_256k", |b| {
-        b.iter(|| pages.iter().map(|p| compress(p).len()).sum::<usize>())
+    bench("lzo_compress_256k", 30, total, || {
+        pages.iter().map(|p| compress(p).len()).sum::<usize>()
     });
     let packed: Vec<Vec<u8>> = pages.iter().map(|p| compress(p)).collect();
-    g.bench_function("lzo_decompress_256k", |b| {
-        b.iter(|| packed.iter().map(|p| decompress(p).unwrap().len()).sum::<usize>())
+    bench("lzo_decompress_256k", 30, total, || {
+        packed
+            .iter()
+            .map(|p| decompress(p).map(|v| v.len()).unwrap_or(0))
+            .sum::<usize>()
     });
-    g.finish();
 }
 
-fn tf_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tfmobile");
+fn tf_kernels() {
+    println!("[tfmobile]");
     let a = Matrix::synthetic_u8(128, 256, 3);
     let b_m = Matrix::synthetic_u8(256, 64, 4);
-    g.bench_function("gemm_u8_128x256x64", |b| {
-        b.iter(|| gemm_quantized(&a, &b_m, 128, 128))
-    });
-    g.bench_function("pack_lhs_128x256", |b| b.iter(|| pack_lhs(&a)));
-    g.bench_function("pack_rhs_256x64", |b| b.iter(|| pack_rhs(&b_m)));
+    bench("gemm_u8_128x256x64", 30, 0, || gemm_quantized(&a, &b_m, 128, 128));
+    bench("pack_lhs_128x256", 100, 0, || pack_lhs(&a));
+    bench("pack_rhs_256x64", 100, 0, || pack_rhs(&b_m));
 
     let f = Matrix::synthetic(256, 256, 4.0, 5);
-    g.bench_function("quantize_f32_64k", |b| b.iter(|| quantize_f32(&f)));
-    let r = Matrix::from_vec(256, 256, (0..65_536).map(|i| (i as i32 * 37) % 20_000 - 10_000).collect());
-    g.bench_function("requantize_i32_64k", |b| b.iter(|| requantize_i32(&r)));
-    g.finish();
+    bench("quantize_f32_64k", 100, 0, || quantize_f32(&f));
+    let r = Matrix::from_vec(256, 256, (0..65_536).map(|i| (i * 37) % 20_000 - 10_000).collect());
+    bench("requantize_i32_64k", 100, 0, || requantize_i32(&r));
 }
 
-fn vp9_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vp9");
-    g.sample_size(20);
+fn vp9_kernels() {
+    println!("[vp9]");
     let video = SyntheticVideo::new(320, 192, 2, 7);
     let f0 = video.frame(0);
     let f1 = video.frame(1);
 
-    g.bench_function("interpolate_16x16_subpel", |b| {
-        b.iter(|| interpolate_block(&f0, 8 * 100 + 3, 8 * 80 + 5, 16, 16))
+    bench("interpolate_16x16_subpel", 200, 0, || {
+        interpolate_block(&f0, 8 * 100 + 3, 8 * 80 + 5, 16, 16)
     });
-    g.bench_function("diamond_search_16x16", |b| {
-        b.iter(|| diamond_search(&f1, &f0, 96, 96, 16, 16))
+    bench("diamond_search_16x16", 200, 0, || diamond_search(&f1, &f0, 96, 96, 16, 16));
+    bench("deblock_320x192", 30, 0, || {
+        let mut p = f0.clone();
+        deblock_plane(&mut p, 8)
     });
-    g.bench_function("deblock_320x192", |b| {
-        b.iter_batched(|| f0.clone(), |mut p| deblock_plane(&mut p, 8), BatchSize::SmallInput)
-    });
-    g.bench_function("encode_inter_320x192", |b| {
-        let (_, recon, _) = encode_frame(&f0, &[], EncoderConfig::default());
-        b.iter(|| encode_frame(&f1, &[&recon], EncoderConfig::default()))
+    let (_, recon, _) = encode_frame(&f0, &[], EncoderConfig::default());
+    bench("encode_inter_320x192", 10, 0, || {
+        encode_frame(&f1, &[&recon], EncoderConfig::default())
     });
 
     let mut rng = SplitMix64::new(9);
     let bits: Vec<(u8, bool)> =
         (0..10_000).map(|_| (rng.next_range(1, 255) as u8, rng.chance(0.3))).collect();
-    g.bench_function("bool_coder_10k_symbols", |b| {
-        b.iter(|| {
-            let mut w = BoolWriter::new();
-            for &(p, bit) in &bits {
-                w.put(p, bit);
-            }
-            let data = w.finish();
-            let mut r = BoolReader::new(&data);
-            let mut acc = 0u32;
-            for &(p, _) in &bits {
-                acc += r.get(p) as u32;
-            }
-            acc
-        })
+    bench("bool_coder_10k_symbols", 50, 0, || {
+        let mut w = BoolWriter::new();
+        for &(p, bit) in &bits {
+            w.put(p, bit);
+        }
+        let data = w.finish();
+        let mut r = BoolReader::new(&data);
+        let mut acc = 0u32;
+        for &(p, _) in &bits {
+            acc += r.get(p) as u32;
+        }
+        acc
     });
-    g.finish();
 }
 
-criterion_group!(benches, chrome_kernels, tf_kernels, vp9_kernels);
-criterion_main!(benches);
+fn main() {
+    chrome_kernels();
+    tf_kernels();
+    vp9_kernels();
+}

@@ -1,88 +1,95 @@
 //! Throughput of the simulator itself: cache lookups, DRAM accesses,
 //! ranged accesses through the full memory system, and an end-to-end
 //! offload run.
+//!
+//! A self-contained harness (`cargo bench -p pim-bench --bench simulator`)
+//! timed with `std::time::Instant` — see `kernels.rs` for the rationale.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
 use pim_core::{ExecutionMode, OffloadEngine};
 use pim_memsim::{
     AccessKind, BankArray, Cache, CacheConfig, DramConfig, MemConfig, MemorySystem,
 };
 
-fn memsim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memsim");
-
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("cache_streaming_10k_lines", |b| {
-        let mut cache = Cache::new(CacheConfig::soc_llc());
-        let mut addr = 0u64;
-        b.iter(|| {
-            for _ in 0..10_000 {
-                cache.access(addr, AccessKind::Read);
-                addr = addr.wrapping_add(64);
-            }
-        })
-    });
-
-    g.bench_function("dram_bank_10k_accesses", |b| {
-        let mut banks = BankArray::new(DramConfig::lpddr3());
-        let mut addr = 0u64;
-        b.iter(|| {
-            for _ in 0..10_000 {
-                banks.access(addr, 64, AccessKind::Read);
-                addr = addr.wrapping_add(64);
-            }
-        })
-    });
-
-    g.throughput(Throughput::Bytes(4096 * 256));
-    g.bench_function("memory_system_ranged_1mb", |b| {
-        let mut m = MemorySystem::new(MemConfig::chromebook_like());
-        let mut now = 0;
-        let mut base = 0u64;
-        b.iter(|| {
-            for i in 0..256u64 {
-                let out = m.access(base + i * 4096, 4096, AccessKind::Read, now);
-                now += out.latency_ps;
-            }
-            base = base.wrapping_add(1 << 20);
-        })
-    });
-
-    g.bench_function("pim_port_ranged_1mb", |b| {
-        let mut m = MemorySystem::new(MemConfig::pim_device());
-        let mut now = 0;
-        let mut base = 0u64;
-        b.iter(|| {
-            for i in 0..256u64 {
-                let out =
-                    m.access_from(pim_memsim::Port::PimCore, base + i * 4096, 4096, AccessKind::Read, now);
-                now += out.latency_ps;
-            }
-            base = base.wrapping_add(1 << 20);
-        })
-    });
-    g.finish();
+/// Time `f` over `iters` iterations (plus a 10% warm-up) and print the
+/// per-iteration latency.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..iters.div_ceil(10) {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_s = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<32} {:>10.1} us/iter", per_s * 1e6);
 }
 
-fn offload(c: &mut Criterion) {
-    let mut g = c.benchmark_group("offload");
-    g.sample_size(10);
+fn memsim() {
+    println!("[memsim]");
+    let mut cache = Cache::new(CacheConfig::soc_llc());
+    let mut addr = 0u64;
+    bench("cache_streaming_10k_lines", 100, || {
+        for _ in 0..10_000 {
+            cache.access(addr, AccessKind::Read);
+            addr = addr.wrapping_add(64);
+        }
+    });
+
+    let mut banks = BankArray::new(DramConfig::lpddr3());
+    let mut addr = 0u64;
+    bench("dram_bank_10k_accesses", 100, || {
+        for _ in 0..10_000 {
+            banks.access(addr, 64, AccessKind::Read);
+            addr = addr.wrapping_add(64);
+        }
+    });
+
+    let mut m = MemorySystem::new(MemConfig::chromebook_like());
+    let mut now = 0;
+    let mut base = 0u64;
+    bench("memory_system_ranged_1mb", 50, || {
+        for i in 0..256u64 {
+            let out = m.access(base + i * 4096, 4096, AccessKind::Read, now);
+            now += out.latency_ps;
+        }
+        base = base.wrapping_add(1 << 20);
+    });
+
+    let mut m = MemorySystem::new(MemConfig::pim_device());
+    let mut now = 0;
+    let mut base = 0u64;
+    bench("pim_port_ranged_1mb", 50, || {
+        for i in 0..256u64 {
+            // The PIM port is fallible (it errors on non-stacked memory);
+            // on this config every access succeeds.
+            if let Ok(out) =
+                m.access_from(pim_memsim::Port::PimCore, base + i * 4096, 4096, AccessKind::Read, now)
+            {
+                now += out.latency_ps;
+            }
+        }
+        base = base.wrapping_add(1 << 20);
+    });
+}
+
+fn offload() {
+    println!("[offload]");
     let engine = OffloadEngine::new();
-    g.bench_function("tiling_kernel_full_sweep_128", |b| {
-        b.iter(|| {
-            let mut k = pim_chrome::tiling::TextureTilingKernel::new(128, 128, 1);
-            let r = engine.run_all(&mut k);
-            r.len()
-        })
+    bench("tiling_kernel_full_sweep_128", 10, || {
+        let mut k = pim_chrome::tiling::TextureTilingKernel::new(128, 128, 1);
+        let r = engine.run_all(&mut k);
+        r.len()
     });
-    g.bench_function("tiling_kernel_cpu_only_256", |b| {
-        b.iter(|| {
-            let mut k = pim_chrome::tiling::TextureTilingKernel::new(256, 256, 1);
-            engine.run(&mut k, ExecutionMode::CpuOnly).runtime_ps
-        })
+    bench("tiling_kernel_cpu_only_256", 10, || {
+        let mut k = pim_chrome::tiling::TextureTilingKernel::new(256, 256, 1);
+        engine.run(&mut k, ExecutionMode::CpuOnly).runtime_ps
     });
-    g.finish();
 }
 
-criterion_group!(benches, memsim, offload);
-criterion_main!(benches);
+fn main() {
+    memsim();
+    offload();
+}

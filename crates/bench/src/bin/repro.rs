@@ -14,7 +14,13 @@ fn main() -> ExitCode {
         [] => {
             for id in pim_bench::EXPERIMENTS {
                 banner(id);
-                println!("{}", pim_bench::run_experiment(id));
+                match pim_bench::run_experiment(id) {
+                    Ok(report) => println!("{report}"),
+                    Err(e) => {
+                        eprintln!("experiment {id} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             ExitCode::SUCCESS
         }
@@ -25,13 +31,17 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         [flag, id] if flag == "--experiment" => {
-            if !pim_bench::EXPERIMENTS.contains(&id.as_str()) {
-                eprintln!("unknown experiment {id:?}; try --list");
-                return ExitCode::FAILURE;
-            }
             banner(id);
-            println!("{}", pim_bench::run_experiment(id));
-            ExitCode::SUCCESS
+            match pim_bench::run_experiment(id) {
+                Ok(report) => {
+                    println!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("experiment {id} failed: {e}; try --list");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => {
             eprintln!("usage: repro [--list | --experiment <id>]");

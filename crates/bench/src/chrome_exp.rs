@@ -7,7 +7,7 @@ use pim_chrome::tabs::{run_tab_switching, TabSwitchConfig};
 use pim_chrome::tiling::TextureTilingKernel;
 use pim_chrome::ColorBlittingKernel;
 use pim_core::report::{energy_table, fraction_table, mode_sweep_table};
-use pim_core::{Kernel, OffloadEngine, Platform, SimContext};
+use pim_core::{DmpimError, Kernel, OffloadEngine, Platform, SimContext};
 
 /// Figure 1: energy breakdown of page scrolling across six pages.
 pub fn fig1() -> String {
@@ -47,8 +47,8 @@ pub fn fig2() -> String {
 }
 
 /// Figure 4: ZRAM swap traffic while switching 50 tabs.
-pub fn fig4() -> String {
-    let r = run_tab_switching(&TabSwitchConfig::default());
+pub fn fig4() -> Result<String, DmpimError> {
+    let r = run_tab_switching(&TabSwitchConfig::default())?;
     let mut out = String::from("Figure 4 — ZRAM swap traffic, 50-tab switching\n");
     out.push_str("sec   out MB/s   in MB/s\n");
     for (i, (o, inn)) in r.out_mb_per_s.iter().zip(&r.in_mb_per_s).enumerate() {
@@ -67,7 +67,7 @@ pub fn fig4() -> String {
         100.0 * r.compression_energy_fraction,
         100.0 * r.compression_time_fraction,
     ));
-    out
+    Ok(out)
 }
 
 /// Figure 18: the four browser kernels under CPU-Only / PIM-Core / PIM-Acc.
@@ -111,7 +111,8 @@ mod tests {
     #[test]
     fn fig4_report_has_series_and_totals() {
         // Use a smaller run to keep the test fast.
-        let r = run_tab_switching(&TabSwitchConfig { tabs: 8, budget_mb: 400, ..TabSwitchConfig::default() });
+        let r = run_tab_switching(&TabSwitchConfig { tabs: 8, budget_mb: 400, ..TabSwitchConfig::default() })
+            .unwrap();
         assert!(r.total_out_gb > 0.5);
     }
 

@@ -5,6 +5,8 @@
 //! Experiment identifiers match the index in `DESIGN.md`; measured-vs-paper
 //! values are recorded in `EXPERIMENTS.md`.
 
+use pim_core::DmpimError;
+
 pub mod ablate_exp;
 pub mod chrome_exp;
 pub mod summary_exp;
@@ -21,21 +23,23 @@ pub const EXPERIMENTS: [&str; 23] = [
 
 /// Run one experiment by id, returning its printed report.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown id (the `repro` binary validates first).
-pub fn run_experiment(id: &str) -> String {
-    match id {
+/// Returns [`DmpimError::UnknownExperiment`] for an id not listed in
+/// [`EXPERIMENTS`], and propagates any simulation error from the
+/// experiment itself.
+pub fn run_experiment(id: &str) -> Result<String, DmpimError> {
+    Ok(match id {
         "table1" => summary_exp::table1(),
         "fig1" => chrome_exp::fig1(),
         "fig2" => chrome_exp::fig2(),
-        "fig4" => chrome_exp::fig4(),
+        "fig4" => chrome_exp::fig4()?,
         "fig6" => tf_exp::fig6(),
         "fig7" => tf_exp::fig7(),
-        "fig10" => video_exp::fig10(),
-        "fig11" => video_exp::fig11(),
+        "fig10" => video_exp::fig10()?,
+        "fig11" => video_exp::fig11()?,
         "fig12" => video_exp::fig12(),
-        "fig15" => video_exp::fig15(),
+        "fig15" => video_exp::fig15()?,
         "fig16" => video_exp::fig16(),
         "fig18" => chrome_exp::fig18(),
         "fig19" => tf_exp::fig19(),
@@ -49,6 +53,6 @@ pub fn run_experiment(id: &str) -> String {
         "ablate-bandwidth" => ablate_exp::bandwidth(),
         "ablate-coherence" => ablate_exp::coherence(),
         "ext-fscompress" => ablate_exp::fs_compression(),
-        other => panic!("unknown experiment id: {other}"),
-    }
+        other => return Err(DmpimError::UnknownExperiment { id: other.to_string() }),
+    })
 }

@@ -1,7 +1,7 @@
 //! Video experiments: Figures 10, 11, 12, 15, 16, 20 and 21.
 
 use pim_core::report::{energy_table, fraction_table, mode_sweep_table};
-use pim_core::{EnergyParams, Kernel, OffloadEngine, Platform, SimContext};
+use pim_core::{DmpimError, EnergyParams, Kernel, OffloadEngine, Platform, SimContext};
 use pim_vp9::driver::{
     run_sw_decode, run_sw_encode, DeblockingFilterKernel, MotionEstimationKernel,
     SubPixelInterpolationKernel, SwBreakdown,
@@ -15,37 +15,37 @@ use pim_vp9::hw::{
 /// The decoder characterization runs on 4K frames, as in §9. Three frames
 /// (one keyframe warm-up + two replayed inter frames) keep the harness
 /// under a minute while preserving per-pixel shares.
-fn decode_breakdown() -> SwBreakdown {
+fn decode_breakdown() -> Result<SwBreakdown, DmpimError> {
     let v = SyntheticVideo::new(3840, 2160, 1, 0x4b);
     let mut ctx = SimContext::cpu_only(Platform::baseline());
     run_sw_decode(&v, 3, EncoderConfig { q: 20, range: 8 }, &mut ctx)
 }
 
-fn encode_breakdown() -> SwBreakdown {
+fn encode_breakdown() -> Result<SwBreakdown, DmpimError> {
     let v = SyntheticVideo::new(1280, 720, 1, 0xeb);
     let mut ctx = SimContext::cpu_only(Platform::baseline());
     run_sw_encode(&v, 3, EncoderConfig { q: 20, range: 12 }, &mut ctx)
 }
 
 /// Figure 10: software-decoder energy by function.
-pub fn fig10() -> String {
-    let b = decode_breakdown();
-    format!(
+pub fn fig10() -> Result<String, DmpimError> {
+    let b = decode_breakdown()?;
+    Ok(format!(
         "Figure 10 — VP9 software decoder energy (4K)\n{}\
          (paper: sub-pel interpolation 37.5%, deblocking 29.7%, MC total 53.4%)\n",
         fraction_table(&[("4K".to_string(), b.energy_fractions)])
-    )
+    ))
 }
 
 /// Figure 11: decoder component breakdown + DM share.
-pub fn fig11() -> String {
-    let b = decode_breakdown();
-    format!(
+pub fn fig11() -> Result<String, DmpimError> {
+    let b = decode_breakdown()?;
+    Ok(format!(
         "Figure 11 — VP9 software decoder by component\n{}\
          data movement: {:.1}% of decoder energy (paper: 63.5%)\n",
         energy_table(&[("4K decode".to_string(), b.energy)]),
         100.0 * b.dm_fraction
-    )
+    ))
 }
 
 fn traffic_table(title: &str, rows: Vec<(String, Vec<(&'static str, f64)>)>) -> String {
@@ -79,15 +79,15 @@ pub fn fig12() -> String {
 }
 
 /// Figure 15: software-encoder energy by function.
-pub fn fig15() -> String {
-    let b = encode_breakdown();
-    format!(
+pub fn fig15() -> Result<String, DmpimError> {
+    let b = encode_breakdown()?;
+    Ok(format!(
         "Figure 15 — VP9 software encoder energy (HD)\n{}\
          data movement: {:.1}% of encoder energy (paper: 59.1%)\n\
          (paper: motion estimation 39.6% of energy, 43.1% of cycles)\n",
         fraction_table(&[("HD".to_string(), b.energy_fractions)]),
         100.0 * b.dm_fraction
-    )
+    ))
 }
 
 /// Figure 16: hardware-encoder off-chip traffic.

@@ -30,6 +30,7 @@ pub enum BlitOp {
 /// # Panics
 ///
 /// Panics if the blit rectangle falls outside `dst`.
+#[allow(clippy::too_many_arguments)]
 pub fn blit(
     ctx: &mut SimContext,
     op: BlitOp,
@@ -40,8 +41,8 @@ pub fn blit(
     x0: usize,
     y0: usize,
 ) {
-    let src_h = if src_w == 0 { 0 } else { src.len() / src_w };
-    let dst_h = if dst_w == 0 { 0 } else { dst.len() / dst_w };
+    let src_h = src.len().checked_div(src_w).unwrap_or(0);
+    let dst_h = dst.len().checked_div(dst_w).unwrap_or(0);
     // The blit rectangle always matches the source geometry (fills use the
     // source buffer for geometry only and never read it).
     let (w, h) = (src_w, src_h);

@@ -211,7 +211,7 @@ pub fn synthetic_page(paragraphs: usize, seed: u64) -> Node {
 
 /// The boxes intersecting the viewport `[scroll_y, scroll_y + viewport_h)`,
 /// i.e. what a scroll step must repaint.
-pub fn visible<'a>(boxes: &'a [LayoutBox], scroll_y: u32, viewport_h: u32) -> Vec<&'a LayoutBox> {
+pub fn visible(boxes: &[LayoutBox], scroll_y: u32, viewport_h: u32) -> Vec<&LayoutBox> {
     boxes
         .iter()
         .filter(|b| b.y < scroll_y + viewport_h && b.y + b.h > scroll_y)

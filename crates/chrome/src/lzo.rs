@@ -19,7 +19,7 @@
 //! spec form), but its token structure, costs and ratios are LZO-class,
 //! which is what the ZRAM swap model needs.
 
-use pim_core::{Kernel, OpMix, SimContext, Tracked};
+use pim_core::{DmpimError, Kernel, OpMix, SimContext, Tracked};
 
 const HASH_BITS: u32 = 13;
 const MIN_MATCH: usize = 4;
@@ -98,28 +98,14 @@ fn emit_match(out: &mut Vec<u8>, distance: usize, len: usize) {
     out.extend_from_slice(&(distance as u16).to_le_bytes());
 }
 
-/// Error decompressing a corrupt token stream.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DecompressError {
-    at: usize,
-    what: &'static str,
-}
-
-impl std::fmt::Display for DecompressError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "corrupt stream at byte {}: {}", self.at, self.what)
-    }
-}
-
-impl std::error::Error for DecompressError {}
-
 /// Decompress a token stream produced by [`compress`].
 ///
 /// # Errors
 ///
-/// Returns [`DecompressError`] on truncated streams or out-of-range match
-/// distances.
-pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+/// Returns [`DmpimError::Corrupt`] on truncated streams or out-of-range
+/// match distances; arbitrary input bytes never panic (enforced by the
+/// property tests in `tests/fault_injection.rs`).
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DmpimError> {
     let mut out = Vec::with_capacity(input.len() * 2);
     let mut pos = 0usize;
     while pos < input.len() {
@@ -129,7 +115,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
             let n = token as usize + 1;
             let lits = input
                 .get(pos..pos + n)
-                .ok_or(DecompressError { at: pos, what: "truncated literal run" })?;
+                .ok_or(DmpimError::corrupt(pos, "truncated literal run"))?;
             out.extend_from_slice(lits);
             pos += n;
         } else {
@@ -137,17 +123,17 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
             if token & 0x7F == MAX_BASE as u8 {
                 let ext = input
                     .get(pos..pos + 2)
-                    .ok_or(DecompressError { at: pos, what: "truncated length extension" })?;
+                    .ok_or(DmpimError::corrupt(pos, "truncated length extension"))?;
                 len += u16::from_le_bytes([ext[0], ext[1]]) as usize;
                 pos += 2;
             }
             let d = input
                 .get(pos..pos + 2)
-                .ok_or(DecompressError { at: pos, what: "truncated distance" })?;
+                .ok_or(DmpimError::corrupt(pos, "truncated distance"))?;
             let distance = u16::from_le_bytes([d[0], d[1]]) as usize;
             pos += 2;
             if distance == 0 || distance > out.len() {
-                return Err(DecompressError { at: pos, what: "distance out of range" });
+                return Err(DmpimError::corrupt(pos, "distance out of range"));
             }
             let start = out.len() - distance;
             // Overlapping copies are the RLE trick; copy byte-wise.
@@ -181,21 +167,20 @@ pub fn compress_tracked(ctx: &mut SimContext, input: &[u8]) -> Vec<u8> {
         simd: matched / 16,
         mul: out.len() as u64 / 4,
         branch: out.len() as u64 / 2,
-        ..OpMix::default()
     });
     out
 }
 
 /// Report the decompression loop's traffic/ops against a context.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `input` is not a valid stream (kernel inputs are produced by
-/// [`compress_tracked`]).
-pub fn decompress_tracked(ctx: &mut SimContext, input: &[u8]) -> Vec<u8> {
+/// Returns [`DmpimError::Corrupt`] (without charging the output traffic)
+/// when `input` is not a valid stream.
+pub fn decompress_tracked(ctx: &mut SimContext, input: &[u8]) -> Result<Vec<u8>, DmpimError> {
     let src: Tracked<u8> = Tracked::from_vec(ctx, input.to_vec());
     src.touch_range(ctx, 0, input.len(), pim_core::AccessKind::Read);
-    let out = decompress(input).expect("kernel streams are well-formed");
+    let out = decompress(input)?;
     let dst: Tracked<u8> = Tracked::from_vec(ctx, out.clone());
     dst.touch_range(ctx, 0, out.len(), pim_core::AccessKind::Write);
     // Decompression is bulk copying: one token dispatch per ~3 stream
@@ -206,7 +191,7 @@ pub fn decompress_tracked(ctx: &mut SimContext, input: &[u8]) -> Vec<u8> {
         branch: input.len() as u64 / 3,
         ..OpMix::default()
     });
-    out
+    Ok(out)
 }
 
 /// Synthetic Chromebook memory dump: the §9 compression input ("open 50
@@ -330,7 +315,15 @@ impl Kernel for DecompressionKernel {
         let compressed = std::mem::take(&mut self.compressed);
         ctx.scoped("decompression", |ctx| {
             for c in &compressed {
-                self.pages.push(decompress_tracked(ctx, c));
+                match decompress_tracked(ctx, c) {
+                    Ok(page) => self.pages.push(page),
+                    Err(e) => {
+                        // Corrupt stream: poison the run instead of
+                        // panicking; the driver sees the error.
+                        ctx.fail(e);
+                        break;
+                    }
+                }
             }
         });
         self.compressed = compressed;

@@ -43,7 +43,7 @@ pub fn scroll_page_dom(
     seed: u64,
 ) -> DomScrollReport {
     assert!(
-        viewport_w % TILE_PX == 0 && viewport_h % TILE_PX == 0,
+        viewport_w.is_multiple_of(TILE_PX) && viewport_h.is_multiple_of(TILE_PX),
         "viewport must be tile-aligned"
     );
     let tree: Node = synthetic_page(paragraphs, seed);
@@ -141,6 +141,7 @@ pub fn scroll_page_dom(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fill_rect(
     ctx: &mut SimContext,
     surface: &mut Tracked<u32>,
@@ -159,6 +160,7 @@ fn fill_rect(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn blend_rows(
     ctx: &mut SimContext,
     surface: &mut Tracked<u32>,

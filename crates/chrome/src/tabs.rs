@@ -12,7 +12,7 @@
 //! schedule's traffic. The pool is not capped: as in the measured system,
 //! swap traffic — not residency — is the quantity of interest.
 
-use pim_core::{Platform, SimContext};
+use pim_core::{DmpimError, Platform, SimContext};
 
 use crate::lzo::{compress_tracked, decompress_tracked, synthetic_tab_dump};
 
@@ -79,7 +79,7 @@ struct MeasuredCosts {
     decompress_mb_per_s: f64,
 }
 
-fn measure_costs(seed: u64) -> MeasuredCosts {
+fn measure_costs(seed: u64) -> Result<MeasuredCosts, DmpimError> {
     let mut ctx = SimContext::cpu_only(Platform::baseline());
     let pages = synthetic_tab_dump(192, seed);
     let raw: u64 = pages.iter().map(|p| p.len() as u64).sum();
@@ -94,22 +94,27 @@ fn measure_costs(seed: u64) -> MeasuredCosts {
         }
     });
     let t1 = ctx.now_ps();
-    ctx.scoped("decompression", |ctx| {
+    ctx.scoped("decompression", |ctx| -> Result<(), DmpimError> {
         for c in &streams {
-            decompress_tracked(ctx, c);
+            decompress_tracked(ctx, c)?;
         }
-    });
+        Ok(())
+    })?;
     let t2 = ctx.now_ps();
-    let comp_e = ctx.tag("compression").expect("ran").energy.total_pj();
-    let deco_e = ctx.tag("decompression").expect("ran").energy.total_pj();
+    // Both tags exist: the loops above charged work under them.
+    let comp_e = ctx.tag("compression").map(|t| t.energy.total_pj()).unwrap_or(0.0);
+    let deco_e = ctx.tag("decompression").map(|t| t.energy.total_pj()).unwrap_or(0.0);
+    if raw == 0 || packed == 0 || t1 == t0 || t2 == t1 {
+        return Err(DmpimError::invalid_config("tab dump produced no measurable traffic"));
+    }
     let mb = raw as f64 / (1 << 20) as f64;
-    MeasuredCosts {
+    Ok(MeasuredCosts {
         ratio: raw as f64 / packed as f64,
         compress_pj_per_byte: comp_e / raw as f64,
         decompress_pj_per_byte: deco_e / raw as f64,
         compress_mb_per_s: mb / ((t1 - t0) as f64 / 1e12),
         decompress_mb_per_s: mb / ((t2 - t1) as f64 / 1e12),
-    }
+    })
 }
 
 /// Energy of everything that is *not* (de)compression during one active
@@ -124,8 +129,13 @@ fn browsing_pj_per_second() -> f64 {
 }
 
 /// Run the §4.3.1 experiment.
-pub fn run_tab_switching(cfg: &TabSwitchConfig) -> TabSwitchResult {
-    let costs = measure_costs(cfg.seed);
+///
+/// # Errors
+///
+/// Returns [`DmpimError`] when the cost-measurement phase fails (corrupt
+/// self-produced stream — should not happen — or degenerate configuration).
+pub fn run_tab_switching(cfg: &TabSwitchConfig) -> Result<TabSwitchResult, DmpimError> {
+    let costs = measure_costs(cfg.seed)?;
     let mut rng = pim_core::rng::SplitMix64::new(cfg.seed);
 
     // Sample tab footprints (modern pages: images + JS heap, §4.3).
@@ -218,7 +228,7 @@ pub fn run_tab_switching(cfg: &TabSwitchConfig) -> TabSwitchResult {
     let browse_pj = browsing_pj_per_second() * clock;
     let comp_s = total_out_mb / costs.compress_mb_per_s + total_in_mb / costs.decompress_mb_per_s;
 
-    TabSwitchResult {
+    Ok(TabSwitchResult {
         out_mb_per_s: out_series,
         in_mb_per_s: in_series,
         total_out_gb: total_out_mb / 1024.0,
@@ -227,7 +237,7 @@ pub fn run_tab_switching(cfg: &TabSwitchConfig) -> TabSwitchResult {
         compression_time_fraction: comp_s / clock,
         compression_ratio: costs.ratio,
         compress_mb_per_s: costs.compress_mb_per_s,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -240,7 +250,7 @@ mod tests {
 
     #[test]
     fn pressure_forces_swapping() {
-        let r = run_tab_switching(&small());
+        let r = run_tab_switching(&small()).unwrap();
         assert!(r.total_out_gb > 1.0, "out {}", r.total_out_gb);
         assert!(r.total_in_gb > 0.4, "in {}", r.total_in_gb);
         assert!(r.total_in_gb < r.total_out_gb);
@@ -248,7 +258,7 @@ mod tests {
 
     #[test]
     fn series_has_active_seconds_and_plausible_peak() {
-        let r = run_tab_switching(&small());
+        let r = run_tab_switching(&small()).unwrap();
         let peak = r.out_mb_per_s.iter().cloned().fold(0.0, f64::max);
         assert!(peak > 50.0, "peak {peak}");
         assert!(peak <= 260.0, "peak {peak}");
@@ -259,7 +269,7 @@ mod tests {
     #[test]
     fn paper_scale_run_matches_totals_band() {
         // The 50-tab experiment: paper reports 11.7 GB out, 7.8 GB in.
-        let r = run_tab_switching(&TabSwitchConfig::default());
+        let r = run_tab_switching(&TabSwitchConfig::default()).unwrap();
         assert!((8.0..16.0).contains(&r.total_out_gb), "out {}", r.total_out_gb);
         assert!((4.0..12.0).contains(&r.total_in_gb), "in {}", r.total_in_gb);
         // §4.3.1: compression ≈ 18.1% of energy, 14.2% of time.
@@ -277,14 +287,14 @@ mod tests {
 
     #[test]
     fn ratio_is_lzo_class() {
-        let r = run_tab_switching(&small());
+        let r = run_tab_switching(&small()).unwrap();
         assert!((1.8..5.0).contains(&r.compression_ratio), "ratio {}", r.compression_ratio);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run_tab_switching(&small());
-        let b = run_tab_switching(&small());
+        let a = run_tab_switching(&small()).unwrap();
+        let b = run_tab_switching(&small()).unwrap();
         assert_eq!(a.out_mb_per_s, b.out_mb_per_s);
         assert_eq!(a.total_in_gb, b.total_in_gb);
     }

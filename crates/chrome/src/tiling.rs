@@ -24,7 +24,7 @@ pub const TILE_PX: usize = 32;
 /// Panics if the bitmap's dimensions are not multiples of [`TILE_PX`].
 pub fn tile_bitmap(bm: &Bitmap) -> Vec<u32> {
     assert!(
-        bm.width() % TILE_PX == 0 && bm.height() % TILE_PX == 0,
+        bm.width().is_multiple_of(TILE_PX) && bm.height().is_multiple_of(TILE_PX),
         "bitmap must be tile-aligned"
     );
     let (w, h) = (bm.width(), bm.height());
@@ -50,7 +50,7 @@ pub fn tile_bitmap(bm: &Bitmap) -> Vec<u32> {
 /// Panics if `tiled.len() != width * height` or dimensions are not
 /// tile-aligned.
 pub fn untile_bitmap(tiled: &[u32], width: usize, height: usize) -> Bitmap {
-    assert!(width % TILE_PX == 0 && height % TILE_PX == 0, "dimensions must be tile-aligned");
+    assert!(width.is_multiple_of(TILE_PX) && height.is_multiple_of(TILE_PX), "dimensions must be tile-aligned");
     assert_eq!(tiled.len(), width * height, "pixel count mismatch");
     let mut bm = Bitmap::new(width, height);
     let tiles_x = width / TILE_PX;

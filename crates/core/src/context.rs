@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use pim_cpusim::{EngineTiming, OpMix};
 use pim_energy::{Component, EnergyBreakdown, EnergyParams, OpClass};
+use pim_faults::{DmpimError, FaultKind, FaultPlan, FaultStats, Watchdog};
 use pim_memsim::{
     AccessKind, Activity, CoherenceModel, MemorySystem, Port, Ps, LINE_BYTES,
 };
@@ -41,6 +42,16 @@ impl TagStats {
 /// The context keeps a monotonically advancing clock (picoseconds), a bump
 /// allocator for simulated addresses, a per-tag energy/time ledger, and the
 /// CPU↔PIM coherence model. See the crate docs for the full workflow.
+///
+/// # Errors
+///
+/// Kernel-facing operations ([`SimContext::read`], [`SimContext::write`],
+/// [`SimContext::ops`]) stay infallible so `Kernel::run` needs no plumbing.
+/// Instead the context *poisons* itself on the first failure — an injected
+/// fault, an unsupported port, a tripped watchdog — recording the error and
+/// turning every later operation into a no-op. Drivers inspect
+/// [`SimContext::error`] (or use `OffloadEngine::try_run`, which does) after
+/// the kernel returns.
 #[derive(Debug)]
 pub struct SimContext {
     mem: MemorySystem,
@@ -53,6 +64,10 @@ pub struct SimContext {
     next_addr: u64,
     coherence: CoherenceModel,
     offloaded: bool,
+    faults: Option<FaultPlan>,
+    watchdog: Watchdog,
+    host_events: u64,
+    error: Option<DmpimError>,
 }
 
 impl SimContext {
@@ -69,7 +84,24 @@ impl SimContext {
             accounts: BTreeMap::new(),
             next_addr: 0x1_0000,
             offloaded: false,
+            faults: None,
+            watchdog: Watchdog::unlimited(),
+            host_events: 0,
+            error: None,
         }
+    }
+
+    /// Attach a fault plan: subsequent accesses and op retirements are
+    /// subject to its scheduled and per-access faults.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Bound this context's progress with a watchdog.
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
     }
 
     /// A CPU-only context on the given platform (most tests start here).
@@ -121,13 +153,88 @@ impl SimContext {
         r
     }
 
+    /// Record the first failure and poison the context. Later operations
+    /// become no-ops so a kernel mid-flight cannot corrupt the ledger.
+    fn trip(&mut self, e: DmpimError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Bump the host-event counter and check the watchdog. Returns `false`
+    /// when the context is (or just became) poisoned.
+    fn tick(&mut self) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        self.host_events += 1;
+        if self.watchdog.is_armed() {
+            if let Err(e) = self.watchdog.check(self.now_ps, self.host_events) {
+                self.trip(e);
+                return false;
+            }
+        }
+        true
+    }
+
     /// Perform a memory access of `bytes` at `addr`.
+    ///
+    /// On a poisoned context this is a no-op; with a fault plan attached,
+    /// injected faults poison the context (see the type-level docs).
     pub fn access(&mut self, addr: u64, bytes: u64, kind: AccessKind) {
-        if bytes == 0 {
+        if bytes == 0 || !self.tick() {
             return;
         }
-        let out = self.mem.access_from(self.port, addr, bytes, kind, self.now_ps);
-        let stall = self.timing.exposed_stall_ps(out.latency_ps);
+        if self.port != Port::Cpu {
+            if let Some(plan) = self.faults.as_mut() {
+                if let Some(_remaining) = plan.pim_unavailable(self.now_ps) {
+                    let at_ps = self.now_ps;
+                    self.trip(DmpimError::FaultTransient {
+                        kind: FaultKind::PimUnavailable,
+                        at_ps,
+                    });
+                    return;
+                }
+                if plan.vault_failed(addr, self.now_ps) {
+                    let at_ps = self.now_ps;
+                    self.trip(DmpimError::FaultUnrecoverable {
+                        kind: FaultKind::VaultFailure,
+                        at_ps,
+                    });
+                    return;
+                }
+            }
+        }
+        let out = match self.mem.access_from(self.port, addr, bytes, kind, self.now_ps) {
+            Ok(out) => out,
+            Err(e) => {
+                self.trip(e);
+                return;
+            }
+        };
+        let mut stall = self.timing.exposed_stall_ps(out.latency_ps);
+        let mut uncorrectable = false;
+        if let Some(plan) = self.faults.as_mut() {
+            let dram_bytes = out.activity.dram_read_bytes + out.activity.dram_write_bytes;
+            let flips = plan.draw_dram_faults(dram_bytes);
+            stall += flips.corrected * plan.config().ecc.correction_ps;
+            uncorrectable = flips.uncorrectable;
+            if self.port != Port::Cpu {
+                let factor = plan.throttle_factor(self.now_ps);
+                if factor != 1.0 {
+                    let slowed = (stall as f64 * factor) as Ps;
+                    plan.note_throttled(slowed - stall);
+                    stall = slowed;
+                }
+            }
+        }
+        if uncorrectable {
+            // Detected-uncorrectable: the access is still charged (the DRAM
+            // cycles happened) but the data is lost — surface a transient
+            // fault the offload layer can retry.
+            let at_ps = self.now_ps;
+            self.trip(DmpimError::FaultTransient { kind: FaultKind::BitFlip, at_ps });
+        }
         self.now_ps += stall;
         if self.port != Port::Cpu {
             for _ in 0..out.memory_lines {
@@ -153,8 +260,24 @@ impl SimContext {
     }
 
     /// Retire an operation mix on the active engine.
+    ///
+    /// No-op on a poisoned context; thermal throttle (if a fault plan is
+    /// active) stretches the execution time of logic-layer engines.
     pub fn ops(&mut self, mix: OpMix) {
-        let dur = self.timing.execute_ps(&mix);
+        if !self.tick() {
+            return;
+        }
+        let mut dur = self.timing.execute_ps(&mix);
+        if self.port != Port::Cpu {
+            if let Some(plan) = self.faults.as_mut() {
+                let factor = plan.throttle_factor(self.now_ps);
+                if factor != 1.0 {
+                    let slowed = (dur as f64 * factor) as Ps;
+                    plan.note_throttled(slowed - dur);
+                    dur = slowed;
+                }
+            }
+        }
         self.now_ps += dur;
         let engine = self.timing.engine;
         let pj = mix.scalar as f64 * self.params.op_energy_pj(engine, OpClass::Scalar)
@@ -194,7 +317,12 @@ impl SimContext {
 
     /// Charge an offload transition (§8.2): flush/invalidate CPU caches for
     /// a region of `region_bytes`, exchange hand-off messages.
+    ///
+    /// No-op on a poisoned context.
     pub fn offload_transition(&mut self, region_bytes: u64, begin: bool) {
+        if self.error.is_some() {
+            return;
+        }
         let cost = if begin {
             self.offloaded = true;
             self.coherence.offload_begin(region_bytes)
@@ -276,6 +404,41 @@ impl SimContext {
     /// Direct access to the memory system (stats, cache contents).
     pub fn memory(&self) -> &MemorySystem {
         &self.mem
+    }
+
+    /// Poison the context with an error discovered by the kernel itself
+    /// (e.g. corrupt input data). Later operations become no-ops and the
+    /// driver sees the error exactly as for injected faults.
+    pub fn fail(&mut self, e: DmpimError) {
+        self.trip(e);
+    }
+
+    /// The first error this context hit, if it is poisoned.
+    pub fn error(&self) -> Option<&DmpimError> {
+        self.error.as_ref()
+    }
+
+    /// Whether the context is poisoned (all further work is a no-op).
+    pub fn is_poisoned(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Host-side events processed (accesses + op retirements); the
+    /// denominator of the watchdog's progress bound.
+    pub fn host_events(&self) -> u64 {
+        self.host_events
+    }
+
+    /// Counters of every fault the attached plan injected (default when no
+    /// plan is attached).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|p| *p.stats()).unwrap_or_default()
+    }
+
+    /// Detach the fault plan (with its updated stats and draw-stream
+    /// position), so a driver can carry it into a retry attempt.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
     }
 }
 

@@ -46,6 +46,8 @@
 //! assert!(pim.energy.total_pj() < cpu.energy.total_pj());
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod area;
 pub mod buffer;
 pub mod context;
@@ -54,17 +56,26 @@ pub mod kernel;
 pub mod offload;
 pub mod platform;
 pub mod report;
-pub mod rng;
+
+// The PRNG moved to `pim-faults` (the fault layer needs it below this
+// crate); keep the old `pim_core::rng::SplitMix64` path working.
+pub use pim_faults::rng;
 
 pub use area::{AreaModel, PimTargetKind};
 pub use buffer::{Buffer, Tracked};
 pub use context::{SimContext, TagStats};
 pub use identify::{Candidacy, CandidateProfile};
 pub use kernel::Kernel;
-pub use offload::{offload_region, overlap_ps, ExecutionMode, OffloadEngine, RunReport};
+pub use offload::{
+    offload_region, overlap_ps, Degradation, ExecutionMode, OffloadEngine, ResiliencePolicy,
+    RunReport,
+};
 pub use platform::Platform;
 
 // Re-export the vocabulary types users need alongside this crate.
 pub use pim_cpusim::{EngineTiming, OpMix};
 pub use pim_energy::{Component, EnergyBreakdown, EnergyParams, Engine, OpClass, COMPONENTS};
+pub use pim_faults::{
+    DmpimError, EccConfig, FaultConfig, FaultKind, FaultPlan, FaultStats, Watchdog,
+};
 pub use pim_memsim::{AccessKind, Activity, MemConfig, Port, Ps};

@@ -5,11 +5,16 @@ use std::fmt;
 
 use pim_cpusim::EngineTiming;
 use pim_energy::EnergyBreakdown;
+use pim_faults::{DmpimError, FaultConfig, FaultPlan, FaultStats, Watchdog};
 use pim_memsim::{Activity, Port, Ps};
 
 use crate::context::{SimContext, TagStats};
 use crate::kernel::Kernel;
 use crate::platform::Platform;
+
+/// Ledger tag that carries the energy/time of abandoned (faulted) attempts
+/// and retry backoff in a resilient run's [`RunReport::by_tag`].
+pub const FAULT_RECOVERY_TAG: &str = "fault_recovery";
 
 /// Where a kernel executes (the x-axis of Figures 18–20).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +40,19 @@ impl ExecutionMode {
             ExecutionMode::PimAcc => "PIM-Acc",
         }
     }
+
+    /// The degradation chain starting at this mode: each entry is tried in
+    /// order when the previous one fails persistently
+    /// (`PimAcc → PimCore → CpuOnly`).
+    pub fn fallback_chain(self) -> &'static [ExecutionMode] {
+        match self {
+            ExecutionMode::CpuOnly => &[ExecutionMode::CpuOnly],
+            ExecutionMode::PimCore => &[ExecutionMode::PimCore, ExecutionMode::CpuOnly],
+            ExecutionMode::PimAcc => {
+                &[ExecutionMode::PimAcc, ExecutionMode::PimCore, ExecutionMode::CpuOnly]
+            }
+        }
+    }
 }
 
 impl fmt::Display for ExecutionMode {
@@ -43,14 +61,45 @@ impl fmt::Display for ExecutionMode {
     }
 }
 
+/// How a resilient run deviated from its requested execution mode.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Degradation {
+    /// Retry attempts after transient faults (across all modes tried).
+    pub retries: u32,
+    /// Mode downgrades taken (`PimAcc → PimCore` counts one).
+    pub fallbacks: u32,
+    /// Simulated time spent backing off between retries, in ps.
+    pub backoff_ps: Ps,
+    /// Simulated time consumed by abandoned (faulted) attempts, in ps.
+    pub abandoned_ps: Ps,
+    /// Energy consumed by abandoned attempts, in pJ.
+    pub abandoned_pj: f64,
+    /// Everything the fault plan injected across all attempts.
+    pub faults: FaultStats,
+    /// Terminal error, set only when even the last mode in the fallback
+    /// chain failed (the report then holds the failed attempt's partials).
+    pub error: Option<DmpimError>,
+}
+
+impl Degradation {
+    /// Whether the run deviated from the ideal path at all.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0 && self.fallbacks == 0 && self.error.is_none()
+    }
+}
+
 /// Everything measured about one kernel execution.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Kernel name.
     pub kernel: &'static str,
-    /// Mode it ran under.
+    /// Mode the caller requested.
     pub mode: ExecutionMode,
-    /// End-to-end runtime, in ps.
+    /// Mode the kernel actually completed under (differs from `mode` after
+    /// a fallback).
+    pub executed: ExecutionMode,
+    /// End-to-end runtime, in ps (includes abandoned attempts and backoff
+    /// for resilient runs).
     pub runtime_ps: Ps,
     /// Six-component energy breakdown.
     pub energy: EnergyBreakdown,
@@ -62,6 +111,8 @@ pub struct RunReport {
     pub instructions: u64,
     /// LLC (or PIM-L1) misses per kilo-instruction.
     pub mpki: f64,
+    /// Resilience record; `None` for runs without faults or watchdog.
+    pub degradation: Option<Degradation>,
 }
 
 impl RunReport {
@@ -84,6 +135,39 @@ impl RunReport {
     pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
         baseline.runtime_ps as f64 / self.runtime_ps as f64
     }
+
+    /// Whether the run fell back from its requested mode.
+    pub fn degraded(&self) -> bool {
+        self.executed != self.mode
+    }
+}
+
+/// Retry/fallback policy of a resilient run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Retries (after the first attempt) per mode for transient faults.
+    pub max_retries: u32,
+    /// First backoff, in simulated ps; doubles (`backoff_mult`) per retry.
+    pub backoff_ps: Ps,
+    /// Exponential backoff multiplier.
+    pub backoff_mult: u32,
+    /// Whether persistent failure may fall back down the mode chain; when
+    /// `false` the requested mode is the only one tried.
+    pub allow_fallback: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self { max_retries: 3, backoff_ps: 10_000_000, backoff_mult: 2, allow_fallback: true }
+    }
+}
+
+impl ResiliencePolicy {
+    /// Backoff before retry number `retry` (1-based), in ps.
+    pub fn backoff_for(&self, retry: u32) -> Ps {
+        let mult = (self.backoff_mult.max(1) as u64).saturating_pow(retry.saturating_sub(1));
+        self.backoff_ps.saturating_mul(mult)
+    }
 }
 
 /// Runs kernels under the three execution modes of the study.
@@ -96,6 +180,9 @@ pub struct OffloadEngine {
     baseline: Option<Platform>,
     pim: Option<Platform>,
     pim_cluster: Option<usize>,
+    faults: Option<(FaultConfig, u64)>,
+    watchdog: Watchdog,
+    policy: ResiliencePolicy,
 }
 
 impl OffloadEngine {
@@ -123,6 +210,32 @@ impl OffloadEngine {
         self
     }
 
+    /// Inject faults from `config` (seeded by `seed`) into every PIM-mode
+    /// run. [`FaultConfig::none`] (or any zero config) leaves every number
+    /// bit-identical to an engine without faults.
+    pub fn with_faults(mut self, config: FaultConfig, seed: u64) -> Self {
+        self.faults = Some((config, seed));
+        self
+    }
+
+    /// Bound every run's progress with `watchdog`.
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Override the retry/fallback policy for resilient runs.
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Whether runs take the resilient path (faults configured or watchdog
+    /// armed) instead of the exact legacy path.
+    fn is_resilient(&self) -> bool {
+        self.faults.is_some_and(|(c, _)| !c.is_zero()) || self.watchdog.is_armed()
+    }
+
     /// The platform a mode runs on.
     pub fn platform_for(&self, mode: ExecutionMode) -> Platform {
         match mode {
@@ -133,9 +246,11 @@ impl OffloadEngine {
 
     /// Build the context a mode runs in (exposed for drivers that need to
     /// interleave host work, like the TensorFlow pipeline of Figure 19).
+    /// The engine's watchdog is attached; its fault plan is not (attempt
+    /// management lives in [`Self::run`]).
     pub fn context_for(&self, mode: ExecutionMode) -> SimContext {
         let platform = self.platform_for(mode);
-        match mode {
+        let ctx = match mode {
             ExecutionMode::CpuOnly => {
                 SimContext::new(platform, EngineTiming::soc_cpu(), Port::Cpu)
             }
@@ -149,12 +264,16 @@ impl OffloadEngine {
             ExecutionMode::PimAcc => {
                 SimContext::new(platform, EngineTiming::pim_accel(), Port::PimAccel)
             }
-        }
+        };
+        ctx.with_watchdog(self.watchdog)
     }
 
-    /// Execute `kernel` under `mode` and collect the report.
-    pub fn run(&self, kernel: &mut dyn Kernel, mode: ExecutionMode) -> RunReport {
+    /// One attempt: bracket the kernel with offload transitions and run it.
+    fn attempt(&self, kernel: &mut dyn Kernel, mode: ExecutionMode, plan: Option<FaultPlan>) -> SimContext {
         let mut ctx = self.context_for(mode);
+        if let Some(plan) = plan {
+            ctx = ctx.with_fault_plan(plan);
+        }
         if mode != ExecutionMode::CpuOnly {
             ctx.offload_transition(kernel.working_set_bytes(), true);
         }
@@ -162,16 +281,168 @@ impl OffloadEngine {
         if mode != ExecutionMode::CpuOnly {
             ctx.offload_transition(kernel.working_set_bytes(), false);
         }
+        ctx
+    }
+
+    fn report_from(
+        &self,
+        kernel_name: &'static str,
+        requested: ExecutionMode,
+        executed: ExecutionMode,
+        ctx: &SimContext,
+    ) -> RunReport {
         RunReport {
-            kernel: kernel.name(),
-            mode,
+            kernel: kernel_name,
+            mode: requested,
+            executed,
             runtime_ps: ctx.now_ps(),
             energy: ctx.total_energy(),
             activity: ctx.total_activity(),
             by_tag: ctx.tag_stats().clone(),
             instructions: ctx.instructions(),
             mpki: ctx.mpki(),
+            degradation: None,
         }
+    }
+
+    /// Execute `kernel` under `mode` and collect the report.
+    ///
+    /// Without faults or a watchdog configured this is the exact legacy
+    /// simulation path. With them, it is the resilient path: transient
+    /// faults are retried with bounded exponential backoff (charged in
+    /// simulated time and energy), persistent failure falls down the
+    /// `PimAcc → PimCore → CpuOnly` chain, and the deviation is recorded
+    /// in [`RunReport::degradation`]. This method never panics on injected
+    /// faults; if even the last mode in the chain fails (e.g. watchdog),
+    /// the report carries the terminal error in its degradation record
+    /// (use [`Self::try_run`] to surface it as a `Result`).
+    pub fn run(&self, kernel: &mut dyn Kernel, mode: ExecutionMode) -> RunReport {
+        if !self.is_resilient() {
+            let ctx = self.attempt(kernel, mode, None);
+            return self.report_from(kernel.name(), mode, mode, &ctx);
+        }
+        self.run_resilient(kernel, mode)
+    }
+
+    /// Like [`Self::run`], but a terminal failure (every mode in the chain
+    /// exhausted) surfaces as an `Err` instead of a degraded report.
+    pub fn try_run(&self, kernel: &mut dyn Kernel, mode: ExecutionMode) -> Result<RunReport, DmpimError> {
+        let report = self.run(kernel, mode);
+        match report.degradation.as_ref().and_then(|d| d.error.clone()) {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    fn run_resilient(&self, kernel: &mut dyn Kernel, mode: ExecutionMode) -> RunReport {
+        let mut degradation = Degradation::default();
+        let mut plan = match self.faults {
+            Some((config, seed)) if !config.is_zero() => match FaultPlan::new(config, seed) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    // Nonsense fault config: report it without running.
+                    let ctx = self.context_for(mode);
+                    let mut report = self.report_from(kernel.name(), mode, mode, &ctx);
+                    degradation.error = Some(e);
+                    report.degradation = Some(degradation);
+                    return report;
+                }
+            },
+            _ => None,
+        };
+
+        // World clock across attempts: abandoned attempts and backoff
+        // consume simulated time, which is how a retry outlives an
+        // unavailability window.
+        let mut world_ps: Ps = 0;
+        let mut abandoned_energy = EnergyBreakdown::new();
+        let mut attempt_no: u64 = 0;
+        let mut last_error: Option<DmpimError> = None;
+
+        let chain: &[ExecutionMode] = if self.policy.allow_fallback {
+            mode.fallback_chain()
+        } else {
+            std::slice::from_ref(match mode {
+                ExecutionMode::CpuOnly => &ExecutionMode::CpuOnly,
+                ExecutionMode::PimCore => &ExecutionMode::PimCore,
+                ExecutionMode::PimAcc => &ExecutionMode::PimAcc,
+            })
+        };
+
+        let mut final_ctx: Option<(ExecutionMode, SimContext)> = None;
+        'modes: for (i, &m) in chain.iter().enumerate() {
+            if i > 0 {
+                degradation.fallbacks += 1;
+            }
+            let mut retries_here = 0u32;
+            loop {
+                attempt_no += 1;
+                // Faults apply to the PIM logic layer; CpuOnly is the safe
+                // harbor (its DRAM is the baseline part, not the stack).
+                let attempt_plan = if m == ExecutionMode::CpuOnly {
+                    None
+                } else {
+                    plan.take().map(|mut p| {
+                        p.start_attempt(attempt_no);
+                        p.set_world_offset(world_ps);
+                        p
+                    })
+                };
+                let mut ctx = self.attempt(kernel, m, attempt_plan);
+                if let Some(p) = ctx.take_fault_plan() {
+                    plan = Some(p);
+                }
+                match ctx.error().cloned() {
+                    None => {
+                        final_ctx = Some((m, ctx));
+                        last_error = None;
+                        break 'modes;
+                    }
+                    Some(e) => {
+                        degradation.abandoned_ps += ctx.now_ps();
+                        abandoned_energy += ctx.total_energy();
+                        world_ps += ctx.now_ps();
+                        let transient = e.is_transient();
+                        last_error = Some(e);
+                        final_ctx = Some((m, ctx));
+                        if transient && retries_here < self.policy.max_retries {
+                            retries_here += 1;
+                            degradation.retries += 1;
+                            let backoff = self.policy.backoff_for(retries_here);
+                            degradation.backoff_ps += backoff;
+                            world_ps += backoff;
+                            continue;
+                        }
+                        continue 'modes;
+                    }
+                }
+            }
+        }
+
+        if let Some(p) = plan.as_ref() {
+            degradation.faults = *p.stats();
+        }
+        degradation.error = last_error;
+        // Unwrap is safe in spirit (the chain is never empty) but keep the
+        // no-panic guarantee: synthesize an empty context if it ever is.
+        let (executed, ctx) = match final_ctx {
+            Some(pair) => pair,
+            None => (mode, self.context_for(mode)),
+        };
+        let mut report = self.report_from(kernel.name(), mode, executed, &ctx);
+        // Fold the failed attempts and backoff into the end-to-end numbers:
+        // the device really spent that time and energy before succeeding.
+        let overhead_ps = degradation.abandoned_ps + degradation.backoff_ps;
+        degradation.abandoned_pj = abandoned_energy.total_pj();
+        if overhead_ps > 0 || degradation.abandoned_pj > 0.0 {
+            report.runtime_ps += overhead_ps;
+            report.energy += abandoned_energy;
+            let recovery = report.by_tag.entry(FAULT_RECOVERY_TAG).or_default();
+            recovery.time_ps += overhead_ps;
+            recovery.energy += abandoned_energy;
+        }
+        report.degradation = Some(degradation);
+        report
     }
 
     /// Run a kernel under every mode, in presentation order.
@@ -334,5 +605,118 @@ mod tests {
         assert_eq!(ExecutionMode::CpuOnly.label(), "CPU-Only");
         assert_eq!(ExecutionMode::PimCore.to_string(), "PIM-Core");
         assert_eq!(ExecutionMode::PimAcc.label(), "PIM-Acc");
+    }
+
+    fn report_key(r: &RunReport) -> (Ps, u64, u64) {
+        (r.runtime_ps, r.energy.total_pj().to_bits(), r.instructions)
+    }
+
+    #[test]
+    fn zero_fault_config_is_bit_identical_to_no_faults() {
+        let plain = OffloadEngine::new();
+        let zero = OffloadEngine::new().with_faults(FaultConfig::none(), 1234);
+        for mode in ExecutionMode::ALL {
+            let a = plain.run(&mut Stream, mode);
+            let b = zero.run(&mut Stream, mode);
+            assert_eq!(report_key(&a), report_key(&b), "mode {mode}");
+            assert!(b.degradation.is_none(), "zero config must take the exact path");
+        }
+    }
+
+    #[test]
+    fn resilient_run_is_deterministic_per_seed() {
+        let cfg = FaultConfig::with_rate(0.7);
+        let eng = OffloadEngine::new().with_faults(cfg, 42);
+        let a = eng.run(&mut Stream, ExecutionMode::PimAcc);
+        let b = eng.run(&mut Stream, ExecutionMode::PimAcc);
+        assert_eq!(report_key(&a), report_key(&b));
+        assert_eq!(a.degradation, b.degradation);
+        assert_eq!(a.executed, b.executed);
+    }
+
+    #[test]
+    fn hostile_faults_degrade_to_cpu_instead_of_failing() {
+        // vault_fail_prob 1.0: every vault fails at some point inside the
+        // horizon; PIM attempts hit an unrecoverable fault quickly, and the
+        // run must land on CpuOnly with the degradation recorded.
+        let cfg = FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() };
+        let eng = OffloadEngine::new().with_faults(cfg, 9);
+        let r = eng.run(&mut Stream, ExecutionMode::PimAcc);
+        assert_eq!(r.executed, ExecutionMode::CpuOnly);
+        assert!(r.degraded());
+        let d = r.degradation.expect("resilient run records degradation");
+        assert!(d.error.is_none(), "CpuOnly completes: {:?}", d.error);
+        assert_eq!(d.fallbacks, 2, "PimAcc -> PimCore -> CpuOnly");
+        assert!(d.faults.vault_hits > 0);
+        assert!(d.abandoned_ps > 0 && d.abandoned_pj > 0.0);
+        assert!(r.by_tag.contains_key(FAULT_RECOVERY_TAG));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_backoff() {
+        // Moderate bit-flip rate: uncorrectable hits are transient, so the
+        // engine should retry (salted draws let a retry pass) rather than
+        // immediately abandoning the mode.
+        let cfg = FaultConfig { bit_flips_per_gb: 8.0, ..FaultConfig::none() };
+        let eng = OffloadEngine::new().with_faults(cfg, 7);
+        let r = eng.run(&mut Stream, ExecutionMode::PimCore);
+        let d = r.degradation.expect("resilient path");
+        assert!(d.error.is_none());
+        if d.retries > 0 {
+            assert!(d.backoff_ps > 0);
+            assert!(d.abandoned_ps > 0);
+        }
+        // Whatever happened, the run completed and charged its overheads.
+        assert!(r.runtime_ps > 0);
+    }
+
+    #[test]
+    fn fallback_can_be_disabled() {
+        let cfg = FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() };
+        let policy = ResiliencePolicy { allow_fallback: false, ..ResiliencePolicy::default() };
+        let eng = OffloadEngine::new().with_faults(cfg, 9).with_resilience(policy);
+        let err = eng.try_run(&mut Stream, ExecutionMode::PimAcc).unwrap_err();
+        assert!(!err.is_transient());
+        assert_eq!(err.fault_kind(), Some(pim_faults::FaultKind::VaultFailure));
+    }
+
+    #[test]
+    fn watchdog_bounds_runaway_kernels() {
+        // 10 host events is far less than Stream needs: every mode fails,
+        // and the terminal error must be the watchdog timeout.
+        let eng = OffloadEngine::new().with_watchdog(Watchdog::new(u64::MAX, 10));
+        let err = eng.try_run(&mut Stream, ExecutionMode::PimCore).unwrap_err();
+        assert!(matches!(err, DmpimError::WatchdogTimeout { what: "host events", .. }));
+        // The infallible path still returns a report carrying the error.
+        let r = eng.run(&mut Stream, ExecutionMode::PimCore);
+        assert!(r.degradation.and_then(|d| d.error).is_some());
+    }
+
+    #[test]
+    fn generous_watchdog_changes_nothing_but_takes_resilient_path() {
+        let eng = OffloadEngine::new().with_watchdog(Watchdog::new(u64::MAX, u64::MAX));
+        let plain = OffloadEngine::new();
+        let a = eng.run(&mut Stream, ExecutionMode::PimCore);
+        let b = plain.run(&mut Stream, ExecutionMode::PimCore);
+        assert_eq!(report_key(&a), report_key(&b));
+        let d = a.degradation.expect("armed watchdog takes resilient path");
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = ResiliencePolicy::default();
+        assert_eq!(p.backoff_for(1), p.backoff_ps);
+        assert_eq!(p.backoff_for(2), 2 * p.backoff_ps);
+        assert_eq!(p.backoff_for(3), 4 * p.backoff_ps);
+    }
+
+    #[test]
+    fn fallback_chains_end_in_cpu_only() {
+        for mode in ExecutionMode::ALL {
+            let chain = mode.fallback_chain();
+            assert_eq!(chain.first(), Some(&mode));
+            assert_eq!(chain.last(), Some(&ExecutionMode::CpuOnly));
+        }
     }
 }

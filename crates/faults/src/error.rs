@@ -1,0 +1,211 @@
+//! The workspace-wide error type.
+//!
+//! Every non-test simulation path in the workspace reports failure through
+//! [`DmpimError`] instead of panicking: malformed configurations, corrupt
+//! compressed streams, injected hardware faults and watchdog timeouts all
+//! arrive here, so drivers can retry, degrade to another execution mode,
+//! or surface the failure in a report.
+
+use std::fmt;
+
+use crate::Ps;
+
+/// The class of an injected hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A raw DRAM bit flip (detected by ECC; multi-bit flips are
+    /// uncorrectable).
+    BitFlip,
+    /// A stacked-memory vault failed permanently.
+    VaultFailure,
+    /// The PIM core / accelerator in the logic layer is unavailable
+    /// (power gating, firmware reset) for a bounded window.
+    PimUnavailable,
+    /// The logic layer is thermally throttled (slows execution, never
+    /// raises an error by itself).
+    ThermalThrottle,
+    /// A transaction was dropped on a transfer channel and retransmitted.
+    DroppedTransaction,
+    /// A transaction was duplicated on a transfer channel.
+    DuplicatedTransaction,
+}
+
+impl FaultKind {
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::VaultFailure => "vault-failure",
+            FaultKind::PimUnavailable => "pim-unavailable",
+            FaultKind::ThermalThrottle => "thermal-throttle",
+            FaultKind::DroppedTransaction => "dropped-transaction",
+            FaultKind::DuplicatedTransaction => "duplicated-transaction",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything that can go wrong on a simulation path.
+///
+/// Transient variants ([`DmpimError::is_transient`]) are worth retrying
+/// after a backoff; persistent ones call for falling back to another
+/// execution mode (`PimAcc → PimCore → CpuOnly`) or aborting the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DmpimError {
+    /// A configuration failed validation before the run started.
+    InvalidConfig {
+        /// What was wrong.
+        what: String,
+    },
+    /// A modeled capacity (area budget, buffer size, schedule horizon)
+    /// was exceeded.
+    CapacityExceeded {
+        /// The capacity that overflowed.
+        what: &'static str,
+        /// Requested amount.
+        requested: u64,
+        /// The limit.
+        limit: u64,
+    },
+    /// Input data (a compressed stream, a bitstream) is malformed.
+    Corrupt {
+        /// Byte offset of the first inconsistency.
+        at: usize,
+        /// What was inconsistent.
+        what: &'static str,
+    },
+    /// An engine port was used against a memory system that cannot serve
+    /// it (a PIM port on an LPDDR3 baseline).
+    PortUnsupported {
+        /// The offending port.
+        port: &'static str,
+    },
+    /// An injected fault that a retry can outlive (ECC-detected multi-bit
+    /// flip, PIM-unavailability window, link fault storm).
+    FaultTransient {
+        /// The fault class.
+        kind: FaultKind,
+        /// Simulated time of the hit.
+        at_ps: Ps,
+    },
+    /// An injected fault that no retry under the same mode can outlive
+    /// (a failed vault holding the working set).
+    FaultUnrecoverable {
+        /// The fault class.
+        kind: FaultKind,
+        /// Simulated time of the hit.
+        at_ps: Ps,
+    },
+    /// The watchdog tripped: the simulation exceeded its simulated-time or
+    /// host-iteration budget.
+    WatchdogTimeout {
+        /// Which bound tripped (`"simulated time"` / `"host events"`).
+        what: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// Simulated time when it tripped.
+        at_ps: Ps,
+    },
+    /// An unknown experiment identifier was requested from the bench
+    /// harness.
+    UnknownExperiment {
+        /// The identifier.
+        id: String,
+    },
+}
+
+impl DmpimError {
+    /// Shorthand for a corrupt-data error.
+    pub fn corrupt(at: usize, what: &'static str) -> Self {
+        DmpimError::Corrupt { at, what }
+    }
+
+    /// Shorthand for a config-validation error.
+    pub fn invalid_config(what: impl Into<String>) -> Self {
+        DmpimError::InvalidConfig { what: what.into() }
+    }
+
+    /// Whether a retry (with backoff) under the same execution mode has a
+    /// chance of succeeding.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DmpimError::FaultTransient { .. })
+    }
+
+    /// The fault class, if this error came from an injected fault.
+    pub fn fault_kind(&self) -> Option<FaultKind> {
+        match self {
+            DmpimError::FaultTransient { kind, .. }
+            | DmpimError::FaultUnrecoverable { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DmpimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmpimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            DmpimError::CapacityExceeded { what, requested, limit } => {
+                write!(f, "capacity exceeded: {what} ({requested} > {limit})")
+            }
+            DmpimError::Corrupt { at, what } => {
+                write!(f, "corrupt stream at byte {at}: {what}")
+            }
+            DmpimError::PortUnsupported { port } => {
+                write!(f, "{port} port requires 3D-stacked memory")
+            }
+            DmpimError::FaultTransient { kind, at_ps } => {
+                write!(f, "transient {kind} fault at {at_ps} ps")
+            }
+            DmpimError::FaultUnrecoverable { kind, at_ps } => {
+                write!(f, "unrecoverable {kind} fault at {at_ps} ps")
+            }
+            DmpimError::WatchdogTimeout { what, limit, at_ps } => {
+                write!(f, "watchdog timeout: {what} exceeded {limit} at {at_ps} ps")
+            }
+            DmpimError::UnknownExperiment { id } => {
+                write!(f, "unknown experiment id: {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DmpimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        let t = DmpimError::FaultTransient { kind: FaultKind::BitFlip, at_ps: 5 };
+        let p = DmpimError::FaultUnrecoverable { kind: FaultKind::VaultFailure, at_ps: 5 };
+        assert!(t.is_transient());
+        assert!(!p.is_transient());
+        assert_eq!(t.fault_kind(), Some(FaultKind::BitFlip));
+        assert_eq!(DmpimError::corrupt(3, "x").fault_kind(), None);
+    }
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = DmpimError::WatchdogTimeout { what: "host events", limit: 10, at_ps: 99 };
+        let s = e.to_string();
+        assert!(s.contains("host events") && s.contains("99"));
+        assert!(DmpimError::corrupt(7, "bad token").to_string().contains("byte 7"));
+        for k in [
+            FaultKind::BitFlip,
+            FaultKind::VaultFailure,
+            FaultKind::PimUnavailable,
+            FaultKind::ThermalThrottle,
+            FaultKind::DroppedTransaction,
+            FaultKind::DuplicatedTransaction,
+        ] {
+            assert!(!k.label().is_empty());
+        }
+    }
+}

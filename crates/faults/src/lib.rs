@@ -1,0 +1,44 @@
+//! Fault-injection and resilience layer for the PIM simulator.
+//!
+//! The ASPLOS'18 study assumes the logic layer of the 3D-stacked memory
+//! always works. Real consumer devices do not: DRAM cells take transient
+//! bit flips, vaults fail, the logic layer thermally throttles, and links
+//! drop or duplicate transactions. The PIM-adoption literature (Mutlu et
+//! al., *Enabling Practical Processing in and near Memory*; Oliveira et
+//! al., *Methodologies, Workloads, and Tools for Processing-in-Memory*)
+//! names runtime fallback and reliability as first-class adoption
+//! barriers, so a simulator aiming at production scale has to model them.
+//!
+//! This crate is the dependency-free base layer the rest of the workspace
+//! builds on:
+//!
+//! * [`DmpimError`] — the workspace-wide error type (config validation,
+//!   capacity limits, corrupt data, injected faults, watchdog timeouts),
+//! * [`SplitMix64`] — the deterministic PRNG every synthetic input and
+//!   every fault draw uses,
+//! * [`FaultConfig`] / [`FaultPlan`] — a seeded, reproducible schedule of
+//!   injectable events with a simple ECC detect/correct model,
+//! * [`Watchdog`] — bounds on simulated time and host-side event counts so
+//!   a buggy kernel returns [`DmpimError::WatchdogTimeout`] instead of
+//!   hanging the simulation loop.
+//!
+//! Determinism is the design invariant: the same seed and configuration
+//! always produce the same fault schedule, so experiments that sweep fault
+//! rates are exactly reproducible (see `tests/fault_injection.rs` at the
+//! workspace root).
+
+pub mod error;
+pub mod plan;
+pub mod rng;
+
+pub use error::{DmpimError, FaultKind};
+pub use plan::{
+    ChannelFaultConfig, DramFaultOutcome, EccConfig, FaultConfig, FaultEvent, FaultPlan,
+    FaultStats, Watchdog,
+};
+pub use rng::SplitMix64;
+
+/// Picosecond time stamp used across all clock domains.
+///
+/// This is the authoritative definition; `pim-memsim` re-exports it.
+pub type Ps = u64;

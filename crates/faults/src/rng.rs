@@ -9,7 +9,7 @@
 /// A SplitMix64 pseudo-random number generator.
 ///
 /// ```
-/// use pim_core::rng::SplitMix64;
+/// use pim_faults::SplitMix64;
 /// let mut a = SplitMix64::new(7);
 /// let mut b = SplitMix64::new(7);
 /// assert_eq!(a.next_u64(), b.next_u64()); // deterministic

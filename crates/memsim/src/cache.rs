@@ -162,7 +162,7 @@ impl Cache {
             .enumerate()
             .min_by_key(|(_, w)| if w.valid { w.lru + 1 } else { 0 })
             .map(|(i, _)| i)
-            .expect("associativity is nonzero");
+            .unwrap_or(0); // ways is never empty: associativity is validated nonzero
         let w = &mut ways[victim];
         let writeback = if w.valid && w.dirty {
             self.stats.writebacks += 1;

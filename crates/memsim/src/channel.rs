@@ -1,6 +1,26 @@
 //! Bandwidth-limited transfer channels with busy-until queueing.
 
+use pim_faults::{ChannelFaultConfig, SplitMix64};
+
 use crate::Ps;
+
+/// Link-fault counters of a channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelFaultStats {
+    /// Transactions dropped and retransmitted.
+    pub dropped: u64,
+    /// Transactions duplicated on the link.
+    pub duplicated: u64,
+}
+
+/// Seeded per-channel fault injector (dropped / duplicated transactions).
+#[derive(Debug, Clone)]
+struct FaultInjector {
+    drop_prob: f64,
+    dup_prob: f64,
+    rng: SplitMix64,
+    stats: ChannelFaultStats,
+}
 
 /// A point-to-point transfer resource with finite bandwidth.
 ///
@@ -24,6 +44,7 @@ pub struct Channel {
     carry: f64,
     bytes_moved: u64,
     stall_ps: u64,
+    faults: Option<FaultInjector>,
 }
 
 impl Channel {
@@ -41,7 +62,28 @@ impl Channel {
             carry: 0.0,
             bytes_moved: 0,
             stall_ps: 0,
+            faults: None,
         }
+    }
+
+    /// Create a channel whose link drops and duplicates transactions with
+    /// the seeded probabilities in `cfg`.
+    ///
+    /// A dropped transaction is retransmitted: the channel is occupied for
+    /// the transfer twice. A duplicated transaction moves its bytes twice
+    /// but completes when the first copy lands. With both probabilities at
+    /// zero the channel behaves bit-identically to [`Channel::new`].
+    pub fn with_faults(gb_per_s: f64, cfg: ChannelFaultConfig) -> Self {
+        let mut ch = Self::new(gb_per_s);
+        if cfg.drop_prob > 0.0 || cfg.dup_prob > 0.0 {
+            ch.faults = Some(FaultInjector {
+                drop_prob: cfg.drop_prob,
+                dup_prob: cfg.dup_prob,
+                rng: SplitMix64::new(cfg.seed),
+                stats: ChannelFaultStats::default(),
+            });
+        }
+        ch
     }
 
     /// Occupy the channel for `bytes` starting no earlier than `now`.
@@ -49,6 +91,33 @@ impl Channel {
     /// Returns the latency from `now` until the transfer completes, i.e.
     /// queueing delay plus serialization time.
     pub fn transfer(&mut self, bytes: u64, now: Ps) -> Ps {
+        let mut copies = 1u64;
+        let mut completes_on_first = false;
+        if let Some(inj) = self.faults.as_mut() {
+            if inj.rng.chance(inj.drop_prob) {
+                // Lost on the link: retransmit, so the payload crosses twice
+                // and the requester waits for the second copy.
+                inj.stats.dropped += 1;
+                copies = 2;
+            } else if inj.rng.chance(inj.dup_prob) {
+                // Spurious duplicate: it consumes bandwidth behind the real
+                // transfer but the requester only waits for the first copy.
+                inj.stats.duplicated += 1;
+                copies = 2;
+                completes_on_first = true;
+            }
+        }
+        let mut latency = 0;
+        for copy in 0..copies {
+            let l = self.transfer_once(bytes, now);
+            if copy == 0 || !completes_on_first {
+                latency = l;
+            }
+        }
+        latency
+    }
+
+    fn transfer_once(&mut self, bytes: u64, now: Ps) -> Ps {
         let start = self.busy_until.max(now);
         let exact = bytes as f64 * self.ps_per_byte + self.carry;
         let dur = exact as u64;
@@ -57,6 +126,11 @@ impl Channel {
         self.bytes_moved += bytes;
         self.stall_ps += start - now;
         self.busy_until - now
+    }
+
+    /// Dropped/duplicated transaction counters (zero for fault-free links).
+    pub fn fault_stats(&self) -> ChannelFaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Total bytes moved across the channel.
@@ -116,6 +190,55 @@ mod tests {
         ch.transfer(64, 0);
         ch.transfer(128, 0);
         assert_eq!(ch.bytes_moved(), 192);
+    }
+
+    #[test]
+    fn zero_prob_fault_config_matches_plain_channel() {
+        let cfg = ChannelFaultConfig { drop_prob: 0.0, dup_prob: 0.0, seed: 1 };
+        let mut plain = Channel::new(32.0);
+        let mut faulty = Channel::with_faults(32.0, cfg);
+        for i in 0..100 {
+            assert_eq!(plain.transfer(64, i * 10), faulty.transfer(64, i * 10));
+        }
+        assert_eq!(faulty.fault_stats(), ChannelFaultStats::default());
+    }
+
+    #[test]
+    fn dropped_transactions_occupy_the_link_twice() {
+        let cfg = ChannelFaultConfig { drop_prob: 1.0, dup_prob: 0.0, seed: 7 };
+        let mut ch = Channel::with_faults(32.0, cfg);
+        let base = Channel::new(32.0).transfer(64, 0);
+        let l = ch.transfer(64, 0);
+        assert_eq!(l, 2 * base);
+        assert_eq!(ch.fault_stats().dropped, 1);
+        assert_eq!(ch.bytes_moved(), 128);
+    }
+
+    #[test]
+    fn duplicates_burn_bandwidth_but_complete_on_first_copy() {
+        let cfg = ChannelFaultConfig { drop_prob: 0.0, dup_prob: 1.0, seed: 7 };
+        let mut ch = Channel::with_faults(32.0, cfg);
+        let base = Channel::new(32.0).transfer(64, 0);
+        let l = ch.transfer(64, 0);
+        assert_eq!(l, base); // requester waits only for the first copy
+        assert_eq!(ch.fault_stats().duplicated, 1);
+        assert_eq!(ch.bytes_moved(), 128); // but the link carried it twice
+        // The duplicate occupies the link: the next transfer queues behind it.
+        let mut fresh = Channel::new(32.0);
+        fresh.transfer(64, 0);
+        assert!(ch.busy_until() > fresh.busy_until());
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic_per_seed() {
+        let cfg = ChannelFaultConfig { drop_prob: 0.3, dup_prob: 0.2, seed: 99 };
+        let mut a = Channel::with_faults(8.0, cfg);
+        let mut b = Channel::with_faults(8.0, cfg);
+        for i in 0..500 {
+            assert_eq!(a.transfer(64, i * 5), b.transfer(64, i * 5));
+        }
+        assert_eq!(a.fault_stats(), b.fault_stats());
+        assert!(a.fault_stats().dropped > 0 && a.fault_stats().duplicated > 0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Top-level memory-system configuration.
 
+use pim_faults::{ChannelFaultConfig, DmpimError};
+
 use crate::cache::CacheConfig;
 use crate::dram::DramConfig;
 use crate::stacked::StackedConfig;
@@ -38,6 +40,9 @@ pub struct MemConfig {
     pub memctrl_ps: Ps,
     /// Main-memory technology.
     pub dram: DramKind,
+    /// Link-fault injection (dropped/duplicated transactions) applied to
+    /// every transfer channel. `None` leaves the channels ideal.
+    pub channel_faults: Option<ChannelFaultConfig>,
 }
 
 impl MemConfig {
@@ -52,6 +57,7 @@ impl MemConfig {
             llc_hit_ps: 10_000,
             memctrl_ps: 10_000,
             dram: DramKind::Lpddr3 { channel_gbps: 12.8, timing: DramConfig::lpddr3() },
+            channel_faults: None,
         }
     }
 
@@ -66,6 +72,56 @@ impl MemConfig {
     /// Whether this system has a logic layer PIM can live in.
     pub fn supports_pim(&self) -> bool {
         matches!(self.dram, DramKind::Stacked(_))
+    }
+
+    /// Check the configuration for inconsistencies before building a
+    /// [`crate::MemorySystem`] from it.
+    pub fn validate(&self) -> Result<(), DmpimError> {
+        for (name, cache) in [
+            ("cpu_l1", self.cpu_l1),
+            ("llc", self.llc),
+            ("pim_l1", self.pim_l1),
+            ("scratch", self.scratch),
+        ] {
+            if cache.associativity == 0 {
+                return Err(DmpimError::invalid_config(format!(
+                    "{name}: associativity must be nonzero"
+                )));
+            }
+            let sets = cache.sets();
+            if sets == 0 || !sets.is_power_of_two() {
+                return Err(DmpimError::invalid_config(format!(
+                    "{name}: geometry must yield a power-of-two set count (got {sets})"
+                )));
+            }
+        }
+        match self.dram {
+            DramKind::Lpddr3 { channel_gbps, .. } => {
+                if channel_gbps <= 0.0 {
+                    return Err(DmpimError::invalid_config(
+                        "lpddr3: channel bandwidth must be positive",
+                    ));
+                }
+            }
+            DramKind::Stacked(s) => {
+                if s.vaults == 0 {
+                    return Err(DmpimError::invalid_config("stacked: need at least one vault"));
+                }
+                if s.internal_gbps <= 0.0 || s.offchip_gbps <= 0.0 {
+                    return Err(DmpimError::invalid_config(
+                        "stacked: bandwidths must be positive",
+                    ));
+                }
+            }
+        }
+        if let Some(cf) = self.channel_faults {
+            if !(0.0..=1.0).contains(&cf.drop_prob) || !(0.0..=1.0).contains(&cf.dup_prob) {
+                return Err(DmpimError::invalid_config(
+                    "channel_faults: probabilities must be in [0, 1]",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -90,5 +146,31 @@ mod tests {
             }
             DramKind::Lpddr3 { .. } => panic!("pim_device must be stacked"),
         }
+    }
+
+    #[test]
+    fn presets_validate_cleanly() {
+        assert!(MemConfig::chromebook_like().validate().is_ok());
+        assert!(MemConfig::pim_device().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry_and_probabilities() {
+        let mut cfg = MemConfig::chromebook_like();
+        cfg.cpu_l1.associativity = 0;
+        assert!(matches!(cfg.validate(), Err(DmpimError::InvalidConfig { .. })));
+
+        let mut cfg = MemConfig::chromebook_like();
+        cfg.llc.capacity_bytes = 3 * 64; // 3 sets at 1-way: not a power of two
+        cfg.llc.associativity = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MemConfig::pim_device();
+        cfg.channel_faults =
+            Some(ChannelFaultConfig { drop_prob: 1.5, dup_prob: 0.0, seed: 0 });
+        assert!(cfg.validate().is_err());
+        cfg.channel_faults =
+            Some(ChannelFaultConfig { drop_prob: 0.01, dup_prob: 0.01, seed: 0 });
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -30,6 +30,8 @@
 //! assert!(hit.latency_ps < out.latency_ps); // second access hits in L1
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod access;
 pub mod cache;
 pub mod channel;
@@ -41,15 +43,16 @@ pub mod system;
 
 pub use access::{AccessKind, Activity, LINE_BYTES};
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use channel::Channel;
+pub use channel::{Channel, ChannelFaultStats};
 pub use coherence::{CoherenceConfig, CoherenceModel, CoherenceStats};
 pub use config::{DramKind, MemConfig};
 pub use dram::{BankArray, DramConfig, DramStats, SchedulerPolicy};
 pub use stacked::{StackedConfig, StackedMemory};
 pub use system::{AccessOutcome, MemorySystem, Port};
 
-/// Picosecond time stamp used across all clock domains.
-pub type Ps = u64;
+// The fault-injection layer lives below the simulator so every crate in the
+// workspace shares one error type and one notion of time.
+pub use pim_faults::{ChannelFaultConfig, DmpimError, Ps};
 
 /// Convert a frequency in GHz to a clock period in picoseconds.
 ///

@@ -1,7 +1,9 @@
 //! HMC/HBM-like 3D-stacked memory: vaults, TSV path, off-chip channel.
 
+use pim_faults::ChannelFaultConfig;
+
 use crate::access::AccessKind;
-use crate::channel::Channel;
+use crate::channel::{Channel, ChannelFaultStats};
 use crate::dram::{BankArray, DramConfig, DramOutcome, DramStats};
 use crate::Ps;
 
@@ -80,6 +82,29 @@ impl StackedMemory {
         }
     }
 
+    /// Create a cube whose channels drop/duplicate transactions per `cf`.
+    ///
+    /// Each vault channel gets its own seed derived from `cf.seed` so fault
+    /// draws stay independent across vaults but deterministic per cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.vaults` is zero.
+    pub fn with_faults(config: StackedConfig, cf: ChannelFaultConfig) -> Self {
+        let mut cube = Self::new(config);
+        let per_vault = config.internal_gbps / config.vaults as f64;
+        cube.vault_channels = (0..config.vaults)
+            .map(|v| {
+                Channel::with_faults(
+                    per_vault,
+                    ChannelFaultConfig { seed: cf.seed.wrapping_add(1 + v as u64), ..cf },
+                )
+            })
+            .collect();
+        cube.offchip = Channel::with_faults(config.offchip_gbps, cf);
+        cube
+    }
+
     /// The configuration this cube was built with.
     pub fn config(&self) -> &StackedConfig {
         &self.config
@@ -128,6 +153,17 @@ impl StackedMemory {
     pub fn offchip_bytes(&self) -> u64 {
         self.offchip.bytes_moved()
     }
+
+    /// Aggregate dropped/duplicated transaction counters across all channels.
+    pub fn fault_stats(&self) -> ChannelFaultStats {
+        let mut total = self.offchip.fault_stats();
+        for ch in &self.vault_channels {
+            let s = ch.fault_stats();
+            total.dropped += s.dropped;
+            total.duplicated += s.duplicated;
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +207,21 @@ mod tests {
         let s = m.stats();
         assert_eq!(s.write_bytes, 4 * 64);
         assert_eq!(s.row_misses, 4);
+    }
+
+    #[test]
+    fn faulty_cube_counts_link_faults_deterministically() {
+        let cf = ChannelFaultConfig { drop_prob: 0.2, dup_prob: 0.1, seed: 11 };
+        let mut a = StackedMemory::with_faults(StackedConfig::hmc_like(), cf);
+        let mut b = StackedMemory::with_faults(StackedConfig::hmc_like(), cf);
+        let row = a.config().vault.row_bytes;
+        for i in 0..200u64 {
+            let la = a.access_internal(i * row, 64, AccessKind::Read, 0).latency_ps;
+            let lb = b.access_internal(i * row, 64, AccessKind::Read, 0).latency_ps;
+            assert_eq!(la, lb);
+        }
+        assert_eq!(a.fault_stats(), b.fault_stats());
+        assert!(a.fault_stats().dropped > 0);
     }
 
     #[test]

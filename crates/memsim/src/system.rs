@@ -1,8 +1,10 @@
 //! The assembled memory system: caches in front of a DRAM backend.
 
+use pim_faults::DmpimError;
+
 use crate::access::{lines_of, AccessKind, Activity, LINE_BYTES};
 use crate::cache::{Cache, CacheStats};
-use crate::channel::Channel;
+use crate::channel::{Channel, ChannelFaultStats};
 use crate::config::{DramKind, MemConfig};
 use crate::dram::{BankArray, DramStats};
 use crate::stacked::StackedMemory;
@@ -17,6 +19,17 @@ pub enum Port {
     PimCore,
     /// A PIM accelerator: 32 kB scratch buffer → vault DRAM over TSVs.
     PimAccel,
+}
+
+impl Port {
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Port::Cpu => "cpu",
+            Port::PimCore => "pim-core",
+            Port::PimAccel => "pim-accel",
+        }
+    }
 }
 
 /// Latency and component activity of one (possibly ranged) access.
@@ -59,12 +72,16 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Build a memory system from a configuration.
     pub fn new(config: MemConfig) -> Self {
-        let backend = match config.dram {
-            DramKind::Lpddr3 { channel_gbps, timing } => Backend::Lpddr3 {
+        let backend = match (config.dram, config.channel_faults) {
+            (DramKind::Lpddr3 { channel_gbps, timing }, cf) => Backend::Lpddr3 {
                 banks: BankArray::new(timing),
-                channel: Channel::new(channel_gbps),
+                channel: match cf {
+                    Some(cf) => Channel::with_faults(channel_gbps, cf),
+                    None => Channel::new(channel_gbps),
+                },
             },
-            DramKind::Stacked(s) => Backend::Stacked(StackedMemory::new(s)),
+            (DramKind::Stacked(s), Some(cf)) => Backend::Stacked(StackedMemory::with_faults(s, cf)),
+            (DramKind::Stacked(s), None) => Backend::Stacked(StackedMemory::new(s)),
         };
         Self {
             cpu_l1: Cache::new(config.cpu_l1),
@@ -76,22 +93,37 @@ impl MemorySystem {
         }
     }
 
+    /// Build a memory system after validating the configuration.
+    ///
+    /// Unlike [`Self::new`] this reports bad geometry as
+    /// [`DmpimError::InvalidConfig`] instead of panicking.
+    pub fn try_new(config: MemConfig) -> Result<Self, DmpimError> {
+        config.validate()?;
+        Ok(Self::new(config))
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &MemConfig {
         &self.config
     }
 
     /// Convenience: CPU-port access (see [`Self::access_from`]).
+    ///
+    /// The CPU path works on every backend, so this is infallible.
     pub fn access(&mut self, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> AccessOutcome {
-        self.access_from(Port::Cpu, addr, bytes, kind, now)
+        if bytes == 0 {
+            return AccessOutcome::default();
+        }
+        self.cpu_access(addr, bytes, kind, now)
     }
 
     /// Issue an access of `bytes` at `addr` from the given port at time `now`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a PIM port is used on a system whose memory is not
-    /// 3D-stacked ([`MemConfig::supports_pim`] is `false`).
+    /// Returns [`DmpimError::PortUnsupported`] if a PIM port is used on a
+    /// system whose memory is not 3D-stacked ([`MemConfig::supports_pim`]
+    /// is `false`).
     pub fn access_from(
         &mut self,
         port: Port,
@@ -99,12 +131,12 @@ impl MemorySystem {
         bytes: u64,
         kind: AccessKind,
         now: Ps,
-    ) -> AccessOutcome {
+    ) -> Result<AccessOutcome, DmpimError> {
         if bytes == 0 {
-            return AccessOutcome::default();
+            return Ok(AccessOutcome::default());
         }
         match port {
-            Port::Cpu => self.cpu_access(addr, bytes, kind, now),
+            Port::Cpu => Ok(self.cpu_access(addr, bytes, kind, now)),
             Port::PimCore | Port::PimAccel => self.pim_access(port, addr, bytes, kind, now),
         }
     }
@@ -151,11 +183,14 @@ impl MemorySystem {
         out
     }
 
-    fn pim_access(&mut self, port: Port, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> AccessOutcome {
-        assert!(
-            self.config.supports_pim(),
-            "PIM ports require 3D-stacked memory (MemConfig::pim_device)"
-        );
+    fn pim_access(
+        &mut self,
+        port: Port,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        now: Ps,
+    ) -> Result<AccessOutcome, DmpimError> {
         let mut out = AccessOutcome::default();
         let mut lead: Ps = 0;
         let mut occupancy: Ps = 0;
@@ -163,11 +198,13 @@ impl MemorySystem {
         let (cache, hit_ps): (&mut Cache, Ps) = match port {
             Port::PimCore => (&mut self.pim_l1, 2_000),
             Port::PimAccel => (&mut self.scratch, 1_000),
-            Port::Cpu => unreachable!(),
+            Port::Cpu => return Err(DmpimError::PortUnsupported { port: port.label() }),
         };
         let stacked = match &mut self.backend {
             Backend::Stacked(s) => s,
-            Backend::Lpddr3 { .. } => unreachable!("supports_pim checked above"),
+            Backend::Lpddr3 { .. } => {
+                return Err(DmpimError::PortUnsupported { port: port.label() })
+            }
         };
         for line in lines_of(addr, bytes) {
             out.lines += 1;
@@ -210,7 +247,7 @@ impl MemorySystem {
             mem_finish = mem_finish.max(now + o.latency_ps);
         }
         out.latency_ps = lead + occupancy + (mem_finish - now);
-        out
+        Ok(out)
     }
 
     /// A writeback or fill reaching main memory from the CPU side.
@@ -298,6 +335,15 @@ impl MemorySystem {
     pub fn flush_cpu_caches(&mut self) -> u64 {
         self.cpu_l1.flush_all() + self.llc.flush_all()
     }
+
+    /// Dropped/duplicated transaction counters across all transfer channels
+    /// (all zero unless the system was built with `channel_faults`).
+    pub fn channel_fault_stats(&self) -> ChannelFaultStats {
+        match &self.backend {
+            Backend::Lpddr3 { channel, .. } => channel.fault_stats(),
+            Backend::Stacked(s) => s.fault_stats(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,18 +389,53 @@ mod tests {
     }
 
     #[test]
-    fn pim_port_panics_on_lpddr3() {
+    fn pim_port_errors_on_lpddr3() {
         let mut m = base();
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            m.access_from(Port::PimCore, 0, 64, AccessKind::Read, 0)
-        }));
-        assert!(r.is_err());
+        let r = m.access_from(Port::PimCore, 0, 64, AccessKind::Read, 0);
+        assert_eq!(r, Err(DmpimError::PortUnsupported { port: "pim-core" }));
+        let r = m.access_from(Port::PimAccel, 0, 64, AccessKind::Read, 0);
+        assert_eq!(r, Err(DmpimError::PortUnsupported { port: "pim-accel" }));
+    }
+
+    #[test]
+    fn try_new_validates_config() {
+        let mut cfg = MemConfig::chromebook_like();
+        assert!(MemorySystem::try_new(cfg).is_ok());
+        cfg.cpu_l1.associativity = 0;
+        assert!(matches!(
+            MemorySystem::try_new(cfg),
+            Err(DmpimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_faults_slow_the_faulty_system_down() {
+        use pim_faults::ChannelFaultConfig;
+        let mut cfg = MemConfig::pim_device();
+        cfg.channel_faults = Some(ChannelFaultConfig { drop_prob: 0.5, dup_prob: 0.0, seed: 3 });
+        let mut faulty = MemorySystem::new(cfg);
+        let mut clean = MemorySystem::new(MemConfig::pim_device());
+        let mut t_faulty = 0;
+        let mut t_clean = 0;
+        for i in 0..64u64 {
+            t_faulty += faulty
+                .access_from(Port::PimCore, i * 4096, 4096, AccessKind::Read, t_faulty)
+                .unwrap()
+                .latency_ps;
+            t_clean += clean
+                .access_from(Port::PimCore, i * 4096, 4096, AccessKind::Read, t_clean)
+                .unwrap()
+                .latency_ps;
+        }
+        assert!(faulty.channel_fault_stats().dropped > 0);
+        assert!(t_faulty > t_clean, "faulty {t_faulty} vs clean {t_clean}");
+        assert_eq!(clean.channel_fault_stats(), ChannelFaultStats::default());
     }
 
     #[test]
     fn pim_core_access_avoids_offchip_channel() {
         let mut m = pim();
-        let out = m.access_from(Port::PimCore, 0, 4096, AccessKind::Read, 0);
+        let out = m.access_from(Port::PimCore, 0, 4096, AccessKind::Read, 0).unwrap();
         assert_eq!(out.activity.offchip_bytes, 0);
         assert_eq!(out.activity.internal_bytes, 4096);
         assert_eq!(out.activity.llc_accesses, 0);
@@ -381,6 +462,7 @@ mod tests {
         for i in 0..256u64 {
             t_pim += pimdev
                 .access_from(Port::PimCore, i * 4096, 4096, AccessKind::Read, t_pim)
+                .unwrap()
                 .latency_ps;
         }
         assert!(

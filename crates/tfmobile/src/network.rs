@@ -170,14 +170,15 @@ fn resnet152(s: usize) -> Vec<Layer> {
 }
 
 fn inception_resnet(s: usize) -> Vec<Layer> {
-    let mut l = Vec::new();
     // Stem.
-    l.push(Layer::conv(d(149, s), 3, 3, 32));
-    l.push(Layer::conv(d(147, s), 32, 3, 32));
-    l.push(Layer::conv(d(147, s), 32, 3, 64));
-    l.push(Layer::conv(d(73, s), 64, 1, 80));
-    l.push(Layer::conv(d(71, s), 80, 3, 192));
-    l.push(Layer::conv(d(35, s), 192, 1, 320));
+    let mut l = vec![
+        Layer::conv(d(149, s), 3, 3, 32),
+        Layer::conv(d(147, s), 32, 3, 32),
+        Layer::conv(d(147, s), 32, 3, 64),
+        Layer::conv(d(73, s), 64, 1, 80),
+        Layer::conv(d(71, s), 80, 3, 192),
+        Layer::conv(d(35, s), 192, 1, 320),
+    ];
     // 10x Inception-ResNet-A (3 branches: 1, 2, 3 convs + merge).
     for _ in 0..10 {
         l.push(Layer::conv(d(35, s), 320, 1, 32));

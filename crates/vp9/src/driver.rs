@@ -7,7 +7,7 @@
 //! actual codec in [`crate::encoder`]/[`crate::decoder`], so the traffic
 //! is the traffic the computation truly needed.
 
-use pim_core::{AccessKind, Kernel, OpMix, SimContext, Tracked};
+use pim_core::{AccessKind, DmpimError, Kernel, OpMix, SimContext, Tracked};
 
 use crate::deblock::{deblock_plane, DeblockStats};
 use crate::decoder::decode_frame;
@@ -120,7 +120,18 @@ fn replay_deblock(ctx: &mut SimContext, plane: &TrackedPlane, stats: DeblockStat
 
 /// Run the instrumented software *decoder* over `frames` frames of `video`
 /// (Figures 10 and 11).
-pub fn run_sw_decode(video: &SyntheticVideo, frames: usize, cfg: EncoderConfig, ctx: &mut SimContext) -> SwBreakdown {
+///
+/// # Errors
+///
+/// Returns [`DmpimError::Corrupt`] if a self-produced stream fails to
+/// decode — a codec bug rather than an input problem, but reported
+/// instead of panicking so batch sweeps keep running.
+pub fn run_sw_decode(
+    video: &SyntheticVideo,
+    frames: usize,
+    cfg: EncoderConfig,
+    ctx: &mut SimContext,
+) -> Result<SwBreakdown, DmpimError> {
     // Real encode/decode (untracked) to obtain ground-truth streams/stats.
     let mut refs: Vec<Plane> = Vec::new();
     let mut per_frame = Vec::new();
@@ -129,7 +140,8 @@ pub fn run_sw_decode(video: &SyntheticVideo, frames: usize, cfg: EncoderConfig, 
         let r: Vec<&Plane> = refs.iter().rev().take(3).collect();
         let (enc, recon, _) = encode_frame(&src, &r, cfg);
         let r2: Vec<&Plane> = refs.iter().rev().take(3).collect();
-        let dec = decode_frame(&enc.data, &r2).expect("self-produced stream");
+        let dec = decode_frame(&enc.data, &r2)
+            .map_err(|_| DmpimError::corrupt(i, "self-produced stream failed to decode"))?;
         per_frame.push((enc, dec));
         refs.push(recon);
     }
@@ -180,7 +192,10 @@ pub fn run_sw_decode(video: &SyntheticVideo, frames: usize, cfg: EncoderConfig, 
         ctx.scoped("other", |ctx| ctx.ops(OpMix::scalar(50_000)));
     }
 
-    collect(
+    if let Some(e) = ctx.error() {
+        return Err(e.clone());
+    }
+    Ok(collect(
         ctx,
         &[
             "sub_pixel_interpolation",
@@ -190,11 +205,22 @@ pub fn run_sw_decode(video: &SyntheticVideo, frames: usize, cfg: EncoderConfig, 
             "inverse_transform",
             "other",
         ],
-    )
+    ))
 }
 
 /// Run the instrumented software *encoder* (Figure 15).
-pub fn run_sw_encode(video: &SyntheticVideo, frames: usize, cfg: EncoderConfig, ctx: &mut SimContext) -> SwBreakdown {
+///
+/// # Errors
+///
+/// Returns [`DmpimError`] if the replay poisons the simulation context
+/// (injected faults or watchdog timeout); the encoder itself is
+/// infallible on synthetic input.
+pub fn run_sw_encode(
+    video: &SyntheticVideo,
+    frames: usize,
+    cfg: EncoderConfig,
+    ctx: &mut SimContext,
+) -> Result<SwBreakdown, DmpimError> {
     let mut refs: Vec<Plane> = Vec::new();
     let mut per_frame = Vec::new();
     for i in 0..frames {
@@ -279,7 +305,10 @@ pub fn run_sw_encode(video: &SyntheticVideo, frames: usize, cfg: EncoderConfig, 
         });
     }
 
-    collect(
+    if let Some(e) = ctx.error() {
+        return Err(e.clone());
+    }
+    Ok(collect(
         ctx,
         &[
             "motion_estimation",
@@ -291,7 +320,7 @@ pub fn run_sw_encode(video: &SyntheticVideo, frames: usize, cfg: EncoderConfig, 
             "other_mc",
             "other",
         ],
-    )
+    ))
 }
 
 /// The §9 sub-pixel-interpolation microbenchmark: interpolate every
@@ -533,7 +562,7 @@ mod tests {
     fn decode_breakdown_matches_fig10_shape() {
         let v = SyntheticVideo::new(320, 240, 1, 0x10);
         let mut ctx = SimContext::cpu_only(test_platform());
-        let b = run_sw_decode(&v, 3, small_cfg(), &mut ctx);
+        let b = run_sw_decode(&v, 3, small_cfg(), &mut ctx).unwrap();
         let get = |t: &str| b.energy_fractions.iter().find(|(n, _)| n == t).unwrap().1;
         // §6.2.1: sub-pel interpolation dominates (37.5%), deblocking is
         // second (29.7%), entropy/inverse-transform are small.
@@ -547,7 +576,7 @@ mod tests {
     fn encode_breakdown_matches_fig15_shape() {
         let v = SyntheticVideo::new(320, 240, 1, 0x15);
         let mut ctx = SimContext::cpu_only(test_platform());
-        let b = run_sw_encode(&v, 3, small_cfg(), &mut ctx);
+        let b = run_sw_encode(&v, 3, small_cfg(), &mut ctx).unwrap();
         let get = |t: &str| b.energy_fractions.iter().find(|(n, _)| n == t).unwrap().1;
         // §7.2.1: ME is the top consumer (39.6%); intra/transform/quant
         // each under ~9%.

@@ -74,7 +74,7 @@ pub struct EncodeStats {
 /// Panics if the frame dimensions are not multiples of 16, or if more
 /// than 4 references are supplied.
 pub fn encode_frame(cur: &Plane, refs: &[&Plane], cfg: EncoderConfig) -> (EncodedFrame, Plane, EncodeStats) {
-    assert!(cur.width() % MB == 0 && cur.height() % MB == 0, "frame must be MB-aligned");
+    assert!(cur.width().is_multiple_of(MB) && cur.height().is_multiple_of(MB), "frame must be MB-aligned");
     assert!(refs.len() <= 4, "at most 4 reference frames");
     let (w, h) = (cur.width(), cur.height());
     let keyframe = refs.is_empty();

@@ -166,7 +166,7 @@ impl SyntheticVideo {
     /// Panics unless dimensions are positive multiples of 16.
     pub fn new(width: usize, height: usize, noise: u8, seed: u64) -> Self {
         assert!(width > 0 && height > 0, "dimensions must be positive");
-        assert!(width % 16 == 0 && height % 16 == 0, "dimensions must be multiples of 16");
+        assert!(width.is_multiple_of(16) && height.is_multiple_of(16), "dimensions must be multiples of 16");
         Self { width, height, noise, seed }
     }
 

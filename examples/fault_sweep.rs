@@ -1,0 +1,45 @@
+//! Sweep the fault-injection rate and watch the offload engine degrade
+//! gracefully: retries absorb transient faults, fallback walks
+//! PIM-Acc → PIM-Core → CPU-only, and the run always completes.
+//!
+//! ```text
+//! cargo run --release --example fault_sweep
+//! ```
+
+use dmpim::chrome::tiling::TextureTilingKernel;
+use dmpim::core::{ExecutionMode, FaultConfig, OffloadEngine};
+
+fn main() {
+    println!("texture tiling under PIM-Acc offload, rising fault rate (seed 42)\n");
+    println!(
+        "{:>5}  {:>9}  {:>8}  {:>9}  {:>6}  {:>9}  {:>10}  {:>10}",
+        "rate", "executed", "retries", "fallbacks", "flips", "unavail", "runtime ms", "energy uJ"
+    );
+    for pct in [0u32, 10, 25, 50, 75, 100] {
+        let rate = f64::from(pct) / 100.0;
+        let engine = OffloadEngine::new().with_faults(FaultConfig::with_rate(rate), 42);
+        let mut kernel = TextureTilingKernel::new(512, 512, 1);
+        let report = engine.run(&mut kernel, ExecutionMode::PimAcc);
+        let (retries, fallbacks, flips, unavail) = report
+            .degradation
+            .as_ref()
+            .map(|d| (d.retries, d.fallbacks, d.faults.bit_flips, d.faults.unavail_hits))
+            .unwrap_or((0, 0, 0, 0));
+        println!(
+            "{:>4}%  {:>9}  {:>8}  {:>9}  {:>6}  {:>9}  {:>10.3}  {:>10.1}",
+            pct,
+            report.executed.label(),
+            retries,
+            fallbacks,
+            flips,
+            unavail,
+            report.runtime_ps as f64 / 1e9,
+            report.energy.total_pj() / 1e6,
+        );
+    }
+    println!(
+        "\nEvery run completes: transient faults are retried with exponential\n\
+         backoff (charged in simulated time), unrecoverable ones fall back to\n\
+         the next execution mode, and CPU-only always finishes."
+    );
+}

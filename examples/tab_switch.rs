@@ -6,14 +6,15 @@
 //! ```
 
 use dmpim::chrome::tabs::{run_tab_switching, TabSwitchConfig};
+use dmpim::core::DmpimError;
 
-fn main() {
+fn main() -> Result<(), DmpimError> {
     let cfg = TabSwitchConfig::default();
     println!(
         "opening {} tabs (budget {} MB), then switching back through them...\n",
         cfg.tabs, cfg.budget_mb
     );
-    let r = run_tab_switching(&cfg);
+    let r = run_tab_switching(&cfg)?;
 
     // A coarse console rendering of Figure 4 (one char ≈ 25 MB/s).
     println!("swap-out rate over time (each column = 1 s, '#' = 25 MB/s):");
@@ -42,4 +43,5 @@ fn main() {
         100.0 * r.compression_energy_fraction,
         100.0 * r.compression_time_fraction
     );
+    Ok(())
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lints: everything that must be green before merging.
+#
+#   scripts/check.sh
+#
+# Runs the release build, the full test suite, and clippy with warnings
+# promoted to errors. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -12,6 +12,8 @@
 //! * [`cpusim`] — SoC core, PIM core and PIM accelerator engine models.
 //! * [`core`] — the offload framework: [`core::SimContext`], platforms,
 //!   execution modes, PIM-target identification, area model, reports.
+//! * [`faults`] — the workspace error type, deterministic fault plans and
+//!   the simulation watchdog.
 //! * [`chrome`] — texture tiling, color blitting, LZO/ZRAM, page scrolling
 //!   and tab switching.
 //! * [`tfmobile`] — quantized GEMM, packing, quantization, four networks.
@@ -21,6 +23,7 @@ pub use pim_chrome as chrome;
 pub use pim_core as core;
 pub use pim_cpusim as cpusim;
 pub use pim_energy as energy;
+pub use pim_faults as faults;
 pub use pim_memsim as memsim;
 pub use pim_tfmobile as tfmobile;
 pub use pim_vp9 as vp9;

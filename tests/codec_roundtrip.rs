@@ -58,7 +58,7 @@ fn lzo_handles_pathological_inputs() {
         vec![0u8; 1 << 16],                        // 64 kB of zeros
         (0..=255u8).cycle().take(70_000).collect(), // periodic, long matches
         vec![0xAB; 3],                              // below MIN_MATCH
-        (0..70_000).map(|i| (i * 2_654_435_761u64 >> 24) as u8).collect(), // pseudo-random
+        (0..70_000).map(|i| ((i * 2_654_435_761u64) >> 24) as u8).collect(), // pseudo-random
     ];
     for (i, data) in cases.iter().enumerate() {
         let c = compress(data);

@@ -1,103 +1,117 @@
-//! Property-based tests on the video codec and decoder robustness.
+//! Property-style tests on the video codec and decoder robustness.
+//!
+//! The container has no third-party property-testing crate, so each
+//! property runs over a deterministic seeded sweep: inputs are drawn from
+//! [`SplitMix64`] across a fixed number of cases. Failures print the
+//! per-case seed so a run is reproducible by construction.
 
+use dmpim::core::rng::SplitMix64;
 use dmpim::vp9::decoder::decode_frame;
 use dmpim::vp9::encoder::{encode_frame, EncoderConfig};
 use dmpim::vp9::frame::{Plane, SyntheticVideo};
 use dmpim::vp9::interp::interpolate_block;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// For any quality, noise level and seed, a two-frame GOP decodes
-    /// bit-exactly to the encoder's reconstruction.
-    #[test]
-    fn gop_bit_exact_for_any_config(
-        q in 0u8..=63,
-        noise in 0u8..6,
-        seed in any::<u64>(),
-        range in 4i32..20,
-    ) {
+/// For any quality, noise level and seed, a two-frame GOP decodes
+/// bit-exactly to the encoder's reconstruction.
+#[test]
+fn gop_bit_exact_for_any_config() {
+    let mut rng = SplitMix64::new(0xC0DE_C001);
+    for case in 0..16 {
+        let q = rng.next_below(64) as u8;
+        let noise = rng.next_below(6) as u8;
+        let seed = rng.next_u64();
+        let range = rng.next_range(4, 20) as i32;
         let v = SyntheticVideo::new(64, 48, noise, seed);
         let cfg = EncoderConfig { q, range };
         let (key, recon0, _) = encode_frame(&v.frame(0), &[], cfg);
         let d0 = decode_frame(&key.data, &[]).unwrap();
-        prop_assert_eq!(&d0.plane, &recon0);
+        assert_eq!(&d0.plane, &recon0, "case {case}: q={q} noise={noise} seed={seed:#x}");
         let (inter, recon1, _) = encode_frame(&v.frame(1), &[&recon0], cfg);
         let d1 = decode_frame(&inter.data, &[&d0.plane]).unwrap();
-        prop_assert_eq!(&d1.plane, &recon1);
+        assert_eq!(&d1.plane, &recon1, "case {case}: q={q} noise={noise} seed={seed:#x}");
     }
+}
 
-    /// Lower quality indices never decrease the bitstream size by much —
-    /// rate falls monotonically (with slack for entropy-coder noise) as q
-    /// rises.
-    #[test]
-    fn rate_falls_as_q_rises(seed in any::<u64>()) {
+/// Lower quality indices never decrease the bitstream size by much — rate
+/// falls monotonically (with slack for entropy-coder noise) as q rises.
+#[test]
+fn rate_falls_as_q_rises() {
+    let mut rng = SplitMix64::new(0xC0DE_C002);
+    for case in 0..8 {
+        let seed = rng.next_u64();
         let v = SyntheticVideo::new(64, 48, 2, seed);
-        let (recon0, sizes): (Plane, Vec<usize>) = {
-            let (_, r0, _) = encode_frame(&v.frame(0), &[], EncoderConfig { q: 8, range: 8 });
-            let sizes = [4u8, 16, 40]
-                .iter()
-                .map(|&q| {
-                    encode_frame(&v.frame(1), &[&r0], EncoderConfig { q, range: 8 }).0.data.len()
-                })
-                .collect();
-            (r0, sizes)
-        };
-        let _ = recon0;
-        prop_assert!(sizes[0] as f64 >= sizes[1] as f64 * 0.8, "{sizes:?}");
-        prop_assert!(sizes[1] as f64 >= sizes[2] as f64 * 0.8, "{sizes:?}");
+        let (_, r0, _) = encode_frame(&v.frame(0), &[], EncoderConfig { q: 8, range: 8 });
+        let sizes: Vec<usize> = [4u8, 16, 40]
+            .iter()
+            .map(|&q| encode_frame(&v.frame(1), &[&r0], EncoderConfig { q, range: 8 }).0.data.len())
+            .collect();
+        assert!(sizes[0] as f64 >= sizes[1] as f64 * 0.8, "case {case} seed {seed:#x}: {sizes:?}");
+        assert!(sizes[1] as f64 >= sizes[2] as f64 * 0.8, "case {case} seed {seed:#x}: {sizes:?}");
     }
+}
 
-    /// The decoder never panics on arbitrary garbage input.
-    #[test]
-    fn decoder_survives_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let reference = Plane::new(32, 32);
+/// The decoder never panics on arbitrary garbage input.
+#[test]
+fn decoder_survives_garbage() {
+    let mut rng = SplitMix64::new(0xC0DE_C003);
+    let reference = Plane::new(32, 32);
+    for _ in 0..200 {
+        let len = rng.next_below(512) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u8()).collect();
         let _ = decode_frame(&data, &[&reference]);
+        let _ = decode_frame(&data, &[]);
     }
+}
 
-    /// Interpolating a constant plane returns the constant at every phase
-    /// and block size (unity-gain filters).
-    #[test]
-    fn interp_preserves_constants(
-        value in any::<u8>(),
-        fx in 0isize..8,
-        fy in 0isize..8,
-        bs in prop::sample::select(vec![4usize, 8, 16]),
-    ) {
+/// Interpolating a constant plane returns the constant at every phase and
+/// block size (unity-gain filters).
+#[test]
+fn interp_preserves_constants() {
+    let mut rng = SplitMix64::new(0xC0DE_C004);
+    for _ in 0..32 {
+        let value = rng.next_u8();
+        let fx = rng.next_below(8) as isize;
+        let fy = rng.next_below(8) as isize;
+        let bs = [4usize, 8, 16][rng.next_below(3) as usize];
         let p = Plane::filled(48, 48, value);
         let b = interpolate_block(&p, 8 * 16 + fx, 8 * 16 + fy, bs, bs);
-        prop_assert!(b.iter().all(|&v| v == value), "phase ({fx},{fy})");
+        assert!(b.iter().all(|&v| v == value), "phase ({fx},{fy}) bs {bs} value {value}");
     }
+}
 
-    /// Interpolated samples never leave the range spanned by the
-    /// reference pixels of a two-level plane (no ringing past clamp).
-    #[test]
-    fn interp_output_stays_in_pixel_range(
-        fx in 0isize..8,
-        fy in 0isize..8,
-        seed in any::<u64>(),
-    ) {
+/// Interpolation is deterministic at every fractional phase.
+#[test]
+fn interp_output_stays_in_pixel_range() {
+    let mut rng = SplitMix64::new(0xC0DE_C005);
+    for _ in 0..32 {
+        let fx = rng.next_below(8) as isize;
+        let fy = rng.next_below(8) as isize;
+        let seed = rng.next_u64();
         let v = SyntheticVideo::new(48, 48, 3, seed);
         let p = v.frame(0);
         let b = interpolate_block(&p, 8 * 20 + fx, 8 * 20 + fy, 8, 8);
         // u8 output is range-clamped by construction; sanity: deterministic.
         let b2 = interpolate_block(&p, 8 * 20 + fx, 8 * 20 + fy, 8, 8);
-        prop_assert_eq!(b, b2);
+        assert_eq!(b, b2, "phase ({fx},{fy}) seed {seed:#x}");
     }
+}
 
-    /// Flushing a cache invalidates everything it held.
-    #[test]
-    fn cache_flush_empties(addrs in proptest::collection::vec(0u64..100_000, 1..100)) {
-        use dmpim::memsim::{AccessKind, Cache, CacheConfig};
+/// Flushing a cache invalidates everything it held.
+#[test]
+fn cache_flush_empties() {
+    use dmpim::memsim::{AccessKind, Cache, CacheConfig};
+    let mut rng = SplitMix64::new(0xC0DE_C006);
+    for _ in 0..32 {
+        let n = rng.next_range(1, 100) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| rng.next_below(100_000)).collect();
         let mut c = Cache::new(CacheConfig { capacity_bytes: 8192, associativity: 4 });
         for &a in &addrs {
             c.access(a, AccessKind::Write);
         }
         c.flush_all();
-        prop_assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.resident_lines(), 0);
         for &a in &addrs {
-            prop_assert!(!c.contains(a));
+            assert!(!c.contains(a));
         }
     }
 }

@@ -1,39 +1,93 @@
-//! Property-based tests on the core data structures and invariants.
+//! Property-style tests on the core data structures and invariants.
+//!
+//! The container has no third-party property-testing crate, so each
+//! property runs over a deterministic seeded sweep: inputs are drawn from
+//! [`SplitMix64`] across a fixed number of cases (see `proptest_codec.rs`).
 
 use dmpim::chrome::tiling::{tile_bitmap, untile_bitmap};
 use dmpim::chrome::Bitmap;
 use dmpim::chrome::{compress, decompress};
+use dmpim::core::rng::SplitMix64;
 use dmpim::memsim::{AccessKind, Cache, CacheConfig, Channel, MemConfig, MemorySystem};
 use dmpim::tfmobile::matrix::Matrix;
 use dmpim::tfmobile::quantize::{dequantize, quantize_f32};
 use dmpim::vp9::entropy::{read_coeffs, write_coeffs, BoolReader, BoolWriter};
 use dmpim::vp9::transform::{dequantize as deq4, forward4x4, inverse4x4, quantize as q4};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_bytes(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    (0..len).map(|_| rng.next_u8()).collect()
+}
 
-    /// LZO round-trips arbitrary byte strings.
-    #[test]
-    fn lzo_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
-        let c = compress(&data);
-        prop_assert_eq!(decompress(&c).unwrap(), data);
+fn random_block(rng: &mut SplitMix64, lo: i32, hi: i32) -> [i32; 16] {
+    let mut b = [0i32; 16];
+    for v in &mut b {
+        *v = lo + rng.next_below((hi - lo) as u64) as i32;
     }
+    b
+}
 
-    /// LZO round-trips highly repetitive strings (the match-heavy path).
-    #[test]
-    fn lzo_roundtrip_repetitive(
-        unit in proptest::collection::vec(any::<u8>(), 1..16),
-        reps in 1usize..600,
-    ) {
+/// LZO round-trips arbitrary byte strings.
+#[test]
+fn lzo_roundtrip() {
+    let mut rng = SplitMix64::new(0x01A0_0001);
+    for case in 0..64 {
+        let data = random_bytes(&mut rng, 8191);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data, "case {case}, len {}", data.len());
+    }
+}
+
+/// LZO round-trips highly repetitive strings (the match-heavy path).
+#[test]
+fn lzo_roundtrip_repetitive() {
+    let mut rng = SplitMix64::new(0x01A0_0002);
+    for case in 0..64 {
+        let unit_len = rng.next_range(1, 16) as usize;
+        let unit: Vec<u8> = (0..unit_len).map(|_| rng.next_u8()).collect();
+        let reps = rng.next_range(1, 600) as usize;
         let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
         let c = compress(&data);
-        prop_assert_eq!(decompress(&c).unwrap(), data);
+        assert_eq!(decompress(&c).unwrap(), data, "case {case}, unit {unit_len} x {reps}");
     }
+}
 
-    /// The boolean coder reproduces any bit/probability sequence.
-    #[test]
-    fn bool_coder_roundtrip(seq in proptest::collection::vec((1u8..=255, any::<bool>()), 0..2000)) {
+/// LZO decompression never panics on arbitrary garbage, and never panics
+/// on truncated or bit-flipped versions of valid streams — it reports
+/// [`dmpim::core::DmpimError::Corrupt`] instead.
+#[test]
+fn lzo_decompress_never_panics() {
+    let mut rng = SplitMix64::new(0x01A0_0003);
+    // Pure garbage.
+    for _ in 0..128 {
+        let data = random_bytes(&mut rng, 512);
+        let _ = decompress(&data);
+    }
+    // Mutations of a valid stream: truncations and single-byte flips.
+    let original: Vec<u8> = (0..2048).map(|_| rng.next_u8()).collect();
+    let packed = compress(&original);
+    for cut in 0..packed.len().min(64) {
+        let _ = decompress(&packed[..cut]);
+    }
+    for _ in 0..128 {
+        let mut m = packed.clone();
+        let at = rng.next_below(m.len() as u64) as usize;
+        m[at] ^= rng.next_u8() | 1;
+        match decompress(&m) {
+            Ok(_) => {}                                        // benign flip
+            Err(e) => assert!(e.to_string().contains("corrupt"), "unexpected error {e}"),
+        }
+    }
+}
+
+/// The boolean coder reproduces any bit/probability sequence.
+#[test]
+fn bool_coder_roundtrip() {
+    let mut rng = SplitMix64::new(0x01A0_0004);
+    for case in 0..64 {
+        let n = rng.next_below(2000) as usize;
+        let seq: Vec<(u8, bool)> =
+            (0..n).map(|_| (rng.next_range(1, 256) as u8, rng.chance(0.5))).collect();
         let mut w = BoolWriter::new();
         for &(p, b) in &seq {
             w.put(p, b);
@@ -41,32 +95,42 @@ proptest! {
         let data = w.finish();
         let mut r = BoolReader::new(&data);
         for (i, &(p, b)) in seq.iter().enumerate() {
-            prop_assert_eq!(r.get(p), b, "symbol {}", i);
+            assert_eq!(r.get(p), b, "case {case}, symbol {i}");
         }
     }
+}
 
-    /// Coefficient blocks survive entropy coding exactly.
-    #[test]
-    fn coeff_coding_roundtrip(block in proptest::array::uniform16(-8000i32..8000)) {
+/// Coefficient blocks survive entropy coding exactly.
+#[test]
+fn coeff_coding_roundtrip() {
+    let mut rng = SplitMix64::new(0x01A0_0005);
+    for case in 0..64 {
+        let block = random_block(&mut rng, -8000, 8000);
         let mut w = BoolWriter::new();
         write_coeffs(&mut w, &block);
         let data = w.finish();
         let mut r = BoolReader::new(&data);
-        prop_assert_eq!(read_coeffs(&mut r), block);
+        assert_eq!(read_coeffs(&mut r), block, "case {case}");
     }
+}
 
-    /// The 4x4 WHT is an exact integer bijection on residual-range blocks.
-    #[test]
-    fn wht_roundtrip(block in proptest::array::uniform16(-255i32..=255)) {
-        prop_assert_eq!(inverse4x4(&forward4x4(&block)), block);
+/// The 4x4 WHT is an exact integer bijection on residual-range blocks.
+#[test]
+fn wht_roundtrip() {
+    let mut rng = SplitMix64::new(0x01A0_0006);
+    for case in 0..64 {
+        let block = random_block(&mut rng, -255, 256);
+        assert_eq!(inverse4x4(&forward4x4(&block)), block, "case {case}");
     }
+}
 
-    /// Quantize/dequantize error is bounded by half a step.
-    #[test]
-    fn transform_quant_error_bound(
-        block in proptest::array::uniform16(-255i32..=255),
-        q in 0u8..=63,
-    ) {
+/// Quantize/dequantize error is bounded by half a step.
+#[test]
+fn transform_quant_error_bound() {
+    let mut rng = SplitMix64::new(0x01A0_0007);
+    for case in 0..64 {
+        let block = random_block(&mut rng, -255, 256);
+        let q = rng.next_below(64) as u8;
         let step = dmpim::vp9::transform::quant_step(q);
         let mut coeffs = forward4x4(&block);
         q4(&mut coeffs, step);
@@ -75,68 +139,94 @@ proptest! {
         for (a, b) in block.iter().zip(rec.iter()) {
             // Coefficient error <= step/2 per coefficient; the inverse
             // averages 16 coefficients (plus rounding).
-            prop_assert!((a - b).abs() <= step / 2 + 1, "{} vs {} at step {}", a, b, step);
+            assert!((a - b).abs() <= step / 2 + 1, "case {case}: {a} vs {b} at step {step}");
         }
     }
+}
 
-    /// Texture tiling is a bijection on tile-aligned bitmaps.
-    #[test]
-    fn tiling_bijection(w in 1usize..6, h in 1usize..6, seed in any::<u64>()) {
+/// Texture tiling is a bijection on tile-aligned bitmaps.
+#[test]
+fn tiling_bijection() {
+    let mut rng = SplitMix64::new(0x01A0_0008);
+    for _ in 0..16 {
+        let w = rng.next_range(1, 6) as usize;
+        let h = rng.next_range(1, 6) as usize;
+        let seed = rng.next_u64();
         let bm = Bitmap::synthetic(w * 32, h * 32, seed);
         let tiled = tile_bitmap(&bm);
-        prop_assert_eq!(untile_bitmap(&tiled, w * 32, h * 32), bm);
+        assert_eq!(untile_bitmap(&tiled, w * 32, h * 32), bm, "{w}x{h} seed {seed:#x}");
     }
+}
 
-    /// f32 quantization error is bounded by one scale step.
-    #[test]
-    fn f32_quant_error(vals in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
-        let n = vals.len();
+/// f32 quantization error is bounded by one scale step.
+#[test]
+fn f32_quant_error() {
+    let mut rng = SplitMix64::new(0x01A0_0009);
+    for case in 0..64 {
+        let n = rng.next_range(1, 64) as usize;
+        let vals: Vec<f32> = (0..n).map(|_| (rng.next_f64() * 200.0 - 100.0) as f32).collect();
         let m = Matrix::from_vec(1, n, vals);
         let (q, p) = quantize_f32(&m);
         let back = dequantize(&q, p);
         for (a, b) in m.data().iter().zip(back.data()) {
-            prop_assert!((a - b).abs() <= p.scale * 1.001, "{} vs {}", a, b);
+            assert!((a - b).abs() <= p.scale * 1.001, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// A cache never reports more hits than accesses, and re-accessing the
-    /// same line immediately always hits.
-    #[test]
-    fn cache_sanity(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// A cache never reports more hits than accesses, and re-accessing the
+/// same line immediately always hits.
+#[test]
+fn cache_sanity() {
+    let mut rng = SplitMix64::new(0x01A0_000A);
+    for _ in 0..16 {
+        let n = rng.next_range(1, 200) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
         let mut c = Cache::new(CacheConfig { capacity_bytes: 4096, associativity: 4 });
         for &a in &addrs {
             c.access(a, AccessKind::Read);
             let again = c.access(a, AccessKind::Read);
-            prop_assert!(again.hit);
+            assert!(again.hit);
         }
         let s = c.stats();
-        prop_assert!(s.hits + s.misses == s.accesses);
-        prop_assert!(s.hits >= addrs.len() as u64); // the immediate re-reads
+        assert!(s.hits + s.misses == s.accesses);
+        assert!(s.hits >= addrs.len() as u64); // the immediate re-reads
     }
+}
 
-    /// Channel time is monotone in bytes and never negative.
-    #[test]
-    fn channel_monotone(sizes in proptest::collection::vec(1u64..10_000, 1..50)) {
+/// Channel time is monotone in bytes and never negative.
+#[test]
+fn channel_monotone() {
+    let mut rng = SplitMix64::new(0x01A0_000B);
+    for _ in 0..16 {
+        let n = rng.next_range(1, 50) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| rng.next_range(1, 10_000)).collect();
         let mut ch = Channel::new(16.0);
         let mut last_busy = 0;
         for &s in &sizes {
             ch.transfer(s, 0);
-            prop_assert!(ch.busy_until() >= last_busy);
+            assert!(ch.busy_until() >= last_busy);
             last_busy = ch.busy_until();
         }
-        prop_assert_eq!(ch.bytes_moved(), sizes.iter().sum::<u64>());
+        assert_eq!(ch.bytes_moved(), sizes.iter().sum::<u64>());
     }
+}
 
-    /// Memory-system accesses preserve byte accounting: DRAM traffic is
-    /// line-aligned and never smaller than the demand-missed bytes.
-    #[test]
-    fn memory_accounting(ranges in proptest::collection::vec((0u64..1_000_000, 1u64..4096), 1..40)) {
+/// Memory-system accesses preserve byte accounting: DRAM traffic is
+/// line-aligned and never smaller than the demand-missed bytes.
+#[test]
+fn memory_accounting() {
+    let mut rng = SplitMix64::new(0x01A0_000C);
+    for _ in 0..8 {
+        let n = rng.next_range(1, 40) as usize;
         let mut m = MemorySystem::new(MemConfig::chromebook_like());
-        for &(addr, bytes) in &ranges {
+        for _ in 0..n {
+            let addr = rng.next_below(1_000_000);
+            let bytes = rng.next_range(1, 4096);
             let out = m.access(addr, bytes, AccessKind::Read, 0);
-            prop_assert_eq!(out.activity.dram_read_bytes % 64, 0);
-            prop_assert_eq!(out.activity.dram_read_bytes / 64, out.memory_lines);
-            prop_assert!(out.lines >= 1);
+            assert_eq!(out.activity.dram_read_bytes % 64, 0);
+            assert_eq!(out.activity.dram_read_bytes / 64, out.memory_lines);
+            assert!(out.lines >= 1);
         }
     }
 }
