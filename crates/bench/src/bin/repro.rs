@@ -4,50 +4,144 @@
 //! cargo run -p pim-bench --release --bin repro                 # everything
 //! cargo run -p pim-bench --release --bin repro -- --experiment fig18
 //! cargo run -p pim-bench --release --bin repro -- --list
+//! cargo run -p pim-bench --release --bin repro -- --json       # scorecard JSON + BENCH_repro.json
+//! cargo run -p pim-bench --release --bin repro -- --trace trace.json --metrics metrics.json
 //! ```
+//!
+//! `--trace` writes a Chrome trace-event file (open in Perfetto or
+//! `chrome://tracing`); `--metrics` writes the flat metrics dump from the
+//! same traced sweep. `--json` prints the paper-vs-measured scorecard as
+//! JSON and archives it (with wall-clock timing) to `BENCH_repro.json`.
 
 use std::process::ExitCode;
+use std::time::Instant;
+
+use pim_trace::JsonValue;
+
+struct Cli {
+    list: bool,
+    json: bool,
+    experiment: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli =
+        Cli { list: false, json: false, experiment: None, trace: None, metrics: None };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => cli.list = true,
+            "--json" => cli.json = true,
+            "--experiment" => {
+                cli.experiment =
+                    Some(it.next().ok_or("--experiment needs an id")?.clone());
+            }
+            "--trace" => cli.trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
+            "--metrics" => {
+                cli.metrics = Some(it.next().ok_or("--metrics needs a path")?.clone());
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(cli)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [] => {
-            for id in pim_bench::EXPERIMENTS {
-                banner(id);
-                match pim_bench::run_experiment(id) {
-                    Ok(report) => println!("{report}"),
-                    Err(e) => {
-                        eprintln!("experiment {id} failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            ExitCode::SUCCESS
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: repro [--list | --experiment <id> | --json | --trace <path>] [--metrics <path>]"
+            );
+            return ExitCode::FAILURE;
         }
-        [flag] if flag == "--list" => {
-            for id in pim_bench::EXPERIMENTS {
-                println!("{id}");
-            }
-            ExitCode::SUCCESS
+    };
+
+    if cli.list {
+        for id in pim_bench::EXPERIMENTS {
+            println!("{id}");
         }
-        [flag, id] if flag == "--experiment" => {
-            banner(id);
-            match pim_bench::run_experiment(id) {
-                Ok(report) => {
-                    println!("{report}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("experiment {id} failed: {e}; try --list");
-                    ExitCode::FAILURE
-                }
-            }
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.json {
+        let t0 = Instant::now();
+        let entries = pim_bench::scorecard::scorecard(false);
+        let doc = pim_bench::scorecard::to_json(&entries);
+        println!("{doc}");
+        let wall_ms = t0.elapsed().as_millis() as u64;
+        let mut arr = JsonValue::array();
+        for e in &entries {
+            arr = arr.push(
+                JsonValue::object()
+                    .set("id", e.id)
+                    .set("quantity", e.quantity)
+                    .set("paper", e.paper)
+                    .set("measured", e.measured)
+                    .set("verdict", e.verdict),
+            );
         }
-        _ => {
-            eprintln!("usage: repro [--list | --experiment <id>]");
-            ExitCode::FAILURE
+        let bench = JsonValue::object()
+            .set("source", "dmpim repro --json")
+            .set("wall_ms", wall_ms)
+            .set("scorecard", arr)
+            .render_pretty();
+        if let Err(e) = std::fs::write("BENCH_repro.json", bench) {
+            eprintln!("failed to write BENCH_repro.json: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote BENCH_repro.json ({wall_ms} ms)");
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.trace.is_some() || cli.metrics.is_some() {
+        let a = pim_bench::obs::traced_sweep(false);
+        if let Some(path) = &cli.trace {
+            if let Err(e) = std::fs::write(path, &a.chrome_trace) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}: {} events across {} tracks", a.event_count, a.tracks.len());
+        }
+        if let Some(path) = &cli.metrics {
+            if let Err(e) = std::fs::write(path, &a.metrics) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(id) = &cli.experiment {
+        banner(id);
+        return match pim_bench::run_experiment(id) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}; try --list");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    for id in pim_bench::EXPERIMENTS {
+        banner(id);
+        match pim_bench::run_experiment(id) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    ExitCode::SUCCESS
 }
 
 fn banner(id: &str) {

@@ -9,6 +9,8 @@ use pim_core::DmpimError;
 
 pub mod ablate_exp;
 pub mod chrome_exp;
+pub mod obs;
+pub mod scorecard;
 pub mod summary_exp;
 pub mod tf_exp;
 pub mod video_exp;

@@ -1,0 +1,79 @@
+//! Observability sweep: the traced run behind `repro --trace` / `--metrics`.
+//!
+//! One sweep exercises every track family the tracer knows about — the
+//! CPU and PIM engine tracks, the DRAM/vault occupancy tracks, the
+//! kernel-phase track and the fault/recovery tracks — so a single
+//! `--trace` invocation yields a Perfetto-loadable timeline of the whole
+//! offload story.
+
+use pim_chrome::tiling::TextureTilingKernel;
+use pim_chrome::ColorBlittingKernel;
+use pim_core::{ExecutionMode, FaultConfig, OffloadEngine, Tracer};
+
+/// The artifacts of one traced sweep.
+#[derive(Debug)]
+pub struct ObsArtifacts {
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    pub chrome_trace: String,
+    /// Flat metrics dump: counters, gauges, histograms.
+    pub metrics: String,
+    /// Number of trace events captured.
+    pub event_count: usize,
+    /// Track names, in registration order.
+    pub tracks: Vec<String>,
+}
+
+/// Run the observability sweep. `smoke` shrinks the inputs for tests;
+/// the CLI uses the paper-scale inputs.
+pub fn traced_sweep(smoke: bool) -> ObsArtifacts {
+    let tracer = Tracer::new();
+    let engine = OffloadEngine::new().with_tracer(&tracer);
+    let (mut tile, mut blit) = if smoke {
+        (TextureTilingKernel::new(64, 64, 7), ColorBlittingKernel::new(vec![32, 64], 128, 7))
+    } else {
+        (TextureTilingKernel::paper_input(), ColorBlittingKernel::paper_input())
+    };
+    // CPU and PIM runs cover the engine, DRAM/vault and kernel-phase tracks.
+    engine.run(&mut tile, ExecutionMode::CpuOnly);
+    engine.run(&mut tile, ExecutionMode::PimAcc);
+    engine.run(&mut blit, ExecutionMode::PimCore);
+    // One fault-injected resilient run covers the fault + recovery tracks.
+    let cfg = FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() };
+    OffloadEngine::new()
+        .with_faults(cfg, 9)
+        .with_tracer(&tracer)
+        .run(&mut tile, ExecutionMode::PimAcc);
+    ObsArtifacts {
+        chrome_trace: tracer.chrome_trace(),
+        metrics: tracer.metrics().to_json(),
+        event_count: tracer.event_count(),
+        tracks: tracer.tracks(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_track_families() {
+        let a = traced_sweep(true);
+        for want in ["cpu", "pim-accel", "pim-core", "kernel-phases", "faults", "recovery", "dram"]
+        {
+            assert!(a.tracks.iter().any(|t| t == want), "missing track {want}: {:?}", a.tracks);
+        }
+        assert!(a.tracks.iter().any(|t| t.starts_with("vault ")), "{:?}", a.tracks);
+        assert!(a.tracks.len() >= 4);
+        assert!(a.event_count > 0);
+        assert!(a.chrome_trace.contains("\"traceEvents\""));
+        assert!(a.metrics.contains("faults.tripped"));
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = traced_sweep(true);
+        let b = traced_sweep(true);
+        assert_eq!(a.chrome_trace, b.chrome_trace);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

@@ -1,0 +1,193 @@
+//! The machine-readable scorecard behind `repro --json`.
+//!
+//! `EXPERIMENTS.md` records paper-vs-measured values as a hand-maintained
+//! table; this module computes the headline subset of those quantities
+//! programmatically and renders them as structured JSON so downstream
+//! tooling (CI dashboards, regression diffing) can consume the
+//! reproduction's state without scraping markdown.
+
+use pim_core::area::AreaModel;
+use pim_core::report::mean;
+use pim_core::{ExecutionMode, JsonValue, Kernel, OffloadEngine, PimTargetKind, RunReport};
+
+use crate::summary_exp;
+
+/// One paper-vs-measured comparison.
+#[derive(Debug, Clone)]
+pub struct ScorecardEntry {
+    /// Experiment id (matches `EXPERIMENTS` / `DESIGN.md`).
+    pub id: &'static str,
+    /// What is being compared.
+    pub quantity: &'static str,
+    /// The paper's value.
+    pub paper: f64,
+    /// This reproduction's value.
+    pub measured: f64,
+    /// `match` (within 15%), `band` (within 60%), else `divergent`.
+    pub verdict: &'static str,
+}
+
+fn verdict(paper: f64, measured: f64) -> &'static str {
+    if paper == 0.0 {
+        return if measured == 0.0 { "match" } else { "divergent" };
+    }
+    let rel = (measured - paper).abs() / paper.abs();
+    if rel <= 0.15 {
+        "match"
+    } else if rel <= 0.60 {
+        "band"
+    } else {
+        "divergent"
+    }
+}
+
+fn entry(id: &'static str, quantity: &'static str, paper: f64, measured: f64) -> ScorecardEntry {
+    ScorecardEntry { id, quantity, paper, measured, verdict: verdict(paper, measured) }
+}
+
+fn smoke_kernels() -> Vec<(&'static str, PimTargetKind, Box<dyn Kernel>)> {
+    use pim_chrome::tiling::TextureTilingKernel;
+    use pim_chrome::ColorBlittingKernel;
+    vec![
+        ("texture tiling", PimTargetKind::TextureTiling, Box::new(TextureTilingKernel::new(128, 128, 1))),
+        ("color blitting", PimTargetKind::ColorBlitting, Box::new(ColorBlittingKernel::new(vec![32, 64], 128, 1))),
+    ]
+}
+
+/// Compute the scorecard. `smoke` swaps the full nine-kernel paper-scale
+/// sweep for two small kernels (tests); the CLI always runs full scale.
+pub fn scorecard(smoke: bool) -> Vec<ScorecardEntry> {
+    let results: Vec<(&'static str, PimTargetKind, Vec<RunReport>)> = if smoke {
+        let engine = OffloadEngine::new();
+        smoke_kernels()
+            .into_iter()
+            .map(|(name, kind, mut k)| {
+                let mut r = engine.run_all(k.as_mut());
+                r.push(engine.run(k.as_mut(), ExecutionMode::PimCore));
+                (name, kind, r)
+            })
+            .collect()
+    } else {
+        summary_exp::sweep()
+    };
+
+    let mut dm = Vec::new();
+    let mut core_cut = Vec::new();
+    let mut acc_cut = Vec::new();
+    let mut acc_speed = Vec::new();
+    let mut browser_core_cut = Vec::new();
+    let mut video_acc_cut = Vec::new();
+    let mut tiling_dm = None;
+    for (_, kind, r) in &results {
+        let (cpu, core, acc) = (&r[0], &r[1], &r[2]);
+        dm.push(cpu.energy.data_movement_fraction());
+        core_cut.push(1.0 - core.energy_vs(cpu));
+        acc_cut.push(1.0 - acc.energy_vs(cpu));
+        acc_speed.push(acc.speedup_vs(cpu));
+        match kind {
+            PimTargetKind::TextureTiling | PimTargetKind::ColorBlitting | PimTargetKind::Compression => {
+                browser_core_cut.push(1.0 - core.energy_vs(cpu));
+            }
+            PimTargetKind::SubPixelInterpolation
+            | PimTargetKind::DeblockingFilter
+            | PimTargetKind::MotionEstimation => {
+                video_acc_cut.push(1.0 - acc.energy_vs(cpu));
+            }
+            _ => {}
+        }
+        if *kind == PimTargetKind::TextureTiling {
+            tiling_dm = Some(cpu.energy.data_movement_fraction());
+        }
+    }
+
+    let mut out = vec![
+        entry("headline", "avg CPU-only data-movement energy share", 0.627, mean(&dm)),
+        entry("headline", "avg PIM-Core energy reduction", 0.491, mean(&core_cut)),
+        entry("headline", "avg PIM-Acc energy reduction", 0.554, mean(&acc_cut)),
+        entry("headline", "avg PIM-Acc speedup", 1.54, mean(&acc_speed)),
+        entry(
+            "area",
+            "PIM core fraction of per-vault area budget",
+            0.094,
+            AreaModel::default().pim_core_fraction(),
+        ),
+    ];
+    if let Some(t) = tiling_dm {
+        out.push(entry("fig2", "texture-tiling data-movement energy share", 0.815, t));
+    }
+    if !browser_core_cut.is_empty() {
+        out.push(entry(
+            "fig18",
+            "browser kernels avg PIM-Core energy reduction",
+            0.513,
+            mean(&browser_core_cut),
+        ));
+    }
+    if !video_acc_cut.is_empty() {
+        out.push(entry(
+            "fig20",
+            "video kernels avg PIM-Acc energy reduction",
+            0.666,
+            mean(&video_acc_cut),
+        ));
+    }
+    out
+}
+
+/// Render entries as the `repro --json` document.
+pub fn to_json(entries: &[ScorecardEntry]) -> String {
+    let mut arr = JsonValue::array();
+    for e in entries {
+        arr = arr.push(
+            JsonValue::object()
+                .set("id", e.id)
+                .set("quantity", e.quantity)
+                .set("paper", e.paper)
+                .set("measured", e.measured)
+                .set("verdict", e.verdict),
+        );
+    }
+    JsonValue::object()
+        .set("source", "dmpim repro --json")
+        .set("scorecard", arr)
+        .render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scorecard_has_stable_structure() {
+        let entries = scorecard(true);
+        assert!(entries.len() >= 6, "{entries:?}");
+        assert!(entries.iter().any(|e| e.id == "headline"));
+        assert!(entries.iter().any(|e| e.id == "area"));
+        assert!(entries.iter().any(|e| e.id == "fig2"));
+        for e in &entries {
+            assert!(e.measured.is_finite(), "{e:?}");
+            assert!(["match", "band", "divergent"].contains(&e.verdict));
+        }
+        // The area model is input-independent: always a match.
+        let area = entries.iter().find(|e| e.id == "area").unwrap();
+        assert_eq!(area.verdict, "match");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let a = to_json(&scorecard(true));
+        let b = to_json(&scorecard(true));
+        assert_eq!(a, b);
+        assert!(a.contains("\"scorecard\""));
+        assert!(a.contains("\"verdict\""));
+        assert!(a.starts_with('{') && a.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn verdict_bands() {
+        assert_eq!(verdict(1.0, 1.1), "match");
+        assert_eq!(verdict(1.0, 1.5), "band");
+        assert_eq!(verdict(1.0, 3.0), "divergent");
+        assert_eq!(verdict(0.0, 0.0), "match");
+    }
+}

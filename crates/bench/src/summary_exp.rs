@@ -20,7 +20,7 @@ pub fn table1() -> String {
 }
 
 /// Every PIM-target kernel with its workload, for aggregate sweeps.
-fn all_kernels() -> Vec<(&'static str, PimTargetKind, Box<dyn Kernel>)> {
+pub(crate) fn all_kernels() -> Vec<(&'static str, PimTargetKind, Box<dyn Kernel>)> {
     vec![
         ("texture tiling", PimTargetKind::TextureTiling, Box::new(TextureTilingKernel::paper_input())),
         ("color blitting", PimTargetKind::ColorBlitting, Box::new(ColorBlittingKernel::paper_input())),
@@ -34,7 +34,7 @@ fn all_kernels() -> Vec<(&'static str, PimTargetKind, Box<dyn Kernel>)> {
     ]
 }
 
-fn sweep() -> Vec<(&'static str, PimTargetKind, Vec<RunReport>)> {
+pub(crate) fn sweep() -> Vec<(&'static str, PimTargetKind, Vec<RunReport>)> {
     let engine = OffloadEngine::new();
     // The fourth report per kernel is PIM-Core as a 4-core per-vault
     // cluster (Table 1 provides 16; 4 is a conservative mid-point).

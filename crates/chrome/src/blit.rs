@@ -124,6 +124,14 @@ impl ColorBlittingKernel {
                     1 => BlitOp::Copy,
                     _ => BlitOp::Blend,
                 };
+                if ctx.tracer().enabled() {
+                    let kind = match op {
+                        BlitOp::Fill(_) => "fill",
+                        BlitOp::Copy => "copy",
+                        BlitOp::Blend => "blend",
+                    };
+                    ctx.mark(format!("blit {kind} {size}x{size}"));
+                }
                 blit(ctx, op, &src, size, &mut dst, surface_w, x0, y0);
             }
         });

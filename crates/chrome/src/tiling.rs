@@ -106,6 +106,9 @@ impl TextureTilingKernel {
         let tiles_x = w / TILE_PX;
         ctx.scoped("texture_tiling", |ctx| {
             for ty in 0..h / TILE_PX {
+                if ctx.tracer().enabled() {
+                    ctx.mark(format!("tile-row {ty}"));
+                }
                 for tx in 0..tiles_x {
                     let tile_base = (ty * tiles_x + tx) * TILE_PX * TILE_PX;
                     for y in 0..TILE_PX {

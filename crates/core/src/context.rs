@@ -3,11 +3,12 @@
 use std::collections::BTreeMap;
 
 use pim_cpusim::{EngineTiming, OpMix};
-use pim_energy::{Component, EnergyBreakdown, EnergyParams, OpClass};
+use pim_energy::{Component, EnergyBreakdown, EnergyParams, Engine, OpClass};
 use pim_faults::{DmpimError, FaultKind, FaultPlan, FaultStats, Watchdog};
 use pim_memsim::{
     AccessKind, Activity, CoherenceModel, MemorySystem, Port, Ps, LINE_BYTES,
 };
+use pim_trace::{TrackId, Tracer};
 
 use crate::buffer::Buffer;
 use crate::platform::Platform;
@@ -68,6 +69,19 @@ pub struct SimContext {
     watchdog: Watchdog,
     host_events: u64,
     error: Option<DmpimError>,
+    tracer: Tracer,
+    tracks: Option<CtxTracks>,
+    /// Offset added to `now_ps` when stamping trace events, so resilient
+    /// drivers can place each attempt on one world timeline.
+    base_ps: Ps,
+}
+
+/// Track ids this context emits on (resolved once at attach time).
+#[derive(Debug, Clone, Copy)]
+struct CtxTracks {
+    engine: TrackId,
+    phases: TrackId,
+    faults: TrackId,
 }
 
 impl SimContext {
@@ -88,7 +102,44 @@ impl SimContext {
             watchdog: Watchdog::unlimited(),
             host_events: 0,
             error: None,
+            tracer: Tracer::disabled(),
+            tracks: None,
+            base_ps: 0,
         }
+    }
+
+    /// Attach a tracer: kernel phases, engine activity, memory events and
+    /// fault instants are recorded on it. A disabled tracer detaches all
+    /// hooks (including the memory system's), restoring the no-op path.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.mem.set_tracer(tracer);
+        if tracer.enabled() {
+            self.tracks = Some(CtxTracks {
+                engine: tracer.track(self.timing.label()),
+                phases: tracer.track("kernel-phases"),
+                faults: tracer.track("faults"),
+            });
+        } else {
+            self.tracks = None;
+        }
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// The tracer attached to this context (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Offset trace-event timestamps by `base_ps` (world time of this
+    /// context's start). Local accounting (`now_ps`) is unaffected.
+    pub fn set_time_base(&mut self, base_ps: Ps) {
+        self.base_ps = base_ps;
+    }
+
+    /// Current time on the world (trace) timeline.
+    fn sim_ps(&self) -> Ps {
+        self.base_ps + self.now_ps
     }
 
     /// Attach a fault plan: subsequent accesses and op retirements are
@@ -146,17 +197,38 @@ impl SimContext {
     }
 
     /// Attribute everything inside `f` to `tag` (nesting: innermost wins).
+    ///
+    /// With a tracer attached, each scope also becomes a span on the
+    /// `kernel-phases` track, so the per-function breakdown is visible on
+    /// the timeline.
     pub fn scoped<R>(&mut self, tag: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let t0 = self.sim_ps();
         self.tag_stack.push(tag);
         let r = f(self);
         self.tag_stack.pop();
+        if let Some(tracks) = self.tracks {
+            let end = self.sim_ps();
+            self.tracer.complete(tracks.phases, tag, t0, end.saturating_sub(t0));
+        }
         r
+    }
+
+    /// Drop an instant marker on the `kernel-phases` track at the current
+    /// simulated time. No-op without a tracer attached.
+    pub fn mark(&self, name: impl Into<std::borrow::Cow<'static, str>>) {
+        if let Some(tracks) = self.tracks {
+            self.tracer.instant(tracks.phases, name, self.sim_ps());
+        }
     }
 
     /// Record the first failure and poison the context. Later operations
     /// become no-ops so a kernel mid-flight cannot corrupt the ledger.
     fn trip(&mut self, e: DmpimError) {
         if self.error.is_none() {
+            if let Some(tracks) = self.tracks {
+                self.tracer.instant(tracks.faults, e.label(), self.sim_ps());
+                self.tracer.count("faults.tripped", 1);
+            }
             self.error = Some(e);
         }
     }
@@ -235,6 +307,9 @@ impl SimContext {
             let at_ps = self.now_ps;
             self.trip(DmpimError::FaultTransient { kind: FaultKind::BitFlip, at_ps });
         }
+        if self.tracks.is_some() {
+            self.tracer.observe(stall_metric(self.timing.engine), stall);
+        }
         self.now_ps += stall;
         if self.port != Port::Cpu {
             for _ in 0..out.memory_lines {
@@ -280,6 +355,9 @@ impl SimContext {
         }
         self.now_ps += dur;
         let engine = self.timing.engine;
+        if self.tracks.is_some() {
+            self.tracer.count(ops_metric(engine), mix.total());
+        }
         let pj = mix.scalar as f64 * self.params.op_energy_pj(engine, OpClass::Scalar)
             + mix.simd as f64 * self.params.op_energy_pj(engine, OpClass::Simd)
             + mix.mul as f64 * self.params.op_energy_pj(engine, OpClass::Mul)
@@ -313,6 +391,12 @@ impl SimContext {
     pub fn switch_engine(&mut self, timing: EngineTiming, port: Port) {
         self.timing = timing;
         self.port = port;
+        if self.tracks.is_some() {
+            let engine = self.tracer.track(timing.label());
+            if let Some(t) = &mut self.tracks {
+                t.engine = engine;
+            }
+        }
     }
 
     /// Charge an offload transition (§8.2): flush/invalidate CPU caches for
@@ -322,6 +406,15 @@ impl SimContext {
     pub fn offload_transition(&mut self, region_bytes: u64, begin: bool) {
         if self.error.is_some() {
             return;
+        }
+        if let Some(tracks) = self.tracks {
+            let name = if begin { "offload-begin" } else { "offload-end" };
+            self.tracer.instant_args(
+                tracks.engine,
+                name,
+                self.sim_ps(),
+                vec![("region_bytes", region_bytes.into())],
+            );
         }
         let cost = if begin {
             self.offloaded = true;
@@ -442,6 +535,26 @@ impl SimContext {
     }
 }
 
+/// Per-engine counter name for retired operations.
+fn ops_metric(engine: Engine) -> &'static str {
+    match engine {
+        Engine::SocCpu => "ops.cpu",
+        Engine::PimCore => "ops.pim-core",
+        Engine::PimAccel => "ops.pim-accel",
+        Engine::CodecHw => "ops.codec-hw",
+    }
+}
+
+/// Per-engine histogram name for exposed memory-stall time.
+fn stall_metric(engine: Engine) -> &'static str {
+    match engine {
+        Engine::SocCpu => "stall_ps.cpu",
+        Engine::PimCore => "stall_ps.pim-core",
+        Engine::PimAccel => "stall_ps.pim-accel",
+        Engine::CodecHw => "stall_ps.codec-hw",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -527,6 +640,65 @@ mod tests {
         let mut c = SimContext::new(Platform::pim(), EngineTiming::pim_core(), Port::PimCore);
         c.read(0, 64 * 1024);
         assert!(c.coherence_stats().directory_lookups > 0);
+    }
+
+    #[test]
+    fn scoped_work_becomes_phase_spans() {
+        let t = Tracer::new();
+        let mut c = ctx().with_tracer(&t);
+        c.scoped("texture_tiling", |c| {
+            c.mark("tile-start");
+            c.read(0, 64 * 1024);
+        });
+        let names: Vec<String> = t.events().iter().map(|e| e.name.to_string()).collect();
+        assert!(names.iter().any(|n| n == "texture_tiling"));
+        assert!(names.iter().any(|n| n == "tile-start"));
+        assert!(t.tracks().iter().any(|n| n == "kernel-phases"));
+        assert!(t.metrics().histograms.contains_key("stall_ps.cpu"));
+    }
+
+    #[test]
+    fn faults_leave_instants_on_fault_track() {
+        use pim_faults::FaultConfig;
+        let t = Tracer::new();
+        let plan = FaultPlan::new(
+            FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() },
+            9,
+        )
+        .unwrap();
+        let mut c = SimContext::new(Platform::pim(), EngineTiming::pim_core(), Port::PimCore)
+            .with_tracer(&t)
+            .with_fault_plan(plan);
+        c.read(0, 4096);
+        assert!(c.is_poisoned());
+        assert_eq!(t.metrics().counters["faults.tripped"], 1);
+        let names: Vec<String> = t.events().iter().map(|e| e.name.to_string()).collect();
+        assert!(names.iter().any(|n| n == "vault-failure"), "{names:?}");
+    }
+
+    #[test]
+    fn time_base_offsets_trace_timestamps_only() {
+        let t = Tracer::new();
+        let mut c = ctx().with_tracer(&t);
+        c.set_time_base(1_000_000);
+        c.scoped("work", |c| c.ops(OpMix::scalar(100)));
+        assert!(c.now_ps() < 1_000_000);
+        let ev = t.events().into_iter().find(|e| e.name == "work").unwrap();
+        assert!(ev.ts_ps >= 1_000_000);
+    }
+
+    #[test]
+    fn disabled_tracer_keeps_results_identical() {
+        let run = |traced: bool| {
+            let t = Tracer::disabled();
+            let mut c = if traced { ctx().with_tracer(&t) } else { ctx() };
+            c.scoped("a", |c| {
+                c.read(0, 1 << 20);
+                c.ops(OpMix::scalar(10_000));
+            });
+            (c.now_ps(), c.total_energy().total_pj().to_bits(), c.instructions())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -79,3 +79,4 @@ pub use pim_faults::{
     DmpimError, EccConfig, FaultConfig, FaultKind, FaultPlan, FaultStats, Watchdog,
 };
 pub use pim_memsim::{AccessKind, Activity, MemConfig, Port, Ps};
+pub use pim_trace::{JsonValue, MetricsReport, TraceEvent, Tracer, TrackId};

@@ -4,9 +4,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use pim_cpusim::EngineTiming;
-use pim_energy::EnergyBreakdown;
+use pim_energy::{EnergyBreakdown, COMPONENTS};
 use pim_faults::{DmpimError, FaultConfig, FaultPlan, FaultStats, Watchdog};
 use pim_memsim::{Activity, Port, Ps};
+use pim_trace::{JsonValue, Tracer};
 
 use crate::context::{SimContext, TagStats};
 use crate::kernel::Kernel;
@@ -86,6 +87,36 @@ impl Degradation {
     pub fn is_clean(&self) -> bool {
         self.retries == 0 && self.fallbacks == 0 && self.error.is_none()
     }
+
+    /// The record as a hand-rolled [`JsonValue`] (stable field order, no
+    /// external serialization dependency).
+    pub fn to_json_value(&self) -> JsonValue {
+        let f = &self.faults;
+        let faults = JsonValue::object()
+            .set("bit_flips", f.bit_flips)
+            .set("corrected", f.corrected)
+            .set("uncorrectable", f.uncorrectable)
+            .set("silent", f.silent)
+            .set("unavail_hits", f.unavail_hits)
+            .set("vault_hits", f.vault_hits)
+            .set("throttled_ps", f.throttled_ps);
+        let o = JsonValue::object()
+            .set("retries", u64::from(self.retries))
+            .set("fallbacks", u64::from(self.fallbacks))
+            .set("backoff_ps", self.backoff_ps)
+            .set("abandoned_ps", self.abandoned_ps)
+            .set("abandoned_pj", self.abandoned_pj)
+            .set("faults", faults);
+        match &self.error {
+            Some(e) => o.set("error", e.to_string()),
+            None => o.set("error", JsonValue::Null),
+        }
+    }
+
+    /// Compact JSON rendering of [`Self::to_json_value`].
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
 }
 
 /// Everything measured about one kernel execution.
@@ -140,6 +171,63 @@ impl RunReport {
     pub fn degraded(&self) -> bool {
         self.executed != self.mode
     }
+
+    /// The report as a hand-rolled [`JsonValue`] (stable field order, no
+    /// external serialization dependency).
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut energy = JsonValue::object();
+        for c in COMPONENTS {
+            energy = energy.set(c.label(), self.energy.get(c));
+        }
+        energy = energy
+            .set("total_pj", self.energy.total_pj())
+            .set("data_movement_fraction", self.energy.data_movement_fraction());
+        let a = &self.activity;
+        let activity = JsonValue::object()
+            .set("l1_accesses", a.l1_accesses)
+            .set("llc_accesses", a.llc_accesses)
+            .set("scratch_accesses", a.scratch_accesses)
+            .set("memctrl_requests", a.memctrl_requests)
+            .set("dram_read_bytes", a.dram_read_bytes)
+            .set("dram_write_bytes", a.dram_write_bytes)
+            .set("internal_bytes", a.internal_bytes)
+            .set("offchip_bytes", a.offchip_bytes)
+            .set("row_hits", a.row_hits)
+            .set("row_misses", a.row_misses);
+        let mut by_tag = JsonValue::object();
+        for (tag, t) in &self.by_tag {
+            by_tag = by_tag.set(
+                tag,
+                JsonValue::object()
+                    .set("time_ps", t.time_ps)
+                    .set("ops", t.ops.total())
+                    .set("memory_lines", t.memory_lines)
+                    .set("energy_pj", t.energy.total_pj())
+                    .set("data_movement_fraction", t.data_movement_fraction()),
+            );
+        }
+        let degradation = match &self.degradation {
+            Some(d) => d.to_json_value(),
+            None => JsonValue::Null,
+        };
+        JsonValue::object()
+            .set("kernel", self.kernel)
+            .set("mode", self.mode.label())
+            .set("executed", self.executed.label())
+            .set("runtime_ps", self.runtime_ps)
+            .set("runtime_ms", self.runtime_ms())
+            .set("instructions", self.instructions)
+            .set("mpki", self.mpki)
+            .set("energy", energy)
+            .set("activity", activity)
+            .set("by_tag", by_tag)
+            .set("degradation", degradation)
+    }
+
+    /// Compact JSON rendering of [`Self::to_json_value`].
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
 }
 
 /// Retry/fallback policy of a resilient run.
@@ -183,6 +271,7 @@ pub struct OffloadEngine {
     faults: Option<(FaultConfig, u64)>,
     watchdog: Watchdog,
     policy: ResiliencePolicy,
+    tracer: Tracer,
 }
 
 impl OffloadEngine {
@@ -230,6 +319,15 @@ impl OffloadEngine {
         self
     }
 
+    /// Attach a tracer: every attempt becomes a span on its engine's track,
+    /// retries/backoff/fallbacks land on a `recovery` track, and each run's
+    /// context forwards kernel-phase, memory and fault events. The default
+    /// (disabled) tracer keeps the exact zero-overhead legacy path.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
+    }
+
     /// Whether runs take the resilient path (faults configured or watchdog
     /// armed) instead of the exact legacy path.
     fn is_resilient(&self) -> bool {
@@ -269,8 +367,17 @@ impl OffloadEngine {
     }
 
     /// One attempt: bracket the kernel with offload transitions and run it.
-    fn attempt(&self, kernel: &mut dyn Kernel, mode: ExecutionMode, plan: Option<FaultPlan>) -> SimContext {
-        let mut ctx = self.context_for(mode);
+    /// `base_ps` places the attempt on the world (trace) timeline.
+    fn attempt(
+        &self,
+        kernel: &mut dyn Kernel,
+        mode: ExecutionMode,
+        plan: Option<FaultPlan>,
+        base_ps: Ps,
+        attempt_no: u64,
+    ) -> SimContext {
+        let mut ctx = self.context_for(mode).with_tracer(&self.tracer);
+        ctx.set_time_base(base_ps);
         if let Some(plan) = plan {
             ctx = ctx.with_fault_plan(plan);
         }
@@ -280,6 +387,16 @@ impl OffloadEngine {
         kernel.run(&mut ctx);
         if mode != ExecutionMode::CpuOnly {
             ctx.offload_transition(kernel.working_set_bytes(), false);
+        }
+        if self.tracer.enabled() {
+            let track = self.tracer.track(ctx.timing().label());
+            self.tracer.complete_args(
+                track,
+                kernel.name(),
+                base_ps,
+                ctx.now_ps(),
+                vec![("mode", mode.label().into()), ("attempt", attempt_no.into())],
+            );
         }
         ctx
     }
@@ -318,7 +435,7 @@ impl OffloadEngine {
     /// (use [`Self::try_run`] to surface it as a `Result`).
     pub fn run(&self, kernel: &mut dyn Kernel, mode: ExecutionMode) -> RunReport {
         if !self.is_resilient() {
-            let ctx = self.attempt(kernel, mode, None);
+            let ctx = self.attempt(kernel, mode, None, 0, 1);
             return self.report_from(kernel.name(), mode, mode, &ctx);
         }
         self.run_resilient(kernel, mode)
@@ -369,10 +486,24 @@ impl OffloadEngine {
             })
         };
 
+        let recovery = if self.tracer.enabled() {
+            Some(self.tracer.track("recovery"))
+        } else {
+            None
+        };
         let mut final_ctx: Option<(ExecutionMode, SimContext)> = None;
         'modes: for (i, &m) in chain.iter().enumerate() {
             if i > 0 {
                 degradation.fallbacks += 1;
+                if let Some(track) = recovery {
+                    self.tracer.instant_args(
+                        track,
+                        "fallback",
+                        world_ps,
+                        vec![("to", m.label().into())],
+                    );
+                    self.tracer.count("offload.fallbacks", 1);
+                }
             }
             let mut retries_here = 0u32;
             loop {
@@ -388,7 +519,7 @@ impl OffloadEngine {
                         p
                     })
                 };
-                let mut ctx = self.attempt(kernel, m, attempt_plan);
+                let mut ctx = self.attempt(kernel, m, attempt_plan, world_ps, attempt_no);
                 if let Some(p) = ctx.take_fault_plan() {
                     plan = Some(p);
                 }
@@ -409,6 +540,19 @@ impl OffloadEngine {
                             retries_here += 1;
                             degradation.retries += 1;
                             let backoff = self.policy.backoff_for(retries_here);
+                            if let Some(track) = recovery {
+                                self.tracer.complete_args(
+                                    track,
+                                    "backoff",
+                                    world_ps,
+                                    backoff,
+                                    vec![
+                                        ("retry", u64::from(retries_here).into()),
+                                        ("mode", m.label().into()),
+                                    ],
+                                );
+                                self.tracer.count("offload.retries", 1);
+                            }
                             degradation.backoff_ps += backoff;
                             world_ps += backoff;
                             continue;
@@ -709,6 +853,60 @@ mod tests {
         assert_eq!(p.backoff_for(1), p.backoff_ps);
         assert_eq!(p.backoff_for(2), 2 * p.backoff_ps);
         assert_eq!(p.backoff_for(3), 4 * p.backoff_ps);
+    }
+
+    #[test]
+    fn traced_run_emits_attempt_spans_without_changing_numbers() {
+        let plain = OffloadEngine::new();
+        let tracer = Tracer::new();
+        let traced = OffloadEngine::new().with_tracer(&tracer);
+        let a = plain.run(&mut Stream, ExecutionMode::PimCore);
+        let b = traced.run(&mut Stream, ExecutionMode::PimCore);
+        assert_eq!(report_key(&a), report_key(&b));
+        let names: Vec<String> = tracer.events().iter().map(|e| e.name.to_string()).collect();
+        assert!(names.iter().any(|n| n == "stream"), "{names:?}");
+        assert!(tracer.tracks().iter().any(|t| t == "pim-core"));
+        assert!(tracer.tracks().iter().any(|t| t == "kernel-phases"));
+    }
+
+    #[test]
+    fn traced_resilient_run_places_attempts_on_world_timeline() {
+        let cfg = FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() };
+        let tracer = Tracer::new();
+        let eng = OffloadEngine::new().with_faults(cfg, 9).with_tracer(&tracer);
+        let r = eng.run(&mut Stream, ExecutionMode::PimAcc);
+        assert_eq!(r.executed, ExecutionMode::CpuOnly);
+        assert!(tracer.tracks().iter().any(|t| t == "recovery"));
+        assert!(tracer.tracks().iter().any(|t| t == "faults"));
+        assert!(tracer.metrics().counters["offload.fallbacks"] >= 2);
+        // The successful CPU attempt must start after the abandoned PIM
+        // attempts on the world timeline.
+        let cpu_attempt = tracer
+            .events()
+            .into_iter()
+            .find(|e| e.name == "stream" && e.ts_ps > 0)
+            .expect("fallback attempt span");
+        assert!(cpu_attempt.ts_ps > 0);
+    }
+
+    #[test]
+    fn reports_render_to_stable_json() {
+        let eng = OffloadEngine::new();
+        let r = eng.run(&mut Crunch, ExecutionMode::PimAcc);
+        let json = r.to_json();
+        assert_eq!(json, r.to_json());
+        assert!(json.contains("\"kernel\":\"crunch\""));
+        assert!(json.contains("\"mode\":\"PIM-Acc\""));
+        assert!(json.contains("\"degradation\":null"));
+        assert!(json.contains("\"total_pj\""));
+        // Degraded runs embed the degradation record.
+        let cfg = FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() };
+        let r = OffloadEngine::new().with_faults(cfg, 9).run(&mut Stream, ExecutionMode::PimAcc);
+        let json = r.to_json();
+        assert!(json.contains("\"fallbacks\":2"));
+        assert!(json.contains("\"vault_hits\""));
+        let d = r.degradation.unwrap();
+        assert!(d.to_json().contains("\"error\":null"));
     }
 
     #[test]

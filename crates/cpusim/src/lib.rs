@@ -198,6 +198,17 @@ impl EngineTiming {
         }
     }
 
+    /// Short human-readable label for the modeled engine (used as a trace
+    /// track name).
+    pub fn label(&self) -> &'static str {
+        match self.engine {
+            Engine::SocCpu => "cpu",
+            Engine::PimCore => "pim-core",
+            Engine::PimAccel => "pim-accel",
+            Engine::CodecHw => "codec-hw",
+        }
+    }
+
     /// Clock period in ps.
     pub fn period_ps(&self) -> Ps {
         pim_memsim::period_ps(self.freq_ghz)
@@ -275,6 +286,18 @@ mod tests {
     fn for_engine_roundtrip() {
         for e in [Engine::SocCpu, Engine::PimCore, Engine::PimAccel, Engine::CodecHw] {
             assert_eq!(EngineTiming::for_engine(e).engine, e);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = [Engine::SocCpu, Engine::PimCore, Engine::PimAccel, Engine::CodecHw]
+            .map(|e| EngineTiming::for_engine(e).label())
+            .to_vec();
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
         }
     }
 

@@ -136,6 +136,21 @@ impl DmpimError {
         matches!(self, DmpimError::FaultTransient { .. })
     }
 
+    /// Short static label of the error variant (fault errors use the fault
+    /// class label); used as a trace-event name and in JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DmpimError::InvalidConfig { .. } => "invalid-config",
+            DmpimError::CapacityExceeded { .. } => "capacity-exceeded",
+            DmpimError::Corrupt { .. } => "corrupt",
+            DmpimError::PortUnsupported { .. } => "port-unsupported",
+            DmpimError::FaultTransient { kind, .. }
+            | DmpimError::FaultUnrecoverable { kind, .. } => kind.label(),
+            DmpimError::WatchdogTimeout { .. } => "watchdog-timeout",
+            DmpimError::UnknownExperiment { .. } => "unknown-experiment",
+        }
+    }
+
     /// The fault class, if this error came from an injected fault.
     pub fn fault_kind(&self) -> Option<FaultKind> {
         match self {

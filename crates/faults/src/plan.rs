@@ -208,6 +208,23 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
+    /// Hand-rolled JSON rendering (this crate sits at the bottom of the
+    /// workspace and stays dependency-free, so no JSON helper is used).
+    /// Field order is fixed, so the output is byte-deterministic.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bit_flips\":{},\"corrected\":{},\"uncorrectable\":{},\"silent\":{},\
+             \"unavail_hits\":{},\"vault_hits\":{},\"throttled_ps\":{}}}",
+            self.bit_flips,
+            self.corrected,
+            self.uncorrectable,
+            self.silent,
+            self.unavail_hits,
+            self.vault_hits,
+            self.throttled_ps,
+        )
+    }
+
     /// Merge another set of counters into this one.
     pub fn absorb(&mut self, other: &FaultStats) {
         self.bit_flips += other.bit_flips;
@@ -584,5 +601,16 @@ mod tests {
         ));
         assert!(!Watchdog::unlimited().is_armed());
         assert!(Watchdog::unlimited().check(u64::MAX, u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn fault_stats_json_is_stable() {
+        let s = FaultStats { bit_flips: 3, corrected: 2, uncorrectable: 1, ..Default::default() };
+        assert_eq!(
+            s.to_json(),
+            "{\"bit_flips\":3,\"corrected\":2,\"uncorrectable\":1,\"silent\":0,\
+             \"unavail_hits\":0,\"vault_hits\":0,\"throttled_ps\":0}"
+        );
+        assert_eq!(s.to_json(), s.to_json());
     }
 }

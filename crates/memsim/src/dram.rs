@@ -78,6 +78,14 @@ pub struct DramStats {
     pub read_bytes: u64,
     /// Bytes written.
     pub write_bytes: u64,
+    /// Read accesses served.
+    pub reads: u64,
+    /// Write accesses served.
+    pub writes: u64,
+    /// Summed array latency of read accesses, in ps.
+    pub read_latency_ps: Ps,
+    /// Summed array latency of write accesses, in ps.
+    pub write_latency_ps: Ps,
 }
 
 impl DramStats {
@@ -89,6 +97,36 @@ impl DramStats {
         } else {
             self.row_hits as f64 / total as f64
         }
+    }
+
+    /// Mean array latency of a read access, in ps (zero before any read).
+    pub fn avg_read_latency_ps(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_ps as f64 / self.reads as f64
+        }
+    }
+
+    /// Mean array latency of a write access, in ps (zero before any write).
+    pub fn avg_write_latency_ps(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.write_latency_ps as f64 / self.writes as f64
+        }
+    }
+
+    /// Fold `other`'s counters into `self` (used to aggregate vaults).
+    pub fn merge(&mut self, other: &DramStats) {
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_latency_ps += other.read_latency_ps;
+        self.write_latency_ps += other.write_latency_ps;
     }
 }
 
@@ -167,21 +205,23 @@ impl BankArray {
         };
         bank.open_rows.truncate(window);
 
-        if kind.is_write() {
-            self.stats.write_bytes += bytes;
-        } else {
-            self.stats.read_bytes += bytes;
-        }
-        if hit {
+        let latency_ps = if hit {
             self.stats.row_hits += 1;
-            DramOutcome { row_hit: true, latency_ps: self.config.row_hit_ps }
+            self.config.row_hit_ps
         } else {
             self.stats.row_misses += 1;
-            DramOutcome {
-                row_hit: false,
-                latency_ps: self.config.row_hit_ps + self.config.row_miss_extra_ps,
-            }
+            self.config.row_hit_ps + self.config.row_miss_extra_ps
+        };
+        if kind.is_write() {
+            self.stats.write_bytes += bytes;
+            self.stats.writes += 1;
+            self.stats.write_latency_ps += latency_ps;
+        } else {
+            self.stats.read_bytes += bytes;
+            self.stats.reads += 1;
+            self.stats.read_latency_ps += latency_ps;
         }
+        DramOutcome { row_hit: hit, latency_ps }
     }
 }
 
@@ -250,5 +290,32 @@ mod tests {
         assert_eq!(s.read_bytes, 64);
         assert_eq!(s.write_bytes, 64);
         assert!(s.row_hit_ratio() > 0.49 && s.row_hit_ratio() < 0.51);
+    }
+
+    #[test]
+    fn per_kind_latency_surfaced() {
+        let mut a = arr(SchedulerPolicy::default());
+        let miss = a.access(0, 64, AccessKind::Read); // row miss
+        let hit = a.access(64, 64, AccessKind::Write); // same row: hit
+        let s = a.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.read_latency_ps, miss.latency_ps);
+        assert_eq!(s.write_latency_ps, hit.latency_ps);
+        assert!(s.avg_read_latency_ps() > s.avg_write_latency_ps());
+    }
+
+    #[test]
+    fn merge_folds_all_counters() {
+        let mut a = arr(SchedulerPolicy::default());
+        a.access(0, 64, AccessKind::Read);
+        let mut b = arr(SchedulerPolicy::default());
+        b.access(0, 64, AccessKind::Write);
+        let mut total = a.stats();
+        total.merge(&b.stats());
+        assert_eq!(total.reads, 1);
+        assert_eq!(total.writes, 1);
+        assert_eq!(total.read_bytes + total.write_bytes, 128);
+        assert_eq!(total.row_misses, 2);
     }
 }

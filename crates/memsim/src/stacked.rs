@@ -110,9 +110,11 @@ impl StackedMemory {
         &self.config
     }
 
-    fn vault_of(&self, addr: u64) -> usize {
-        // Interleave vaults at row granularity: consecutive rows round-robin
-        // across vaults, the HMC default for streaming parallelism.
+    /// Which vault serves `addr`.
+    ///
+    /// Interleaves vaults at row granularity: consecutive rows round-robin
+    /// across vaults, the HMC default for streaming parallelism.
+    pub fn vault_of(&self, addr: u64) -> usize {
         ((addr / self.config.vault.row_bytes) % self.config.vaults as u64) as usize
     }
 
@@ -140,11 +142,7 @@ impl StackedMemory {
     pub fn stats(&self) -> DramStats {
         let mut total = DramStats::default();
         for v in &self.vaults {
-            let s = v.stats();
-            total.row_hits += s.row_hits;
-            total.row_misses += s.row_misses;
-            total.read_bytes += s.read_bytes;
-            total.write_bytes += s.write_bytes;
+            total.merge(&v.stats());
         }
         total
     }

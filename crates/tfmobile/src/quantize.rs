@@ -129,6 +129,9 @@ impl Kernel for QuantizationKernel {
         let shapes = self.shapes.clone();
         ctx.scoped("quantization", |ctx| {
             for (i, &(r, c)) in shapes.iter().enumerate() {
+                if ctx.tracer().enabled() {
+                    ctx.mark(format!("quantize {r}x{c}"));
+                }
                 // Real conversion on synthetic data...
                 let m = Matrix::<f32>::synthetic(r, c, 8.0, i as u64 + 1);
                 let scaled: Vec<i32> =

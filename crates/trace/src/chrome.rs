@@ -1,0 +1,174 @@
+//! Chrome trace-event (a.k.a. Trace Event Format) exporter.
+//!
+//! The output loads in `chrome://tracing` and in Perfetto's legacy-trace
+//! importer (<https://ui.perfetto.dev>). Layout choices:
+//!
+//! * one process (`pid` 0) named `dmpim`, one "thread" per [`TrackId`]
+//!   (named via `thread_name` metadata events, ordered by registration),
+//! * spans are `ph: "X"` complete events, markers are thread-scoped
+//!   `ph: "i"` instants,
+//! * timestamps are microseconds per the spec; the simulated picosecond
+//!   clock is rendered as a fixed-point `us.6` decimal built from integer
+//!   math, so the document is byte-deterministic.
+
+use std::fmt::Write as _;
+
+use crate::event::{ArgValue, EventKind, TraceEvent};
+use crate::json::{write_escaped, write_f64};
+
+/// Render `ps` as a microsecond timestamp with six fractional digits
+/// (picosecond precision, integer math only).
+fn write_us(out: &mut String, ps: u64) {
+    let _ = write!(out, "{}.{:06}", ps / 1_000_000, ps % 1_000_000);
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, k);
+        out.push(':');
+        match v {
+            ArgValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgValue::F64(f) => write_f64(out, *f),
+            ArgValue::Str(s) => write_escaped(out, s),
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize `events` over the named `tracks` into a Chrome trace JSON
+/// document. Events are emitted in simulated-time order (stable for
+/// equal timestamps, so insertion order breaks ties deterministically).
+pub fn chrome_trace_json(tracks: &[String], events: &[TraceEvent], dropped: u64) -> String {
+    // ~120 bytes per event line is a good preallocation estimate.
+    let mut out = String::with_capacity(256 + tracks.len() * 96 + events.len() * 120);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"clockDomain\":\"simulated-ps\"");
+    if dropped > 0 {
+        let _ = write!(out, ",\"droppedEvents\":{dropped}");
+    }
+    out.push_str("},\"traceEvents\":[\n");
+
+    let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+
+    push_sep(&mut out);
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"dmpim\"}}",
+    );
+    for (tid, name) in tracks.iter().enumerate() {
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":"
+        );
+        write_escaped(&mut out, name);
+        out.push_str("}}");
+        // Sort index pins lane order to registration order in the viewer.
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"sort_index\":{tid}}}}}"
+        );
+    }
+
+    // Order by simulated time; stable sort keeps insertion order for ties.
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| events[i].ts_ps);
+
+    for i in order {
+        let ev = &events[i];
+        push_sep(&mut out);
+        out.push_str("{\"name\":");
+        write_escaped(&mut out, &ev.name);
+        let _ = write!(out, ",\"pid\":0,\"tid\":{},\"ts\":", ev.track.index());
+        write_us(&mut out, ev.ts_ps);
+        match ev.kind {
+            EventKind::Complete { dur_ps } => {
+                out.push_str(",\"ph\":\"X\",\"dur\":");
+                write_us(&mut out, dur_ps);
+            }
+            EventKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+        }
+        if !ev.args.is_empty() {
+            out.push_str(",\"args\":");
+            write_args(&mut out, &ev.args);
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn timestamps_render_as_fixed_point_us() {
+        let mut s = String::new();
+        write_us(&mut s, 1_500_000); // 1.5 us
+        assert_eq!(s, "1.500000");
+        s.clear();
+        write_us(&mut s, 42); // 42 ps
+        assert_eq!(s, "0.000042");
+    }
+
+    #[test]
+    fn export_contains_tracks_events_and_order() {
+        let t = Tracer::new();
+        let cpu = t.track("cpu");
+        let faults = t.track("faults");
+        // Insert out of time order; export must sort by ts.
+        t.complete(cpu, "late", 2_000_000, 1_000_000);
+        t.instant(faults, "early", 500);
+        let json = t.chrome_trace();
+        assert!(json.contains("\"name\":\"cpu\""));
+        assert!(json.contains("\"name\":\"faults\""));
+        let early = json.find("\"early\"").expect("early event present");
+        let late = json.find("\"late\"").expect("late event present");
+        assert!(early < late, "events must be ordered by simulated time");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"clockDomain\":\"simulated-ps\""));
+    }
+
+    #[test]
+    fn export_notes_dropped_events() {
+        let t = Tracer::with_max_events(1);
+        let track = t.track("x");
+        t.instant(track, "a", 0);
+        t.instant(track, "b", 1);
+        assert!(t.chrome_trace().contains("\"droppedEvents\":1"));
+    }
+
+    #[test]
+    fn args_render_typed() {
+        let mut s = String::new();
+        write_args(
+            &mut s,
+            &[("n", ArgValue::U64(3)), ("r", ArgValue::F64(0.5)), ("k", ArgValue::Str("v".into()))],
+        );
+        assert_eq!(s, r#"{"n":3,"r":0.5,"k":"v"}"#);
+    }
+
+    #[test]
+    fn disabled_tracer_exports_valid_empty_document() {
+        let json = Tracer::disabled().chrome_trace();
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("process_name"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The event vocabulary: tracks, spans, instants.
+
+use std::borrow::Cow;
+
+use crate::Ps;
+
+/// Identifier of a track (a named timeline lane; exports as one "thread"
+/// in the Chrome trace-event format).
+///
+/// Obtained from [`crate::Tracer::track`], which interns names so the same
+/// name always maps to the same id. A disabled tracer hands out
+/// [`TrackId::NONE`], which every emit call ignores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub(crate) u16);
+
+impl TrackId {
+    /// The placeholder id a disabled tracer returns.
+    pub const NONE: TrackId = TrackId(u16::MAX);
+
+    /// Zero-based index of this track in registration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What shape of event this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span with a known duration (`ph: "X"` in the Chrome format).
+    Complete {
+        /// Duration in simulated ps.
+        dur_ps: Ps,
+    },
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+}
+
+/// A typed argument attached to an event (rendered into the Chrome
+/// `args` object).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(Cow<'static, str>),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&'static str> for ArgValue {
+    fn from(v: &'static str) -> Self {
+        ArgValue::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(Cow::Owned(v))
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The track (lane) the event belongs to.
+    pub track: TrackId,
+    /// Event name (span or marker label).
+    pub name: Cow<'static, str>,
+    /// Start (or occurrence) time in simulated ps.
+    pub ts_ps: Ps,
+    /// Span vs instant.
+    pub kind: EventKind,
+    /// Optional key/value annotations.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// End time of the event (equals `ts_ps` for instants).
+    pub fn end_ps(&self) -> Ps {
+        match self.kind {
+            EventKind::Complete { dur_ps } => self.ts_ps.saturating_add(dur_ps),
+            EventKind::Instant => self.ts_ps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_ps_adds_duration() {
+        let e = TraceEvent {
+            track: TrackId(0),
+            name: Cow::Borrowed("x"),
+            ts_ps: 10,
+            kind: EventKind::Complete { dur_ps: 5 },
+            args: Vec::new(),
+        };
+        assert_eq!(e.end_ps(), 15);
+        let i = TraceEvent { kind: EventKind::Instant, ..e };
+        assert_eq!(i.end_ps(), 10);
+    }
+
+    #[test]
+    fn arg_conversions() {
+        assert_eq!(ArgValue::from(3u64), ArgValue::U64(3));
+        assert_eq!(ArgValue::from("a"), ArgValue::Str(Cow::Borrowed("a")));
+        assert!(matches!(ArgValue::from(1.5f64), ArgValue::F64(_)));
+        assert!(matches!(ArgValue::from(String::from("s")), ArgValue::Str(_)));
+    }
+}

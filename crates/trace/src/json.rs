@@ -1,0 +1,260 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace has a no-external-deps rule, so every machine-readable
+//! artifact (`chrome://tracing` traces, metrics dumps, the `repro --json`
+//! scorecard, `BENCH_repro.json`) is built on this value type instead of
+//! `serde`. Object keys keep insertion order, floats render through Rust's
+//! shortest-roundtrip `Display` (deterministic for a given value), and
+//! non-finite floats become `null` — so a byte-identical input always
+//! produces a byte-identical document.
+
+use std::fmt::Write as _;
+
+/// A JSON value that renders itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (`NaN`/`±inf` render as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> Self {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// An empty array.
+    pub fn array() -> Self {
+        JsonValue::Arr(Vec::new())
+    }
+
+    /// Insert a field (object variants only; no-op otherwise). Returns
+    /// `self` for chaining.
+    pub fn set(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        if let JsonValue::Obj(fields) = &mut self {
+            fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Append an element (array variants only; no-op otherwise).
+    pub fn push(mut self, value: impl Into<JsonValue>) -> Self {
+        if let JsonValue::Arr(items) = &mut self {
+            items.push(value.into());
+        }
+        self
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Render with every top-level field of an object on its own line —
+    /// enough pretty-printing for diffable artifacts without a formatter.
+    pub fn render_pretty(&self) -> String {
+        match self {
+            JsonValue::Obj(fields) => {
+                let mut out = String::from("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str("  ");
+                    write_escaped(&mut out, k);
+                    out.push_str(": ");
+                    v.write(&mut out);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push('}');
+                out
+            }
+            _ => self.render(),
+        }
+    }
+
+    /// Append the compact rendering to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => write_f64(out, *v),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Write `s` as a JSON string literal (quotes, escapes) into `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Write a float as a JSON number (`null` when not finite). Rust's
+/// `Display` for floats never uses exponent notation, so the output is
+/// always a valid JSON number.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::I64(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::object()
+            .set("name", "pim")
+            .set("n", 3u64)
+            .set("ok", true)
+            .set("ratio", 0.5)
+            .set("items", JsonValue::array().push(1u64).push(2u64))
+            .set("none", JsonValue::Null);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"pim","n":3,"ok":true,"ratio":0.5,"items":[1,2],"none":null}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = JsonValue::from("a\"b\\c\nd\u{1}");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::from(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::from(1.0f64).render(), "1");
+    }
+
+    #[test]
+    fn floats_never_use_exponents() {
+        assert_eq!(JsonValue::from(1e3f64).render(), "1000");
+        assert!(!JsonValue::from(1e20f64).render().contains('e'));
+    }
+
+    #[test]
+    fn pretty_render_is_line_per_field() {
+        let v = JsonValue::object().set("a", 1u64).set("b", 2u64);
+        let p = v.render_pretty();
+        assert!(p.starts_with("{\n  \"a\": 1,\n"));
+        assert!(p.ends_with('}'));
+    }
+
+    #[test]
+    fn set_and_push_ignore_wrong_variants() {
+        assert_eq!(JsonValue::Null.set("k", 1u64), JsonValue::Null);
+        assert_eq!(JsonValue::Null.push(1u64), JsonValue::Null);
+    }
+}

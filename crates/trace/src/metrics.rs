@@ -1,0 +1,319 @@
+//! Counters, gauges, and fixed-bucket histograms with stable snapshots.
+//!
+//! Everything is keyed by name in `BTreeMap`s, so a [`MetricsReport`]
+//! always serializes in the same order — a requirement for byte-identical
+//! artifacts across runs.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonValue;
+
+/// Default histogram bucket boundaries: powers of four starting at 1 ns
+/// (in ps). Covers 1 ns .. ~4 ms, the full range of simulated latencies
+/// and backoff durations in this workspace.
+pub const DEFAULT_BOUNDS: [u64; 12] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+];
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// `counts` has one slot per bound plus a final overflow slot; an
+/// observation lands in the first bucket whose bound is `>=` the value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::with_bounds(&DEFAULT_BOUNDS)
+    }
+}
+
+impl Histogram {
+    /// Build a histogram with the given ascending bucket bounds.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        let mut b = bounds.to_vec();
+        b.sort_unstable();
+        b.dedup();
+        let slots = b.len() + 1;
+        Self { bounds: b, counts: vec![0; slots], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation (zero when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// A stable snapshot (bounds plus per-bucket counts).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+        }
+    }
+}
+
+/// Frozen view of a [`Histogram`] for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds; the implicit last bucket is `+inf`.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (zero when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// JSON object for the metrics dump.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut bounds = JsonValue::array();
+        for b in &self.bounds {
+            bounds = bounds.push(*b);
+        }
+        let mut counts = JsonValue::array();
+        for c in &self.counts {
+            counts = counts.push(*c);
+        }
+        JsonValue::object()
+            .set("count", self.count)
+            .set("sum", self.sum)
+            .set("min", self.min)
+            .set("max", self.max)
+            .set("bounds", bounds)
+            .set("counts", counts)
+    }
+}
+
+/// The mutable registry behind a [`crate::Tracer`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (created at zero on first use).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Record `value` into histogram `name` (created with
+    /// [`DEFAULT_BOUNDS`] on first use).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Create (or replace) histogram `name` with explicit bucket bounds.
+    pub fn register_histogram(&mut self, name: &str, bounds: &[u64]) {
+        self.histograms.insert(name.to_string(), Histogram::with_bounds(bounds));
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Freeze the registry into a report.
+    pub fn snapshot(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+        }
+    }
+}
+
+/// A frozen, ordered snapshot of every metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Monotonic counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write gauges, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms, by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsReport {
+    /// The report as a [`JsonValue`] (stable field order).
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut counters = JsonValue::object();
+        for (k, v) in &self.counters {
+            counters = counters.set(k, *v);
+        }
+        let mut gauges = JsonValue::object();
+        for (k, v) in &self.gauges {
+            gauges = gauges.set(k, *v);
+        }
+        let mut histograms = JsonValue::object();
+        for (k, v) in &self.histograms {
+            histograms = histograms.set(k, v.to_json_value());
+        }
+        JsonValue::object()
+            .set("counters", counters)
+            .set("gauges", gauges)
+            .set("histograms", histograms)
+    }
+
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::with_bounds(&[10, 100]);
+        h.observe(5);
+        h.observe(10); // inclusive upper bound
+        h.observe(50);
+        h.observe(1_000); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 1_000);
+        assert!((h.mean() - 266.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut r = MetricsRegistry::new();
+        r.count("reads", 2);
+        r.count("reads", 3);
+        r.gauge("occupancy", 0.5);
+        r.observe("lat", 42);
+        assert_eq!(r.counter("reads"), 5);
+        assert_eq!(r.counter("nope"), 0);
+        let rep = r.snapshot();
+        assert_eq!(rep.counters["reads"], 5);
+        assert_eq!(rep.histograms["lat"].count, 1);
+        let json = rep.to_json();
+        assert!(json.contains("\"reads\":5"));
+        assert!(json.contains("\"occupancy\":0.5"));
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.count("b", 1);
+            r.count("a", 2);
+            r.observe("h", 10);
+            r.snapshot().to_json()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn register_histogram_sets_bounds() {
+        let mut r = MetricsRegistry::new();
+        r.register_histogram("lat", &[1, 2, 3]);
+        r.observe("lat", 2);
+        assert_eq!(r.snapshot().histograms["lat"].bounds, vec![1, 2, 3]);
+    }
+}

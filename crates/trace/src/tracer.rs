@@ -1,0 +1,290 @@
+//! The `Tracer` handle threaded through the simulator.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::chrome;
+use crate::event::{ArgValue, EventKind, TraceEvent, TrackId};
+use crate::metrics::{MetricsRegistry, MetricsReport};
+use crate::Ps;
+
+/// Hard ceiling on buffered events; beyond it events are counted as
+/// dropped instead of growing without bound (the count is surfaced in
+/// [`Tracer::dropped_events`] and the chrome export's metadata, never
+/// silently).
+const DEFAULT_MAX_EVENTS: usize = 4_000_000;
+
+#[derive(Debug, Default)]
+struct Inner {
+    tracks: Vec<String>,
+    track_ids: BTreeMap<String, u16>,
+    events: Vec<TraceEvent>,
+    max_events: usize,
+    dropped: u64,
+    metrics: MetricsRegistry,
+}
+
+/// A cheap-to-clone tracing handle.
+///
+/// Clones share the same buffer, so one `Tracer` can be handed to the
+/// offload engine, every `SimContext`, and the memory system, and all
+/// events land on one timeline. The **disabled** tracer (the `Default`)
+/// holds nothing: every emit call is a branch on a `None` and returns —
+/// no allocation, no locking. Callers that must build a `String` for an
+/// event name guard on [`Tracer::enabled`] first so disabled runs never
+/// touch the heap.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Tracer {
+    /// An enabled tracer with an empty buffer.
+    pub fn new() -> Self {
+        Self::with_max_events(DEFAULT_MAX_EVENTS)
+    }
+
+    /// An enabled tracer that buffers at most `max_events` events.
+    pub fn with_max_events(max_events: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                max_events: max_events.max(1),
+                ..Inner::default()
+            }))),
+        }
+    }
+
+    /// The no-op tracer (same as `Default`).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, Inner>> {
+        // A poisoned lock only happens if a holder panicked; the buffer
+        // itself is still consistent (all mutations are single calls), so
+        // recover rather than propagate the panic.
+        self.inner.as_ref().map(|m| m.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Intern `name` as a track, returning its id. Repeated calls with
+    /// the same name return the same id. Disabled tracers return
+    /// [`TrackId::NONE`].
+    pub fn track(&self, name: &str) -> TrackId {
+        let Some(mut inner) = self.lock() else {
+            return TrackId::NONE;
+        };
+        if let Some(&id) = inner.track_ids.get(name) {
+            return TrackId(id);
+        }
+        let id = inner.tracks.len().min(u16::MAX as usize - 1) as u16;
+        inner.tracks.push(name.to_string());
+        inner.track_ids.insert(name.to_string(), id);
+        TrackId(id)
+    }
+
+    /// Names of all registered tracks, in registration order.
+    pub fn tracks(&self) -> Vec<String> {
+        self.lock().map(|i| i.tracks.clone()).unwrap_or_default()
+    }
+
+    fn emit(&self, ev: TraceEvent) {
+        let Some(mut inner) = self.lock() else {
+            return;
+        };
+        if ev.track == TrackId::NONE {
+            return;
+        }
+        if inner.events.len() >= inner.max_events {
+            inner.dropped += 1;
+            return;
+        }
+        inner.events.push(ev);
+    }
+
+    /// Record a span of `dur_ps` starting at `ts_ps` on `track`.
+    pub fn complete(&self, track: TrackId, name: impl Into<Cow<'static, str>>, ts_ps: Ps, dur_ps: Ps) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit(TraceEvent {
+            track,
+            name: name.into(),
+            ts_ps,
+            kind: EventKind::Complete { dur_ps },
+            args: Vec::new(),
+        });
+    }
+
+    /// [`Tracer::complete`] with key/value annotations.
+    pub fn complete_args(
+        &self,
+        track: TrackId,
+        name: impl Into<Cow<'static, str>>,
+        ts_ps: Ps,
+        dur_ps: Ps,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit(TraceEvent {
+            track,
+            name: name.into(),
+            ts_ps,
+            kind: EventKind::Complete { dur_ps },
+            args,
+        });
+    }
+
+    /// Record a point event at `ts_ps` on `track`.
+    pub fn instant(&self, track: TrackId, name: impl Into<Cow<'static, str>>, ts_ps: Ps) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit(TraceEvent {
+            track,
+            name: name.into(),
+            ts_ps,
+            kind: EventKind::Instant,
+            args: Vec::new(),
+        });
+    }
+
+    /// [`Tracer::instant`] with key/value annotations.
+    pub fn instant_args(
+        &self,
+        track: TrackId,
+        name: impl Into<Cow<'static, str>>,
+        ts_ps: Ps,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit(TraceEvent { track, name: name.into(), ts_ps, kind: EventKind::Instant, args });
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(mut inner) = self.lock() {
+            inner.metrics.count(name, delta);
+        }
+    }
+
+    /// Set gauge `name`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(mut inner) = self.lock() {
+            inner.metrics.gauge(name, value);
+        }
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(mut inner) = self.lock() {
+            inner.metrics.observe(name, value);
+        }
+    }
+
+    /// Create (or reset) histogram `name` with explicit bucket bounds.
+    pub fn register_histogram(&self, name: &str, bounds: &[u64]) {
+        if let Some(mut inner) = self.lock() {
+            inner.metrics.register_histogram(name, bounds);
+        }
+    }
+
+    /// Snapshot of all metrics (empty for a disabled tracer).
+    pub fn metrics(&self) -> MetricsReport {
+        self.lock().map(|i| i.metrics.snapshot()).unwrap_or_default()
+    }
+
+    /// A copy of the buffered events (empty for a disabled tracer).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().map(|i| i.events.clone()).unwrap_or_default()
+    }
+
+    /// Number of buffered events.
+    pub fn event_count(&self) -> usize {
+        self.lock().map(|i| i.events.len()).unwrap_or(0)
+    }
+
+    /// Events refused because the buffer cap was reached.
+    pub fn dropped_events(&self) -> u64 {
+        self.lock().map(|i| i.dropped).unwrap_or(0)
+    }
+
+    /// Export the buffer in the Chrome trace-event format
+    /// (`chrome://tracing` / Perfetto loadable). Empty-but-valid JSON for
+    /// a disabled tracer.
+    pub fn chrome_trace(&self) -> String {
+        match self.lock() {
+            Some(inner) => chrome::chrome_trace_json(&inner.tracks, &inner.events, inner.dropped),
+            None => chrome::chrome_trace_json(&[], &[], 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        let id = t.track("cpu");
+        assert_eq!(id, TrackId::NONE);
+        t.complete(id, "span", 0, 10);
+        t.instant(id, "mark", 5);
+        t.count("c", 1);
+        t.observe("h", 1);
+        assert_eq!(t.event_count(), 0);
+        assert_eq!(t.metrics(), MetricsReport::default());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Tracer::new();
+        let t2 = t.clone();
+        let track = t.track("cpu");
+        t2.complete(track, "a", 0, 1);
+        t.instant(track, "b", 2);
+        assert_eq!(t.event_count(), 2);
+        assert_eq!(t2.event_count(), 2);
+        t2.count("n", 3);
+        assert_eq!(t.metrics().counters["n"], 3);
+    }
+
+    #[test]
+    fn track_interning_is_stable() {
+        let t = Tracer::new();
+        let a = t.track("cpu");
+        let b = t.track("vault 0");
+        assert_eq!(t.track("cpu"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.tracks(), vec!["cpu".to_string(), "vault 0".to_string()]);
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let t = Tracer::with_max_events(2);
+        let track = t.track("x");
+        for i in 0..5 {
+            t.instant(track, "e", i);
+        }
+        assert_eq!(t.event_count(), 2);
+        assert_eq!(t.dropped_events(), 3);
+    }
+
+    #[test]
+    fn none_track_events_are_ignored() {
+        let t = Tracer::new();
+        t.complete(TrackId::NONE, "ghost", 0, 1);
+        assert_eq!(t.event_count(), 0);
+    }
+}

@@ -153,7 +153,10 @@ pub fn run_sw_decode(
 
     // Replay steady-state (inter) frames only: keyframes are rare in the
     // paper's 100-frame clips and would skew the per-function shares.
-    for (enc, dec) in per_frame.iter().skip(1) {
+    for (frame, (enc, dec)) in per_frame.iter().enumerate().skip(1) {
+        if ctx.tracer().enabled() {
+            ctx.mark(format!("decode frame {frame}"));
+        }
         // Entropy decoding: stream the bitstream; tight serial bit loop.
         ctx.scoped("entropy_decoder", |ctx| {
             let bits: Tracked<u8> = Tracked::from_vec(ctx, enc.data.clone());
@@ -237,7 +240,10 @@ pub fn run_sw_encode(
         (0..3).map(|_| TrackedPlane::new(ctx, Plane::new(w, h))).collect();
     let recon_buf = TrackedPlane::new(ctx, Plane::new(w, h));
 
-    for (enc, stats) in per_frame.iter().skip(1) {
+    for (frame, (enc, stats)) in per_frame.iter().enumerate().skip(1) {
+        if ctx.tracer().enabled() {
+            ctx.mark(format!("encode frame {frame}"));
+        }
         let mbs = stats.macroblocks.max(1);
         let int_cand_per_mb = stats.search.integer_candidates / mbs;
         let sub_cand_per_mb = stats.search.subpel_candidates / mbs;

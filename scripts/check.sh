@@ -17,4 +17,7 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> trace-overhead bench (smoke)"
+cargo bench -q -p pim-bench --bench trace_overhead -- --smoke
+
 echo "==> all checks passed"

@@ -14,6 +14,8 @@
 //!   execution modes, PIM-target identification, area model, reports.
 //! * [`faults`] — the workspace error type, deterministic fault plans and
 //!   the simulation watchdog.
+//! * [`trace`] — simulated-time tracing, metrics registry and the Chrome
+//!   trace-event / JSON exporters behind `repro --trace` / `--metrics`.
 //! * [`chrome`] — texture tiling, color blitting, LZO/ZRAM, page scrolling
 //!   and tab switching.
 //! * [`tfmobile`] — quantized GEMM, packing, quantization, four networks.
@@ -26,4 +28,5 @@ pub use pim_energy as energy;
 pub use pim_faults as faults;
 pub use pim_memsim as memsim;
 pub use pim_tfmobile as tfmobile;
+pub use pim_trace as trace;
 pub use pim_vp9 as vp9;

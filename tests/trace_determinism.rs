@@ -1,0 +1,101 @@
+//! End-to-end properties of the observability layer: byte-identical
+//! artifacts for a fixed seed, the disabled-tracer purity guarantee, and
+//! the structural contract of the Chrome trace (`repro --trace`).
+
+use dmpim::chrome::tiling::TextureTilingKernel;
+use dmpim::core::{ExecutionMode, FaultConfig, OffloadEngine, RunReport, Tracer};
+
+fn report_key(r: &RunReport) -> (u64, u64, u64) {
+    (r.runtime_ps, r.energy.total_pj().to_bits(), r.instructions)
+}
+
+/// One traced run covering engine, vault, phase and fault tracks.
+fn traced_run(tracer: &Tracer) -> RunReport {
+    let engine = OffloadEngine::new().with_tracer(tracer);
+    let mut k = TextureTilingKernel::new(128, 128, 3);
+    engine.run(&mut k, ExecutionMode::CpuOnly);
+    engine.run(&mut k, ExecutionMode::PimAcc);
+    let cfg = FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() };
+    OffloadEngine::new()
+        .with_faults(cfg, 9)
+        .with_tracer(tracer)
+        .run(&mut k, ExecutionMode::PimAcc)
+}
+
+/// Same seed ⇒ byte-identical trace JSON, metrics JSON and run JSON.
+#[test]
+fn artifacts_are_byte_identical_across_runs() {
+    let (ta, tb) = (Tracer::new(), Tracer::new());
+    let ra = traced_run(&ta);
+    let rb = traced_run(&tb);
+    assert_eq!(ta.chrome_trace(), tb.chrome_trace());
+    assert_eq!(ta.metrics().to_json(), tb.metrics().to_json());
+    assert_eq!(ra.to_json(), rb.to_json());
+}
+
+/// A disabled tracer (and no tracer at all) leaves every reported number
+/// bit-identical to the traced run: observation does not perturb the
+/// simulation.
+#[test]
+fn tracer_never_perturbs_the_simulation() {
+    let mut k = TextureTilingKernel::new(128, 128, 3);
+    let plain = OffloadEngine::new().run(&mut k, ExecutionMode::PimAcc);
+    let disabled = OffloadEngine::new()
+        .with_tracer(&Tracer::disabled())
+        .run(&mut k, ExecutionMode::PimAcc);
+    let tracer = Tracer::new();
+    let traced = OffloadEngine::new().with_tracer(&tracer).run(&mut k, ExecutionMode::PimAcc);
+    assert_eq!(report_key(&plain), report_key(&disabled));
+    assert_eq!(report_key(&plain), report_key(&traced));
+    assert_eq!(Tracer::disabled().event_count(), 0);
+    assert!(tracer.event_count() > 0);
+}
+
+/// The trace covers at least the four required track families and its
+/// events are ordered by simulated time.
+#[test]
+fn trace_structure_holds() {
+    let tracer = Tracer::new();
+    traced_run(&tracer);
+    let tracks = tracer.tracks();
+    for want in ["cpu", "pim-accel", "kernel-phases", "faults"] {
+        assert!(tracks.iter().any(|t| t == want), "missing {want}: {tracks:?}");
+    }
+    assert!(tracks.iter().any(|t| t.starts_with("vault ")), "{tracks:?}");
+    assert!(tracks.len() >= 4);
+
+    // Exported Chrome events are sorted by timestamp; "ts" values in file
+    // order must be non-decreasing.
+    let json = tracer.chrome_trace();
+    let mut last = -1.0f64;
+    let mut seen = 0usize;
+    for line in json.lines() {
+        let Some(pos) = line.find("\"ts\":") else { continue };
+        let rest = &line[pos + 5..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        let ts: f64 = rest[..end].trim().parse().unwrap();
+        assert!(ts >= last, "trace not time-ordered: {ts} after {last}");
+        last = ts;
+        seen += 1;
+    }
+    assert!(seen > 100, "expected many timestamped events, got {seen}");
+
+    // The phase marks from the kernel show up on the phase track.
+    assert!(json.contains("tile-row"));
+    assert!(json.contains("texture_tiling"));
+}
+
+/// Fault instants land on the `faults` track and the degradation record
+/// round-trips through JSON.
+#[test]
+fn faulted_run_is_visible_in_trace_and_json() {
+    let tracer = Tracer::new();
+    let report = traced_run(&tracer);
+    assert!(tracer.metrics().counters["faults.tripped"] >= 1);
+    assert!(tracer.chrome_trace().contains("vault-failure"));
+    let json = report.to_json();
+    let degradation = report.degradation.expect("faulted run must degrade");
+    assert!(degradation.fallbacks >= 1);
+    assert!(json.contains("\"degradation\":{"));
+    assert!(json.contains("\"fallbacks\""));
+}
