@@ -29,7 +29,7 @@ fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
 
 fn memsim() {
     println!("[memsim]");
-    let mut cache = Cache::new(CacheConfig::soc_llc());
+    let mut cache = Cache::new(CacheConfig::soc_llc()).expect("valid preset");
     let mut addr = 0u64;
     bench("cache_streaming_10k_lines", 100, || {
         for _ in 0..10_000 {
@@ -38,7 +38,7 @@ fn memsim() {
         }
     });
 
-    let mut banks = BankArray::new(DramConfig::lpddr3());
+    let mut banks = BankArray::new(DramConfig::lpddr3()).expect("valid preset");
     let mut addr = 0u64;
     bench("dram_bank_10k_accesses", 100, || {
         for _ in 0..10_000 {
@@ -47,7 +47,7 @@ fn memsim() {
         }
     });
 
-    let mut m = MemorySystem::new(MemConfig::chromebook_like());
+    let mut m = MemorySystem::new(MemConfig::chromebook_like()).expect("valid preset");
     let mut now = 0;
     let mut base = 0u64;
     bench("memory_system_ranged_1mb", 50, || {
@@ -58,7 +58,7 @@ fn memsim() {
         base = base.wrapping_add(1 << 20);
     });
 
-    let mut m = MemorySystem::new(MemConfig::pim_device());
+    let mut m = MemorySystem::new(MemConfig::pim_device()).expect("valid preset");
     let mut now = 0;
     let mut base = 0u64;
     bench("pim_port_ranged_1mb", 50, || {

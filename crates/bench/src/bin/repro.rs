@@ -5,35 +5,62 @@
 //! cargo run -p pim-bench --release --bin repro -- --experiment fig18
 //! cargo run -p pim-bench --release --bin repro -- --list
 //! cargo run -p pim-bench --release --bin repro -- --json       # scorecard JSON + BENCH_repro.json
+//! cargo run -p pim-bench --release --bin repro -- --json --jobs 4 --journal sweep.jsonl
+//! cargo run -p pim-bench --release --bin repro -- --json --jobs 4 --resume sweep.jsonl
 //! cargo run -p pim-bench --release --bin repro -- --trace trace.json --metrics metrics.json
+//! cargo run -p pim-bench --release --bin repro -- --selftest-harness
 //! ```
 //!
-//! `--trace` writes a Chrome trace-event file (open in Perfetto or
-//! `chrome://tracing`); `--metrics` writes the flat metrics dump from the
-//! same traced sweep. `--json` prints the paper-vs-measured scorecard as
-//! JSON and archives it (with wall-clock timing) to `BENCH_repro.json`.
+//! Every sweep runs under the supervised harness: `--jobs N` fans the
+//! work across N panic-isolated workers (merged output is byte-identical
+//! to `--jobs 1`), `--journal` checkpoints each finished job to a JSONL
+//! file, and `--resume` re-runs only the jobs a killed sweep left
+//! unfinished. `--trace` writes a Chrome trace-event file (open in
+//! Perfetto or `chrome://tracing`); `--metrics` writes the flat metrics
+//! dump from the same traced sweep. `--json` prints the paper-vs-measured
+//! scorecard plus the harness failure report as JSON, archives both
+//! (with wall-clock timing) to `BENCH_repro.json`, and exits non-zero on
+//! any non-waived divergent verdict or any quarantined/failed job.
+//! `--selftest-harness` runs a tiny sweep with an injected panic and a
+//! hung simulation and verifies the harness isolates both.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use pim_harness::HarnessPolicy;
 use pim_trace::JsonValue;
 
 struct Cli {
     list: bool,
     json: bool,
+    selftest: bool,
     experiment: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    jobs: usize,
+    journal: Option<String>,
+    resume: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
-    let mut cli =
-        Cli { list: false, json: false, experiment: None, trace: None, metrics: None };
+    let mut cli = Cli {
+        list: false,
+        json: false,
+        selftest: false,
+        experiment: None,
+        trace: None,
+        metrics: None,
+        jobs: 1,
+        journal: None,
+        resume: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => cli.list = true,
             "--json" => cli.json = true,
+            "--selftest-harness" => cli.selftest = true,
             "--experiment" => {
                 cli.experiment =
                     Some(it.next().ok_or("--experiment needs an id")?.clone());
@@ -42,10 +69,44 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--metrics" => {
                 cli.metrics = Some(it.next().ok_or("--metrics needs a path")?.clone());
             }
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a worker count")?;
+                cli.jobs = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs needs a positive integer, got {n}"))?;
+            }
+            "--journal" => {
+                cli.journal = Some(it.next().ok_or("--journal needs a path")?.clone());
+            }
+            "--resume" => {
+                cli.resume = Some(it.next().ok_or("--resume needs a journal path")?.clone());
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
+    if cli.journal.is_some() && cli.resume.is_some() {
+        return Err("--journal and --resume are mutually exclusive (resume \
+                    appends to the journal it reads)"
+            .to_string());
+    }
     Ok(cli)
+}
+
+impl Cli {
+    fn policy(&self) -> HarnessPolicy {
+        HarnessPolicy { workers: self.jobs, ..HarnessPolicy::default() }
+    }
+
+    /// The journal path (if any) and whether to resume from it.
+    fn journal(&self) -> (Option<&Path>, bool) {
+        match (&self.resume, &self.journal) {
+            (Some(p), _) => (Some(Path::new(p)), true),
+            (None, Some(p)) => (Some(Path::new(p)), false),
+            (None, None) => (None, false),
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -55,7 +116,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro [--list | --experiment <id> | --json | --trace <path>] [--metrics <path>]"
+                "usage: repro [--list | --experiment <id> | --json | --selftest-harness | \
+                 --trace <path>] [--metrics <path>] [--jobs <n>] [--journal <path> | --resume <path>]"
             );
             return ExitCode::FAILURE;
         }
@@ -68,34 +130,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if cli.selftest {
+        return selftest(&cli);
+    }
+
     if cli.json {
-        let t0 = Instant::now();
-        let entries = pim_bench::scorecard::scorecard(false);
-        let doc = pim_bench::scorecard::to_json(&entries);
-        println!("{doc}");
-        let wall_ms = t0.elapsed().as_millis() as u64;
-        let mut arr = JsonValue::array();
-        for e in &entries {
-            arr = arr.push(
-                JsonValue::object()
-                    .set("id", e.id)
-                    .set("quantity", e.quantity)
-                    .set("paper", e.paper)
-                    .set("measured", e.measured)
-                    .set("verdict", e.verdict),
-            );
-        }
-        let bench = JsonValue::object()
-            .set("source", "dmpim repro --json")
-            .set("wall_ms", wall_ms)
-            .set("scorecard", arr)
-            .render_pretty();
-        if let Err(e) = std::fs::write("BENCH_repro.json", bench) {
-            eprintln!("failed to write BENCH_repro.json: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("wrote BENCH_repro.json ({wall_ms} ms)");
-        return ExitCode::SUCCESS;
+        return json_scorecard(&cli);
     }
 
     if cli.trace.is_some() || cli.metrics.is_some() {
@@ -131,17 +171,119 @@ fn main() -> ExitCode {
         };
     }
 
-    for id in pim_bench::EXPERIMENTS {
-        banner(id);
-        match pim_bench::run_experiment(id) {
-            Ok(report) => println!("{report}"),
-            Err(e) => {
-                eprintln!("experiment {id} failed: {e}");
-                return ExitCode::FAILURE;
-            }
+    all_experiments(&cli)
+}
+
+/// The default run: every experiment as a supervised harness job. One
+/// panicking or hung experiment no longer kills the whole regeneration —
+/// its siblings complete and the failure report says what broke.
+fn all_experiments(cli: &Cli) -> ExitCode {
+    let mut harness = pim_harness::Harness::new(cli.policy());
+    let (journal, resume) = cli.journal();
+    if let Some(path) = journal {
+        harness = if resume { harness.resume_from(path) } else { harness.with_journal(path) };
+    }
+    let report = match harness.run(pim_bench::jobs::experiment_jobs()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("harness error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in &report.results {
+        banner(&r.id);
+        match &r.output {
+            Some(text) => println!("{text}"),
+            None => eprintln!(
+                "experiment {} {}: {}",
+                r.id,
+                r.status.label(),
+                r.error.as_deref().unwrap_or("unknown error")
+            ),
         }
     }
-    ExitCode::SUCCESS
+    let summary = report.summary();
+    eprintln!("harness: {}", summary.one_line());
+    if summary.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `--json`: the harness-driven scorecard sweep, with CI gating.
+fn json_scorecard(cli: &Cli) -> ExitCode {
+    let t0 = Instant::now();
+    let (journal, resume) = cli.journal();
+    let (entries, report) =
+        match pim_bench::jobs::scorecard_sweep(false, cli.policy(), journal, resume) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("harness error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let doc = pim_bench::scorecard::to_json_with_harness(&entries, Some(&report));
+    println!("{doc}");
+    let wall_ms = t0.elapsed().as_millis() as u64;
+    let mut arr = JsonValue::array();
+    for e in &entries {
+        arr = arr.push(
+            JsonValue::object()
+                .set("id", e.id)
+                .set("quantity", e.quantity)
+                .set("paper", e.paper)
+                .set("measured", e.measured)
+                .set("verdict", e.verdict),
+        );
+    }
+    let bench = JsonValue::object()
+        .set("source", "dmpim repro --json")
+        .set("wall_ms", wall_ms)
+        .set("scorecard", arr)
+        .set("harness", report.to_json_value())
+        .render_pretty();
+    if let Err(e) = std::fs::write("BENCH_repro.json", bench) {
+        eprintln!("failed to write BENCH_repro.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote BENCH_repro.json ({wall_ms} ms)");
+
+    let summary = report.summary();
+    let failures = pim_bench::scorecard::gate_failures(&entries, Some(&summary));
+    if failures.is_empty() {
+        eprintln!("gate: ok ({})", summary.one_line());
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("gate: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// `--selftest-harness`: prove the supervision machinery end-to-end.
+fn selftest(cli: &Cli) -> ExitCode {
+    let workers = cli.jobs.max(2);
+    let (report, mismatches) = match pim_bench::jobs::selftest(workers) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("harness error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.to_json_value().render_pretty());
+    let summary = report.summary();
+    eprintln!("harness selftest ({workers} workers): {}", summary.one_line());
+    if mismatches.is_empty() {
+        eprintln!("harness selftest: ok (panic isolated, runaway quarantined)");
+        ExitCode::SUCCESS
+    } else {
+        for m in &mismatches {
+            eprintln!("harness selftest: {m}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn banner(id: &str) {

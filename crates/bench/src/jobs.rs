@@ -1,0 +1,269 @@
+//! Sweep jobs for the supervised harness behind `repro`.
+//!
+//! Every unit of sweep work — one kernel measured across the three study
+//! modes, or one experiment regenerated — is packaged as a
+//! [`pim_harness::Job`] so the repro CLI gets panic isolation, watchdog
+//! supervision, retry/quarantine policy and journal-based resume for
+//! free. Jobs communicate through their payload *strings* (see
+//! [`KernelMetrics::to_line`]): a result restored from a resume journal
+//! is byte-identical to one computed in-process, which is what makes
+//! resumed scorecards bit-identical to uninterrupted ones.
+
+use std::path::Path;
+use std::time::Duration;
+
+use pim_core::{
+    DmpimError, ExecutionMode, Kernel, OffloadEngine, OpMix, PimTargetKind, ResiliencePolicy,
+    SimContext, Tracer, Watchdog,
+};
+use pim_harness::{Harness, HarnessError, HarnessPolicy, Job, SweepReport};
+
+use crate::scorecard::{entries_from_metrics, KernelMetrics, ScorecardEntry};
+
+/// A capture-free kernel constructor. Plain `fn` pointers (not boxed
+/// closures) so a catalog entry is trivially `Send + Sync` and can be
+/// moved into retried job attempts.
+pub type KernelFactory = fn() -> Box<dyn Kernel>;
+
+/// Every PIM-target kernel with its workload: name, paper target, and a
+/// factory building a fresh kernel instance per job attempt. `smoke`
+/// swaps the paper-scale inputs for two small kernels (tests and the
+/// harness selftest).
+pub fn kernel_catalog(smoke: bool) -> Vec<(&'static str, PimTargetKind, KernelFactory)> {
+    use pim_chrome::lzo::{CompressionKernel, DecompressionKernel};
+    use pim_chrome::tiling::TextureTilingKernel;
+    use pim_chrome::ColorBlittingKernel;
+    use pim_vp9::driver::{
+        DeblockingFilterKernel, MotionEstimationKernel, SubPixelInterpolationKernel,
+    };
+    if smoke {
+        return vec![
+            ("texture tiling", PimTargetKind::TextureTiling, || {
+                Box::new(TextureTilingKernel::new(128, 128, 1))
+            }),
+            ("color blitting", PimTargetKind::ColorBlitting, || {
+                Box::new(ColorBlittingKernel::new(vec![32, 64], 128, 1))
+            }),
+        ];
+    }
+    vec![
+        ("texture tiling", PimTargetKind::TextureTiling, || {
+            Box::new(TextureTilingKernel::paper_input())
+        }),
+        ("color blitting", PimTargetKind::ColorBlitting, || {
+            Box::new(ColorBlittingKernel::paper_input())
+        }),
+        ("compression", PimTargetKind::Compression, || Box::new(CompressionKernel::paper_input())),
+        ("decompression", PimTargetKind::Compression, || {
+            Box::new(DecompressionKernel::paper_input())
+        }),
+        ("packing", PimTargetKind::Packing, || {
+            Box::new(pim_tfmobile::pack::PackingKernel::paper_input())
+        }),
+        ("quantization", PimTargetKind::Quantization, || {
+            Box::new(pim_tfmobile::quantize::QuantizationKernel::paper_input())
+        }),
+        ("sub-pixel interpolation", PimTargetKind::SubPixelInterpolation, || {
+            Box::new(SubPixelInterpolationKernel::paper_input())
+        }),
+        ("deblocking filter", PimTargetKind::DeblockingFilter, || {
+            Box::new(DeblockingFilterKernel::paper_input())
+        }),
+        ("motion estimation", PimTargetKind::MotionEstimation, || {
+            Box::new(MotionEstimationKernel::paper_input())
+        }),
+    ]
+}
+
+/// Run one kernel through the three study modes (CPU-only, PIM-Core,
+/// PIM-Acc) and encode the scorecard measurements as a journal line.
+fn measure(
+    name: &'static str,
+    kind: PimTargetKind,
+    factory: KernelFactory,
+    tracer: &Tracer,
+    watchdog: Watchdog,
+) -> Result<String, DmpimError> {
+    let engine = OffloadEngine::new().with_tracer(tracer).with_watchdog(watchdog);
+    let mut kernel = factory();
+    let cpu = engine.try_run(kernel.as_mut(), ExecutionMode::CpuOnly)?;
+    let core = engine.try_run(kernel.as_mut(), ExecutionMode::PimCore)?;
+    let acc = engine.try_run(kernel.as_mut(), ExecutionMode::PimAcc)?;
+    Ok(KernelMetrics::from_reports(name, kind, &cpu, &core, &acc).to_line())
+}
+
+/// One measurement job per catalog kernel.
+pub fn metrics_jobs(smoke: bool) -> Vec<Job> {
+    kernel_catalog(smoke)
+        .into_iter()
+        .map(|(name, kind, factory)| {
+            Job::new(name, move |ctx| measure(name, kind, factory, &ctx.tracer, ctx.watchdog))
+        })
+        .collect()
+}
+
+/// Compute the scorecard measurements in-process (no journal, current
+/// thread). Round-trips every measurement through its journal line so
+/// the values are bit-identical to a harness/resume run.
+pub(crate) fn collect_metrics(smoke: bool) -> Vec<KernelMetrics> {
+    let tracer = Tracer::default();
+    kernel_catalog(smoke)
+        .into_iter()
+        .filter_map(|(name, kind, factory)| {
+            measure(name, kind, factory, &tracer, Watchdog::unlimited()).ok()
+        })
+        .filter_map(|line| KernelMetrics::parse(&line))
+        .collect()
+}
+
+/// Run the scorecard sweep through the harness: one job per kernel,
+/// optional journal/resume, merged back into scorecard entries plus the
+/// harness's failure report. Jobs whose measurement failed (panic,
+/// timeout, invalid config) are reported in the [`SweepReport`] and
+/// simply absent from the aggregation.
+pub fn scorecard_sweep(
+    smoke: bool,
+    policy: HarnessPolicy,
+    journal: Option<&Path>,
+    resume: bool,
+) -> Result<(Vec<ScorecardEntry>, SweepReport), HarnessError> {
+    let mut harness = Harness::new(policy);
+    if let Some(path) = journal {
+        harness = if resume { harness.resume_from(path) } else { harness.with_journal(path) };
+    }
+    let report = harness.run(metrics_jobs(smoke))?;
+    let metrics: Vec<KernelMetrics> = report
+        .results
+        .iter()
+        .filter_map(|r| r.output.as_deref())
+        .filter_map(KernelMetrics::parse)
+        .collect();
+    Ok((entries_from_metrics(&metrics), report))
+}
+
+/// One job per experiment id, for the default `repro` run. Each job's
+/// payload is the experiment's full text report.
+pub fn experiment_jobs() -> Vec<Job> {
+    crate::EXPERIMENTS
+        .iter()
+        .map(|&id| Job::new(id, move |_ctx| crate::run_experiment(id)))
+        .collect()
+}
+
+/// A deliberately hung simulation: spins until a watchdog poisons the
+/// context. Unsupervised, this kernel never terminates — which is
+/// exactly what the harness selftest needs to prove supervision works.
+struct RunawayKernel;
+
+impl Kernel for RunawayKernel {
+    fn name(&self) -> &'static str {
+        "runaway"
+    }
+
+    fn run(&mut self, ctx: &mut SimContext) {
+        while !ctx.is_poisoned() {
+            ctx.ops(OpMix::scalar(64));
+        }
+    }
+}
+
+/// The `repro --selftest-harness` sweep: two real kernel measurements
+/// plus one panicking job and one hung simulation. Returns the report
+/// and any deviations from the expected disposition (empty = pass).
+pub fn selftest(workers: usize) -> Result<(SweepReport, Vec<String>), HarnessError> {
+    let policy = HarnessPolicy {
+        workers: workers.max(1),
+        max_retries: 1,
+        quarantine_strikes: 2,
+        retry_backoff: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(8),
+        wall_deadline: None,
+        // Generous enough for the smoke kernels, but the runaway kernel
+        // burns host events forever and trips it within milliseconds.
+        watchdog: Watchdog::new(u64::MAX, 2_000_000),
+    };
+    let mut jobs = metrics_jobs(true);
+    jobs.push(Job::new("panicker", |_ctx| -> Result<String, DmpimError> {
+        panic!("injected selftest panic");
+    }));
+    jobs.push(Job::new("runaway", |ctx| {
+        let engine = OffloadEngine::new().with_watchdog(ctx.watchdog).with_resilience(
+            ResiliencePolicy { max_retries: 0, allow_fallback: false, ..Default::default() },
+        );
+        let mut kernel = RunawayKernel;
+        engine.try_run(&mut kernel, ExecutionMode::CpuOnly)?;
+        Ok("unreachable".to_string())
+    }));
+    let report = Harness::new(policy).run(jobs)?;
+
+    let summary = report.summary();
+    let mut mismatches = Vec::new();
+    for (what, got, want) in [
+        ("succeeded", summary.succeeded, 2),
+        ("failed", summary.failed, 1),
+        ("quarantined", summary.quarantined, 1),
+    ] {
+        if got != want {
+            mismatches.push(format!("expected {want} {what} job(s), got {got}"));
+        }
+    }
+    for (label, want) in [("panic", 1), ("watchdog-timeout", 1)] {
+        let got = summary.taxonomy.get(label).copied().unwrap_or(0);
+        if got != want {
+            mismatches.push(format!("expected taxonomy {label}={want}, got {got}"));
+        }
+    }
+    Ok((report, mismatches))
+}
+
+#[cfg(test)]
+mod tests {
+    use pim_harness::JobStatus;
+
+    use super::*;
+
+    #[test]
+    fn catalog_covers_all_nine_targets_at_paper_scale() {
+        assert_eq!(kernel_catalog(false).len(), 9);
+        assert_eq!(kernel_catalog(true).len(), 2);
+    }
+
+    #[test]
+    fn metric_lines_round_trip() {
+        let tracer = Tracer::default();
+        for (name, kind, factory) in kernel_catalog(true) {
+            let line = measure(name, kind, factory, &tracer, Watchdog::unlimited()).unwrap();
+            let m = KernelMetrics::parse(&line).expect("line parses");
+            assert_eq!(m.name, name);
+            assert_eq!(m.kind, kind);
+            assert_eq!(m.to_line(), line, "shortest-roundtrip f64 must be stable");
+        }
+    }
+
+    #[test]
+    fn harness_sweep_matches_in_process_scorecard() {
+        let (entries, report) =
+            scorecard_sweep(true, HarnessPolicy { workers: 2, ..Default::default() }, None, false)
+                .unwrap();
+        assert!(report.all_ok(), "{:?}", report.summary());
+        let direct = crate::scorecard::scorecard(true);
+        assert_eq!(entries.len(), direct.len());
+        for (a, b) in entries.iter().zip(&direct) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.quantity, b.quantity);
+            assert_eq!(a.measured.to_bits(), b.measured.to_bits(), "{}/{}", a.id, a.quantity);
+        }
+    }
+
+    #[test]
+    fn selftest_isolates_panic_and_quarantines_runaway() {
+        let (report, mismatches) = selftest(2).unwrap();
+        assert!(mismatches.is_empty(), "{mismatches:?}");
+        let runaway = report.results.iter().find(|r| r.id == "runaway").unwrap();
+        assert_eq!(runaway.status, JobStatus::Quarantined);
+        assert_eq!(runaway.attempts, 2, "two timeout strikes then quarantine");
+        let panicker = report.results.iter().find(|r| r.id == "panicker").unwrap();
+        assert_eq!(panicker.status, JobStatus::Failed);
+        assert_eq!(panicker.attempts, 1, "panics are deterministic: no retry");
+    }
+}

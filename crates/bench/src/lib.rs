@@ -9,6 +9,7 @@ use pim_core::DmpimError;
 
 pub mod ablate_exp;
 pub mod chrome_exp;
+pub mod jobs;
 pub mod obs;
 pub mod scorecard;
 pub mod summary_exp;

@@ -5,10 +5,16 @@
 //! kernel-phase track and the fault/recovery tracks — so a single
 //! `--trace` invocation yields a Perfetto-loadable timeline of the whole
 //! offload story.
+//!
+//! The four runs execute as supervised harness jobs on a single worker:
+//! each gets its own `job:<id>` track, and the serial schedule keeps the
+//! trace byte-for-byte deterministic while still isolating a panicking
+//! run from its siblings.
 
 use pim_chrome::tiling::TextureTilingKernel;
 use pim_chrome::ColorBlittingKernel;
 use pim_core::{ExecutionMode, FaultConfig, OffloadEngine, Tracer};
+use pim_harness::{Harness, HarnessPolicy, Job};
 
 /// The artifacts of one traced sweep.
 #[derive(Debug)]
@@ -23,26 +29,58 @@ pub struct ObsArtifacts {
     pub tracks: Vec<String>,
 }
 
+fn tile(smoke: bool) -> TextureTilingKernel {
+    if smoke {
+        TextureTilingKernel::new(64, 64, 7)
+    } else {
+        TextureTilingKernel::paper_input()
+    }
+}
+
+fn blit(smoke: bool) -> ColorBlittingKernel {
+    if smoke {
+        ColorBlittingKernel::new(vec![32, 64], 128, 7)
+    } else {
+        ColorBlittingKernel::paper_input()
+    }
+}
+
 /// Run the observability sweep. `smoke` shrinks the inputs for tests;
 /// the CLI uses the paper-scale inputs.
 pub fn traced_sweep(smoke: bool) -> ObsArtifacts {
     let tracer = Tracer::new();
-    let engine = OffloadEngine::new().with_tracer(&tracer);
-    let (mut tile, mut blit) = if smoke {
-        (TextureTilingKernel::new(64, 64, 7), ColorBlittingKernel::new(vec![32, 64], 128, 7))
-    } else {
-        (TextureTilingKernel::paper_input(), ColorBlittingKernel::paper_input())
-    };
-    // CPU and PIM runs cover the engine, DRAM/vault and kernel-phase tracks.
-    engine.run(&mut tile, ExecutionMode::CpuOnly);
-    engine.run(&mut tile, ExecutionMode::PimAcc);
-    engine.run(&mut blit, ExecutionMode::PimCore);
-    // One fault-injected resilient run covers the fault + recovery tracks.
-    let cfg = FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() };
-    OffloadEngine::new()
-        .with_faults(cfg, 9)
+    // CPU and PIM runs cover the engine, DRAM/vault and kernel-phase
+    // tracks; the fault-injected resilient run covers fault + recovery.
+    let jobs = vec![
+        Job::new("tiling-cpu", move |ctx: &pim_harness::JobCtx| {
+            let engine = OffloadEngine::new().with_tracer(&ctx.tracer);
+            engine.run(&mut tile(smoke), ExecutionMode::CpuOnly);
+            Ok(String::new())
+        }),
+        Job::new("tiling-pim-acc", move |ctx: &pim_harness::JobCtx| {
+            let engine = OffloadEngine::new().with_tracer(&ctx.tracer);
+            engine.run(&mut tile(smoke), ExecutionMode::PimAcc);
+            Ok(String::new())
+        }),
+        Job::new("blit-pim-core", move |ctx: &pim_harness::JobCtx| {
+            let engine = OffloadEngine::new().with_tracer(&ctx.tracer);
+            engine.run(&mut blit(smoke), ExecutionMode::PimCore);
+            Ok(String::new())
+        }),
+        Job::new("tiling-faulted", move |ctx: &pim_harness::JobCtx| {
+            let cfg = FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() };
+            OffloadEngine::new()
+                .with_faults(cfg, 9)
+                .with_tracer(&ctx.tracer)
+                .run(&mut tile(smoke), ExecutionMode::PimAcc);
+            Ok(String::new())
+        }),
+    ];
+    // One worker: the traced runs must interleave identically run-to-run.
+    Harness::new(HarnessPolicy::default())
         .with_tracer(&tracer)
-        .run(&mut tile, ExecutionMode::PimAcc);
+        .run(jobs)
+        .expect("obs sweep is journal-free with unique job ids");
     ObsArtifacts {
         chrome_trace: tracer.chrome_trace(),
         metrics: tracer.metrics().to_json(),
@@ -63,6 +101,11 @@ mod tests {
             assert!(a.tracks.iter().any(|t| t == want), "missing track {want}: {:?}", a.tracks);
         }
         assert!(a.tracks.iter().any(|t| t.starts_with("vault ")), "{:?}", a.tracks);
+        // Each harness job gets a dedicated track.
+        for want in ["job:tiling-cpu", "job:tiling-pim-acc", "job:blit-pim-core", "job:tiling-faulted"]
+        {
+            assert!(a.tracks.iter().any(|t| t == want), "missing track {want}: {:?}", a.tracks);
+        }
         assert!(a.tracks.len() >= 4);
         assert!(a.event_count > 0);
         assert!(a.chrome_trace.contains("\"traceEvents\""));

@@ -5,12 +5,18 @@
 //! programmatically and renders them as structured JSON so downstream
 //! tooling (CI dashboards, regression diffing) can consume the
 //! reproduction's state without scraping markdown.
+//!
+//! Measurement and aggregation are split so the harness can parallelize
+//! the former: each kernel's sweep produces a [`KernelMetrics`] encoded
+//! as a journal-safe line, and [`entries_from_metrics`] folds any set of
+//! lines into scorecard entries. `f64`s use Rust's shortest round-trip
+//! `Display`, so a scorecard rebuilt from journaled lines is
+//! bit-identical to one computed in-process.
 
 use pim_core::area::AreaModel;
 use pim_core::report::mean;
-use pim_core::{ExecutionMode, JsonValue, Kernel, OffloadEngine, PimTargetKind, RunReport};
-
-use crate::summary_exp;
+use pim_core::{JsonValue, PimTargetKind, RunReport};
+use pim_harness::{FailureSummary, SweepReport};
 
 /// One paper-vs-measured comparison.
 #[derive(Debug, Clone)]
@@ -45,32 +51,79 @@ fn entry(id: &'static str, quantity: &'static str, paper: f64, measured: f64) ->
     ScorecardEntry { id, quantity, paper, measured, verdict: verdict(paper, measured) }
 }
 
-fn smoke_kernels() -> Vec<(&'static str, PimTargetKind, Box<dyn Kernel>)> {
-    use pim_chrome::tiling::TextureTilingKernel;
-    use pim_chrome::ColorBlittingKernel;
-    vec![
-        ("texture tiling", PimTargetKind::TextureTiling, Box::new(TextureTilingKernel::new(128, 128, 1))),
-        ("color blitting", PimTargetKind::ColorBlitting, Box::new(ColorBlittingKernel::new(vec![32, 64], 128, 1))),
-    ]
+/// The measurements one kernel contributes to the scorecard, in a form
+/// that survives a journal round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMetrics {
+    /// Kernel display name (catalog key).
+    pub name: String,
+    /// Which paper target the kernel belongs to (drives grouping).
+    pub kind: PimTargetKind,
+    /// CPU-only data-movement energy share.
+    pub dm: f64,
+    /// PIM-Core energy reduction vs CPU-only (1 − E_core/E_cpu).
+    pub core_cut: f64,
+    /// PIM-Acc energy reduction vs CPU-only.
+    pub acc_cut: f64,
+    /// PIM-Acc speedup vs CPU-only.
+    pub acc_speed: f64,
 }
 
-/// Compute the scorecard. `smoke` swaps the full nine-kernel paper-scale
-/// sweep for two small kernels (tests); the CLI always runs full scale.
-pub fn scorecard(smoke: bool) -> Vec<ScorecardEntry> {
-    let results: Vec<(&'static str, PimTargetKind, Vec<RunReport>)> = if smoke {
-        let engine = OffloadEngine::new();
-        smoke_kernels()
-            .into_iter()
-            .map(|(name, kind, mut k)| {
-                let mut r = engine.run_all(k.as_mut());
-                r.push(engine.run(k.as_mut(), ExecutionMode::PimCore));
-                (name, kind, r)
-            })
-            .collect()
-    } else {
-        summary_exp::sweep()
-    };
+impl KernelMetrics {
+    /// Derive the measurements from the three study-mode reports.
+    pub fn from_reports(
+        name: &str,
+        kind: PimTargetKind,
+        cpu: &RunReport,
+        core: &RunReport,
+        acc: &RunReport,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            kind,
+            dm: cpu.energy.data_movement_fraction(),
+            core_cut: 1.0 - core.energy_vs(cpu),
+            acc_cut: 1.0 - acc.energy_vs(cpu),
+            acc_speed: acc.speedup_vs(cpu),
+        }
+    }
 
+    /// Encode as `name|kind|dm|core_cut|acc_cut|acc_speed`. The floats
+    /// use shortest round-trip formatting, so [`KernelMetrics::parse`]
+    /// recovers the exact bits.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.name,
+            self.kind.label(),
+            self.dm,
+            self.core_cut,
+            self.acc_cut,
+            self.acc_speed
+        )
+    }
+
+    /// Inverse of [`KernelMetrics::to_line`]; `None` on any malformed
+    /// field (a corrupted journal line degrades to a missing kernel, not
+    /// a crash).
+    pub fn parse(line: &str) -> Option<Self> {
+        let mut parts = line.split('|');
+        let name = parts.next()?.to_string();
+        let kind_label = parts.next()?;
+        let kind = PimTargetKind::ALL.into_iter().find(|k| k.label() == kind_label)?;
+        let dm = parts.next()?.parse().ok()?;
+        let core_cut = parts.next()?.parse().ok()?;
+        let acc_cut = parts.next()?.parse().ok()?;
+        let acc_speed = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Self { name, kind, dm, core_cut, acc_cut, acc_speed })
+    }
+}
+
+/// Fold per-kernel measurements into the paper-vs-measured entries.
+pub fn entries_from_metrics(metrics: &[KernelMetrics]) -> Vec<ScorecardEntry> {
     let mut dm = Vec::new();
     let mut core_cut = Vec::new();
     let mut acc_cut = Vec::new();
@@ -78,25 +131,26 @@ pub fn scorecard(smoke: bool) -> Vec<ScorecardEntry> {
     let mut browser_core_cut = Vec::new();
     let mut video_acc_cut = Vec::new();
     let mut tiling_dm = None;
-    for (_, kind, r) in &results {
-        let (cpu, core, acc) = (&r[0], &r[1], &r[2]);
-        dm.push(cpu.energy.data_movement_fraction());
-        core_cut.push(1.0 - core.energy_vs(cpu));
-        acc_cut.push(1.0 - acc.energy_vs(cpu));
-        acc_speed.push(acc.speedup_vs(cpu));
-        match kind {
-            PimTargetKind::TextureTiling | PimTargetKind::ColorBlitting | PimTargetKind::Compression => {
-                browser_core_cut.push(1.0 - core.energy_vs(cpu));
+    for m in metrics {
+        dm.push(m.dm);
+        core_cut.push(m.core_cut);
+        acc_cut.push(m.acc_cut);
+        acc_speed.push(m.acc_speed);
+        match m.kind {
+            PimTargetKind::TextureTiling
+            | PimTargetKind::ColorBlitting
+            | PimTargetKind::Compression => {
+                browser_core_cut.push(m.core_cut);
             }
             PimTargetKind::SubPixelInterpolation
             | PimTargetKind::DeblockingFilter
             | PimTargetKind::MotionEstimation => {
-                video_acc_cut.push(1.0 - acc.energy_vs(cpu));
+                video_acc_cut.push(m.acc_cut);
             }
             _ => {}
         }
-        if *kind == PimTargetKind::TextureTiling {
-            tiling_dm = Some(cpu.energy.data_movement_fraction());
+        if m.kind == PimTargetKind::TextureTiling {
+            tiling_dm = Some(m.dm);
         }
     }
 
@@ -134,8 +188,54 @@ pub fn scorecard(smoke: bool) -> Vec<ScorecardEntry> {
     out
 }
 
+/// Compute the scorecard. `smoke` swaps the full nine-kernel paper-scale
+/// sweep for two small kernels (tests); the CLI always runs full scale.
+pub fn scorecard(smoke: bool) -> Vec<ScorecardEntry> {
+    entries_from_metrics(&crate::jobs::collect_metrics(smoke))
+}
+
+/// Known divergences the CI gate accepts, as `(id, quantity)` pairs.
+/// Each one must be documented in `EXPERIMENTS.md`; currently the single
+/// waiver is the headline PIM-Acc speedup, where this reproduction's
+/// accelerators outperform the paper's average (see EXPERIMENTS.md).
+pub const WAIVED_DIVERGENCES: [(&str, &str); 1] = [("headline", "avg PIM-Acc speedup")];
+
+/// The reasons a `repro --json` run should exit non-zero: non-waived
+/// divergent verdicts, plus any quarantined or failed sweep jobs.
+pub fn gate_failures(
+    entries: &[ScorecardEntry],
+    harness: Option<&FailureSummary>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for e in entries {
+        let waived =
+            WAIVED_DIVERGENCES.iter().any(|&(id, q)| id == e.id && q == e.quantity);
+        if e.verdict == "divergent" && !waived {
+            out.push(format!(
+                "scorecard: {}/{} divergent (paper {}, measured {})",
+                e.id, e.quantity, e.paper, e.measured
+            ));
+        }
+    }
+    if let Some(s) = harness {
+        if s.quarantined > 0 {
+            out.push(format!("harness: {} job(s) quarantined", s.quarantined));
+        }
+        if s.failed > 0 {
+            out.push(format!("harness: {} job(s) failed", s.failed));
+        }
+    }
+    out
+}
+
 /// Render entries as the `repro --json` document.
 pub fn to_json(entries: &[ScorecardEntry]) -> String {
+    to_json_with_harness(entries, None)
+}
+
+/// Render entries plus the harness failure report (when the scorecard
+/// was produced by a supervised sweep) as the `repro --json` document.
+pub fn to_json_with_harness(entries: &[ScorecardEntry], harness: Option<&SweepReport>) -> String {
     let mut arr = JsonValue::array();
     for e in entries {
         arr = arr.push(
@@ -147,10 +247,13 @@ pub fn to_json(entries: &[ScorecardEntry]) -> String {
                 .set("verdict", e.verdict),
         );
     }
-    JsonValue::object()
+    let mut doc = JsonValue::object()
         .set("source", "dmpim repro --json")
-        .set("scorecard", arr)
-        .render_pretty()
+        .set("scorecard", arr);
+    if let Some(report) = harness {
+        doc = doc.set("harness", report.to_json_value());
+    }
+    doc.render_pretty()
 }
 
 #[cfg(test)]
@@ -189,5 +292,54 @@ mod tests {
         assert_eq!(verdict(1.0, 1.5), "band");
         assert_eq!(verdict(1.0, 3.0), "divergent");
         assert_eq!(verdict(0.0, 0.0), "match");
+    }
+
+    #[test]
+    fn metrics_line_round_trips_exact_bits() {
+        let m = KernelMetrics {
+            name: "texture tiling".to_string(),
+            kind: PimTargetKind::TextureTiling,
+            dm: 0.1 + 0.2, // deliberately non-representable
+            core_cut: f64::MIN_POSITIVE,
+            acc_cut: 1.0 / 3.0,
+            acc_speed: 2.940000000000001,
+        };
+        let back = KernelMetrics::parse(&m.to_line()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.dm.to_bits(), m.dm.to_bits());
+        assert_eq!(back.acc_speed.to_bits(), m.acc_speed.to_bits());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(KernelMetrics::parse("too|few|fields").is_none());
+        assert!(KernelMetrics::parse("n|no-such-kind|0.1|0.2|0.3|1.0").is_none());
+        assert!(KernelMetrics::parse("n|texture tiling|0.1|0.2|0.3|1.0|extra").is_none());
+        assert!(KernelMetrics::parse("n|texture tiling|0.1|0.2|xyz|1.0").is_none());
+        assert!(KernelMetrics::parse("n|texture tiling|0.1|0.2|0.3|1.0").is_some());
+    }
+
+    #[test]
+    fn gate_waives_documented_divergences_only() {
+        let waived = entry("headline", "avg PIM-Acc speedup", 1.54, 2.94);
+        assert_eq!(waived.verdict, "divergent");
+        assert!(gate_failures(&[waived], None).is_empty());
+
+        let real = entry("fig2", "texture-tiling data-movement energy share", 0.815, 0.1);
+        assert_eq!(real.verdict, "divergent");
+        let failures = gate_failures(&[real], None);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("fig2"));
+    }
+
+    #[test]
+    fn gate_flags_quarantined_and_failed_jobs() {
+        let mut summary = FailureSummary { total: 3, succeeded: 1, ..Default::default() };
+        summary.quarantined = 1;
+        summary.failed = 1;
+        let failures = gate_failures(&[], Some(&summary));
+        assert_eq!(failures.len(), 2);
+        assert!(failures.iter().any(|f| f.contains("quarantined")));
+        assert!(failures.iter().any(|f| f.contains("failed")));
     }
 }

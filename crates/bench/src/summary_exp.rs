@@ -1,14 +1,10 @@
 //! Cross-workload summaries: Table 1, the headline averages, and the
 //! §3.2/§3.3 identification + area feasibility report.
 
-use pim_chrome::lzo::{CompressionKernel, DecompressionKernel};
-use pim_chrome::tiling::TextureTilingKernel;
-use pim_chrome::ColorBlittingKernel;
 use pim_core::area::{AreaModel, PimTargetKind, PIM_CORE_MM2};
 use pim_core::identify::{evaluate, CandidateProfile};
 use pim_core::report::mean;
 use pim_core::{Kernel, OffloadEngine, Platform, RunReport};
-use pim_vp9::driver::{DeblockingFilterKernel, MotionEstimationKernel, SubPixelInterpolationKernel};
 
 /// Table 1: the evaluated system configuration.
 pub fn table1() -> String {
@@ -20,18 +16,13 @@ pub fn table1() -> String {
 }
 
 /// Every PIM-target kernel with its workload, for aggregate sweeps.
+/// The catalog itself lives in [`crate::jobs`] so the harness-driven
+/// scorecard sweep and these serial summaries measure identical inputs.
 pub(crate) fn all_kernels() -> Vec<(&'static str, PimTargetKind, Box<dyn Kernel>)> {
-    vec![
-        ("texture tiling", PimTargetKind::TextureTiling, Box::new(TextureTilingKernel::paper_input())),
-        ("color blitting", PimTargetKind::ColorBlitting, Box::new(ColorBlittingKernel::paper_input())),
-        ("compression", PimTargetKind::Compression, Box::new(CompressionKernel::paper_input())),
-        ("decompression", PimTargetKind::Compression, Box::new(DecompressionKernel::paper_input())),
-        ("packing", PimTargetKind::Packing, Box::new(pim_tfmobile::pack::PackingKernel::paper_input())),
-        ("quantization", PimTargetKind::Quantization, Box::new(pim_tfmobile::quantize::QuantizationKernel::paper_input())),
-        ("sub-pixel interpolation", PimTargetKind::SubPixelInterpolation, Box::new(SubPixelInterpolationKernel::paper_input())),
-        ("deblocking filter", PimTargetKind::DeblockingFilter, Box::new(DeblockingFilterKernel::paper_input())),
-        ("motion estimation", PimTargetKind::MotionEstimation, Box::new(MotionEstimationKernel::paper_input())),
-    ]
+    crate::jobs::kernel_catalog(false)
+        .into_iter()
+        .map(|(name, kind, factory)| (name, kind, factory()))
+        .collect()
 }
 
 pub(crate) fn sweep() -> Vec<(&'static str, PimTargetKind, Vec<RunReport>)> {
@@ -142,6 +133,8 @@ pub fn area() -> String {
 
 #[cfg(test)]
 mod tests {
+    use pim_chrome::tiling::TextureTilingKernel;
+
     use super::*;
 
     #[test]

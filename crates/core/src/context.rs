@@ -86,9 +86,19 @@ struct CtxTracks {
 
 impl SimContext {
     /// Build a context for an arbitrary engine/port combination.
+    ///
+    /// Construction stays infallible so drivers need no plumbing: if
+    /// `platform.mem` fails validation the context is built over a
+    /// known-good fallback memory system but starts *poisoned* with the
+    /// [`DmpimError::InvalidConfig`], so nothing is simulated and the
+    /// driver reports the configuration error like any other fault.
     pub fn new(platform: Platform, timing: EngineTiming, port: Port) -> Self {
+        let (mem, config_error) = match MemorySystem::new(platform.mem) {
+            Ok(mem) => (mem, None),
+            Err(e) => (MemorySystem::fallback(), Some(e)),
+        };
         Self {
-            mem: MemorySystem::new(platform.mem),
+            mem,
             coherence: CoherenceModel::new(platform.coherence),
             params: platform.energy,
             timing,
@@ -101,7 +111,7 @@ impl SimContext {
             faults: None,
             watchdog: Watchdog::unlimited(),
             host_events: 0,
-            error: None,
+            error: config_error,
             tracer: Tracer::disabled(),
             tracks: None,
             base_ps: 0,
@@ -699,6 +709,20 @@ mod tests {
             (c.now_ps(), c.total_energy().total_pj().to_bits(), c.instructions())
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn invalid_platform_poisons_instead_of_panicking() {
+        let mut platform = Platform::baseline();
+        platform.mem.cpu_l1.associativity = 0;
+        let mut c = SimContext::cpu_only(platform);
+        assert!(c.is_poisoned());
+        assert!(matches!(c.error(), Some(DmpimError::InvalidConfig { .. })));
+        // Poisoned from birth: no work is simulated, the ledger stays empty.
+        c.read(0, 1 << 20);
+        c.ops(OpMix::scalar(1000));
+        assert_eq!(c.now_ps(), 0);
+        assert_eq!(c.instructions(), 0);
     }
 
     #[test]

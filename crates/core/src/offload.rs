@@ -436,7 +436,16 @@ impl OffloadEngine {
     pub fn run(&self, kernel: &mut dyn Kernel, mode: ExecutionMode) -> RunReport {
         if !self.is_resilient() {
             let ctx = self.attempt(kernel, mode, None, 0, 1);
-            return self.report_from(kernel.name(), mode, mode, &ctx);
+            let mut report = self.report_from(kernel.name(), mode, mode, &ctx);
+            // A poisoned context (invalid platform config, unsupported
+            // port) must not read as a clean run: carry the error in a
+            // degradation record. Clean runs keep `None`, preserving
+            // bit-identity with the historical legacy path.
+            if let Some(e) = ctx.error() {
+                report.degradation =
+                    Some(Degradation { error: Some(e.clone()), ..Degradation::default() });
+            }
+            return report;
         }
         self.run_resilient(kernel, mode)
     }
@@ -907,6 +916,20 @@ mod tests {
         assert!(json.contains("\"vault_hits\""));
         let d = r.degradation.unwrap();
         assert!(d.to_json().contains("\"error\":null"));
+    }
+
+    #[test]
+    fn invalid_platform_surfaces_as_config_error() {
+        let mut bad = Platform::baseline();
+        bad.mem.llc.associativity = 0;
+        let eng = OffloadEngine::new().with_baseline(bad);
+        let err = eng.try_run(&mut Crunch, ExecutionMode::CpuOnly).unwrap_err();
+        assert!(matches!(err, DmpimError::InvalidConfig { .. }));
+        assert_eq!(err.label(), "invalid-config");
+        // The infallible path reports it without simulating anything.
+        let r = eng.run(&mut Crunch, ExecutionMode::CpuOnly);
+        assert_eq!(r.runtime_ps, 0);
+        assert!(r.degradation.and_then(|d| d.error).is_some());
     }
 
     #[test]

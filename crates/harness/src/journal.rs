@@ -1,0 +1,396 @@
+//! The JSONL job journal behind `--resume`.
+//!
+//! Format: one JSON object per line, written with the same hand-rolled
+//! conventions as `pim_trace::json` (escaping via
+//! [`pim_trace::json::write_escaped`]). The first line is a header:
+//!
+//! ```text
+//! {"journal":"pim-harness","version":1,"jobs":9}
+//! ```
+//!
+//! Each subsequent line records one *terminal* job result:
+//!
+//! ```text
+//! {"job":"texture tiling","status":"ok","attempts":1,"output":"..."}
+//! {"job":"bricked","status":"quarantined","attempts":2,"error_label":"watchdog-timeout","error":"..."}
+//! ```
+//!
+//! Lines are appended and flushed as each job completes, so a killed
+//! sweep's journal is valid up to (at worst) one truncated trailing line,
+//! which the reader tolerates by stopping at the first unparseable line.
+//! Because entries carry the full result (including the output payload),
+//! resuming re-runs only jobs with no journal line and merges to
+//! bit-identical output.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use pim_trace::json::write_escaped;
+
+use crate::job::{JobResult, JobStatus};
+use crate::HarnessError;
+
+/// Magic name in the header line.
+const MAGIC: &str = "pim-harness";
+/// Journal format version.
+const VERSION: u64 = 1;
+
+/// Append-only journal writer; one flushed line per completed job.
+pub struct JournalWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Start a fresh journal (truncates) and write the header.
+    pub fn create(path: &Path, jobs: usize) -> Result<Self, HarnessError> {
+        let file = File::create(path).map_err(|e| HarnessError::io(path, &e))?;
+        let mut w = Self { path: path.to_path_buf(), out: BufWriter::new(file) };
+        let header = format!("{{\"journal\":\"{MAGIC}\",\"version\":{VERSION},\"jobs\":{jobs}}}");
+        w.line(&header)?;
+        Ok(w)
+    }
+
+    /// Reopen an existing journal for appending (resume).
+    pub fn append(path: &Path) -> Result<Self, HarnessError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| HarnessError::io(path, &e))?;
+        Ok(Self { path: path.to_path_buf(), out: BufWriter::new(file) })
+    }
+
+    /// Record one terminal result.
+    pub fn record(&mut self, r: &JobResult) -> Result<(), HarnessError> {
+        let mut line = String::from("{\"job\":");
+        write_escaped(&mut line, &r.id);
+        line.push_str(",\"status\":");
+        write_escaped(&mut line, r.status.label());
+        line.push_str(&format!(",\"attempts\":{}", r.attempts));
+        if let Some(label) = &r.error_label {
+            line.push_str(",\"error_label\":");
+            write_escaped(&mut line, label);
+        }
+        if let Some(err) = &r.error {
+            line.push_str(",\"error\":");
+            write_escaped(&mut line, err);
+        }
+        if let Some(out) = &r.output {
+            line.push_str(",\"output\":");
+            write_escaped(&mut line, out);
+        }
+        line.push('}');
+        self.line(&line)
+    }
+
+    fn line(&mut self, s: &str) -> Result<(), HarnessError> {
+        self.out
+            .write_all(s.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.flush())
+            .map_err(|e| HarnessError::io(&self.path, &e))
+    }
+}
+
+/// Parsed journal: completed results keyed by job id.
+#[derive(Debug, Default)]
+pub struct JournalState {
+    /// Terminal results restored from the journal.
+    pub completed: BTreeMap<String, JobResult>,
+}
+
+/// Read a journal back for `--resume`.
+///
+/// # Errors
+///
+/// Fails if the file cannot be read, the header is missing or does not
+/// match this harness/version, or the recorded job count differs from the
+/// sweep being resumed (the journal belongs to a different sweep). A
+/// truncated or garbled trailing line is *not* an error: parsing stops
+/// there and the affected job simply re-runs.
+pub fn read_journal(path: &Path, expected_jobs: usize) -> Result<JournalState, HarnessError> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| HarnessError::io(path, &e))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .and_then(parse_flat_object)
+        .ok_or_else(|| HarnessError::mismatch(path, "missing or unreadable header line"))?;
+    match (header.get("journal"), header.get("version"), header.get("jobs")) {
+        (Some(Field::Str(m)), Some(Field::Num(v)), Some(Field::Num(jobs)))
+            if m == MAGIC && *v == VERSION =>
+        {
+            if *jobs as usize != expected_jobs {
+                return Err(HarnessError::mismatch(
+                    path,
+                    &format!("journal records {jobs} jobs but this sweep has {expected_jobs}"),
+                ));
+            }
+        }
+        _ => return Err(HarnessError::mismatch(path, "header is not a pim-harness v1 journal")),
+    }
+
+    let mut state = JournalState::default();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(fields) = parse_flat_object(line) else {
+            break; // truncated tail from a killed run: re-run from here
+        };
+        let Some(result) = result_from_fields(&fields) else {
+            break;
+        };
+        state.completed.insert(result.id.clone(), result);
+    }
+    Ok(state)
+}
+
+fn result_from_fields(fields: &BTreeMap<String, Field>) -> Option<JobResult> {
+    let id = match fields.get("job")? {
+        Field::Str(s) => s.clone(),
+        _ => return None,
+    };
+    let status = match fields.get("status")? {
+        Field::Str(s) => JobStatus::from_label(s)?,
+        _ => return None,
+    };
+    let attempts = match fields.get("attempts")? {
+        Field::Num(n) => u32::try_from(*n).ok()?,
+        _ => return None,
+    };
+    let get_str = |key: &str| match fields.get(key) {
+        Some(Field::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let output = get_str("output");
+    // A succeeded entry must carry its payload; anything else is corrupt.
+    if status == JobStatus::Succeeded && output.is_none() {
+        return None;
+    }
+    Some(JobResult {
+        id,
+        status,
+        attempts,
+        output,
+        error_label: get_str("error_label"),
+        error: get_str("error"),
+    })
+}
+
+/// A scalar field of a flat journal object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// JSON string (unescaped).
+    Str(String),
+    /// Non-negative integer.
+    Num(u64),
+    /// JSON `null`.
+    Null,
+}
+
+/// Parse one flat JSON object (string / unsigned-integer / null values
+/// only — exactly what the journal writes). Returns `None` on any
+/// malformation, including trailing garbage, so truncated lines from a
+/// killed process are rejected rather than half-read.
+pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, Field>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = BTreeMap::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return if chars.next().is_none() { Some(fields) } else { None };
+    }
+    loop {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let key = parse_string_body(&mut chars)?;
+        if chars.next()? != ':' {
+            return None;
+        }
+        let value = match chars.peek()? {
+            '"' => {
+                chars.next();
+                Field::Str(parse_string_body(&mut chars)?)
+            }
+            'n' => {
+                for expect in ['n', 'u', 'l', 'l'] {
+                    if chars.next()? != expect {
+                        return None;
+                    }
+                }
+                Field::Null
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    n = n.checked_mul(10)?.checked_add(u64::from(d))?;
+                    chars.next();
+                }
+                Field::Num(n)
+            }
+            _ => return None,
+        };
+        fields.insert(key, value);
+        match chars.next()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    if chars.next().is_none() {
+        Some(fields)
+    } else {
+        None
+    }
+}
+
+/// Parse a JSON string body after the opening quote, handling the escapes
+/// `write_escaped` emits (plus `\uXXXX` surrogate pairs for safety).
+fn parse_string_body(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{8}'),
+                'f' => out.push('\u{c}'),
+                'u' => {
+                    let hi = parse_hex4(chars)?;
+                    let cp = if (0xD800..0xDC00).contains(&hi) {
+                        // Surrogate pair: expect \uXXXX low half next.
+                        if chars.next()? != '\\' || chars.next()? != 'u' {
+                            return None;
+                        }
+                        let lo = parse_hex4(chars)?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return None;
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        hi
+                    };
+                    out.push(char::from_u32(cp)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_hex4(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<u32> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        v = v * 16 + chars.next()?.to_digit(16)?;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobFailure;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pim-harness-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let path = tmp("roundtrip.jsonl");
+        let results = vec![
+            JobResult::ok("plain", 1, "x=1|y=2.5".into()),
+            JobResult::ok("weird \"chars\"\n\ttabs", 2, "line1\nline2\\end \u{1}".into()),
+            JobResult::failed(
+                "panicker",
+                JobStatus::Failed,
+                1,
+                &JobFailure::Panicked { message: "index out of bounds: the len is 3".into() },
+            ),
+            JobResult::failed(
+                "hung",
+                JobStatus::Quarantined,
+                2,
+                &JobFailure::WallTimeout { limit_ms: 25 },
+            ),
+        ];
+        {
+            let mut w = JournalWriter::create(&path, results.len()).unwrap();
+            for r in &results {
+                w.record(r).unwrap();
+            }
+        }
+        let state = read_journal(&path, results.len()).unwrap();
+        assert_eq!(state.completed.len(), results.len());
+        for r in &results {
+            assert_eq!(state.completed.get(&r.id), Some(r));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let path = tmp("truncated.jsonl");
+        {
+            let mut w = JournalWriter::create(&path, 3).unwrap();
+            w.record(&JobResult::ok("a", 1, "1".into())).unwrap();
+            w.record(&JobResult::ok("b", 1, "2".into())).unwrap();
+        }
+        // Simulate a kill mid-write: chop the last line in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 10;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let state = read_journal(&path, 3).unwrap();
+        assert_eq!(state.completed.len(), 1);
+        assert!(state.completed.contains_key("a"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn job_count_mismatch_is_an_error() {
+        let path = tmp("mismatch.jsonl");
+        {
+            JournalWriter::create(&path, 3).unwrap();
+        }
+        let err = read_journal(&path, 5).unwrap_err();
+        assert!(err.to_string().contains("3 jobs"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_journal_file_is_rejected() {
+        let path = tmp("garbage.jsonl");
+        std::fs::write(&path, "not json at all\n").unwrap();
+        assert!(read_journal(&path, 1).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flat_parser_handles_escapes_and_rejects_garbage() {
+        let obj = parse_flat_object(r#"{"a":"x\n\"y\"","n":42,"z":null}"#).unwrap();
+        assert_eq!(obj.get("a"), Some(&Field::Str("x\n\"y\"".into())));
+        assert_eq!(obj.get("n"), Some(&Field::Num(42)));
+        assert_eq!(obj.get("z"), Some(&Field::Null));
+        assert_eq!(parse_flat_object(r#"{"u":"A😀"}"#).unwrap().get("u"), Some(&Field::Str("A😀".into())));
+        assert!(parse_flat_object(r#"{"a":"x""#).is_none(), "truncated");
+        assert!(parse_flat_object(r#"{"a":1} trailing"#).is_none());
+        assert!(parse_flat_object("").is_none());
+        assert!(parse_flat_object("{}").is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! Sweep-level failure reporting.
+//!
+//! After a sweep, the supervisor folds every terminal [`JobResult`] into a
+//! [`SweepReport`]: per-job records in input order plus a
+//! [`FailureSummary`] with succeeded / retried / quarantined / failed
+//! counts and an error-label taxonomy. The summary is derived purely from
+//! the results, so a resumed sweep (where some results were restored from
+//! the journal) reports identically to an uninterrupted one.
+
+use std::collections::BTreeMap;
+
+use pim_trace::JsonValue;
+
+use crate::job::{JobResult, JobStatus};
+
+/// Aggregate counts over a sweep's terminal results.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailureSummary {
+    /// Total jobs in the sweep.
+    pub total: usize,
+    /// Jobs that produced a payload.
+    pub succeeded: usize,
+    /// Jobs that needed more than one attempt (any terminal status).
+    pub retried: usize,
+    /// Jobs benched after repeated timeouts.
+    pub quarantined: usize,
+    /// Jobs that gave up for a non-timeout reason.
+    pub failed: usize,
+    /// Terminal-error taxonomy: label → count (e.g. `panic`,
+    /// `wall-timeout`, `watchdog-timeout`, `invalid-config`, fault kinds).
+    pub taxonomy: BTreeMap<String, u64>,
+}
+
+impl FailureSummary {
+    /// Derive the summary from terminal results.
+    pub fn from_results(results: &[JobResult]) -> Self {
+        let mut s = FailureSummary { total: results.len(), ..Self::default() };
+        for r in results {
+            match r.status {
+                JobStatus::Succeeded => s.succeeded += 1,
+                JobStatus::Failed => s.failed += 1,
+                JobStatus::Quarantined => s.quarantined += 1,
+            }
+            if r.attempts > 1 {
+                s.retried += 1;
+            }
+            if let Some(label) = &r.error_label {
+                *s.taxonomy.entry(label.clone()).or_insert(0) += 1;
+            }
+        }
+        s
+    }
+
+    /// True when every job succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.succeeded == self.total
+    }
+
+    /// Render as a JSON object (deterministic key order; the taxonomy is
+    /// a `BTreeMap`, so label order is stable too).
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut tax = JsonValue::object();
+        for (label, count) in &self.taxonomy {
+            tax = tax.set(label.as_str(), *count);
+        }
+        JsonValue::object()
+            .set("total", self.total as u64)
+            .set("succeeded", self.succeeded as u64)
+            .set("retried", self.retried as u64)
+            .set("quarantined", self.quarantined as u64)
+            .set("failed", self.failed as u64)
+            .set("taxonomy", tax)
+    }
+
+    /// One-line human rendering for CLI output.
+    pub fn one_line(&self) -> String {
+        format!(
+            "{}/{} succeeded, {} retried, {} quarantined, {} failed",
+            self.succeeded, self.total, self.retried, self.quarantined, self.failed
+        )
+    }
+}
+
+/// Everything a finished sweep produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Terminal results in the input job order (not completion order), so
+    /// merged output is independent of worker count and scheduling.
+    pub results: Vec<JobResult>,
+    /// How many of those were restored from a resume journal instead of
+    /// re-run.
+    pub resumed: usize,
+}
+
+impl SweepReport {
+    /// Aggregate counts.
+    pub fn summary(&self) -> FailureSummary {
+        FailureSummary::from_results(&self.results)
+    }
+
+    /// True when every job succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.summary().all_ok()
+    }
+
+    /// Render the failure report (summary + per-job dispositions) as a
+    /// JSON object for scorecards and artifacts.
+    pub fn to_json_value(&self) -> JsonValue {
+        let summary = self.summary();
+        let mut jobs = JsonValue::array();
+        for r in &self.results {
+            let mut o = JsonValue::object()
+                .set("job", r.id.as_str())
+                .set("status", r.status.label())
+                .set("attempts", u64::from(r.attempts));
+            if let Some(label) = &r.error_label {
+                o = o.set("error_label", label.as_str());
+            }
+            if let Some(err) = &r.error {
+                o = o.set("error", err.as_str());
+            }
+            jobs = jobs.push(o);
+        }
+        JsonValue::object()
+            .set("summary", summary.to_json_value())
+            .set("resumed", self.resumed as u64)
+            .set("jobs", jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobFailure;
+
+    fn sample() -> Vec<JobResult> {
+        vec![
+            JobResult::ok("a", 1, "1".into()),
+            JobResult::ok("b", 3, "2".into()),
+            JobResult::failed("c", JobStatus::Failed, 1, &JobFailure::Panicked { message: "x".into() }),
+            JobResult::failed("d", JobStatus::Quarantined, 2, &JobFailure::WallTimeout { limit_ms: 5 }),
+        ]
+    }
+
+    #[test]
+    fn summary_counts_and_taxonomy() {
+        let s = FailureSummary::from_results(&sample());
+        assert_eq!(s.total, 4);
+        assert_eq!(s.succeeded, 2);
+        assert_eq!(s.retried, 2, "b (3 attempts) and d (2 attempts)");
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.taxonomy.get("panic"), Some(&1));
+        assert_eq!(s.taxonomy.get("wall-timeout"), Some(&1));
+        assert!(!s.all_ok());
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let rep = SweepReport { results: sample(), resumed: 1 };
+        let a = rep.to_json_value().render();
+        let b = rep.to_json_value().render();
+        assert_eq!(a, b);
+        assert!(a.contains("\"quarantined\":1"));
+        assert!(a.contains("\"resumed\":1"));
+        assert!(a.contains("\"error_label\":\"panic\""));
+    }
+}

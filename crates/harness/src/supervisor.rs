@@ -1,0 +1,613 @@
+//! The supervised worker pool.
+//!
+//! A fixed pool of `std::thread` workers pops attempts from a shared
+//! queue and runs each job closure under `catch_unwind`. The supervisor
+//! thread (the caller of [`Harness::run`]) multiplexes worker completion
+//! messages against wall-clock deadlines and delayed retries:
+//!
+//! * a panic becomes [`JobFailure::Panicked`] — the worker survives;
+//! * a wall-deadline overrun abandons the stuck worker (std threads
+//!   cannot be killed; the worker is left to finish or leak and a
+//!   replacement is spawned) and counts as a timeout strike;
+//! * timeout-class failures (wall or simulated watchdog) retry with
+//!   capped exponential backoff until the strike limit quarantines the
+//!   job; transient simulation faults retry up to `max_retries`;
+//! * every terminal result is journaled immediately, so a killed sweep
+//!   resumes from its journal re-running only unfinished jobs.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pim_faults::Watchdog;
+use pim_trace::Tracer;
+
+use crate::job::{Job, JobCtx, JobFailure, JobResult, JobStatus};
+use crate::journal::{read_journal, JournalWriter};
+use crate::report::SweepReport;
+
+/// Retry, quarantine, deadline, and parallelism policy for one sweep.
+#[derive(Debug, Clone)]
+pub struct HarnessPolicy {
+    /// Worker threads. 1 reproduces a serial run exactly.
+    pub workers: usize,
+    /// Max ordinary retries for transient simulation faults.
+    pub max_retries: u32,
+    /// Timeout strikes (wall or simulated watchdog) before a job is
+    /// quarantined.
+    pub quarantine_strikes: u32,
+    /// Base backoff between retries of the same job.
+    pub retry_backoff: Duration,
+    /// Cap on the exponentially growing backoff.
+    pub backoff_cap: Duration,
+    /// Per-attempt wall-clock deadline; `None` disables wall supervision.
+    pub wall_deadline: Option<Duration>,
+    /// Simulated-time watchdog handed to every job via [`JobCtx`].
+    pub watchdog: Watchdog,
+}
+
+impl Default for HarnessPolicy {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            max_retries: 2,
+            quarantine_strikes: 2,
+            retry_backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(80),
+            wall_deadline: None,
+            watchdog: Watchdog::unlimited(),
+        }
+    }
+}
+
+impl HarnessPolicy {
+    /// Backoff before retry number `retry` (1-based), doubling from
+    /// [`HarnessPolicy::retry_backoff`] up to [`HarnessPolicy::backoff_cap`].
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        self.retry_backoff.saturating_mul(factor).min(self.backoff_cap)
+    }
+}
+
+/// Errors from the harness itself (never from jobs — those are folded
+/// into [`JobResult`]s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// Journal file I/O failed.
+    Io {
+        /// Journal path.
+        path: String,
+        /// OS error rendered as text.
+        what: String,
+    },
+    /// A resume journal does not belong to this sweep.
+    JournalMismatch {
+        /// Journal path.
+        path: String,
+        /// What disagreed.
+        what: String,
+    },
+    /// Two jobs share an id; the journal could not distinguish them.
+    DuplicateJob {
+        /// The offending id.
+        id: String,
+    },
+}
+
+impl HarnessError {
+    pub(crate) fn io(path: &Path, e: &std::io::Error) -> Self {
+        Self::Io { path: path.display().to_string(), what: e.to_string() }
+    }
+
+    pub(crate) fn mismatch(path: &Path, what: &str) -> Self {
+        Self::JournalMismatch { path: path.display().to_string(), what: what.to_string() }
+    }
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Io { path, what } => write!(f, "journal {path}: {what}"),
+            HarnessError::JournalMismatch { path, what } => {
+                write!(f, "journal {path} does not match this sweep: {what}")
+            }
+            HarnessError::DuplicateJob { id } => write!(f, "duplicate job id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// The sweep runner. Build with [`Harness::new`], optionally attach a
+/// tracer and journal, then call [`Harness::run`].
+pub struct Harness {
+    policy: HarnessPolicy,
+    tracer: Tracer,
+    journal: Option<PathBuf>,
+    resume: bool,
+}
+
+impl Harness {
+    /// A harness with the given policy, no tracing, no journal.
+    pub fn new(policy: HarnessPolicy) -> Self {
+        Self { policy, tracer: Tracer::disabled(), journal: None, resume: false }
+    }
+
+    /// Attach a tracer; each job gets its own `job:<id>` track.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// Journal terminal results to `path`, truncating any existing file.
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self.resume = false;
+        self
+    }
+
+    /// Resume from (and keep appending to) the journal at `path`.
+    #[must_use]
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self.resume = true;
+        self
+    }
+
+    /// Run the sweep to completion and return the merged report.
+    ///
+    /// # Errors
+    ///
+    /// Only harness-level problems (duplicate job ids, journal I/O or
+    /// mismatch) surface as `Err`. Job failures of every kind — panics,
+    /// timeouts, simulation errors — are captured in the report.
+    pub fn run(&self, jobs: Vec<Job>) -> Result<SweepReport, HarnessError> {
+        let mut seen = HashSet::new();
+        for j in &jobs {
+            if !seen.insert(j.id.clone()) {
+                return Err(HarnessError::DuplicateJob { id: j.id.clone() });
+            }
+        }
+
+        // Restore completed work from the journal when resuming.
+        let mut slots: Vec<Option<JobResult>> = vec![None; jobs.len()];
+        let mut resumed = 0usize;
+        let mut writer = match (&self.journal, self.resume) {
+            (Some(path), true) if path.exists() => {
+                let state = read_journal(path, jobs.len())?;
+                for (idx, job) in jobs.iter().enumerate() {
+                    if let Some(r) = state.completed.get(&job.id) {
+                        slots[idx] = Some(r.clone());
+                        resumed += 1;
+                    }
+                }
+                for id in state.completed.keys() {
+                    if !seen.contains(id) {
+                        return Err(HarnessError::mismatch(
+                            path,
+                            &format!("journal entry {id:?} is not a job in this sweep"),
+                        ));
+                    }
+                }
+                Some(JournalWriter::append(path)?)
+            }
+            // Resuming from a journal that does not exist yet degrades to
+            // a fresh journaled run, so the first and the resumed
+            // invocation can share a command line.
+            (Some(path), _) => Some(JournalWriter::create(path, jobs.len())?),
+            (None, _) => None,
+        };
+
+        let pending: Vec<usize> =
+            (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
+        if !pending.is_empty() {
+            self.supervise(&jobs, &pending, &mut slots, writer.as_mut())?;
+        }
+        drop(writer);
+
+        let results = slots.into_iter().map(|s| s.expect("every job has a terminal result")).collect();
+        Ok(SweepReport { results, resumed })
+    }
+
+    /// Run the pending jobs on the pool, filling `slots`.
+    fn supervise(
+        &self,
+        jobs: &[Job],
+        pending: &[usize],
+        slots: &mut [Option<JobResult>],
+        mut writer: Option<&mut JournalWriter>,
+    ) -> Result<(), HarnessError> {
+        let workers = self.policy.workers.max(1).min(pending.len().max(1));
+        let shared = Arc::new(Shared::default());
+        let jobs_arc: Arc<Vec<Job>> = Arc::new(jobs.to_vec());
+        let (tx, rx) = std::sync::mpsc::channel::<Msg>();
+
+        let mut pool = Pool { next_id: 0, handles: HashMap::new() };
+        for _ in 0..workers {
+            pool.spawn(&jobs_arc, &shared, &tx, &self.tracer, self.policy.watchdog);
+        }
+
+        // Per-job supervision state, keyed by job index.
+        let mut state: HashMap<usize, Supervision> =
+            pending.iter().map(|&i| (i, Supervision::default())).collect();
+        let mut outstanding: HashMap<usize, Outstanding> = HashMap::new();
+        let mut delayed: Vec<(Instant, Attempt)> = Vec::new();
+        let mut remaining = pending.len();
+
+        // Initial dispatch in input order.
+        {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            for &idx in pending {
+                q.ready.push_back(Attempt { job_idx: idx, attempt: 1 });
+                outstanding
+                    .insert(idx, Outstanding { attempt: 1, worker: None, deadline: None });
+            }
+            shared.cv.notify_all();
+        }
+
+        while remaining > 0 {
+            // Promote due retries.
+            let now = Instant::now();
+            let mut promoted = false;
+            delayed.retain(|(due, att)| {
+                if *due <= now {
+                    let mut q = shared.queue.lock().expect("queue poisoned");
+                    q.ready.push_back(*att);
+                    promoted = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if promoted {
+                shared.cv.notify_all();
+            }
+
+            // Sleep until the next message, deadline, or retry due time.
+            let next_deadline = outstanding
+                .values()
+                .filter_map(|o| o.deadline)
+                .chain(delayed.iter().map(|(due, _)| *due))
+                .min();
+            let msg = match next_deadline {
+                Some(at) => {
+                    let wait = at.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+                        Ok(m) => Some(m),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                None => match rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => break,
+                },
+            };
+
+            match msg {
+                Some(Msg::Started { worker, job_idx, attempt }) => {
+                    // The deadline clock starts when a worker actually
+                    // picks the attempt up, not while it sits queued.
+                    if let Some(o) = outstanding.get_mut(&job_idx) {
+                        if o.attempt == attempt {
+                            o.worker = Some(worker);
+                            o.deadline =
+                                self.policy.wall_deadline.map(|d| Instant::now() + d);
+                        }
+                    }
+                }
+                Some(Msg::Done { job_idx, attempt, outcome, .. }) => {
+                    let current = outstanding.get(&job_idx).map(|o| o.attempt);
+                    if current != Some(attempt) {
+                        // Stale completion from an abandoned worker whose
+                        // attempt was already written off.
+                        continue;
+                    }
+                    outstanding.remove(&job_idx);
+                    let st = state.get_mut(&job_idx).expect("supervised job");
+                    match outcome {
+                        Ok(output) => {
+                            let r = JobResult::ok(jobs[job_idx].id.clone(), attempt, output);
+                            record(&mut writer, &r)?;
+                            slots[job_idx] = Some(r);
+                            remaining -= 1;
+                        }
+                        Err(failure) => {
+                            match self.disposition(st, &failure) {
+                                Disposition::Retry(delay) => {
+                                    let next = Attempt { job_idx, attempt: attempt + 1 };
+                                    outstanding.insert(
+                                        job_idx,
+                                        Outstanding {
+                                            attempt: attempt + 1,
+                                            worker: None,
+                                            deadline: None,
+                                        },
+                                    );
+                                    delayed.push((Instant::now() + delay, next));
+                                }
+                                Disposition::Terminal(status) => {
+                                    let r = JobResult::failed(
+                                        jobs[job_idx].id.clone(),
+                                        status,
+                                        attempt,
+                                        &failure,
+                                    );
+                                    record(&mut writer, &r)?;
+                                    slots[job_idx] = Some(r);
+                                    remaining -= 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // A deadline or retry timer fired. Handle expired
+                    // wall deadlines: abandon the stuck worker, spawn a
+                    // replacement, and treat the attempt as a WallTimeout.
+                    let now = Instant::now();
+                    let expired: Vec<usize> = outstanding
+                        .iter()
+                        .filter(|(_, o)| o.deadline.is_some_and(|d| d <= now))
+                        .map(|(&idx, _)| idx)
+                        .collect();
+                    for job_idx in expired {
+                        let Some(o) = outstanding.remove(&job_idx) else { continue };
+                        let attempt = o.attempt;
+                        if let Some(w) = o.worker {
+                            // Flag the stuck worker to retire when (if)
+                            // it ever finishes, detach its handle, and
+                            // keep the pool at strength.
+                            pool.abandon(&shared, w);
+                            pool.spawn(
+                                &jobs_arc,
+                                &shared,
+                                &tx,
+                                &self.tracer,
+                                self.policy.watchdog,
+                            );
+                        }
+                        let limit_ms = self
+                            .policy
+                            .wall_deadline
+                            .map_or(0, |d| d.as_millis() as u64);
+                        let failure = JobFailure::WallTimeout { limit_ms };
+                        let st = state.get_mut(&job_idx).expect("supervised job");
+                        match self.disposition(st, &failure) {
+                            Disposition::Retry(delay) => {
+                                outstanding.insert(
+                                    job_idx,
+                                    Outstanding {
+                                        attempt: attempt + 1,
+                                        worker: None,
+                                        deadline: None,
+                                    },
+                                );
+                                delayed.push((
+                                    Instant::now() + delay,
+                                    Attempt { job_idx, attempt: attempt + 1 },
+                                ));
+                            }
+                            Disposition::Terminal(status) => {
+                                let r = JobResult::failed(
+                                    jobs[job_idx].id.clone(),
+                                    status,
+                                    attempt,
+                                    &failure,
+                                );
+                                record(&mut writer, &r)?;
+                                slots[job_idx] = Some(r);
+                                remaining -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Shut the pool down; abandoned workers are detached, not joined.
+        {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            q.shutdown = true;
+            shared.cv.notify_all();
+        }
+        drop(rx);
+        pool.join_live();
+        Ok(())
+    }
+
+    /// Decide what to do with a failed attempt.
+    fn disposition(&self, st: &mut Supervision, failure: &JobFailure) -> Disposition {
+        if failure.is_timeout() {
+            st.strikes += 1;
+            if st.strikes >= self.policy.quarantine_strikes {
+                return Disposition::Terminal(JobStatus::Quarantined);
+            }
+            return Disposition::Retry(self.policy.backoff_for(st.strikes));
+        }
+        if failure.is_transient() {
+            st.transient_retries += 1;
+            if st.transient_retries > self.policy.max_retries {
+                return Disposition::Terminal(JobStatus::Failed);
+            }
+            return Disposition::Retry(self.policy.backoff_for(st.transient_retries));
+        }
+        // Panics and persistent errors (invalid config, unrecoverable
+        // faults, …) are deterministic: retrying cannot help.
+        Disposition::Terminal(JobStatus::Failed)
+    }
+}
+
+fn record(writer: &mut Option<&mut JournalWriter>, r: &JobResult) -> Result<(), HarnessError> {
+    if let Some(w) = writer {
+        w.record(r)?;
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    job_idx: usize,
+    attempt: u32,
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    attempt: u32,
+    /// Worker currently executing the attempt (set on `Started`).
+    worker: Option<usize>,
+    deadline: Option<Instant>,
+}
+
+#[derive(Debug, Default)]
+struct Supervision {
+    strikes: u32,
+    transient_retries: u32,
+}
+
+enum Disposition {
+    Retry(Duration),
+    Terminal(JobStatus),
+}
+
+enum Msg {
+    Started { worker: usize, job_idx: usize, attempt: u32 },
+    Done { job_idx: usize, attempt: u32, outcome: Result<String, JobFailure> },
+}
+
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    ready: VecDeque<Attempt>,
+    /// Worker ids told to retire at their next queue interaction.
+    abandoned: HashSet<usize>,
+    shutdown: bool,
+}
+
+struct Pool {
+    next_id: usize,
+    handles: HashMap<usize, std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn spawn(
+        &mut self,
+        jobs: &Arc<Vec<Job>>,
+        shared: &Arc<Shared>,
+        tx: &Sender<Msg>,
+        tracer: &Tracer,
+        watchdog: Watchdog,
+    ) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let jobs = Arc::clone(jobs);
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        let tracer = tracer.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("pim-harness-worker-{id}"))
+            .spawn(move || worker_loop(id, &jobs, &shared, &tx, &tracer, watchdog))
+            .expect("spawn worker thread");
+        self.handles.insert(id, handle);
+    }
+
+    /// Flag a stuck worker to retire at its next queue interaction and
+    /// detach its handle. std threads cannot be killed: a worker hung
+    /// forever in a job simply leaks until process exit, which is why
+    /// [`Pool::join_live`] must not wait on it.
+    fn abandon(&mut self, shared: &Arc<Shared>, worker: usize) {
+        {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            q.abandoned.insert(worker);
+        }
+        self.handles.remove(&worker);
+    }
+
+    fn join_live(self) {
+        for (_, h) in self.handles {
+            // Worker threads never panic (jobs run under catch_unwind);
+            // join errors could only come from external thread death.
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    id: usize,
+    jobs: &Arc<Vec<Job>>,
+    shared: &Arc<Shared>,
+    tx: &Sender<Msg>,
+    tracer: &Tracer,
+    watchdog: Watchdog,
+) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if q.abandoned.remove(&id) {
+                    return;
+                }
+                if let Some(t) = q.ready.pop_front() {
+                    break t;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.cv.wait(q).expect("queue poisoned");
+            }
+        };
+
+        let job = &jobs[task.job_idx];
+        if tx
+            .send(Msg::Started { worker: id, job_idx: task.job_idx, attempt: task.attempt })
+            .is_err()
+        {
+            return;
+        }
+        let track = tracer.track(&format!("job:{}", job.id));
+        let ctx = JobCtx {
+            job_id: job.id.clone(),
+            attempt: task.attempt,
+            tracer: tracer.clone(),
+            track,
+            watchdog,
+        };
+        let run = Arc::clone(&job.run);
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run(&ctx))) {
+            Ok(Ok(payload)) => Ok(payload),
+            Ok(Err(e)) => Err(JobFailure::Sim(e)),
+            Err(panic) => Err(JobFailure::Panicked { message: panic_message(&*panic) }),
+        };
+        if tx
+            .send(Msg::Done { job_idx: task.job_idx, attempt: task.attempt, outcome })
+            .is_err()
+        {
+            return;
+        }
+
+        // If the supervisor wrote this attempt off and abandoned us while
+        // we were stuck in it, the top-of-loop check retires this worker:
+        // a replacement already took our place.
+    }
+}
+
+/// Render a caught panic payload as text.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,6 +1,7 @@
 //! Set-associative write-back, write-allocate cache model.
 
 use crate::access::{AccessKind, LINE_BYTES};
+use crate::error::ConfigError;
 
 /// Geometry of a [`Cache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +31,24 @@ impl CacheConfig {
     /// Number of sets implied by the geometry.
     pub fn sets(&self) -> usize {
         (self.capacity_bytes / LINE_BYTES) as usize / self.associativity
+    }
+
+    /// Validate the geometry, naming the cache in any error.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroAssociativity`] for zero ways,
+    /// [`ConfigError::NonPowerOfTwoSets`] when the implied set count is
+    /// not a power of two (the index function needs one).
+    pub fn validate(&self, name: &'static str) -> Result<(), ConfigError> {
+        if self.associativity == 0 {
+            return Err(ConfigError::ZeroAssociativity { cache: name });
+        }
+        let sets = self.sets();
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::NonPowerOfTwoSets { cache: name, sets });
+        }
+        Ok(())
     }
 }
 
@@ -81,7 +100,7 @@ struct Way {
 ///
 /// ```
 /// use pim_memsim::{Cache, CacheConfig, AccessKind};
-/// let mut c = Cache::new(CacheConfig::soc_l1());
+/// let mut c = Cache::new(CacheConfig::soc_l1()).unwrap();
 /// assert!(!c.access(0x40, AccessKind::Read).hit);
 /// assert!(c.access(0x40, AccessKind::Read).hit);
 /// ```
@@ -98,14 +117,20 @@ pub struct Cache {
 impl Cache {
     /// Create an empty cache.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the geometry does not yield a power-of-two number of sets,
-    /// or if `associativity` is zero.
-    pub fn new(config: CacheConfig) -> Self {
-        assert!(config.associativity > 0, "associativity must be nonzero");
+    /// Rejects geometries that fail [`CacheConfig::validate`]: zero
+    /// associativity or a non-power-of-two set count.
+    pub fn new(config: CacheConfig) -> Result<Self, ConfigError> {
+        config.validate("cache")?;
+        Ok(Self::build(config))
+    }
+
+    /// Build without validating. Callers must have validated `config`
+    /// (directly or as part of a whole-system `MemConfig::validate`);
+    /// an invalid geometry here would corrupt the set index math.
+    pub(crate) fn build(config: CacheConfig) -> Self {
         let sets = config.sets();
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
         Self {
             config,
             sets: vec![Way::default(); sets * config.associativity],
@@ -214,7 +239,7 @@ mod tests {
 
     fn tiny() -> Cache {
         // 8 lines, 2-way => 4 sets.
-        Cache::new(CacheConfig { capacity_bytes: 8 * LINE_BYTES, associativity: 2 })
+        Cache::new(CacheConfig { capacity_bytes: 8 * LINE_BYTES, associativity: 2 }).unwrap()
     }
 
     #[test]
@@ -289,9 +314,24 @@ mod tests {
 
     #[test]
     fn paper_geometries_construct() {
-        assert_eq!(Cache::new(CacheConfig::soc_l1()).config().sets(), 256);
-        assert_eq!(Cache::new(CacheConfig::soc_llc()).config().sets(), 4096);
-        assert_eq!(Cache::new(CacheConfig::pim_l1()).config().sets(), 128);
+        assert_eq!(Cache::new(CacheConfig::soc_l1()).unwrap().config().sets(), 256);
+        assert_eq!(Cache::new(CacheConfig::soc_llc()).unwrap().config().sets(), 4096);
+        assert_eq!(Cache::new(CacheConfig::pim_l1()).unwrap().config().sets(), 128);
+    }
+
+    #[test]
+    fn invalid_geometries_are_typed_errors() {
+        let zero_ways = CacheConfig { capacity_bytes: 8 * LINE_BYTES, associativity: 0 };
+        assert!(matches!(
+            Cache::new(zero_ways),
+            Err(ConfigError::ZeroAssociativity { cache: "cache" })
+        ));
+        // 6 lines / 2 ways = 3 sets: not a power of two.
+        let bad_sets = CacheConfig { capacity_bytes: 6 * LINE_BYTES, associativity: 2 };
+        assert!(matches!(
+            Cache::new(bad_sets),
+            Err(ConfigError::NonPowerOfTwoSets { sets: 3, .. })
+        ));
     }
 
     #[test]

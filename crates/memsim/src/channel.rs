@@ -2,6 +2,7 @@
 
 use pim_faults::{ChannelFaultConfig, SplitMix64};
 
+use crate::error::ConfigError;
 use crate::Ps;
 
 /// Link-fault counters of a channel.
@@ -32,7 +33,7 @@ struct FaultInjector {
 ///
 /// ```
 /// use pim_memsim::Channel;
-/// let mut ch = Channel::new(32.0); // 32 GB/s
+/// let mut ch = Channel::new(32.0).unwrap(); // 32 GB/s
 /// let t1 = ch.transfer(64, 0);
 /// let t2 = ch.transfer(64, 0); // queued behind t1
 /// assert_eq!(t2, 2 * t1);
@@ -50,11 +51,29 @@ pub struct Channel {
 impl Channel {
     /// Create a channel with the given bandwidth in GB/s (1e9 bytes/s).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `gb_per_s` is not positive.
-    pub fn new(gb_per_s: f64) -> Self {
-        assert!(gb_per_s > 0.0, "bandwidth must be positive");
+    /// [`ConfigError::NonPositiveBandwidth`] if `gb_per_s` is not
+    /// positive (a zero-bandwidth link would serialize forever).
+    pub fn new(gb_per_s: f64) -> Result<Self, ConfigError> {
+        Self::validate_bandwidth(gb_per_s, "channel")?;
+        Ok(Self::build(gb_per_s))
+    }
+
+    /// Validate a bandwidth, naming the link in any error.
+    pub(crate) fn validate_bandwidth(
+        gb_per_s: f64,
+        what: &'static str,
+    ) -> Result<(), ConfigError> {
+        if gb_per_s > 0.0 {
+            Ok(())
+        } else {
+            Err(ConfigError::NonPositiveBandwidth { what, gb_per_s })
+        }
+    }
+
+    /// Build without validating; callers must have checked the bandwidth.
+    pub(crate) fn build(gb_per_s: f64) -> Self {
         Self {
             // 1 GB/s == 1 byte/ns == 1000 ps per byte at 1 GB/s.
             ps_per_byte: 1000.0 / gb_per_s,
@@ -73,8 +92,21 @@ impl Channel {
     /// the transfer twice. A duplicated transaction moves its bytes twice
     /// but completes when the first copy lands. With both probabilities at
     /// zero the channel behaves bit-identically to [`Channel::new`].
-    pub fn with_faults(gb_per_s: f64, cfg: ChannelFaultConfig) -> Self {
-        let mut ch = Self::new(gb_per_s);
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive bandwidth or a probability outside `[0, 1]`.
+    pub fn with_faults(gb_per_s: f64, cfg: ChannelFaultConfig) -> Result<Self, ConfigError> {
+        Self::validate_bandwidth(gb_per_s, "channel")?;
+        validate_prob(cfg.drop_prob, "drop_prob")?;
+        validate_prob(cfg.dup_prob, "dup_prob")?;
+        Ok(Self::build_with_faults(gb_per_s, cfg))
+    }
+
+    /// Build without validating; callers must have checked bandwidth and
+    /// probabilities.
+    pub(crate) fn build_with_faults(gb_per_s: f64, cfg: ChannelFaultConfig) -> Self {
+        let mut ch = Self::build(gb_per_s);
         if cfg.drop_prob > 0.0 || cfg.dup_prob > 0.0 {
             ch.faults = Some(FaultInjector {
                 drop_prob: cfg.drop_prob,
@@ -155,19 +187,28 @@ impl Channel {
     }
 }
 
+/// Validate a probability, naming it in any error.
+pub(crate) fn validate_prob(p: f64, what: &'static str) -> Result<(), ConfigError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(ConfigError::InvalidProbability { what, p })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn serialization_time_matches_bandwidth() {
-        let mut ch = Channel::new(1.0); // 1 GB/s -> 1000 ps/B
+        let mut ch = Channel::new(1.0).unwrap(); // 1 GB/s -> 1000 ps/B
         assert_eq!(ch.transfer(64, 0), 64_000);
     }
 
     #[test]
     fn idle_channel_does_not_queue() {
-        let mut ch = Channel::new(32.0);
+        let mut ch = Channel::new(32.0).unwrap();
         let l1 = ch.transfer(64, 0);
         // Start the next transfer after the first has fully drained.
         let l2 = ch.transfer(64, 1_000_000);
@@ -177,7 +218,7 @@ mod tests {
 
     #[test]
     fn back_to_back_transfers_queue() {
-        let mut ch = Channel::new(32.0);
+        let mut ch = Channel::new(32.0).unwrap();
         let l1 = ch.transfer(64, 0);
         let l2 = ch.transfer(64, 0);
         assert_eq!(l2, 2 * l1);
@@ -186,7 +227,7 @@ mod tests {
 
     #[test]
     fn bytes_are_counted() {
-        let mut ch = Channel::new(32.0);
+        let mut ch = Channel::new(32.0).unwrap();
         ch.transfer(64, 0);
         ch.transfer(128, 0);
         assert_eq!(ch.bytes_moved(), 192);
@@ -195,8 +236,8 @@ mod tests {
     #[test]
     fn zero_prob_fault_config_matches_plain_channel() {
         let cfg = ChannelFaultConfig { drop_prob: 0.0, dup_prob: 0.0, seed: 1 };
-        let mut plain = Channel::new(32.0);
-        let mut faulty = Channel::with_faults(32.0, cfg);
+        let mut plain = Channel::new(32.0).unwrap();
+        let mut faulty = Channel::with_faults(32.0, cfg).unwrap();
         for i in 0..100 {
             assert_eq!(plain.transfer(64, i * 10), faulty.transfer(64, i * 10));
         }
@@ -206,8 +247,8 @@ mod tests {
     #[test]
     fn dropped_transactions_occupy_the_link_twice() {
         let cfg = ChannelFaultConfig { drop_prob: 1.0, dup_prob: 0.0, seed: 7 };
-        let mut ch = Channel::with_faults(32.0, cfg);
-        let base = Channel::new(32.0).transfer(64, 0);
+        let mut ch = Channel::with_faults(32.0, cfg).unwrap();
+        let base = Channel::new(32.0).unwrap().transfer(64, 0);
         let l = ch.transfer(64, 0);
         assert_eq!(l, 2 * base);
         assert_eq!(ch.fault_stats().dropped, 1);
@@ -217,14 +258,14 @@ mod tests {
     #[test]
     fn duplicates_burn_bandwidth_but_complete_on_first_copy() {
         let cfg = ChannelFaultConfig { drop_prob: 0.0, dup_prob: 1.0, seed: 7 };
-        let mut ch = Channel::with_faults(32.0, cfg);
-        let base = Channel::new(32.0).transfer(64, 0);
+        let mut ch = Channel::with_faults(32.0, cfg).unwrap();
+        let base = Channel::new(32.0).unwrap().transfer(64, 0);
         let l = ch.transfer(64, 0);
         assert_eq!(l, base); // requester waits only for the first copy
         assert_eq!(ch.fault_stats().duplicated, 1);
         assert_eq!(ch.bytes_moved(), 128); // but the link carried it twice
         // The duplicate occupies the link: the next transfer queues behind it.
-        let mut fresh = Channel::new(32.0);
+        let mut fresh = Channel::new(32.0).unwrap();
         fresh.transfer(64, 0);
         assert!(ch.busy_until() > fresh.busy_until());
     }
@@ -232,8 +273,8 @@ mod tests {
     #[test]
     fn fault_draws_are_deterministic_per_seed() {
         let cfg = ChannelFaultConfig { drop_prob: 0.3, dup_prob: 0.2, seed: 99 };
-        let mut a = Channel::with_faults(8.0, cfg);
-        let mut b = Channel::with_faults(8.0, cfg);
+        let mut a = Channel::with_faults(8.0, cfg).unwrap();
+        let mut b = Channel::with_faults(8.0, cfg).unwrap();
         for i in 0..500 {
             assert_eq!(a.transfer(64, i * 5), b.transfer(64, i * 5));
         }
@@ -244,7 +285,7 @@ mod tests {
     #[test]
     fn fractional_ps_per_byte_accumulates() {
         // 3 GB/s -> 333.33 ps/B. 3000 transfers of 1 byte must total ~1 ms.
-        let mut ch = Channel::new(3.0);
+        let mut ch = Channel::new(3.0).unwrap();
         for _ in 0..3000 {
             ch.transfer(1, 0);
         }

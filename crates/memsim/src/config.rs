@@ -1,9 +1,11 @@
 //! Top-level memory-system configuration.
 
-use pim_faults::{ChannelFaultConfig, DmpimError};
+use pim_faults::ChannelFaultConfig;
 
 use crate::cache::CacheConfig;
+use crate::channel::{validate_prob, Channel};
 use crate::dram::DramConfig;
+use crate::error::ConfigError;
 use crate::stacked::StackedConfig;
 use crate::Ps;
 
@@ -76,50 +78,27 @@ impl MemConfig {
 
     /// Check the configuration for inconsistencies before building a
     /// [`crate::MemorySystem`] from it.
-    pub fn validate(&self) -> Result<(), DmpimError> {
-        for (name, cache) in [
-            ("cpu_l1", self.cpu_l1),
-            ("llc", self.llc),
-            ("pim_l1", self.pim_l1),
-            ("scratch", self.scratch),
-        ] {
-            if cache.associativity == 0 {
-                return Err(DmpimError::invalid_config(format!(
-                    "{name}: associativity must be nonzero"
-                )));
-            }
-            let sets = cache.sets();
-            if sets == 0 || !sets.is_power_of_two() {
-                return Err(DmpimError::invalid_config(format!(
-                    "{name}: geometry must yield a power-of-two set count (got {sets})"
-                )));
-            }
-        }
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ConfigError`] naming the offending component: one of the
+    /// four caches, the main-memory channel/geometry, or an out-of-range
+    /// fault probability.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.cpu_l1.validate("cpu_l1")?;
+        self.llc.validate("llc")?;
+        self.pim_l1.validate("pim_l1")?;
+        self.scratch.validate("scratch")?;
         match self.dram {
-            DramKind::Lpddr3 { channel_gbps, .. } => {
-                if channel_gbps <= 0.0 {
-                    return Err(DmpimError::invalid_config(
-                        "lpddr3: channel bandwidth must be positive",
-                    ));
-                }
+            DramKind::Lpddr3 { channel_gbps, timing } => {
+                Channel::validate_bandwidth(channel_gbps, "lpddr3 channel")?;
+                timing.validate()?;
             }
-            DramKind::Stacked(s) => {
-                if s.vaults == 0 {
-                    return Err(DmpimError::invalid_config("stacked: need at least one vault"));
-                }
-                if s.internal_gbps <= 0.0 || s.offchip_gbps <= 0.0 {
-                    return Err(DmpimError::invalid_config(
-                        "stacked: bandwidths must be positive",
-                    ));
-                }
-            }
+            DramKind::Stacked(s) => s.validate()?,
         }
         if let Some(cf) = self.channel_faults {
-            if !(0.0..=1.0).contains(&cf.drop_prob) || !(0.0..=1.0).contains(&cf.dup_prob) {
-                return Err(DmpimError::invalid_config(
-                    "channel_faults: probabilities must be in [0, 1]",
-                ));
-            }
+            validate_prob(cf.drop_prob, "drop_prob")?;
+            validate_prob(cf.dup_prob, "dup_prob")?;
         }
         Ok(())
     }
@@ -158,12 +137,18 @@ mod tests {
     fn validate_rejects_bad_geometry_and_probabilities() {
         let mut cfg = MemConfig::chromebook_like();
         cfg.cpu_l1.associativity = 0;
-        assert!(matches!(cfg.validate(), Err(DmpimError::InvalidConfig { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ZeroAssociativity { cache: "cpu_l1" })
+        ));
 
         let mut cfg = MemConfig::chromebook_like();
         cfg.llc.capacity_bytes = 3 * 64; // 3 sets at 1-way: not a power of two
         cfg.llc.associativity = 1;
-        assert!(cfg.validate().is_err());
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::NonPowerOfTwoSets { cache: "llc", sets: 3 })
+        ));
 
         let mut cfg = MemConfig::pim_device();
         cfg.channel_faults =

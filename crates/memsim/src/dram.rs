@@ -1,6 +1,7 @@
 //! DRAM bank/row model with an FR-FCFS-approximating scheduler window.
 
 use crate::access::AccessKind;
+use crate::error::ConfigError;
 use crate::Ps;
 
 /// Memory-controller scheduling policy.
@@ -64,6 +65,22 @@ impl DramConfig {
             row_miss_extra_ps: 20_000,
             policy: SchedulerPolicy::default(),
         }
+    }
+
+    /// Validate the geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroBanks`] or [`ConfigError::ZeroRowBytes`] for a
+    /// degenerate device (the address mapping divides by both).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.banks == 0 {
+            return Err(ConfigError::ZeroBanks);
+        }
+        if self.row_bytes == 0 {
+            return Err(ConfigError::ZeroRowBytes);
+        }
+        Ok(())
     }
 }
 
@@ -160,12 +177,18 @@ pub struct BankArray {
 impl BankArray {
     /// Create a bank array with all rows closed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `banks` is zero or `row_bytes` is zero.
-    pub fn new(config: DramConfig) -> Self {
-        assert!(config.banks > 0, "need at least one bank");
-        assert!(config.row_bytes > 0, "row size must be nonzero");
+    /// Rejects geometries that fail [`DramConfig::validate`]: zero banks
+    /// or a zero-byte row buffer.
+    pub fn new(config: DramConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self::build(config))
+    }
+
+    /// Build without validating. Callers must have validated `config`;
+    /// zero banks or rows would make the address mapping divide by zero.
+    pub(crate) fn build(config: DramConfig) -> Self {
         Self {
             banks: vec![Bank { open_rows: Vec::new() }; config.banks],
             config,
@@ -230,7 +253,19 @@ mod tests {
     use super::*;
 
     fn arr(policy: SchedulerPolicy) -> BankArray {
-        BankArray::new(DramConfig { policy, ..DramConfig::lpddr3() })
+        BankArray::new(DramConfig { policy, ..DramConfig::lpddr3() }).unwrap()
+    }
+
+    #[test]
+    fn degenerate_geometries_are_typed_errors() {
+        assert!(matches!(
+            BankArray::new(DramConfig { banks: 0, ..DramConfig::lpddr3() }),
+            Err(ConfigError::ZeroBanks)
+        ));
+        assert!(matches!(
+            BankArray::new(DramConfig { row_bytes: 0, ..DramConfig::lpddr3() }),
+            Err(ConfigError::ZeroRowBytes)
+        ));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Typed configuration validation errors.
+//!
+//! Every memsim constructor validates its geometry and returns a
+//! [`ConfigError`] instead of panicking, so an invalid configuration in a
+//! sweep is a reportable job failure rather than a process abort. The
+//! error folds into [`pim_faults::DmpimError::InvalidConfig`] via `From`,
+//! which is what the offload layer and the sweep harness propagate.
+
+use std::fmt;
+
+use pim_faults::DmpimError;
+
+/// Why a memory-system configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A cache was configured with zero ways.
+    ZeroAssociativity {
+        /// Which cache (e.g. `cpu_l1`, `llc`).
+        cache: &'static str,
+    },
+    /// A cache geometry yields a set count that is not a power of two
+    /// (the index function requires one).
+    NonPowerOfTwoSets {
+        /// Which cache.
+        cache: &'static str,
+        /// The offending set count.
+        sets: usize,
+    },
+    /// A bandwidth that must be positive was zero or negative.
+    NonPositiveBandwidth {
+        /// Which link (e.g. `channel`, `internal`, `off-chip`).
+        what: &'static str,
+        /// The offending value in GB/s.
+        gb_per_s: f64,
+    },
+    /// A stacked memory was configured with zero vaults.
+    ZeroVaults,
+    /// A DRAM device was configured with zero banks.
+    ZeroBanks,
+    /// A DRAM device was configured with a zero-byte row buffer.
+    ZeroRowBytes,
+    /// A fault probability outside `[0, 1]`.
+    InvalidProbability {
+        /// Which probability (e.g. `drop_prob`).
+        what: &'static str,
+        /// The offending value.
+        p: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroAssociativity { cache } => {
+                write!(f, "{cache}: associativity must be nonzero")
+            }
+            ConfigError::NonPowerOfTwoSets { cache, sets } => {
+                write!(f, "{cache}: set count must be a power of two, got {sets}")
+            }
+            ConfigError::NonPositiveBandwidth { what, gb_per_s } => {
+                write!(f, "{what}: bandwidth must be positive, got {gb_per_s} GB/s")
+            }
+            ConfigError::ZeroVaults => write!(f, "stacked memory needs at least one vault"),
+            ConfigError::ZeroBanks => write!(f, "DRAM needs at least one bank"),
+            ConfigError::ZeroRowBytes => write!(f, "DRAM row buffer must be nonzero"),
+            ConfigError::InvalidProbability { what, p } => {
+                write!(f, "{what}: probability must be in [0, 1], got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for DmpimError {
+    fn from(e: ConfigError) -> Self {
+        DmpimError::InvalidConfig { what: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_into_dmpim_error() {
+        let e: DmpimError = ConfigError::ZeroVaults.into();
+        assert!(matches!(e, DmpimError::InvalidConfig { .. }));
+        assert_eq!(e.label(), "invalid-config");
+        assert!(e.to_string().contains("vault"));
+    }
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = ConfigError::NonPowerOfTwoSets { cache: "llc", sets: 3 };
+        assert!(e.to_string().contains("llc"));
+        assert!(e.to_string().contains('3'));
+    }
+}

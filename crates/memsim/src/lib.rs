@@ -23,7 +23,7 @@
 //! ```
 //! use pim_memsim::{MemorySystem, MemConfig, AccessKind};
 //!
-//! let mut mem = MemorySystem::new(MemConfig::chromebook_like());
+//! let mut mem = MemorySystem::new(MemConfig::chromebook_like()).unwrap();
 //! let out = mem.access(0x1000, 64, AccessKind::Read, 0);
 //! assert!(out.latency_ps > 0);
 //! let hit = mem.access(0x1000, 64, AccessKind::Read, out.latency_ps);
@@ -38,6 +38,7 @@ pub mod channel;
 pub mod coherence;
 pub mod config;
 pub mod dram;
+pub mod error;
 pub mod stacked;
 pub mod system;
 
@@ -46,6 +47,7 @@ pub use cache::{Cache, CacheConfig, CacheStats};
 pub use channel::{Channel, ChannelFaultStats};
 pub use coherence::{CoherenceConfig, CoherenceModel, CoherenceStats};
 pub use config::{DramKind, MemConfig};
+pub use error::ConfigError;
 pub use dram::{BankArray, DramConfig, DramStats, SchedulerPolicy};
 pub use stacked::{StackedConfig, StackedMemory};
 pub use system::{AccessOutcome, MemorySystem, Port};

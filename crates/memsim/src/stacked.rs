@@ -3,8 +3,9 @@
 use pim_faults::ChannelFaultConfig;
 
 use crate::access::AccessKind;
-use crate::channel::{Channel, ChannelFaultStats};
+use crate::channel::{validate_prob, Channel, ChannelFaultStats};
 use crate::dram::{BankArray, DramConfig, DramOutcome, DramStats};
+use crate::error::ConfigError;
 use crate::Ps;
 
 /// Geometry and bandwidth of a 3D-stacked memory cube (Table 1).
@@ -34,6 +35,21 @@ impl StackedConfig {
             offchip_extra_ps: 20_000,
             vault: DramConfig::stacked_vault(),
         }
+    }
+
+    /// Validate the cube geometry, bandwidths, and per-vault timing.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroVaults`], a non-positive internal or off-chip
+    /// bandwidth, or an invalid per-vault [`DramConfig`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.vaults == 0 {
+            return Err(ConfigError::ZeroVaults);
+        }
+        Channel::validate_bandwidth(self.internal_gbps, "internal")?;
+        Channel::validate_bandwidth(self.offchip_gbps, "off-chip")?;
+        self.vault.validate()
     }
 }
 
@@ -68,16 +84,23 @@ pub struct StackedMemory {
 impl StackedMemory {
     /// Create a cube with all rows closed and channels idle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `vaults` is zero.
-    pub fn new(config: StackedConfig) -> Self {
-        assert!(config.vaults > 0, "need at least one vault");
+    /// Rejects geometries that fail [`StackedConfig::validate`]: zero
+    /// vaults, non-positive bandwidths, or degenerate vault DRAM.
+    pub fn new(config: StackedConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self::build(config))
+    }
+
+    /// Build without validating. Callers must have validated `config`;
+    /// zero vaults would divide the internal bandwidth by zero.
+    pub(crate) fn build(config: StackedConfig) -> Self {
         let per_vault = config.internal_gbps / config.vaults as f64;
         Self {
-            vaults: (0..config.vaults).map(|_| BankArray::new(config.vault)).collect(),
-            vault_channels: (0..config.vaults).map(|_| Channel::new(per_vault)).collect(),
-            offchip: Channel::new(config.offchip_gbps),
+            vaults: (0..config.vaults).map(|_| BankArray::build(config.vault)).collect(),
+            vault_channels: (0..config.vaults).map(|_| Channel::build(per_vault)).collect(),
+            offchip: Channel::build(config.offchip_gbps),
             config,
         }
     }
@@ -87,21 +110,34 @@ impl StackedMemory {
     /// Each vault channel gets its own seed derived from `cf.seed` so fault
     /// draws stay independent across vaults but deterministic per cube.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.vaults` is zero.
-    pub fn with_faults(config: StackedConfig, cf: ChannelFaultConfig) -> Self {
-        let mut cube = Self::new(config);
+    /// Rejects an invalid geometry (see [`StackedMemory::new`]) or a
+    /// fault probability outside `[0, 1]`.
+    pub fn with_faults(
+        config: StackedConfig,
+        cf: ChannelFaultConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        validate_prob(cf.drop_prob, "drop_prob")?;
+        validate_prob(cf.dup_prob, "dup_prob")?;
+        Ok(Self::build_with_faults(config, cf))
+    }
+
+    /// Build without validating; callers must have validated geometry and
+    /// probabilities.
+    pub(crate) fn build_with_faults(config: StackedConfig, cf: ChannelFaultConfig) -> Self {
+        let mut cube = Self::build(config);
         let per_vault = config.internal_gbps / config.vaults as f64;
         cube.vault_channels = (0..config.vaults)
             .map(|v| {
-                Channel::with_faults(
+                Channel::build_with_faults(
                     per_vault,
                     ChannelFaultConfig { seed: cf.seed.wrapping_add(1 + v as u64), ..cf },
                 )
             })
             .collect();
-        cube.offchip = Channel::with_faults(config.offchip_gbps, cf);
+        cube.offchip = Channel::build_with_faults(config.offchip_gbps, cf);
         cube
     }
 
@@ -169,17 +205,34 @@ mod tests {
     use super::*;
 
     #[test]
+    fn degenerate_cubes_are_typed_errors() {
+        assert!(matches!(
+            StackedMemory::new(StackedConfig { vaults: 0, ..StackedConfig::hmc_like() }),
+            Err(ConfigError::ZeroVaults)
+        ));
+        assert!(matches!(
+            StackedMemory::new(StackedConfig { internal_gbps: 0.0, ..StackedConfig::hmc_like() }),
+            Err(ConfigError::NonPositiveBandwidth { what: "internal", .. })
+        ));
+        let cf = ChannelFaultConfig { drop_prob: 1.5, dup_prob: 0.0, seed: 1 };
+        assert!(matches!(
+            StackedMemory::with_faults(StackedConfig::hmc_like(), cf),
+            Err(ConfigError::InvalidProbability { what: "drop_prob", .. })
+        ));
+    }
+
+    #[test]
     fn internal_path_is_faster_than_offchip() {
-        let mut m = StackedMemory::new(StackedConfig::hmc_like());
+        let mut m = StackedMemory::new(StackedConfig::hmc_like()).unwrap();
         let off = m.access_offchip(0, 64, AccessKind::Read, 0);
-        let mut m2 = StackedMemory::new(StackedConfig::hmc_like());
+        let mut m2 = StackedMemory::new(StackedConfig::hmc_like()).unwrap();
         let int = m2.access_internal(0, 64, AccessKind::Read, 0);
         assert!(int.latency_ps < off.latency_ps);
     }
 
     #[test]
     fn rows_interleave_across_vaults() {
-        let m = StackedMemory::new(StackedConfig::hmc_like());
+        let m = StackedMemory::new(StackedConfig::hmc_like()).unwrap();
         let row = m.config().vault.row_bytes;
         assert_eq!(m.vault_of(0), 0);
         assert_eq!(m.vault_of(row), 1);
@@ -188,7 +241,7 @@ mod tests {
 
     #[test]
     fn offchip_traffic_counted_only_on_offchip_port() {
-        let mut m = StackedMemory::new(StackedConfig::hmc_like());
+        let mut m = StackedMemory::new(StackedConfig::hmc_like()).unwrap();
         m.access_internal(0, 64, AccessKind::Read, 0);
         assert_eq!(m.offchip_bytes(), 0);
         m.access_offchip(0, 64, AccessKind::Read, 0);
@@ -197,7 +250,7 @@ mod tests {
 
     #[test]
     fn vault_stats_aggregate() {
-        let mut m = StackedMemory::new(StackedConfig::hmc_like());
+        let mut m = StackedMemory::new(StackedConfig::hmc_like()).unwrap();
         let row = m.config().vault.row_bytes;
         for v in 0..4u64 {
             m.access_internal(v * row, 64, AccessKind::Write, 0);
@@ -210,8 +263,8 @@ mod tests {
     #[test]
     fn faulty_cube_counts_link_faults_deterministically() {
         let cf = ChannelFaultConfig { drop_prob: 0.2, dup_prob: 0.1, seed: 11 };
-        let mut a = StackedMemory::with_faults(StackedConfig::hmc_like(), cf);
-        let mut b = StackedMemory::with_faults(StackedConfig::hmc_like(), cf);
+        let mut a = StackedMemory::with_faults(StackedConfig::hmc_like(), cf).unwrap();
+        let mut b = StackedMemory::with_faults(StackedConfig::hmc_like(), cf).unwrap();
         let row = a.config().vault.row_bytes;
         for i in 0..200u64 {
             let la = a.access_internal(i * row, 64, AccessKind::Read, 0).latency_ps;
@@ -229,14 +282,14 @@ mod tests {
         let cfg = StackedConfig::hmc_like();
         let row = cfg.vault.row_bytes;
 
-        let mut spread = StackedMemory::new(cfg);
+        let mut spread = StackedMemory::new(cfg).unwrap();
         let mut spread_done = 0;
         for v in 0..16u64 {
             let out = spread.access_internal(v * row, 4096, AccessKind::Read, 0);
             spread_done = spread_done.max(out.latency_ps);
         }
 
-        let mut single = StackedMemory::new(cfg);
+        let mut single = StackedMemory::new(cfg).unwrap();
         let mut single_done = 0;
         for i in 0..16u64 {
             let out = single.access_internal(i * row * 16, 4096, AccessKind::Read, 0);

@@ -112,24 +112,49 @@ pub struct MemorySystem {
 }
 
 impl MemorySystem {
-    /// Build a memory system from a configuration.
-    pub fn new(config: MemConfig) -> Self {
+    /// Build a memory system after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`DmpimError::InvalidConfig`] describing the offending component
+    /// when [`MemConfig::validate`] rejects the geometry, bandwidths, or
+    /// fault probabilities.
+    pub fn new(config: MemConfig) -> Result<Self, DmpimError> {
+        config.validate()?;
+        Ok(Self::build(config))
+    }
+
+    /// A known-good baseline system ([`MemConfig::chromebook_like`]).
+    ///
+    /// Used as a construction-poisoned stand-in when a caller must hold
+    /// *some* memory system even though its requested configuration was
+    /// rejected — the caller records the [`DmpimError`] and reports it
+    /// instead of simulating.
+    pub fn fallback() -> Self {
+        Self::build(MemConfig::chromebook_like())
+    }
+
+    /// Build without validating. Callers must have validated `config`
+    /// (the presets used by [`Self::fallback`] are valid by construction).
+    fn build(config: MemConfig) -> Self {
         let backend = match (config.dram, config.channel_faults) {
             (DramKind::Lpddr3 { channel_gbps, timing }, cf) => Backend::Lpddr3 {
-                banks: BankArray::new(timing),
+                banks: BankArray::build(timing),
                 channel: match cf {
-                    Some(cf) => Channel::with_faults(channel_gbps, cf),
-                    None => Channel::new(channel_gbps),
+                    Some(cf) => Channel::build_with_faults(channel_gbps, cf),
+                    None => Channel::build(channel_gbps),
                 },
             },
-            (DramKind::Stacked(s), Some(cf)) => Backend::Stacked(StackedMemory::with_faults(s, cf)),
-            (DramKind::Stacked(s), None) => Backend::Stacked(StackedMemory::new(s)),
+            (DramKind::Stacked(s), Some(cf)) => {
+                Backend::Stacked(StackedMemory::build_with_faults(s, cf))
+            }
+            (DramKind::Stacked(s), None) => Backend::Stacked(StackedMemory::build(s)),
         };
         Self {
-            cpu_l1: Cache::new(config.cpu_l1),
-            llc: Cache::new(config.llc),
-            pim_l1: Cache::new(config.pim_l1),
-            scratch: Cache::new(config.scratch),
+            cpu_l1: Cache::build(config.cpu_l1),
+            llc: Cache::build(config.llc),
+            pim_l1: Cache::build(config.pim_l1),
+            scratch: Cache::build(config.scratch),
             backend,
             hooks: None,
             config,
@@ -154,15 +179,6 @@ impl MemorySystem {
             Backend::Lpddr3 { .. } => Vec::new(),
         };
         self.hooks = Some(TraceHooks { tracer: tracer.clone(), dram, vaults });
-    }
-
-    /// Build a memory system after validating the configuration.
-    ///
-    /// Unlike [`Self::new`] this reports bad geometry as
-    /// [`DmpimError::InvalidConfig`] instead of panicking.
-    pub fn try_new(config: MemConfig) -> Result<Self, DmpimError> {
-        config.validate()?;
-        Ok(Self::new(config))
     }
 
     /// The configuration in use.
@@ -480,11 +496,11 @@ mod tests {
     use super::*;
 
     fn base() -> MemorySystem {
-        MemorySystem::new(MemConfig::chromebook_like())
+        MemorySystem::new(MemConfig::chromebook_like()).unwrap()
     }
 
     fn pim() -> MemorySystem {
-        MemorySystem::new(MemConfig::pim_device())
+        MemorySystem::new(MemConfig::pim_device()).unwrap()
     }
 
     #[test]
@@ -527,14 +543,19 @@ mod tests {
     }
 
     #[test]
-    fn try_new_validates_config() {
+    fn new_validates_config() {
         let mut cfg = MemConfig::chromebook_like();
-        assert!(MemorySystem::try_new(cfg).is_ok());
+        assert!(MemorySystem::new(cfg).is_ok());
         cfg.cpu_l1.associativity = 0;
-        assert!(matches!(
-            MemorySystem::try_new(cfg),
-            Err(DmpimError::InvalidConfig { .. })
-        ));
+        let err = MemorySystem::new(cfg).unwrap_err();
+        assert!(matches!(err, DmpimError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("cpu_l1"));
+    }
+
+    #[test]
+    fn fallback_is_the_baseline_preset() {
+        let fb = MemorySystem::fallback();
+        assert_eq!(*fb.config(), MemConfig::chromebook_like());
     }
 
     #[test]
@@ -542,8 +563,8 @@ mod tests {
         use pim_faults::ChannelFaultConfig;
         let mut cfg = MemConfig::pim_device();
         cfg.channel_faults = Some(ChannelFaultConfig { drop_prob: 0.5, dup_prob: 0.0, seed: 3 });
-        let mut faulty = MemorySystem::new(cfg);
-        let mut clean = MemorySystem::new(MemConfig::pim_device());
+        let mut faulty = MemorySystem::new(cfg).unwrap();
+        let mut clean = MemorySystem::new(MemConfig::pim_device()).unwrap();
         let mut t_faulty = 0;
         let mut t_clean = 0;
         for i in 0..64u64 {

@@ -2,12 +2,39 @@
 //! gracefully: retries absorb transient faults, fallback walks
 //! PIM-Acc → PIM-Core → CPU-only, and the run always completes.
 //!
+//! The sweep runs through the supervised harness: each fault rate is an
+//! isolated job executing on a worker pool, and a deliberately bricked
+//! configuration (a simulation that never terminates) rides along to
+//! show the watchdog striking it out into quarantine while every
+//! sibling job still completes.
+//!
 //! ```text
 //! cargo run --release --example fault_sweep
 //! ```
 
 use dmpim::chrome::tiling::TextureTilingKernel;
-use dmpim::core::{ExecutionMode, FaultConfig, OffloadEngine};
+use dmpim::core::{
+    ExecutionMode, FaultConfig, Kernel, OffloadEngine, OpMix, ResiliencePolicy, SimContext,
+    Watchdog,
+};
+use dmpim::harness::{Harness, HarnessPolicy, Job};
+
+/// A hung simulation: spins until a watchdog poisons the context. This
+/// stands in for the bricked configurations a large sweep inevitably
+/// contains.
+struct RunawayKernel;
+
+impl Kernel for RunawayKernel {
+    fn name(&self) -> &'static str {
+        "runaway"
+    }
+
+    fn run(&mut self, ctx: &mut SimContext) {
+        while !ctx.is_poisoned() {
+            ctx.ops(OpMix::scalar(64));
+        }
+    }
+}
 
 fn main() {
     println!("texture tiling under PIM-Acc offload, rising fault rate (seed 42)\n");
@@ -15,31 +42,77 @@ fn main() {
         "{:>5}  {:>9}  {:>8}  {:>9}  {:>6}  {:>9}  {:>10}  {:>10}",
         "rate", "executed", "retries", "fallbacks", "flips", "unavail", "runtime ms", "energy uJ"
     );
-    for pct in [0u32, 10, 25, 50, 75, 100] {
-        let rate = f64::from(pct) / 100.0;
-        let engine = OffloadEngine::new().with_faults(FaultConfig::with_rate(rate), 42);
-        let mut kernel = TextureTilingKernel::new(512, 512, 1);
-        let report = engine.run(&mut kernel, ExecutionMode::PimAcc);
-        let (retries, fallbacks, flips, unavail) = report
-            .degradation
-            .as_ref()
-            .map(|d| (d.retries, d.fallbacks, d.faults.bit_flips, d.faults.unavail_hits))
-            .unwrap_or((0, 0, 0, 0));
-        println!(
-            "{:>4}%  {:>9}  {:>8}  {:>9}  {:>6}  {:>9}  {:>10.3}  {:>10.1}",
-            pct,
-            report.executed.label(),
-            retries,
-            fallbacks,
-            flips,
-            unavail,
-            report.runtime_ps as f64 / 1e9,
-            report.energy.total_pj() / 1e6,
+
+    let mut jobs: Vec<Job> = [0u32, 10, 25, 50, 75, 100]
+        .iter()
+        .map(|&pct| {
+            Job::new(format!("rate-{pct:03}"), move |_ctx| {
+                let rate = f64::from(pct) / 100.0;
+                let engine = OffloadEngine::new().with_faults(FaultConfig::with_rate(rate), 42);
+                let mut kernel = TextureTilingKernel::new(512, 512, 1);
+                let report = engine.run(&mut kernel, ExecutionMode::PimAcc);
+                let (retries, fallbacks, flips, unavail) = report
+                    .degradation
+                    .as_ref()
+                    .map(|d| (d.retries, d.fallbacks, d.faults.bit_flips, d.faults.unavail_hits))
+                    .unwrap_or((0, 0, 0, 0));
+                Ok(format!(
+                    "{:>4}%  {:>9}  {:>8}  {:>9}  {:>6}  {:>9}  {:>10.3}  {:>10.1}",
+                    pct,
+                    report.executed.label(),
+                    retries,
+                    fallbacks,
+                    flips,
+                    unavail,
+                    report.runtime_ps as f64 / 1e9,
+                    report.energy.total_pj() / 1e6,
+                ))
+            })
+        })
+        .collect();
+    // The bricked configuration: never terminates on its own. The
+    // harness's watchdog trips it, two strikes quarantine it, and the
+    // rate jobs above are unaffected.
+    jobs.push(Job::new("bricked-config", |ctx| {
+        let engine = OffloadEngine::new().with_watchdog(ctx.watchdog).with_resilience(
+            ResiliencePolicy { max_retries: 0, allow_fallback: false, ..Default::default() },
         );
+        engine.try_run(&mut RunawayKernel, ExecutionMode::CpuOnly)?;
+        Ok("unreachable".to_string())
+    }));
+
+    let policy = HarnessPolicy {
+        workers: 3,
+        quarantine_strikes: 2,
+        watchdog: Watchdog::new(u64::MAX, 500_000),
+        ..HarnessPolicy::default()
+    };
+    let report = match Harness::new(policy).run(jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("harness error: {e}");
+            return;
+        }
+    };
+    for r in &report.results {
+        match &r.output {
+            Some(row) => println!("{row}"),
+            None => println!(
+                "{:>5}  {} after {} attempt(s): {}",
+                r.id,
+                r.status.label(),
+                r.attempts,
+                r.error.as_deref().unwrap_or("unknown")
+            ),
+        }
     }
+    println!("\nharness: {}", report.summary().one_line());
     println!(
-        "\nEvery run completes: transient faults are retried with exponential\n\
-         backoff (charged in simulated time), unrecoverable ones fall back to\n\
-         the next execution mode, and CPU-only always finishes."
+        "\nEvery viable run completes: transient faults are retried with\n\
+         exponential backoff (charged in simulated time), unrecoverable ones\n\
+         fall back to the next execution mode, and CPU-only always finishes.\n\
+         The bricked configuration is the exception that proves supervision:\n\
+         its watchdog timeouts strike it into quarantine without costing any\n\
+         sibling its result."
     );
 }

@@ -20,4 +20,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> trace-overhead bench (smoke)"
 cargo bench -q -p pim-bench --bench trace_overhead -- --smoke
 
+echo "==> harness selftest (injected panic + hung simulation)"
+# Small supervised sweep: two real kernel jobs, one injected panic, one
+# watchdog-tripped runaway. The binary exits non-zero unless the failure
+# report shows exactly 2 succeeded / 1 failed (panic) / 1 quarantined
+# (watchdog-timeout); we additionally assert the counts from the JSON.
+selftest_out=$(cargo run -q --release -p pim-bench --bin repro -- --selftest-harness 2>/dev/null)
+echo "$selftest_out" | grep -q '"succeeded":2' || { echo "selftest: missing succeeded=2"; exit 1; }
+echo "$selftest_out" | grep -q '"quarantined":1' || { echo "selftest: missing quarantined=1"; exit 1; }
+echo "$selftest_out" | grep -q '"failed":1' || { echo "selftest: missing failed=1"; exit 1; }
+echo "$selftest_out" | grep -q '"panic":1' || { echo "selftest: missing panic taxonomy"; exit 1; }
+echo "$selftest_out" | grep -q '"watchdog-timeout":1' || { echo "selftest: missing watchdog taxonomy"; exit 1; }
+
 echo "==> all checks passed"

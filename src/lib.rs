@@ -16,6 +16,8 @@
 //!   the simulation watchdog.
 //! * [`trace`] — simulated-time tracing, metrics registry and the Chrome
 //!   trace-event / JSON exporters behind `repro --trace` / `--metrics`.
+//! * [`harness`] — supervised, resumable, panic-isolated parallel sweep
+//!   runner behind `repro --jobs` / `--resume`.
 //! * [`chrome`] — texture tiling, color blitting, LZO/ZRAM, page scrolling
 //!   and tab switching.
 //! * [`tfmobile`] — quantized GEMM, packing, quantization, four networks.
@@ -26,6 +28,7 @@ pub use pim_core as core;
 pub use pim_cpusim as cpusim;
 pub use pim_energy as energy;
 pub use pim_faults as faults;
+pub use pim_harness as harness;
 pub use pim_memsim as memsim;
 pub use pim_tfmobile as tfmobile;
 pub use pim_trace as trace;

@@ -1,0 +1,215 @@
+//! End-to-end supervision guarantees of the sweep harness, exercised
+//! with real simulation kernels:
+//!
+//! * a sweep killed after K of M jobs resumes from its journal, re-runs
+//!   only the unfinished jobs, and merges to bit-identical results;
+//! * `workers = N` produces byte-identical merged output to a serial run;
+//! * a panicking job is isolated — every sibling still delivers the same
+//!   payload it produces in a clean sweep;
+//! * a hung simulation is struck out by the watchdog and quarantined;
+//! * an invalid platform configuration surfaces as a typed
+//!   `invalid-config` failure, not a panic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dmpim::chrome::tiling::TextureTilingKernel;
+use dmpim::core::{
+    DmpimError, ExecutionMode, Kernel, OffloadEngine, OpMix, Platform, ResiliencePolicy,
+    SimContext, Watchdog,
+};
+use dmpim::harness::{Harness, HarnessPolicy, Job, JobStatus};
+
+/// Payload of one kernel job: executed mode, runtime, energy — enough
+/// that any nondeterminism or state bleed between jobs shows up as a
+/// byte difference.
+fn run_tiling(size: usize, mode: ExecutionMode) -> Result<String, DmpimError> {
+    let engine = OffloadEngine::new();
+    let mut kernel = TextureTilingKernel::new(size, size, 1);
+    let report = engine.try_run(&mut kernel, mode)?;
+    Ok(format!(
+        "{}|{}|{}",
+        report.executed.label(),
+        report.runtime_ps,
+        report.energy.total_pj()
+    ))
+}
+
+/// A small sweep of real kernel jobs: tile sizes × execution modes.
+fn kernel_jobs(counter: Option<Arc<AtomicUsize>>) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (i, &(size, mode)) in [
+        (32usize, ExecutionMode::CpuOnly),
+        (32, ExecutionMode::PimCore),
+        (32, ExecutionMode::PimAcc),
+        (48, ExecutionMode::CpuOnly),
+        (48, ExecutionMode::PimCore),
+        (48, ExecutionMode::PimAcc),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let counter = counter.clone();
+        jobs.push(Job::new(format!("tile-{i}-{}", mode.label()), move |_ctx| {
+            if let Some(c) = &counter {
+                c.fetch_add(1, Ordering::SeqCst);
+            }
+            run_tiling(size, mode)
+        }));
+    }
+    jobs
+}
+
+fn quick_policy(workers: usize) -> HarnessPolicy {
+    HarnessPolicy {
+        workers,
+        retry_backoff: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        ..HarnessPolicy::default()
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_to_bit_identical_results() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("dmpim-harness-resume-{}.jsonl", std::process::id()));
+
+    // Reference: a full journaled run.
+    let reference = Harness::new(quick_policy(1))
+        .with_journal(&path)
+        .run(kernel_jobs(None))
+        .expect("journaled run");
+    assert!(reference.all_ok(), "{:?}", reference.summary());
+
+    // Simulate a kill after 3 of 6 jobs: keep the header + 3 result lines.
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    assert_eq!(text.lines().count(), 7, "header + one line per job");
+    let keep: Vec<&str> = text.lines().take(4).collect();
+    std::fs::write(&path, format!("{}\n", keep.join("\n"))).expect("truncate journal");
+
+    let reran = Arc::new(AtomicUsize::new(0));
+    let resumed = Harness::new(quick_policy(2))
+        .resume_from(&path)
+        .run(kernel_jobs(Some(Arc::clone(&reran))))
+        .expect("resumed run");
+
+    assert_eq!(reran.load(Ordering::SeqCst), 3, "only the 3 unfinished jobs re-run");
+    assert_eq!(resumed.resumed, 3);
+    assert_eq!(resumed.results, reference.results, "merged results are bit-identical");
+    // The re-written journal is complete again: resuming once more runs nothing.
+    let rerun2 = Arc::new(AtomicUsize::new(0));
+    let third = Harness::new(quick_policy(1))
+        .resume_from(&path)
+        .run(kernel_jobs(Some(Arc::clone(&rerun2))))
+        .expect("second resume");
+    assert_eq!(rerun2.load(Ordering::SeqCst), 0);
+    assert_eq!(third.results, reference.results);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn parallel_sweep_matches_serial_byte_for_byte() {
+    let serial = Harness::new(quick_policy(1)).run(kernel_jobs(None)).expect("serial");
+    let parallel = Harness::new(quick_policy(4)).run(kernel_jobs(None)).expect("parallel");
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(
+        serial.to_json_value().render(),
+        parallel.to_json_value().render(),
+        "merged report must be independent of worker count"
+    );
+}
+
+#[test]
+fn panicking_job_does_not_lose_sibling_results() {
+    let clean = Harness::new(quick_policy(1)).run(kernel_jobs(None)).expect("clean sweep");
+
+    let mut jobs = kernel_jobs(None);
+    jobs.insert(
+        2,
+        Job::new("panicker", |_ctx| -> Result<String, DmpimError> {
+            panic!("injected panic mid-sweep");
+        }),
+    );
+    let report = Harness::new(quick_policy(3)).run(jobs).expect("sweep with panicker");
+
+    let summary = report.summary();
+    assert_eq!(summary.total, 7);
+    assert_eq!(summary.succeeded, 6);
+    assert_eq!(summary.failed, 1);
+    assert_eq!(summary.taxonomy.get("panic"), Some(&1));
+
+    let panicked = &report.results[2];
+    assert_eq!(panicked.status, JobStatus::Failed);
+    assert_eq!(panicked.attempts, 1, "panics are deterministic: no retry");
+    assert!(panicked.error.as_deref().unwrap_or("").contains("injected panic"));
+
+    // Every sibling's payload matches the clean sweep exactly.
+    let siblings: Vec<_> =
+        report.results.iter().filter(|r| r.id != "panicker").cloned().collect();
+    assert_eq!(siblings, clean.results);
+}
+
+/// A simulation that never terminates on its own: spins until a
+/// watchdog poisons the context.
+struct RunawayKernel;
+
+impl Kernel for RunawayKernel {
+    fn name(&self) -> &'static str {
+        "runaway"
+    }
+
+    fn run(&mut self, ctx: &mut SimContext) {
+        while !ctx.is_poisoned() {
+            ctx.ops(OpMix::scalar(64));
+        }
+    }
+}
+
+#[test]
+fn hung_simulation_is_quarantined_by_watchdog_strikes() {
+    let policy = HarnessPolicy {
+        quarantine_strikes: 2,
+        watchdog: Watchdog::new(u64::MAX, 50_000),
+        ..quick_policy(2)
+    };
+    let mut jobs = kernel_jobs(None);
+    jobs.push(Job::new("runaway", |ctx| {
+        let engine = OffloadEngine::new().with_watchdog(ctx.watchdog).with_resilience(
+            ResiliencePolicy { max_retries: 0, allow_fallback: false, ..Default::default() },
+        );
+        engine.try_run(&mut RunawayKernel, ExecutionMode::CpuOnly)?;
+        Ok("unreachable".to_string())
+    }));
+    let report = Harness::new(policy).run(jobs).expect("sweep with runaway");
+
+    let runaway = report.results.last().expect("runaway result");
+    assert_eq!(runaway.status, JobStatus::Quarantined);
+    assert_eq!(runaway.attempts, 2, "two timeout strikes, then quarantine");
+    assert_eq!(runaway.error_label.as_deref(), Some("watchdog-timeout"));
+    let summary = report.summary();
+    assert_eq!(summary.quarantined, 1);
+    assert_eq!(summary.succeeded, 6, "siblings complete despite the hang");
+}
+
+#[test]
+fn invalid_config_job_reports_typed_error_without_aborting() {
+    let mut jobs = kernel_jobs(None);
+    jobs.push(Job::new("bad-geometry", |_ctx| {
+        let mut platform = Platform::baseline();
+        platform.mem.cpu_l1.associativity = 0;
+        let engine = OffloadEngine::new().with_baseline(platform);
+        let mut kernel = TextureTilingKernel::new(32, 32, 1);
+        engine.try_run(&mut kernel, ExecutionMode::CpuOnly)?;
+        Ok("unreachable".to_string())
+    }));
+    let report = Harness::new(quick_policy(2)).run(jobs).expect("sweep with bad config");
+
+    let bad = report.results.last().expect("bad-geometry result");
+    assert_eq!(bad.status, JobStatus::Failed);
+    assert_eq!(bad.attempts, 1, "config errors are not transient: no retry");
+    assert_eq!(bad.error_label.as_deref(), Some("invalid-config"));
+    assert!(bad.error.as_deref().unwrap_or("").contains("cpu_l1"));
+    assert_eq!(report.summary().succeeded, 6);
+    assert_eq!(report.summary().taxonomy.get("invalid-config"), Some(&1));
+}

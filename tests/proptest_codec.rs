@@ -104,7 +104,7 @@ fn cache_flush_empties() {
     for _ in 0..32 {
         let n = rng.next_range(1, 100) as usize;
         let addrs: Vec<u64> = (0..n).map(|_| rng.next_below(100_000)).collect();
-        let mut c = Cache::new(CacheConfig { capacity_bytes: 8192, associativity: 4 });
+        let mut c = Cache::new(CacheConfig { capacity_bytes: 8192, associativity: 4 }).unwrap();
         for &a in &addrs {
             c.access(a, AccessKind::Write);
         }

@@ -182,7 +182,7 @@ fn cache_sanity() {
     for _ in 0..16 {
         let n = rng.next_range(1, 200) as usize;
         let addrs: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
-        let mut c = Cache::new(CacheConfig { capacity_bytes: 4096, associativity: 4 });
+        let mut c = Cache::new(CacheConfig { capacity_bytes: 4096, associativity: 4 }).unwrap();
         for &a in &addrs {
             c.access(a, AccessKind::Read);
             let again = c.access(a, AccessKind::Read);
@@ -201,7 +201,7 @@ fn channel_monotone() {
     for _ in 0..16 {
         let n = rng.next_range(1, 50) as usize;
         let sizes: Vec<u64> = (0..n).map(|_| rng.next_range(1, 10_000)).collect();
-        let mut ch = Channel::new(16.0);
+        let mut ch = Channel::new(16.0).unwrap();
         let mut last_busy = 0;
         for &s in &sizes {
             ch.transfer(s, 0);
@@ -219,7 +219,7 @@ fn memory_accounting() {
     let mut rng = SplitMix64::new(0x01A0_000C);
     for _ in 0..8 {
         let n = rng.next_range(1, 40) as usize;
-        let mut m = MemorySystem::new(MemConfig::chromebook_like());
+        let mut m = MemorySystem::new(MemConfig::chromebook_like()).unwrap();
         for _ in 0..n {
             let addr = rng.next_below(1_000_000);
             let bytes = rng.next_range(1, 4096);
