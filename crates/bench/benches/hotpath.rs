@@ -1,0 +1,84 @@
+//! Throughput of the line-coalescing fast path against the full walk.
+//!
+//! A self-contained harness (`cargo bench -p pim-bench --bench hotpath`)
+//! timed with `std::time::Instant` — see `kernels.rs` for the rationale.
+//! Each pattern is run once with coalescing (the default) and once with
+//! `set_fast_path(false)`, so the printout shows exactly what the memo
+//! buys on repeat-heavy streams and what it costs on adversarial ones.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pim_core::rng::SplitMix64;
+use pim_core::{AccessKind, EngineTiming, Platform, Port, SimContext};
+
+/// Time `f` over `iters` iterations (plus a 10% warm-up) and print the
+/// per-iteration latency.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..iters.div_ceil(10) {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_s = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>10.1} us/iter", per_s * 1e6);
+}
+
+fn ctx(port: Port, fast: bool) -> SimContext {
+    let (platform, timing) = match port {
+        Port::Cpu => (Platform::baseline(), EngineTiming::soc_cpu()),
+        Port::PimCore => (Platform::pim(), EngineTiming::pim_core()),
+        Port::PimAccel => (Platform::pim(), EngineTiming::pim_accel()),
+    };
+    let mut ctx = SimContext::new(platform, timing, port);
+    ctx.set_fast_path(fast);
+    ctx
+}
+
+/// Sequential small accesses: every line is touched 8 times in a row,
+/// the exact pattern per-element kernel loops produce.
+fn repeat_stream(ctx: &mut SimContext) {
+    let buf = ctx.alloc(1 << 20);
+    for i in 0..(1u64 << 14) {
+        ctx.access(buf.addr(i * 8), 8, AccessKind::Read);
+    }
+}
+
+/// Random single-line accesses across a 4 MB working set: the memo
+/// almost never matches, so this bounds its overhead.
+fn random_stream(ctx: &mut SimContext) {
+    let buf = ctx.alloc(4 << 20);
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..(1 << 14) {
+        let line = rng.next_below((4 << 20) / 64);
+        ctx.access(buf.addr(line * 64), 8, AccessKind::Read);
+    }
+}
+
+fn main() {
+    for port in [Port::Cpu, Port::PimCore, Port::PimAccel] {
+        println!("[{port:?}]");
+        bench("repeat_16k_fast", 50, || {
+            let mut c = ctx(port, true);
+            repeat_stream(&mut c);
+            c.now_ps()
+        });
+        bench("repeat_16k_slow", 50, || {
+            let mut c = ctx(port, false);
+            repeat_stream(&mut c);
+            c.now_ps()
+        });
+        bench("random_16k_fast", 50, || {
+            let mut c = ctx(port, true);
+            random_stream(&mut c);
+            c.now_ps()
+        });
+        bench("random_16k_slow", 50, || {
+            let mut c = ctx(port, false);
+            random_stream(&mut c);
+            c.now_ps()
+        });
+    }
+}

@@ -215,7 +215,7 @@ fn all_experiments(cli: &Cli) -> ExitCode {
 fn json_scorecard(cli: &Cli) -> ExitCode {
     let t0 = Instant::now();
     let (journal, resume) = cli.journal();
-    let (entries, report) =
+    let (entries, report, timings) =
         match pim_bench::jobs::scorecard_sweep(false, cli.policy(), journal, resume) {
             Ok(out) => out,
             Err(e) => {
@@ -237,9 +237,16 @@ fn json_scorecard(cli: &Cli) -> ExitCode {
                 .set("verdict", e.verdict),
         );
     }
+    // Per-experiment wall times, collected outside the journal so resumed
+    // sweeps keep bit-identical results (resumed jobs have no entry here).
+    let mut exps = JsonValue::array();
+    for (id, ms) in &timings {
+        exps = exps.push(JsonValue::object().set("id", id.as_str()).set("wall_ms", *ms));
+    }
     let bench = JsonValue::object()
         .set("source", "dmpim repro --json")
         .set("wall_ms", wall_ms)
+        .set("experiments", exps)
         .set("scorecard", arr)
         .set("harness", report.to_json_value())
         .render_pretty();

@@ -10,7 +10,8 @@
 //! resumed scorecards bit-identical to uninterrupted ones.
 
 use std::path::Path;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use pim_core::{
     DmpimError, ExecutionMode, Kernel, OffloadEngine, OpMix, PimTargetKind, ResiliencePolicy,
@@ -92,14 +93,37 @@ fn measure(
     Ok(KernelMetrics::from_reports(name, kind, &cpu, &core, &acc).to_line())
 }
 
-/// One measurement job per catalog kernel.
-pub fn metrics_jobs(smoke: bool) -> Vec<Job> {
+/// Shared sink for per-job wall times. Timing lives *outside* the job
+/// payloads and the resume journal on purpose: journal lines (and thus
+/// merged [`pim_harness::JobResult`]s) stay bit-identical across runs,
+/// while timing — which never is — travels on the side. Jobs restored
+/// from a resume journal simply have no timing entry.
+pub type JobTimings = Arc<Mutex<Vec<(String, u64)>>>;
+
+fn metrics_jobs_timed(smoke: bool, timings: Option<JobTimings>) -> Vec<Job> {
     kernel_catalog(smoke)
         .into_iter()
         .map(|(name, kind, factory)| {
-            Job::new(name, move |ctx| measure(name, kind, factory, &ctx.tracer, ctx.watchdog))
+            let timings = timings.clone();
+            Job::new(name, move |ctx| {
+                let t0 = Instant::now();
+                let out = measure(name, kind, factory, &ctx.tracer, ctx.watchdog);
+                if let (Ok(_), Some(sink)) = (&out, &timings) {
+                    if let Ok(mut v) = sink.lock() {
+                        // Retried attempts re-push; keep the latest.
+                        v.retain(|(n, _)| n != name);
+                        v.push((name.to_string(), t0.elapsed().as_millis() as u64));
+                    }
+                }
+                out
+            })
         })
         .collect()
+}
+
+/// One measurement job per catalog kernel.
+pub fn metrics_jobs(smoke: bool) -> Vec<Job> {
+    metrics_jobs_timed(smoke, None)
 }
 
 /// Compute the scorecard measurements in-process (no journal, current
@@ -116,6 +140,10 @@ pub(crate) fn collect_metrics(smoke: bool) -> Vec<KernelMetrics> {
         .collect()
 }
 
+/// Result of [`scorecard_sweep`]: the merged scorecard entries, the
+/// harness failure report, and per-job wall times in `(id, ms)` form.
+pub type SweepOutcome = (Vec<ScorecardEntry>, SweepReport, Vec<(String, u64)>);
+
 /// Run the scorecard sweep through the harness: one job per kernel,
 /// optional journal/resume, merged back into scorecard entries plus the
 /// harness's failure report. Jobs whose measurement failed (panic,
@@ -126,19 +154,21 @@ pub fn scorecard_sweep(
     policy: HarnessPolicy,
     journal: Option<&Path>,
     resume: bool,
-) -> Result<(Vec<ScorecardEntry>, SweepReport), HarnessError> {
+) -> Result<SweepOutcome, HarnessError> {
     let mut harness = Harness::new(policy);
     if let Some(path) = journal {
         harness = if resume { harness.resume_from(path) } else { harness.with_journal(path) };
     }
-    let report = harness.run(metrics_jobs(smoke))?;
+    let timings: JobTimings = Arc::new(Mutex::new(Vec::new()));
+    let report = harness.run(metrics_jobs_timed(smoke, Some(timings.clone())))?;
     let metrics: Vec<KernelMetrics> = report
         .results
         .iter()
         .filter_map(|r| r.output.as_deref())
         .filter_map(KernelMetrics::parse)
         .collect();
-    Ok((entries_from_metrics(&metrics), report))
+    let timings = timings.lock().map(|v| v.clone()).unwrap_or_default();
+    Ok((entries_from_metrics(&metrics), report, timings))
 }
 
 /// One job per experiment id, for the default `repro` run. Each job's
@@ -242,10 +272,11 @@ mod tests {
 
     #[test]
     fn harness_sweep_matches_in_process_scorecard() {
-        let (entries, report) =
+        let (entries, report, timings) =
             scorecard_sweep(true, HarnessPolicy { workers: 2, ..Default::default() }, None, false)
                 .unwrap();
         assert!(report.all_ok(), "{:?}", report.summary());
+        assert_eq!(timings.len(), kernel_catalog(true).len(), "one timing per fresh job");
         let direct = crate::scorecard::scorecard(true);
         assert_eq!(entries.len(), direct.len());
         for (a, b) in entries.iter().zip(&direct) {

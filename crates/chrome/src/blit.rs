@@ -51,24 +51,23 @@ pub fn blit(
         let drow = (y0 + y) * dst_w + x0;
         match op {
             BlitOp::Fill(color) => {
-                let out = dst.write_range(ctx, drow, w);
-                out.fill(color);
+                dst.fill_range(ctx, drow, w, color);
                 // memset: one wide store per 16 B.
                 ctx.ops(OpMix { scalar: 2, simd: (w * 4 / 16).max(1) as u64, ..OpMix::default() });
             }
             BlitOp::Copy => {
-                let row = src.read_range(ctx, y * src_w, w).to_vec();
-                dst.write_range(ctx, drow, w).copy_from_slice(&row);
+                dst.copy_range_from(ctx, drow, src, y * src_w, w);
                 ctx.ops(OpMix { scalar: 2, simd: (w * 4 / 16).max(1) as u64, ..OpMix::default() });
             }
             BlitOp::Blend => {
-                let srow = src.read_range(ctx, y * src_w, w).to_vec();
-                // Blending reads the destination row before overwriting it.
-                dst.touch_range(ctx, drow, w, pim_core::AccessKind::Read);
-                let out = dst.write_range(ctx, drow, w);
-                for (d, s) in out.iter_mut().zip(srow.iter()) {
-                    *d = blend_pixel(*s, *d);
-                }
+                let srow = src.read_range(ctx, y * src_w, w);
+                // Blending reads the destination row before overwriting it
+                // (map_range reports the read + write; no row copy).
+                dst.map_range(ctx, drow, w, |out| {
+                    for (d, s) in out.iter_mut().zip(srow.iter()) {
+                        *d = blend_pixel(*s, *d);
+                    }
+                });
                 // Skia's SIMD blitter: unpack/MAC/repack, ~4 px per op.
                 ctx.ops(OpMix {
                     scalar: (w / 8).max(1) as u64,

@@ -113,9 +113,8 @@ impl TextureTilingKernel {
                     let tile_base = (ty * tiles_x + tx) * TILE_PX * TILE_PX;
                     for y in 0..TILE_PX {
                         let s = (ty * TILE_PX + y) * w + tx * TILE_PX;
-                        let row = src.read_range(ctx, s, TILE_PX).to_vec();
                         let d = tile_base + y * TILE_PX;
-                        dst.write_range(ctx, d, TILE_PX).copy_from_slice(&row);
+                        dst.copy_range_from(ctx, d, &src, s, TILE_PX);
                         // Address math + 16-byte-wide copies.
                         ctx.ops(OpMix { scalar: 4, simd: (TILE_PX * 4 / 16) as u64, ..OpMix::default() });
                     }

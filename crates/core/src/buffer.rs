@@ -41,7 +41,7 @@ impl Buffer {
     ///
     /// Panics if `offset` is out of bounds.
     pub fn addr(&self, offset: u64) -> u64 {
-        assert!(offset < self.len.max(1), "offset {offset} out of bounds ({})", self.len);
+        assert!(offset < self.len, "offset {offset} out of bounds ({})", self.len);
         self.base + offset
     }
 }
@@ -143,6 +143,50 @@ impl<T: Copy> Tracked<T> {
         ctx.access(self.buf.addr(i as u64 * Self::elem_bytes()), bytes, kind);
     }
 
+    /// Starting element index of every `width`-element row, in order.
+    /// Streaming kernels iterate this and issue one ranged access per row
+    /// instead of per-element traffic. A trailing partial row is skipped.
+    pub fn rows(&self, width: usize) -> impl Iterator<Item = usize> {
+        let n = self.data.len().checked_div(width).unwrap_or(0);
+        (0..n).map(move |r| r * width)
+    }
+
+    /// Read-modify-write `n` elements starting at `i` in place: report
+    /// one ranged read, then one ranged write, then apply `f` to the
+    /// slice. The traffic matches a streaming load + store of the range.
+    pub fn map_range(
+        &mut self,
+        ctx: &mut SimContext,
+        i: usize,
+        n: usize,
+        f: impl FnOnce(&mut [T]),
+    ) {
+        self.touch_range(ctx, i, n, AccessKind::Read);
+        f(self.write_range(ctx, i, n));
+    }
+
+    /// Copy `n` elements from `src[src_i..]` into `self[dst_i..]`,
+    /// reporting one ranged read on `src` and one ranged write on `self`
+    /// — the same traffic as a streaming row copy, with no intermediate
+    /// allocation.
+    pub fn copy_range_from(
+        &mut self,
+        ctx: &mut SimContext,
+        dst_i: usize,
+        src: &Tracked<T>,
+        src_i: usize,
+        n: usize,
+    ) {
+        let from = src.read_range(ctx, src_i, n);
+        self.write_range(ctx, dst_i, n).copy_from_slice(from);
+    }
+
+    /// Store `v` into `n` elements starting at `i`, reporting one ranged
+    /// write (a streaming fill).
+    pub fn fill_range(&mut self, ctx: &mut SimContext, i: usize, n: usize, v: T) {
+        self.write_range(ctx, i, n).fill(v);
+    }
+
     /// Direct untracked view (for asserting results in tests; does not
     /// generate simulated traffic).
     pub fn as_slice(&self) -> &[T] {
@@ -200,6 +244,58 @@ mod tests {
         let b: Tracked<u8> = Tracked::zeroed(&mut ctx, 4096);
         let (ab, bb) = (a.buffer(), b.buffer());
         assert!(ab.base() + ab.len() <= bb.base() || bb.base() + bb.len() <= ab.base());
+    }
+
+    #[test]
+    fn empty_buffer_rejects_all_offsets() {
+        let b = Buffer::new(0x1000, 0);
+        assert!(b.is_empty());
+        assert!(std::panic::catch_unwind(|| b.addr(0)).is_err(), "addr(0) on empty must panic");
+        assert!(std::panic::catch_unwind(|| b.addr(1)).is_err());
+    }
+
+    #[test]
+    fn rows_yields_full_row_offsets() {
+        let mut ctx = SimContext::cpu_only(Platform::baseline());
+        let t: Tracked<u8> = Tracked::zeroed(&mut ctx, 10);
+        assert_eq!(t.rows(4).collect::<Vec<_>>(), vec![0, 4], "trailing partial row skipped");
+        assert_eq!(t.rows(0).count(), 0);
+    }
+
+    #[test]
+    fn copy_range_from_matches_manual_copy_traffic() {
+        let mut ctx = SimContext::cpu_only(Platform::baseline());
+        let src: Tracked<u32> = Tracked::from_vec(&mut ctx, (0..256u32).collect());
+        let mut a: Tracked<u32> = Tracked::zeroed(&mut ctx, 256);
+        let mut b: Tracked<u32> = Tracked::zeroed(&mut ctx, 256);
+        let t0 = ctx.total_activity().l1_accesses;
+        a.copy_range_from(&mut ctx, 0, &src, 0, 256);
+        let helper = ctx.total_activity().l1_accesses - t0;
+        let t0 = ctx.total_activity().l1_accesses;
+        let row = src.read_range(&mut ctx, 0, 256).to_vec();
+        b.write_range(&mut ctx, 0, 256).copy_from_slice(&row);
+        let manual = ctx.total_activity().l1_accesses - t0;
+        assert_eq!(a.as_slice(), src.as_slice());
+        assert_eq!(helper, manual);
+    }
+
+    #[test]
+    fn map_range_reads_then_writes() {
+        let mut ctx = SimContext::cpu_only(Platform::baseline());
+        let mut t: Tracked<u8> = Tracked::from_vec(&mut ctx, vec![1; 128]);
+        let t0 = ctx.total_activity().l1_accesses;
+        t.map_range(&mut ctx, 0, 128, |s| s.iter_mut().for_each(|v| *v += 1));
+        let lines = ctx.total_activity().l1_accesses - t0;
+        assert_eq!(t.as_slice()[0], 2);
+        assert_eq!(lines, 2 * 2, "128 B = 2 lines read + 2 lines written");
+    }
+
+    #[test]
+    fn fill_range_writes_once() {
+        let mut ctx = SimContext::cpu_only(Platform::baseline());
+        let mut t: Tracked<u8> = Tracked::zeroed(&mut ctx, 64);
+        t.fill_range(&mut ctx, 0, 64, 9);
+        assert!(t.as_slice().iter().all(|&v| v == 9));
     }
 
     #[test]

@@ -298,9 +298,13 @@ impl SimContext {
         let mut uncorrectable = false;
         if let Some(plan) = self.faults.as_mut() {
             let dram_bytes = out.activity.dram_read_bytes + out.activity.dram_write_bytes;
-            let flips = plan.draw_dram_faults(dram_bytes);
-            stall += flips.corrected * plan.config().ecc.correction_ps;
-            uncorrectable = flips.uncorrectable;
+            // `draw_dram_faults(0)` is a guaranteed no-op (no RNG draw),
+            // so cache hits skip the call entirely.
+            if dram_bytes > 0 {
+                let flips = plan.draw_dram_faults(dram_bytes);
+                stall += flips.corrected * plan.config().ecc.correction_ps;
+                uncorrectable = flips.uncorrectable;
+            }
             if self.port != Port::Cpu {
                 let factor = plan.throttle_factor(self.now_ps);
                 if factor != 1.0 {
@@ -321,10 +325,8 @@ impl SimContext {
             self.tracer.observe(stall_metric(self.timing.engine), stall);
         }
         self.now_ps += stall;
-        if self.port != Port::Cpu {
-            for _ in 0..out.memory_lines {
-                self.coherence.directory_lookup();
-            }
+        if self.port != Port::Cpu && out.memory_lines > 0 {
+            self.coherence.directory_lookups(out.memory_lines);
         }
         let e = self.params.price_activity(&out.activity);
         let acc = self.account();
@@ -507,6 +509,13 @@ impl SimContext {
     /// Direct access to the memory system (stats, cache contents).
     pub fn memory(&self) -> &MemorySystem {
         &self.mem
+    }
+
+    /// Enable or disable the memory system's line-coalescing fast path.
+    /// On by default; the differential tests disable it to compare the
+    /// fast path against the reference per-line walk bit for bit.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.mem.set_fast_path(on);
     }
 
     /// Poison the context with an error discovered by the kernel itself

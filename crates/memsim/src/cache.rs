@@ -112,6 +112,15 @@ pub struct Cache {
     set_mask: u64,
     tick: u64,
     stats: CacheStats,
+    /// Memoized `(line, absolute way index)` of the most recent access.
+    /// Invariant: when `Some`, that way still holds exactly that line —
+    /// every access rewrites the memo and every flush clears it, so the
+    /// memo can never point at an evicted or stale way.
+    last_hit: Option<(u64, u32)>,
+    /// When false, the repeat-hit memo is ignored and every access walks
+    /// the set. Used by the differential harness to prove the fast path
+    /// is bit-identical to the walk.
+    fast: bool,
 }
 
 impl Cache {
@@ -138,6 +147,48 @@ impl Cache {
             set_mask: sets as u64 - 1,
             tick: 0,
             stats: CacheStats::default(),
+            last_hit: None,
+            fast: true,
+        }
+    }
+
+    /// Enable or disable the repeat-hit fast path. Disabling also drops
+    /// the memo so a later re-enable starts cold.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast = on;
+        if !on {
+            self.last_hit = None;
+        }
+    }
+
+    /// Apply the exact hit-path state transitions to a known-resident way:
+    /// one tick, one access, one hit, MRU promotion, dirty on write.
+    fn record_repeat_hit(&mut self, idx: usize, kind: AccessKind) {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        let w = &mut self.sets[idx];
+        w.lru = self.tick;
+        if kind.is_write() {
+            w.dirty = true;
+        }
+    }
+
+    /// Line-coalescing entry point for [`crate::MemorySystem`]: if `addr`
+    /// falls in the same line as the previous access, replay the hit
+    /// without the set walk and return `true`. The caller must only use
+    /// this when it can also reproduce the hit's latency/energy
+    /// accounting (it knows the previous access hit this cache).
+    pub(crate) fn coalesced_hit(&mut self, addr: u64, kind: AccessKind) -> bool {
+        if !self.fast {
+            return false;
+        }
+        match self.last_hit {
+            Some((line, way)) if line == addr / LINE_BYTES => {
+                self.record_repeat_hit(way as usize, kind);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -163,6 +214,14 @@ impl Cache {
     /// the writeback toward memory.
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> CacheOutcome {
         let line = addr / LINE_BYTES;
+        if self.fast {
+            if let Some((l, way)) = self.last_hit {
+                if l == line {
+                    self.record_repeat_hit(way as usize, kind);
+                    return CacheOutcome { hit: true, writeback: None };
+                }
+            }
+        }
         let set = (line & self.set_mask) as usize;
         let tag = line >> self.set_mask.count_ones();
         self.tick += 1;
@@ -171,12 +230,14 @@ impl Cache {
         let base = set * self.ways;
         let ways = &mut self.sets[base..base + self.ways];
 
-        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some(i) = ways.iter().position(|w| w.valid && w.tag == tag) {
+            let way = &mut ways[i];
             way.lru = self.tick;
             if kind.is_write() {
                 way.dirty = true;
             }
             self.stats.hits += 1;
+            self.last_hit = Some((line, (base + i) as u32));
             return CacheOutcome { hit: true, writeback: None };
         }
 
@@ -197,6 +258,7 @@ impl Cache {
             None
         };
         *w = Way { tag, valid: true, dirty: kind.is_write(), lru: self.tick };
+        self.last_hit = Some((line, (base + victim) as u32));
         CacheOutcome { hit: false, writeback }
     }
 
@@ -216,6 +278,7 @@ impl Cache {
     /// Used by the coherence model when an offload region begins and the PIM
     /// logic must observe the CPU's writes (dirty lines are flushed).
     pub fn flush_all(&mut self) -> u64 {
+        self.last_hit = None;
         let mut dirty = 0;
         for w in &mut self.sets {
             if w.valid && w.dirty {
@@ -301,6 +364,44 @@ mod tests {
         assert_eq!(c.flush_all(), 1);
         assert_eq!(c.resident_lines(), 0);
         assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn repeat_hit_memo_is_bit_identical_to_full_walk() {
+        // An LCG-driven stream with long same-line runs (the memo's target
+        // pattern) must leave stats, outcomes, residency and LRU order
+        // identical with the memo disabled.
+        let mut fast = tiny();
+        let mut slow = tiny();
+        slow.set_fast_path(false);
+        let mut state = 0x5EEDu64;
+        let mut addr = 0u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state >> 62 != 0 {
+                addr = (state >> 32) % (64 * LINE_BYTES);
+            }
+            let kind = if state & 1 == 0 { AccessKind::Read } else { AccessKind::Write };
+            let a = fast.access(addr, kind);
+            let b = slow.access(addr, kind);
+            assert_eq!((a.hit, a.writeback), (b.hit, b.writeback));
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.resident_lines(), slow.resident_lines());
+        // Flushing both must report the same dirty count (same dirty bits
+        // and the same victims were chosen throughout).
+        assert_eq!(fast.flush_all(), slow.flush_all());
+    }
+
+    #[test]
+    fn memo_is_invalidated_by_flush() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write);
+        c.access(0, AccessKind::Write); // memoized repeat hit
+        assert_eq!(c.stats().hits, 1);
+        c.flush_all();
+        // After the flush the line is gone: the memo must not resurrect it.
+        assert!(!c.access(0, AccessKind::Read).hit);
     }
 
     #[test]

@@ -113,6 +113,12 @@ impl CoherenceModel {
     pub fn directory_lookup(&mut self) {
         self.stats.directory_lookups += 1;
     }
+
+    /// Record `n` PIM-side directory lookups at once — identical stats to
+    /// calling [`Self::directory_lookup`] `n` times, without the loop.
+    pub fn directory_lookups(&mut self, n: u64) {
+        self.stats.directory_lookups += n;
+    }
 }
 
 #[cfg(test)]

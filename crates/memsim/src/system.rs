@@ -59,6 +59,9 @@ struct TraceHooks {
     tracer: Tracer,
     dram: TrackId,
     vaults: Vec<TrackId>,
+    /// Pre-interned `mem.vault.NN.lines` counter names, one per vault, so
+    /// the per-access hot path never formats a metric name.
+    vault_lines: Vec<String>,
 }
 
 fn kind_label(kind: AccessKind) -> &'static str {
@@ -109,6 +112,13 @@ pub struct MemorySystem {
     scratch: Cache,
     backend: Backend,
     hooks: Option<TraceHooks>,
+    /// Line-coalescing fast path: when the previous access was a
+    /// single-line private-cache hit, `last_line` remembers its
+    /// `(port, line)` so an immediate repeat can replay the hit without
+    /// the per-line walk. `None` whenever the previous access touched
+    /// anything deeper than the private cache.
+    last_line: Option<(Port, u64)>,
+    coalesce: bool,
 }
 
 impl MemorySystem {
@@ -157,8 +167,22 @@ impl MemorySystem {
             scratch: Cache::build(config.scratch),
             backend,
             hooks: None,
+            last_line: None,
+            coalesce: true,
             config,
         }
+    }
+
+    /// Enable or disable the line-coalescing fast path (and each cache's
+    /// repeat-hit memo). On by default; the differential harness turns it
+    /// off to compare against the reference per-line walk.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.coalesce = on;
+        self.last_line = None;
+        self.cpu_l1.set_fast_path(on);
+        self.llc.set_fast_path(on);
+        self.pim_l1.set_fast_path(on);
+        self.scratch.set_fast_path(on);
     }
 
     /// Register `tracer` as the sink for memory-level events and metrics.
@@ -178,7 +202,9 @@ impl MemorySystem {
             }
             Backend::Lpddr3 { .. } => Vec::new(),
         };
-        self.hooks = Some(TraceHooks { tracer: tracer.clone(), dram, vaults });
+        let vault_lines =
+            (0..vaults.len()).map(|v| format!("mem.vault.{v:02}.lines")).collect();
+        self.hooks = Some(TraceHooks { tracer: tracer.clone(), dram, vaults, vault_lines });
     }
 
     /// The configuration in use.
@@ -221,6 +247,32 @@ impl MemorySystem {
     }
 
     fn cpu_access(&mut self, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> AccessOutcome {
+        let first_line = addr / LINE_BYTES;
+        // Fast path: a single-line repeat of the previous L1 hit. The
+        // cache replays the exact hit transitions (tick, MRU, stats,
+        // dirty) and we replicate the hit's latency/activity/trace
+        // accounting without walking the line range.
+        if self.coalesce
+            && self.last_line == Some((Port::Cpu, first_line))
+            && (addr + bytes - 1) / LINE_BYTES == first_line
+            && self.cpu_l1.coalesced_hit(addr, kind)
+        {
+            let mut out = AccessOutcome {
+                latency_ps: self.config.l1_hit_ps + 500,
+                lines: 1,
+                ..AccessOutcome::default()
+            };
+            out.activity.l1_accesses = 1;
+            if let Some(h) = &self.hooks {
+                let t = &h.tracer;
+                t.count("mem.cpu.accesses", 1);
+                t.count("mem.cpu.lines", 1);
+                t.count("mem.cpu.memory_lines", 0);
+                t.count("cache.cpu.writebacks", 0);
+                t.observe(latency_metric(Port::Cpu, kind), out.latency_ps);
+            }
+            return out;
+        }
         let mut out = AccessOutcome::default();
         let mut lead: Ps = 0;
         let mut occupancy: Ps = 0;
@@ -262,6 +314,16 @@ impl MemorySystem {
             mem_finish = mem_finish.max(now + lat);
         }
         out.latency_ps = lead + occupancy + (mem_finish - now);
+        // Arm the fast path only when this access was itself a
+        // single-line L1 hit (no LLC or memory involvement).
+        self.last_line = if out.lines == 1
+            && out.activity.llc_accesses == 0
+            && out.memory_lines == 0
+        {
+            Some((Port::Cpu, first_line))
+        } else {
+            None
+        };
         if let Some(h) = &self.hooks {
             let t = &h.tracer;
             t.count("mem.cpu.accesses", 1);
@@ -290,6 +352,42 @@ impl MemorySystem {
         kind: AccessKind,
         now: Ps,
     ) -> Result<AccessOutcome, DmpimError> {
+        let first_line = addr / LINE_BYTES;
+        // Fast path: single-line repeat of the previous private-cache hit
+        // from the same PIM port (see `cpu_access`). `last_line` is only
+        // ever keyed by a PIM port after a successful stacked-backend
+        // access, so no backend re-check is needed here.
+        if self.coalesce
+            && port != Port::Cpu
+            && self.last_line == Some((port, first_line))
+            && (addr + bytes - 1) / LINE_BYTES == first_line
+        {
+            let (cache, hit_ps): (&mut Cache, Ps) = match port {
+                Port::PimAccel => (&mut self.scratch, 1_000),
+                _ => (&mut self.pim_l1, 2_000),
+            };
+            if cache.coalesced_hit(addr, kind) {
+                let mut out = AccessOutcome {
+                    latency_ps: hit_ps + 1_000,
+                    lines: 1,
+                    ..AccessOutcome::default()
+                };
+                if port == Port::PimAccel {
+                    out.activity.scratch_accesses = 1;
+                } else {
+                    out.activity.l1_accesses = 1;
+                }
+                if let Some(h) = &self.hooks {
+                    let t = &h.tracer;
+                    t.count("mem.pim.accesses", 1);
+                    t.count("mem.pim.lines", 1);
+                    t.count("mem.pim.memory_lines", 0);
+                    t.count("cache.pim.writebacks", 0);
+                    t.observe(latency_metric(port, kind), out.latency_ps);
+                }
+                return Ok(out);
+            }
+        }
         let mut out = AccessOutcome::default();
         let mut lead: Ps = 0;
         let mut occupancy: Ps = 0;
@@ -378,11 +476,16 @@ impl MemorySystem {
             t.observe(latency_metric(port, kind), out.latency_ps);
             for (v, lines, dur) in per_vault {
                 if let Some(&track) = h.vaults.get(v) {
-                    t.count(&format!("mem.vault.{v:02}.lines"), lines);
+                    t.count(h.vault_lines[v].as_str(), lines);
                     t.complete_args(track, kind_label(kind), now, dur, vec![("lines", lines.into())]);
                 }
             }
         }
+        self.last_line = if out.lines == 1 && out.memory_lines == 0 {
+            Some((port, first_line))
+        } else {
+            None
+        };
         Ok(out)
     }
 
@@ -478,6 +581,7 @@ impl MemorySystem {
     /// Used at offload boundaries so PIM logic observes CPU writes; the
     /// caller is responsible for pricing the returned writebacks.
     pub fn flush_cpu_caches(&mut self) -> u64 {
+        self.last_line = None;
         self.cpu_l1.flush_all() + self.llc.flush_all()
     }
 

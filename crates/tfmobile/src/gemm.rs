@@ -43,14 +43,17 @@ pub fn gemm_quantized(lhs: &Matrix<u8>, rhs: &Matrix<u8>, lhs_zp: i32, rhs_zp: i
     assert_eq!(lhs.cols(), rhs.rows(), "inner dimension mismatch");
     let (m, k, n) = (lhs.rows(), lhs.cols(), rhs.cols());
     let mut out = Matrix::zeroed(m, n);
+    let rdata = rhs.data();
+    let odata = out.data_mut();
     for r in 0..m {
         let lrow = lhs.row(r);
-        for c in 0..n {
+        let orow = &mut odata[r * n..(r + 1) * n];
+        for (c, o) in orow.iter_mut().enumerate() {
             let mut acc = 0i32;
             for (d, &l) in lrow.iter().enumerate().take(k) {
-                acc += (l as i32 - lhs_zp) * (rhs.get(d, c) as i32 - rhs_zp);
+                acc += (l as i32 - lhs_zp) * (rdata[d * n + c] as i32 - rhs_zp);
             }
-            out.set(r, c, acc);
+            *o = acc;
         }
     }
     out

@@ -21,15 +21,20 @@ pub const PACK_BLOCK: usize = 4;
 ///
 /// Rows are zero-padded up to a multiple of the block size.
 pub fn pack_lhs(m: &Matrix<u8>) -> Vec<u8> {
-    let blocks = m.rows().div_ceil(PACK_BLOCK);
-    let mut out = vec![0u8; blocks * PACK_BLOCK * m.cols()];
+    let (rows, cols) = (m.rows(), m.cols());
+    let blocks = rows.div_ceil(PACK_BLOCK);
+    let mut out = vec![0u8; blocks * PACK_BLOCK * cols];
+    let data = m.data();
     let mut w = 0;
     for b in 0..blocks {
-        for c in 0..m.cols() {
-            for r in b * PACK_BLOCK..(b + 1) * PACK_BLOCK {
-                out[w] = if r < m.rows() { m.get(r, c) } else { 0 };
-                w += 1;
+        let r0 = b * PACK_BLOCK;
+        let live = (rows - r0).min(PACK_BLOCK);
+        for c in 0..cols {
+            for r in 0..live {
+                out[w + r] = data[(r0 + r) * cols + c];
             }
+            // Padding rows stay at the buffer's zero initialization.
+            w += PACK_BLOCK;
         }
     }
     out
@@ -39,15 +44,17 @@ pub fn pack_lhs(m: &Matrix<u8>) -> Vec<u8> {
 ///
 /// Columns are zero-padded up to a multiple of the block size.
 pub fn pack_rhs(m: &Matrix<u8>) -> Vec<u8> {
-    let blocks = m.cols().div_ceil(PACK_BLOCK);
-    let mut out = vec![0u8; blocks * PACK_BLOCK * m.rows()];
+    let (rows, cols) = (m.rows(), m.cols());
+    let blocks = cols.div_ceil(PACK_BLOCK);
+    let mut out = vec![0u8; blocks * PACK_BLOCK * rows];
     let mut w = 0;
     for b in 0..blocks {
-        for r in 0..m.rows() {
-            for c in b * PACK_BLOCK..(b + 1) * PACK_BLOCK {
-                out[w] = if c < m.cols() { m.get(r, c) } else { 0 };
-                w += 1;
-            }
+        let c0 = b * PACK_BLOCK;
+        let live = (cols - c0).min(PACK_BLOCK);
+        for r in 0..rows {
+            // The block's columns are contiguous within the source row.
+            out[w..w + live].copy_from_slice(&m.row(r)[c0..c0 + live]);
+            w += PACK_BLOCK;
         }
     }
     out
@@ -66,17 +73,21 @@ pub fn unpack_result(packed: &[i32], rows: usize, cols: usize) -> Matrix<i32> {
         "packed result size mismatch"
     );
     let mut m = Matrix::zeroed(rows, cols);
+    let data = m.data_mut();
     let mut rdr = 0;
     for rb in 0..row_blocks {
         for cb in 0..col_blocks {
+            let c0 = cb * PACK_BLOCK;
+            let live = (cols.saturating_sub(c0)).min(PACK_BLOCK);
             for r in 0..PACK_BLOCK {
-                for c in 0..PACK_BLOCK {
-                    let (rr, cc) = (rb * PACK_BLOCK + r, cb * PACK_BLOCK + c);
-                    if rr < rows && cc < cols {
-                        m.set(rr, cc, packed[rdr]);
-                    }
-                    rdr += 1;
+                let rr = rb * PACK_BLOCK + r;
+                if rr < rows && live > 0 {
+                    // A tile row is contiguous in both the tile and the
+                    // destination row.
+                    let dst = rr * cols + c0;
+                    data[dst..dst + live].copy_from_slice(&packed[rdr..rdr + live]);
                 }
+                rdr += PACK_BLOCK;
             }
         }
     }

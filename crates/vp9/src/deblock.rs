@@ -58,42 +58,38 @@ pub struct DeblockStats {
 pub fn deblock_plane(plane: &mut Plane, block: usize) -> DeblockStats {
     let mut stats = DeblockStats::default();
     let (w, h) = (plane.width(), plane.height());
+    let data = plane.data_mut();
     // Vertical edges (filter across columns).
     for ex in (block..w).step_by(block) {
+        let xq = (ex + 1).min(w - 1);
         for y in 0..h {
-            let quad = (
-                plane.pixel(ex - 2, y),
-                plane.pixel(ex - 1, y),
-                plane.pixel(ex, y),
-                plane.pixel((ex + 1).min(w - 1), y),
-            );
+            let row = &mut data[y * w..(y + 1) * w];
+            let quad = (row[ex - 2], row[ex - 1], row[ex], row[xq]);
             stats.examined += 1;
             if should_filter(quad.0, quad.1, quad.2, quad.3) {
                 let (p1, p0, q0, q1) = filter4(quad.0, quad.1, quad.2, quad.3);
-                plane.set_pixel(ex - 2, y, p1);
-                plane.set_pixel(ex - 1, y, p0);
-                plane.set_pixel(ex, y, q0);
-                plane.set_pixel((ex + 1).min(w - 1), y, q1);
+                row[ex - 2] = p1;
+                row[ex - 1] = p0;
+                row[ex] = q0;
+                row[xq] = q1;
                 stats.filtered += 1;
             }
         }
     }
     // Horizontal edges (filter across rows).
     for ey in (block..h).step_by(block) {
+        let yq = (ey + 1).min(h - 1);
         for x in 0..w {
-            let quad = (
-                plane.pixel(x, ey - 2),
-                plane.pixel(x, ey - 1),
-                plane.pixel(x, ey),
-                plane.pixel(x, (ey + 1).min(h - 1)),
-            );
+            let (i1, i0) = ((ey - 2) * w + x, (ey - 1) * w + x);
+            let (j0, j1) = (ey * w + x, yq * w + x);
+            let quad = (data[i1], data[i0], data[j0], data[j1]);
             stats.examined += 1;
             if should_filter(quad.0, quad.1, quad.2, quad.3) {
                 let (p1, p0, q0, q1) = filter4(quad.0, quad.1, quad.2, quad.3);
-                plane.set_pixel(x, ey - 2, p1);
-                plane.set_pixel(x, ey - 1, p0);
-                plane.set_pixel(x, ey, q0);
-                plane.set_pixel(x, (ey + 1).min(h - 1), q1);
+                data[i1] = p1;
+                data[i0] = p0;
+                data[j0] = q0;
+                data[j1] = q1;
                 stats.filtered += 1;
             }
         }

@@ -188,21 +188,36 @@ impl SyntheticVideo {
         let ox = index as f64 * 1.375;
         let oy = index as f64 * 0.625;
         let mut noise_rng = SplitMix64::new(self.seed ^ (index as u64).wrapping_mul(0x9E37));
+        // Column-only subexpressions of the texture, hoisted out of the
+        // row loop. Each is the exact f64 expression the per-pixel form
+        // evaluates, so the output is bit-identical.
+        let mut col_sin = Vec::with_capacity(self.width);
+        let mut col_phase = Vec::with_capacity(self.width);
+        let mut col_grad = Vec::with_capacity(self.width);
+        for x in 0..self.width {
+            let u = x as f64 + ox;
+            col_sin.push((u * 0.131).sin());
+            col_phase.push(u * 0.023);
+            col_grad.push((x as f64 / self.width as f64) * 24.0);
+        }
+        let noise = self.noise;
         for y in 0..self.height {
-            for x in 0..self.width {
-                let u = x as f64 + ox;
-                let v = y as f64 + oy;
+            let v = y as f64 + oy;
+            let row_cos = (v * 0.077).cos();
+            let row_phase = v * 0.041;
+            let row = &mut p.data[y * self.width..(y + 1) * self.width];
+            for (x, px) in row.iter_mut().enumerate() {
                 // Smooth texture: two incommensurate sinusoids + gradient.
                 let t = 96.0
-                    + 60.0 * ((u * 0.131).sin() * (v * 0.077).cos())
-                    + 40.0 * ((u * 0.023 + v * 0.041).sin())
-                    + (x as f64 / self.width as f64) * 24.0;
+                    + 60.0 * (col_sin[x] * row_cos)
+                    + 40.0 * ((col_phase[x] + row_phase).sin())
+                    + col_grad[x];
                 let mut val = t.clamp(0.0, 255.0) as i32;
-                if self.noise > 0 {
-                    let n = noise_rng.next_below(2 * self.noise as u64 + 1) as i32 - self.noise as i32;
+                if noise > 0 {
+                    let n = noise_rng.next_below(2 * noise as u64 + 1) as i32 - noise as i32;
                     val += n;
                 }
-                p.set_pixel(x, y, val.clamp(0, 255) as u8);
+                *px = val.clamp(0, 255) as u8;
             }
         }
         // A foreground object moving against the pan.

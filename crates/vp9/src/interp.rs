@@ -44,28 +44,54 @@ pub fn interpolate_block(reference: &Plane, x8: isize, y8: isize, w: usize, h: u
     let fy = y8.rem_euclid(8) as usize;
     let mut out = vec![0u8; w * h];
 
+    let pw = reference.width() as isize;
+    let ph = reference.height() as isize;
+
     if fx == 0 && fy == 0 {
         for dy in 0..h {
-            for dx in 0..w {
-                out[dy * w + dx] = reference.pixel_clamped(x0 + dx as isize, y0 + dy as isize);
+            let row = reference.row((y0 + dy as isize).clamp(0, ph - 1) as usize);
+            let orow = &mut out[dy * w..dy * w + w];
+            if x0 >= 0 && x0 + w as isize <= pw {
+                orow.copy_from_slice(&row[x0 as usize..x0 as usize + w]);
+            } else {
+                for (dx, o) in orow.iter_mut().enumerate() {
+                    *o = row[(x0 + dx as isize).clamp(0, pw - 1) as usize];
+                }
             }
         }
         return out;
     }
 
-    // Horizontal pass over h+7 rows into a temp buffer.
+    // Horizontal pass over h+7 rows into a temp buffer. Interior blocks
+    // (all eight taps in-frame) index the row slice directly; edge blocks
+    // fall back to per-tap clamping. Both paths accumulate the taps in
+    // the same order, so the results are identical.
     let tmp_h = h + 7;
     let mut tmp = vec![0i32; w * tmp_h];
     let hf = &SUBPEL_FILTERS[fx];
+    let interior_x = x0 - 3 >= 0 && x0 + w as isize + 4 <= pw;
     for ty in 0..tmp_h {
-        let sy = y0 + ty as isize - 3;
-        for dx in 0..w {
-            let mut acc = 0i32;
-            for (t, &c) in hf.iter().enumerate() {
-                let sx = x0 + dx as isize + t as isize - 3;
-                acc += c * reference.pixel_clamped(sx, sy) as i32;
+        let row = reference.row((y0 + ty as isize - 3).clamp(0, ph - 1) as usize);
+        let trow = &mut tmp[ty * w..ty * w + w];
+        if interior_x {
+            let base = (x0 - 3) as usize;
+            for (dx, o) in trow.iter_mut().enumerate() {
+                let taps = &row[base + dx..base + dx + 8];
+                let mut acc = 0i32;
+                for (t, &c) in hf.iter().enumerate() {
+                    acc += c * taps[t] as i32;
+                }
+                *o = round7(acc).clamp(0, 255);
             }
-            tmp[ty * w + dx] = round7(acc).clamp(0, 255);
+        } else {
+            for (dx, o) in trow.iter_mut().enumerate() {
+                let mut acc = 0i32;
+                for (t, &c) in hf.iter().enumerate() {
+                    let sx = (x0 + dx as isize + t as isize - 3).clamp(0, pw - 1);
+                    acc += c * row[sx as usize] as i32;
+                }
+                *o = round7(acc).clamp(0, 255);
+            }
         }
     }
     // Vertical pass.

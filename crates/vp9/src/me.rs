@@ -36,12 +36,25 @@ pub struct SearchStats {
 /// SAD between the `bs` x `bs` block of `cur` at `(cx, cy)` and the
 /// block of `reference` at integer offset `(rx, ry)` (edge-clamped).
 pub fn sad(cur: &Plane, cx: usize, cy: usize, reference: &Plane, rx: isize, ry: isize, bs: usize) -> u64 {
+    let rw = reference.width() as isize;
+    let rh = reference.height() as isize;
+    let interior_x = rx >= 0 && rx + bs as isize <= rw;
     let mut total = 0u64;
     for dy in 0..bs {
-        for dx in 0..bs {
-            let a = cur.pixel(cx + dx, cy + dy) as i64;
-            let b = reference.pixel_clamped(rx + dx as isize, ry + dy as isize) as i64;
-            total += (a - b).unsigned_abs();
+        let crow = &cur.row(cy + dy)[cx..cx + bs];
+        let ry = (ry + dy as isize).clamp(0, rh - 1) as usize;
+        let rrow = reference.row(ry);
+        if interior_x {
+            // All reference columns in-frame: compare row slices directly.
+            let rrow = &rrow[rx as usize..rx as usize + bs];
+            for (a, b) in crow.iter().zip(rrow) {
+                total += (*a as i64 - *b as i64).unsigned_abs();
+            }
+        } else {
+            for (dx, a) in crow.iter().enumerate() {
+                let b = rrow[(rx + dx as isize).clamp(0, rw - 1) as usize];
+                total += (*a as i64 - b as i64).unsigned_abs();
+            }
         }
     }
     total
@@ -51,9 +64,10 @@ fn sad_subpel(cur: &Plane, cx: usize, cy: usize, reference: &Plane, x8: i32, y8:
     let pred = interpolate_block(reference, x8 as isize, y8 as isize, bs, bs);
     let mut total = 0u64;
     for dy in 0..bs {
-        for dx in 0..bs {
-            let a = cur.pixel(cx + dx, cy + dy) as i64;
-            total += (a - pred[dy * bs + dx] as i64).unsigned_abs();
+        let crow = &cur.row(cy + dy)[cx..cx + bs];
+        let prow = &pred[dy * bs..dy * bs + bs];
+        for (a, b) in crow.iter().zip(prow) {
+            total += (*a as i64 - *b as i64).unsigned_abs();
         }
     }
     total

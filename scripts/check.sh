@@ -32,4 +32,21 @@ echo "$selftest_out" | grep -q '"failed":1' || { echo "selftest: missing failed=
 echo "$selftest_out" | grep -q '"panic":1' || { echo "selftest: missing panic taxonomy"; exit 1; }
 echo "$selftest_out" | grep -q '"watchdog-timeout":1' || { echo "selftest: missing watchdog taxonomy"; exit 1; }
 
+echo "==> perf smoke: repro --json scorecard drift gate"
+# Regenerates BENCH_repro.json (simulated scorecard + wall-clock timing)
+# and fails if the scorecard block drifted from the committed file. The
+# timing fields move run to run by design; the simulated results must
+# not — the access fast path and any future perf work are held to
+# bit-identical scorecards.
+committed=$(git show HEAD:BENCH_repro.json 2>/dev/null | grep '"scorecard"' || true)
+cargo run -q --release -p pim-bench --bin repro -- --json >/dev/null
+current=$(grep '"scorecard"' BENCH_repro.json)
+if [[ -n "$committed" && "$committed" != "$current" ]]; then
+    echo "perf smoke: scorecard drifted from committed BENCH_repro.json"
+    echo "committed: $committed"
+    echo "current:   $current"
+    exit 1
+fi
+grep -o '"wall_ms": [0-9]*' BENCH_repro.json | head -1
+
 echo "==> all checks passed"

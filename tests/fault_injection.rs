@@ -87,6 +87,30 @@ fn hostile_environment_degrades_to_cpu() {
     assert!(d.error.is_none(), "CpuOnly should complete: {:?}", d.error);
 }
 
+/// Zero-byte DRAM draws consume no randomness and leave no trace in the
+/// plan's statistics: interleaving them freely (as the access fast path
+/// does by skipping the call entirely) cannot shift later draws.
+#[test]
+fn zero_byte_dram_draws_consume_no_randomness() {
+    let cfg = FaultConfig::with_rate(0.7);
+    let mut with_zero_draws = FaultPlan::new(cfg, 0xD3A4).unwrap();
+    let mut plain = FaultPlan::new(cfg, 0xD3A4).unwrap();
+    let mut rng = SplitMix64::new(0xFA41_7005);
+    for step in 0..256 {
+        with_zero_draws.draw_dram_faults(0);
+        let bytes = rng.next_below(1 << 22);
+        let a = with_zero_draws.draw_dram_faults(bytes);
+        let b = plain.draw_dram_faults(bytes);
+        assert_eq!(
+            (a.corrected, a.uncorrectable),
+            (b.corrected, b.uncorrectable),
+            "step {step}"
+        );
+        with_zero_draws.draw_dram_faults(0);
+    }
+    assert_eq!(with_zero_draws.stats(), plain.stats());
+}
+
 /// The watchdog turns runaway simulations into an error, deterministically.
 #[test]
 fn watchdog_reports_timeout_instead_of_hanging() {

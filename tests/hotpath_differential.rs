@@ -1,0 +1,127 @@
+//! Differential tests for the line-coalescing fast path.
+//!
+//! `SimContext::set_fast_path(false)` forces every access through the
+//! full per-line cache walk, fault draw and coherence loop. These tests
+//! drive SplitMix64 random mixed read/write streams — over a million
+//! accesses across the three study platforms — and assert that every
+//! observable (simulated time, activity counters, energy, cache and
+//! coherence statistics) is bit-identical between the two paths, with
+//! and without a seeded fault plan, with and without tracing.
+
+use dmpim::core::rng::SplitMix64;
+use dmpim::core::{
+    AccessKind, EngineTiming, FaultConfig, FaultPlan, Platform, Port, SimContext, Tracer,
+};
+
+const LINE: u64 = 64;
+const WORKING_SET: u64 = 4 << 20;
+
+/// Drive a random mixed read/write stream. Roughly half the accesses
+/// re-touch the previous address (the pattern the fast path coalesces);
+/// the rest jump across the working set with sizes that sometimes span
+/// multiple lines, so both paths are exercised in interleaved order.
+fn drive(ctx: &mut SimContext, accesses: usize, seed: u64) {
+    let buf = ctx.alloc(WORKING_SET);
+    let lines = WORKING_SET / LINE;
+    let mut rng = SplitMix64::new(seed);
+    let mut addr = buf.addr(0);
+    for _ in 0..accesses {
+        if rng.next_below(2) == 0 {
+            let line = rng.next_below(lines);
+            addr = buf.addr(line * LINE + rng.next_below(LINE));
+        }
+        let bytes = match rng.next_below(8) {
+            0 => 1 + rng.next_below(200), // occasionally multi-line
+            _ => 1 + rng.next_below(16),
+        };
+        let kind =
+            if rng.next_below(4) == 0 { AccessKind::Write } else { AccessKind::Read };
+        ctx.access(addr, bytes, kind);
+    }
+}
+
+/// Everything observable about a finished simulation, formatted so a
+/// string comparison is a bit-level comparison (floats via `to_bits`).
+fn fingerprint(ctx: &SimContext) -> String {
+    let mem = ctx.memory();
+    format!(
+        "now={} act={:?} energy={:x} cpu_l1={:?} llc={:?} pim_l1={:?} dram={:?} coh={:?}",
+        ctx.now_ps(),
+        ctx.total_activity(),
+        ctx.total_energy().total_pj().to_bits(),
+        mem.cpu_l1_stats(),
+        mem.llc_stats(),
+        mem.pim_l1_stats(),
+        mem.dram_stats(),
+        ctx.coherence_stats(),
+    )
+}
+
+fn platforms() -> Vec<(&'static str, Platform, EngineTiming, Port)> {
+    vec![
+        ("cpu", Platform::baseline(), EngineTiming::soc_cpu(), Port::Cpu),
+        ("pim-core", Platform::pim(), EngineTiming::pim_core(), Port::PimCore),
+        ("pim-acc", Platform::pim(), EngineTiming::pim_accel(), Port::PimAccel),
+    ]
+}
+
+fn run(
+    platform: Platform,
+    timing: EngineTiming,
+    port: Port,
+    fast: bool,
+    accesses: usize,
+    seed: u64,
+    faults: Option<u64>,
+) -> String {
+    let mut ctx = SimContext::new(platform, timing, port);
+    if let Some(fault_seed) = faults {
+        let plan = FaultPlan::new(FaultConfig::with_rate(0.4), fault_seed).unwrap();
+        ctx = ctx.with_fault_plan(plan);
+    }
+    ctx.set_fast_path(fast);
+    drive(&mut ctx, accesses, seed);
+    fingerprint(&ctx)
+}
+
+/// Fast vs slow bit-identity on all three platforms, over a million
+/// random accesses in aggregate.
+#[test]
+fn fast_path_is_bit_identical_on_all_platforms() {
+    for (name, platform, timing, port) in platforms() {
+        let fast = run(platform, timing, port, true, 350_000, 0x0701 ^ port as u64, None);
+        let slow = run(platform, timing, port, false, 350_000, 0x0701 ^ port as u64, None);
+        assert_eq!(fast, slow, "platform {name}");
+    }
+}
+
+/// Bit-identity holds with a seeded fault plan: the fast path must not
+/// change how many random draws the plan consumes.
+#[test]
+fn fast_path_is_bit_identical_under_faults() {
+    for (name, platform, timing, port) in platforms() {
+        let fast =
+            run(platform, timing, port, true, 120_000, 0x0702, Some(0xFA57 ^ port as u64));
+        let slow =
+            run(platform, timing, port, false, 120_000, 0x0702, Some(0xFA57 ^ port as u64));
+        assert_eq!(fast, slow, "platform {name}");
+    }
+}
+
+/// Bit-identity holds with tracing enabled, and the two paths emit the
+/// same metric totals (the fast path replays the exact per-access
+/// tracer updates the slow path would have made).
+#[test]
+fn fast_path_emits_identical_trace_metrics() {
+    for (name, platform, timing, port) in platforms() {
+        let ta = Tracer::new();
+        let tb = Tracer::new();
+        let mut a = SimContext::new(platform, timing, port).with_tracer(&ta);
+        let mut b = SimContext::new(platform, timing, port).with_tracer(&tb);
+        b.set_fast_path(false);
+        drive(&mut a, 60_000, 0x0703);
+        drive(&mut b, 60_000, 0x0703);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "platform {name}");
+        assert_eq!(ta.metrics().to_json(), tb.metrics().to_json(), "platform {name}");
+    }
+}
