@@ -23,6 +23,24 @@
 //! any non-waived divergent verdict or any quarantined/failed job.
 //! `--selftest-harness` runs a tiny sweep with an injected panic and a
 //! hung simulation and verifies the harness isolates both.
+//!
+//! Service mode (see `DESIGN.md` §4f):
+//!
+//! ```text
+//! cargo run -p pim-bench --release --bin repro -- --serve 127.0.0.1:7009 \
+//!     --jobs 4 --journal serve.jsonl            # fault-tolerant sweep service
+//! cargo run -p pim-bench --release --bin repro -- --connect 127.0.0.1:7009
+//! cargo run -p pim-bench --release --bin repro -- --connect 127.0.0.1:7009 --drain
+//! ```
+//!
+//! `--serve` runs the `pim-serve` scheduler (work stealing, per-client
+//! quotas via `--quota`/`--queue-depth`, wall/watchdog supervision,
+//! journal-backed crash recovery) with this crate's catalog. `--connect`
+//! submits all 23 experiments as jobs and prints stdout byte-identical
+//! to the default in-process run — even when the server was SIGKILLed
+//! and restarted mid-sweep, because submissions are idempotent and
+//! finished jobs replay from the journal. `--drain` asks the server to
+//! shut down gracefully once the results are in.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -41,6 +59,11 @@ struct Cli {
     jobs: usize,
     journal: Option<String>,
     resume: Option<String>,
+    serve: Option<String>,
+    connect: Option<String>,
+    drain: bool,
+    quota: usize,
+    queue_depth: usize,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -54,6 +77,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         jobs: 1,
         journal: None,
         resume: None,
+        serve: None,
+        connect: None,
+        drain: false,
+        quota: 64,
+        queue_depth: 1024,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -83,6 +111,26 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--resume" => {
                 cli.resume = Some(it.next().ok_or("--resume needs a journal path")?.clone());
             }
+            "--serve" => {
+                cli.serve = Some(it.next().ok_or("--serve needs a listen address")?.clone());
+            }
+            "--connect" => {
+                cli.connect =
+                    Some(it.next().ok_or("--connect needs a server address")?.clone());
+            }
+            "--drain" => cli.drain = true,
+            "--quota" => {
+                let n = it.next().ok_or("--quota needs a job count")?;
+                cli.quota = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--quota needs a non-negative integer, got {n}"))?;
+            }
+            "--queue-depth" => {
+                let n = it.next().ok_or("--queue-depth needs a job count")?;
+                cli.queue_depth = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--queue-depth needs a non-negative integer, got {n}"))?;
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -90,6 +138,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         return Err("--journal and --resume are mutually exclusive (resume \
                     appends to the journal it reads)"
             .to_string());
+    }
+    if cli.serve.is_some() && cli.connect.is_some() {
+        return Err("--serve and --connect are mutually exclusive".to_string());
+    }
+    if cli.drain && cli.connect.is_none() {
+        return Err("--drain only makes sense with --connect".to_string());
     }
     Ok(cli)
 }
@@ -117,7 +171,10 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro [--list | --experiment <id> | --json | --selftest-harness | \
-                 --trace <path>] [--metrics <path>] [--jobs <n>] [--journal <path> | --resume <path>]"
+                 --trace <path>] [--metrics <path>] [--jobs <n>] [--journal <path> | --resume <path>]\n\
+                 \x20      repro --serve <addr> [--jobs <n>] [--journal <path>] \
+                 [--quota <n>] [--queue-depth <n>]\n\
+                 \x20      repro --connect <addr> [--drain]"
             );
             return ExitCode::FAILURE;
         }
@@ -128,6 +185,40 @@ fn main() -> ExitCode {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(addr) = &cli.serve {
+        let (journal, _) = cli.journal();
+        let opts = pim_bench::serve_cli::ServeOptions {
+            addr: addr.clone(),
+            workers: cli.jobs,
+            journal: journal.map(Path::to_path_buf),
+            quota: cli.quota,
+            queue_depth: cli.queue_depth,
+        };
+        return match pim_bench::serve_cli::run_server(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("pim-serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(addr) = &cli.connect {
+        return match pim_bench::serve_cli::run_client(addr, cli.drain) {
+            Ok(results) => {
+                if pim_harness::FailureSummary::from_results(&results).all_ok() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("pim-serve client: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if cli.selftest {

@@ -93,6 +93,26 @@ fn measure(
     Ok(KernelMetrics::from_reports(name, kind, &cpu, &core, &acc).to_line())
 }
 
+/// Measure one catalog kernel by name through the three study modes —
+/// the `pim-serve` resolver entry point for `kernel:<name>` specs.
+///
+/// # Errors
+///
+/// `DmpimError::UnknownExperiment` for a name not in the catalog;
+/// otherwise whatever the simulation itself raises.
+pub fn measure_kernel(
+    name: &str,
+    smoke: bool,
+    tracer: &Tracer,
+    watchdog: Watchdog,
+) -> Result<String, DmpimError> {
+    let (n, kind, factory) = kernel_catalog(smoke)
+        .into_iter()
+        .find(|(n, ..)| *n == name)
+        .ok_or_else(|| DmpimError::UnknownExperiment { id: format!("kernel:{name}") })?;
+    measure(n, kind, factory, tracer, watchdog)
+}
+
 /// Shared sink for per-job wall times. Timing lives *outside* the job
 /// payloads and the resume journal on purpose: journal lines (and thus
 /// merged [`pim_harness::JobResult`]s) stay bit-identical across runs,

@@ -12,6 +12,7 @@ pub mod chrome_exp;
 pub mod jobs;
 pub mod obs;
 pub mod scorecard;
+pub mod serve_cli;
 pub mod summary_exp;
 pub mod tf_exp;
 pub mod video_exp;

@@ -1,0 +1,200 @@
+//! `repro`'s server and thin-client modes for `pim-serve`.
+//!
+//! * `repro --serve <addr>` runs the fault-tolerant sweep service with
+//!   this crate's catalog wired in: `experiment:<id>` specs resolve to
+//!   [`crate::run_experiment`], `kernel:<name>` (and `kernel-smoke:`) to
+//!   [`crate::jobs::measure_kernel`].
+//! * `repro --connect <addr>` submits all 23 experiments, waits for each
+//!   in paper order, and prints **byte-identical** stdout to the default
+//!   in-process `repro` run — results travel as strings end to end
+//!   (journal, wire, memory), so a scorecard assembled from a served,
+//!   crashed, and recovered sweep matches an uninterrupted serial one.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pim_core::DmpimError;
+use pim_harness::{FailureSummary, JobResult};
+use pim_serve::{
+    signal, Client, QuotaPolicy, Scheduler, Resolver, ServeError, ServePolicy, Server,
+    ShutdownMode,
+};
+use pim_trace::Tracer;
+
+/// The catalog resolver: maps job specs to this crate's simulations.
+pub fn resolver() -> Resolver {
+    Arc::new(|spec, ctx| {
+        if let Some(id) = spec.strip_prefix("experiment:") {
+            crate::run_experiment(id)
+        } else if let Some(name) = spec.strip_prefix("kernel:") {
+            crate::jobs::measure_kernel(name, false, &ctx.tracer, ctx.watchdog)
+        } else if let Some(name) = spec.strip_prefix("kernel-smoke:") {
+            crate::jobs::measure_kernel(name, true, &ctx.tracer, ctx.watchdog)
+        } else {
+            Err(DmpimError::UnknownExperiment { id: spec.to_string() })
+        }
+    })
+}
+
+/// Server-mode knobs from the CLI.
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7009` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Journal path; `None` disables crash recovery.
+    pub journal: Option<PathBuf>,
+    /// Per-client in-flight quota (0 = unlimited).
+    pub quota: usize,
+    /// Global queue bound (0 = unlimited).
+    pub queue_depth: usize,
+}
+
+/// Run the service until a drain completes (SIGTERM/ctrl-c or a client
+/// `shutdown` op) or a hard stop.
+pub fn run_server(opts: &ServeOptions) -> Result<(), ServeError> {
+    signal::install();
+    let policy = ServePolicy {
+        workers: opts.workers.max(1),
+        quota: QuotaPolicy {
+            max_in_flight_per_client: opts.quota,
+            max_queue_depth: opts.queue_depth,
+        },
+        ..ServePolicy::default()
+    };
+    let tracer = Tracer::new();
+    let scheduler = Arc::new(Scheduler::start(
+        policy,
+        resolver(),
+        tracer.clone(),
+        opts.journal.as_deref(),
+    )?);
+    let server = Server::bind(&opts.addr, scheduler, tracer)?;
+    eprintln!(
+        "pim-serve: listening on {} ({} workers{})",
+        server.local_addr(),
+        opts.workers.max(1),
+        match &opts.journal {
+            Some(p) => format!(", journal {}", p.display()),
+            None => ", no journal".to_string(),
+        }
+    );
+    let out = server.run();
+    eprintln!("pim-serve: stopped");
+    out
+}
+
+/// Submit every experiment, wait for the results in paper order, and
+/// print them exactly as the in-process run does. Returns the terminal
+/// results for the caller's summary/exit-code logic.
+pub fn run_client(addr: &str, drain: bool) -> Result<Vec<JobResult>, ServeError> {
+    let mut client = Client::connect(addr, "repro")?;
+    for id in crate::EXPERIMENTS {
+        // Idempotent by id: a rerun after a server crash re-attaches to
+        // journaled jobs instead of re-running them.
+        client.submit(id, &format!("experiment:{id}"))?;
+    }
+    let mut results = Vec::with_capacity(crate::EXPERIMENTS.len());
+    for id in crate::EXPERIMENTS {
+        results.push(client.wait(id, None)?);
+    }
+    if drain {
+        client.shutdown(ShutdownMode::Drain)?;
+    }
+    print_results(&results);
+    Ok(results)
+}
+
+/// Render served results byte-identically to `repro`'s default run.
+pub fn print_results(results: &[JobResult]) {
+    for r in results {
+        banner(&r.id);
+        match &r.output {
+            Some(text) => println!("{text}"),
+            None => eprintln!(
+                "experiment {} {}: {}",
+                r.id,
+                r.status.label(),
+                r.error.as_deref().unwrap_or("unknown error")
+            ),
+        }
+    }
+    eprintln!("harness: {}", FailureSummary::from_results(results).one_line());
+}
+
+/// The banner `repro` prints before each experiment's report.
+pub fn banner(id: &str) {
+    println!("{}", "=".repeat(72));
+    println!("== {id}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Connect-retry helper for scripts racing a just-started server.
+pub fn connect_with_retry(addr: &str, name: &str, budget: Duration) -> Result<Client, ServeError> {
+    let deadline = std::time::Instant::now() + budget;
+    loop {
+        match Client::connect(addr, name) {
+            Ok(c) => return Ok(c),
+            Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use pim_serve::WaitOutcome;
+
+    use super::*;
+
+    #[test]
+    fn resolver_covers_experiments_and_kernels_and_rejects_garbage() {
+        let r = resolver();
+        let tracer = Tracer::disabled();
+        let ctx = pim_harness::JobCtx {
+            job_id: "t".into(),
+            attempt: 1,
+            tracer: tracer.clone(),
+            track: tracer.track("t"),
+            watchdog: pim_core::Watchdog::unlimited(),
+        };
+        let fig1 = r("experiment:fig1", &ctx).unwrap();
+        assert_eq!(fig1, crate::run_experiment("fig1").unwrap(), "resolver output matches direct");
+        let kernel = r("kernel-smoke:texture tiling", &ctx).unwrap();
+        assert!(kernel.contains("texture tiling"), "{kernel}");
+        assert!(r("experiment:nope", &ctx).is_err());
+        assert!(r("kernel:nope", &ctx).is_err());
+        assert!(r("garbage", &ctx).is_err());
+    }
+
+    #[test]
+    fn served_experiment_matches_in_process_byte_for_byte() {
+        // Full loop through the scheduler (no TCP): the served payload
+        // must equal the direct call exactly.
+        let s = Scheduler::start(
+            ServePolicy { workers: 2, ..ServePolicy::default() },
+            resolver(),
+            Tracer::disabled(),
+            None,
+        )
+        .unwrap();
+        for id in ["fig1", "fig18", "table1"] {
+            s.submit("test", id, &format!("experiment:{id}"));
+        }
+        for id in ["fig1", "fig18", "table1"] {
+            match s.wait(id, Some(Duration::from_secs(60))) {
+                WaitOutcome::Done(r) => {
+                    assert_eq!(
+                        r.output.as_deref(),
+                        Some(crate::run_experiment(id).unwrap().as_str()),
+                        "{id}"
+                    );
+                }
+                other => panic!("{id}: {other:?}"),
+            }
+        }
+        s.drain();
+        s.join();
+    }
+}

@@ -16,15 +16,19 @@
 //! ```
 //!
 //! Lines are appended and flushed as each job completes, so a killed
-//! sweep's journal is valid up to (at worst) one truncated trailing line,
-//! which the reader tolerates by stopping at the first unparseable line.
-//! Because entries carry the full result (including the output payload),
-//! resuming re-runs only jobs with no journal line and merges to
-//! bit-identical output.
+//! sweep's journal is valid up to (at worst) one truncated trailing line.
+//! The reader is corruption-tolerant end to end: unparseable lines
+//! anywhere in the body (truncated tails, interleaved partial writes,
+//! embedded garbage) are skipped and counted, and duplicated records
+//! restore once with the later record winning — resume never aborts on a
+//! damaged journal and never runs a journaled job twice. Because entries
+//! carry the full result (including the output payload), resuming re-runs
+//! only jobs with no intact journal line and merges to bit-identical
+//! output.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use pim_trace::json::write_escaped;
@@ -64,25 +68,7 @@ impl JournalWriter {
 
     /// Record one terminal result.
     pub fn record(&mut self, r: &JobResult) -> Result<(), HarnessError> {
-        let mut line = String::from("{\"job\":");
-        write_escaped(&mut line, &r.id);
-        line.push_str(",\"status\":");
-        write_escaped(&mut line, r.status.label());
-        line.push_str(&format!(",\"attempts\":{}", r.attempts));
-        if let Some(label) = &r.error_label {
-            line.push_str(",\"error_label\":");
-            write_escaped(&mut line, label);
-        }
-        if let Some(err) = &r.error {
-            line.push_str(",\"error\":");
-            write_escaped(&mut line, err);
-        }
-        if let Some(out) = &r.output {
-            line.push_str(",\"output\":");
-            write_escaped(&mut line, out);
-        }
-        line.push('}');
-        self.line(&line)
+        self.line(&record_line(r))
     }
 
     fn line(&mut self, s: &str) -> Result<(), HarnessError> {
@@ -94,11 +80,52 @@ impl JournalWriter {
     }
 }
 
+/// Render one terminal result as its journal line (no trailing newline).
+///
+/// Exposed so embedders that keep their own incremental journals — the
+/// `pim-serve` server journal interleaves submission records with these
+/// result records — serialize results in exactly the harness's format and
+/// stay readable by [`parse_result_line`].
+pub fn record_line(r: &JobResult) -> String {
+    let mut line = String::from("{\"job\":");
+    write_escaped(&mut line, &r.id);
+    line.push_str(",\"status\":");
+    write_escaped(&mut line, r.status.label());
+    line.push_str(&format!(",\"attempts\":{}", r.attempts));
+    if let Some(label) = &r.error_label {
+        line.push_str(",\"error_label\":");
+        write_escaped(&mut line, label);
+    }
+    if let Some(err) = &r.error {
+        line.push_str(",\"error\":");
+        write_escaped(&mut line, err);
+    }
+    if let Some(out) = &r.output {
+        line.push_str(",\"output\":");
+        write_escaped(&mut line, out);
+    }
+    line.push('}');
+    line
+}
+
+/// Parse one result line written by [`record_line`] back into a
+/// [`JobResult`]. Returns `None` for anything malformed — truncated
+/// tails, partial lines, non-result records.
+pub fn parse_result_line(line: &str) -> Option<JobResult> {
+    result_from_fields(&parse_flat_object(line)?)
+}
+
 /// Parsed journal: completed results keyed by job id.
 #[derive(Debug, Default)]
 pub struct JournalState {
     /// Terminal results restored from the journal.
     pub completed: BTreeMap<String, JobResult>,
+    /// Body lines that were corrupt (truncated, garbled, interleaved
+    /// partial writes) and skipped rather than aborting the resume.
+    pub skipped: usize,
+    /// Result records that repeated a job id already restored; the later
+    /// record wins, and the job is still resumed exactly once.
+    pub duplicates: usize,
 }
 
 /// Read a journal back for `--resume`.
@@ -107,14 +134,19 @@ pub struct JournalState {
 ///
 /// Fails if the file cannot be read, the header is missing or does not
 /// match this harness/version, or the recorded job count differs from the
-/// sweep being resumed (the journal belongs to a different sweep). A
-/// truncated or garbled trailing line is *not* an error: parsing stops
-/// there and the affected job simply re-runs.
+/// sweep being resumed (the journal belongs to a different sweep).
+///
+/// Body corruption is *never* an error: truncated tails, interleaved
+/// partial lines, embedded garbage, and duplicated records are skipped
+/// and counted ([`JournalState::skipped`] / [`JournalState::duplicates`]).
+/// A job whose record was destroyed simply re-runs; a job with any intact
+/// record is restored exactly once, never re-run.
 pub fn read_journal(path: &Path, expected_jobs: usize) -> Result<JournalState, HarnessError> {
-    let mut text = String::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_string(&mut text))
-        .map_err(|e| HarnessError::io(path, &e))?;
+    let bytes = std::fs::read(path).map_err(|e| HarnessError::io(path, &e))?;
+    // Corruption can include invalid UTF-8; decode lossily so one garbled
+    // line cannot abort the whole resume. Replacement characters make the
+    // affected line unparseable, which is exactly skip-and-count.
+    let text = String::from_utf8_lossy(&bytes);
     let mut lines = text.lines();
     let header = lines
         .next()
@@ -139,13 +171,13 @@ pub fn read_journal(path: &Path, expected_jobs: usize) -> Result<JournalState, H
         if line.trim().is_empty() {
             continue;
         }
-        let Some(fields) = parse_flat_object(line) else {
-            break; // truncated tail from a killed run: re-run from here
+        let Some(result) = parse_result_line(line) else {
+            state.skipped += 1;
+            continue;
         };
-        let Some(result) = result_from_fields(&fields) else {
-            break;
-        };
-        state.completed.insert(result.id.clone(), result);
+        if state.completed.insert(result.id.clone(), result).is_some() {
+            state.duplicates += 1;
+        }
     }
     Ok(state)
 }
@@ -359,6 +391,75 @@ mod tests {
         let state = read_journal(&path, 3).unwrap();
         assert_eq!(state.completed.len(), 1);
         assert!(state.completed.contains_key("a"));
+        assert_eq!(state.skipped, 1, "the chopped line is counted, not fatal");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_journal_corruption_is_skipped_and_counted() {
+        let path = tmp("midcorrupt.jsonl");
+        {
+            let mut w = JournalWriter::create(&path, 4).unwrap();
+            w.record(&JobResult::ok("a", 1, "1".into())).unwrap();
+            w.record(&JobResult::ok("b", 1, "2".into())).unwrap();
+            w.record(&JobResult::ok("c", 1, "3".into())).unwrap();
+        }
+        // Garble the *middle* record: records after the damage must still
+        // be restored (skip-and-count, not stop-at-first-error).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mangled: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if l.contains("\"job\":\"b\"") {
+                    l.chars().take(l.len() / 2).collect()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        std::fs::write(&path, format!("{}\n", mangled.join("\n"))).unwrap();
+        let state = read_journal(&path, 4).unwrap();
+        assert_eq!(state.skipped, 1);
+        assert!(state.completed.contains_key("a"));
+        assert!(!state.completed.contains_key("b"), "damaged record re-runs");
+        assert!(state.completed.contains_key("c"), "records after the damage survive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_records_restore_once_with_later_winning() {
+        let path = tmp("dup.jsonl");
+        {
+            let mut w = JournalWriter::create(&path, 2).unwrap();
+            w.record(&JobResult::ok("a", 1, "first".into())).unwrap();
+            w.record(&JobResult::ok("a", 2, "second".into())).unwrap();
+            w.record(&JobResult::ok("b", 1, "only".into())).unwrap();
+        }
+        let state = read_journal(&path, 2).unwrap();
+        assert_eq!(state.completed.len(), 2);
+        assert_eq!(state.duplicates, 1);
+        assert_eq!(state.completed["a"].output.as_deref(), Some("second"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nul_bytes_and_invalid_utf8_cannot_abort_the_read() {
+        let path = tmp("nul.jsonl");
+        {
+            let mut w = JournalWriter::create(&path, 3).unwrap();
+            w.record(&JobResult::ok("a", 1, "1".into())).unwrap();
+        }
+        // Append a line of raw NUL bytes and a line of invalid UTF-8 —
+        // both classic torn-write debris.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"\x00\x00\x00\x00\n").unwrap();
+        f.write_all(b"{\"job\":\"b\xff\xfe\n").unwrap();
+        drop(f);
+        let state = read_journal(&path, 3).unwrap();
+        assert!(state.completed.contains_key("a"));
+        assert_eq!(state.completed.len(), 1);
+        assert_eq!(state.skipped, 2);
         std::fs::remove_file(&path).ok();
     }
 

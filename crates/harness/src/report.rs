@@ -90,6 +90,11 @@ pub struct SweepReport {
     /// How many of those were restored from a resume journal instead of
     /// re-run.
     pub resumed: usize,
+    /// Corrupt or foreign journal lines skipped during resume (truncated
+    /// tails, interleaved partial writes, mangled ids). Zero for fresh
+    /// runs; nonzero means the journal was damaged but the sweep healed
+    /// by re-running the affected jobs.
+    pub journal_skipped: usize,
 }
 
 impl SweepReport {
@@ -124,6 +129,7 @@ impl SweepReport {
         JsonValue::object()
             .set("summary", summary.to_json_value())
             .set("resumed", self.resumed as u64)
+            .set("journal_skipped", self.journal_skipped as u64)
             .set("jobs", jobs)
     }
 }
@@ -157,7 +163,7 @@ mod tests {
 
     #[test]
     fn report_json_is_deterministic() {
-        let rep = SweepReport { results: sample(), resumed: 1 };
+        let rep = SweepReport { results: sample(), resumed: 1, journal_skipped: 0 };
         let a = rep.to_json_value().render();
         let b = rep.to_json_value().render();
         assert_eq!(a, b);

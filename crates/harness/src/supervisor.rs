@@ -66,8 +66,19 @@ impl Default for HarnessPolicy {
 impl HarnessPolicy {
     /// Backoff before retry number `retry` (1-based), doubling from
     /// [`HarnessPolicy::retry_backoff`] up to [`HarnessPolicy::backoff_cap`].
+    ///
+    /// Fully saturating: any retry count — up to `u32::MAX` — and any
+    /// base/cap combination produces a well-defined duration clamped to
+    /// the cap, never an overflow panic.
     pub fn backoff_for(&self, retry: u32) -> Duration {
-        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        let exp = retry.saturating_sub(1);
+        // 2^exp as a saturating u32 factor; Duration::saturating_mul
+        // absorbs the rest. Exponents ≥ 31 would overflow the shift and
+        // are already far past any realistic cap.
+        let factor = match 1u32.checked_shl(exp) {
+            Some(f) if exp < 31 => f,
+            _ => u32::MAX,
+        };
         self.retry_backoff.saturating_mul(factor).min(self.backoff_cap)
     }
 }
@@ -177,21 +188,20 @@ impl Harness {
         // Restore completed work from the journal when resuming.
         let mut slots: Vec<Option<JobResult>> = vec![None; jobs.len()];
         let mut resumed = 0usize;
+        let mut journal_skipped = 0usize;
         let mut writer = match (&self.journal, self.resume) {
             (Some(path), true) if path.exists() => {
                 let state = read_journal(path, jobs.len())?;
+                // Corrupt lines were skipped by the reader; entries whose
+                // (possibly mangled) id matches no job in this sweep are
+                // skipped the same way — a damaged journal re-runs work,
+                // it never aborts the resume.
+                journal_skipped = state.skipped
+                    + state.completed.keys().filter(|id| !seen.contains(*id)).count();
                 for (idx, job) in jobs.iter().enumerate() {
                     if let Some(r) = state.completed.get(&job.id) {
                         slots[idx] = Some(r.clone());
                         resumed += 1;
-                    }
-                }
-                for id in state.completed.keys() {
-                    if !seen.contains(id) {
-                        return Err(HarnessError::mismatch(
-                            path,
-                            &format!("journal entry {id:?} is not a job in this sweep"),
-                        ));
                     }
                 }
                 Some(JournalWriter::append(path)?)
@@ -211,7 +221,7 @@ impl Harness {
         drop(writer);
 
         let results = slots.into_iter().map(|s| s.expect("every job has a terminal result")).collect();
-        Ok(SweepReport { results, resumed })
+        Ok(SweepReport { results, resumed, journal_skipped })
     }
 
     /// Run the pending jobs on the pool, filling `slots`.
@@ -609,5 +619,51 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates_at_the_cap() {
+        let p = HarnessPolicy {
+            retry_backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(80),
+            ..HarnessPolicy::default()
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_millis(5));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(4), Duration::from_millis(40));
+        // Retry 5 doubles to exactly the cap; retry 6 would overshoot and
+        // is clamped — the cap boundary.
+        assert_eq!(p.backoff_for(5), Duration::from_millis(80));
+        assert_eq!(p.backoff_for(6), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn extreme_retry_counts_cannot_overflow_duration_math() {
+        let p = HarnessPolicy {
+            retry_backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(80),
+            ..HarnessPolicy::default()
+        };
+        // Shift exponents at and past the u32 width, including u32::MAX,
+        // must clamp to the cap rather than panic on `1 << 32`.
+        for retry in [31, 32, 33, 64, 1_000_000, u32::MAX] {
+            assert_eq!(p.backoff_for(retry), Duration::from_millis(80), "retry={retry}");
+        }
+        // A pathological base backoff saturates inside Duration, then
+        // clamps to the cap.
+        let huge = HarnessPolicy {
+            retry_backoff: Duration::MAX,
+            backoff_cap: Duration::from_secs(1),
+            ..HarnessPolicy::default()
+        };
+        assert_eq!(huge.backoff_for(u32::MAX), Duration::from_secs(1));
+        // Retry 0 (not a real retry number, but callers may pass it)
+        // degrades to the base backoff instead of underflowing.
+        assert_eq!(p.backoff_for(0), Duration::from_millis(5));
     }
 }

@@ -1,0 +1,137 @@
+//! A thin blocking client for the JSONL protocol.
+//!
+//! One request, one response line — no pipelining, no background
+//! threads. This is what the `repro --connect` mode and the chaos tests
+//! use; it is intentionally dumb so its behavior under server crashes is
+//! predictable (a dropped connection surfaces as [`ServeError::Net`] and
+//! the caller reconnects and re-submits — submissions are idempotent by
+//! job id).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use pim_harness::JobResult;
+
+use crate::protocol::{Request, Response, ShutdownMode, Stats, PROTOCOL_VERSION};
+use crate::ServeError;
+
+/// A connected, identified client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    name: String,
+}
+
+impl Client {
+    /// Connect and perform the `hello` handshake. `name` keys this
+    /// client's quota bucket on the server.
+    pub fn connect(addr: &str, name: &str) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::net(&e))?;
+        let reader =
+            BufReader::new(stream.try_clone().map_err(|e| ServeError::net(&e))?);
+        let mut c = Self { reader, writer: stream, name: name.to_string() };
+        match c.call(&Request::Hello { client: name.to_string() })? {
+            Response::Hello { version, .. } if version == PROTOCOL_VERSION => Ok(c),
+            Response::Hello { version, .. } => Err(ServeError::protocol(format!(
+                "server speaks protocol v{version}, this client v{PROTOCOL_VERSION}"
+            ))),
+            other => Err(ServeError::protocol(format!("unexpected hello reply: {other:?}"))),
+        }
+    }
+
+    /// The client name sent in `hello`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Send one request, read one response line.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let line = req.render();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ServeError::net(&e))?;
+        let raw = self.read_line()?;
+        Response::parse(&raw)
+            .ok_or_else(|| ServeError::protocol(format!("unparseable response: {raw:?}")))
+    }
+
+    /// Submit a job; returns the accepted state (`queued`, `attached`,
+    /// `done`) or the typed rejection as an error.
+    pub fn submit(&mut self, id: &str, spec: &str) -> Result<String, ServeError> {
+        match self.call(&Request::Submit { id: id.into(), spec: spec.into() })? {
+            Response::Accepted { state, .. } => Ok(state),
+            Response::Rejected(rej) => Err(ServeError::Rejected(rej)),
+            other => Err(ServeError::protocol(format!("unexpected submit reply: {other:?}"))),
+        }
+    }
+
+    /// Block until the job is terminal and return its result. With a
+    /// timeout, a server-side `timeout` rejection surfaces as
+    /// [`ServeError::Rejected`].
+    pub fn wait(&mut self, id: &str, timeout: Option<Duration>) -> Result<JobResult, ServeError> {
+        let timeout_ms = timeout.map(|t| t.as_millis() as u64);
+        match self.call(&Request::Wait { id: id.into(), timeout_ms })? {
+            Response::Result(r) => Ok(r),
+            Response::Rejected(rej) => Err(ServeError::Rejected(rej)),
+            other => Err(ServeError::protocol(format!("unexpected wait reply: {other:?}"))),
+        }
+    }
+
+    /// Scheduler statistics.
+    pub fn stats(&mut self) -> Result<Stats, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ServeError::protocol(format!("unexpected stats reply: {other:?}"))),
+        }
+    }
+
+    /// The raw metrics-registry JSON document.
+    pub fn metrics_raw(&mut self) -> Result<String, ServeError> {
+        let line = Request::Metrics.render();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ServeError::net(&e))?;
+        self.read_line()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ServeError::protocol(format!("unexpected ping reply: {other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down (acknowledged before it happens).
+    pub fn shutdown(&mut self, mode: ShutdownMode) -> Result<(), ServeError> {
+        match self.call(&Request::Shutdown { mode })? {
+            Response::ShuttingDown { .. } => Ok(()),
+            other => Err(ServeError::protocol(format!("unexpected shutdown reply: {other:?}"))),
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String, ServeError> {
+        let mut raw = String::new();
+        loop {
+            match self.reader.read_line(&mut raw) {
+                Ok(0) => {
+                    return Err(ServeError::Net { what: "connection closed by server".into() })
+                }
+                Ok(_) if raw.ends_with('\n') => return Ok(raw.trim_end().to_string()),
+                Ok(_) => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(ServeError::net(&e)),
+            }
+        }
+    }
+}

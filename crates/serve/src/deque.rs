@@ -1,0 +1,346 @@
+//! Hand-rolled work-stealing deques: a bounded Chase–Lev-style deque per
+//! worker plus a global FIFO injector.
+//!
+//! Tasks are packed `u64`s (job index × attempt — see [`Task`]), which is
+//! what makes a fully *safe* lock-free deque possible: the ring buffer is
+//! a fixed array of `AtomicU64` slots, so there is no uninitialized
+//! memory, no resizing, and no `unsafe`. The algorithm is the classic
+//! Chase–Lev shape (Chase & Lev, SPAA'05; memory orderings per Lê et al.,
+//! PPoPP'13):
+//!
+//! * the **owner** pushes and pops at the *bottom* (LIFO, cache-warm);
+//! * **thieves** steal from the *top* (FIFO, oldest first) with a CAS on
+//!   `top`;
+//! * the one contended case — owner and thief racing for the last
+//!   element — is resolved by the same CAS.
+//!
+//! Slot reuse is safe because [`WsDeque::push`] refuses to overwrite a
+//! slot that an in-flight steal may still read: an un-stolen task at
+//! index `t` keeps `bottom - top < capacity`, and a full deque returns
+//! the task to the caller (who falls back to the [`Injector`]).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A scheduler task: one attempt of one job, packed into a `u64` so it
+/// fits an atomic deque slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// Index into the scheduler's append-only job table.
+    pub job: u32,
+    /// 1-based attempt number.
+    pub attempt: u32,
+}
+
+impl Task {
+    /// Pack into the `u64` slot representation.
+    pub fn pack(self) -> u64 {
+        (u64::from(self.job) << 32) | u64::from(self.attempt)
+    }
+
+    /// Unpack from the `u64` slot representation.
+    pub fn unpack(raw: u64) -> Self {
+        Self { job: (raw >> 32) as u32, attempt: raw as u32 }
+    }
+}
+
+/// Bounded, safe, Chase–Lev-style single-owner / multi-thief deque.
+#[derive(Debug)]
+pub struct WsDeque {
+    /// Owner end. Only the owner mutates it.
+    bottom: AtomicI64,
+    /// Thief end. Advanced by CAS from any thread.
+    top: AtomicI64,
+    slots: Box<[AtomicU64]>,
+    mask: i64,
+}
+
+impl WsDeque {
+    /// A deque holding at most `capacity` tasks (rounded up to a power of
+    /// two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Vec<AtomicU64> = (0..cap).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bottom: AtomicI64::new(0),
+            top: AtomicI64::new(0),
+            slots: slots.into_boxed_slice(),
+            mask: cap as i64 - 1,
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate number of queued tasks (exact from the owner thread).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// Whether the deque looks empty (racy for non-owners, which is fine:
+    /// thieves confirm through [`WsDeque::steal`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-only: push a task at the bottom. Returns `Err(task)` when
+    /// the deque is full — the caller overflows to the injector rather
+    /// than blocking or clobbering a stealable slot.
+    pub fn push(&self, task: Task) -> Result<(), Task> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) > self.mask {
+            return Err(task); // full (a stale `t` only over-reports fullness)
+        }
+        self.slots[(b & self.mask) as usize].store(task.pack(), Ordering::Relaxed);
+        self.bottom.store(b.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<Task> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty; restore bottom.
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+        let raw = self.slots[(b & self.mask) as usize].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race thieves for it with the same CAS they use.
+            let won = self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return won.then(|| Task::unpack(raw));
+        }
+        Some(Task::unpack(raw))
+    }
+
+    /// Thief: steal the oldest task (FIFO). `None` means empty *or* lost
+    /// a race; callers treat both as "try elsewhere".
+    pub fn steal(&self) -> Option<Task> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return None;
+        }
+        let raw = self.slots[(t & self.mask) as usize].load(Ordering::Relaxed);
+        self.top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .ok()
+            .map(|_| Task::unpack(raw))
+    }
+}
+
+/// The global FIFO injector: submissions and retries enter here; idle
+/// workers refill their deques from it in batches. A plain mutex-guarded
+/// ring is the right tool — the injector is the *cold* path (one lock per
+/// batch), while the per-worker deques keep the hot path lock-free.
+#[derive(Debug, Default)]
+pub struct Injector {
+    queue: Mutex<VecDeque<Task>>,
+    /// Signalled on pushes and on shutdown; workers park here when idle.
+    pub cv: Condvar,
+}
+
+impl Injector {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue one task and wake one parked worker.
+    pub fn push(&self, task: Task) {
+        if let Ok(mut q) = self.queue.lock() {
+            q.push_back(task);
+        }
+        self.cv.notify_one();
+    }
+
+    /// Enqueue many tasks and wake all parked workers.
+    pub fn push_all(&self, tasks: impl IntoIterator<Item = Task>) {
+        if let Ok(mut q) = self.queue.lock() {
+            q.extend(tasks);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Pop one task (oldest first).
+    pub fn pop(&self) -> Option<Task> {
+        self.queue.lock().ok().and_then(|mut q| q.pop_front())
+    }
+
+    /// Pop up to `max` tasks: the first is returned for immediate
+    /// execution, the rest are pushed into the caller's own deque (until
+    /// it fills). One injector lock amortizes a whole batch of work.
+    pub fn pop_batch(&self, own: &WsDeque, max: usize) -> Option<Task> {
+        let mut q = self.queue.lock().ok()?;
+        let first = q.pop_front()?;
+        for _ in 1..max {
+            let Some(t) = q.pop_front() else { break };
+            if let Err(t) = own.push(t) {
+                q.push_front(t);
+                break;
+            }
+        }
+        Some(first)
+    }
+
+    /// Park until the injector has work, a notification arrives, or
+    /// `timeout` elapses. Idle workers call this between scan rounds so a
+    /// quiet server burns no CPU, while the bounded timeout keeps them
+    /// periodically re-scanning sibling deques for stealable work.
+    pub fn wait(&self, timeout: std::time::Duration) {
+        if let Ok(q) = self.queue.lock() {
+            if q.is_empty() {
+                let _ = self.cv.wait_timeout(q, timeout);
+            }
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.queue.lock().map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Whether the injector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn task_packing_round_trips() {
+        for (job, attempt) in [(0, 1), (7, 3), (u32::MAX, u32::MAX), (1 << 31, 2)] {
+            let t = Task { job, attempt };
+            assert_eq!(Task::unpack(t.pack()), t);
+        }
+    }
+
+    #[test]
+    fn owner_lifo_thief_fifo() {
+        let d = WsDeque::new(8);
+        for i in 0..4 {
+            d.push(Task { job: i, attempt: 1 }).unwrap();
+        }
+        assert_eq!(d.steal().unwrap().job, 0, "thieves take the oldest");
+        assert_eq!(d.pop().unwrap().job, 3, "the owner takes the newest");
+        assert_eq!(d.steal().unwrap().job, 1);
+        assert_eq!(d.pop().unwrap().job, 2);
+        assert!(d.pop().is_none());
+        assert!(d.steal().is_none());
+    }
+
+    #[test]
+    fn full_deque_rejects_instead_of_clobbering() {
+        let d = WsDeque::new(2);
+        d.push(Task { job: 0, attempt: 1 }).unwrap();
+        d.push(Task { job: 1, attempt: 1 }).unwrap();
+        assert_eq!(d.push(Task { job: 2, attempt: 1 }), Err(Task { job: 2, attempt: 1 }));
+        assert_eq!(d.steal().unwrap().job, 0);
+        d.push(Task { job: 2, attempt: 1 }).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    /// The load-bearing property: under concurrent owner pops and
+    /// multi-thief steals, every task is claimed exactly once.
+    #[test]
+    fn concurrent_steal_stress_claims_each_task_exactly_once() {
+        const TASKS: u32 = 20_000;
+        const THIEVES: usize = 3;
+        let deque = Arc::new(WsDeque::new(256));
+        let claimed: Arc<Vec<AtomicBool>> =
+            Arc::new((0..TASKS).map(|_| AtomicBool::new(false)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for _ in 0..THIEVES {
+            let deque = Arc::clone(&deque);
+            let claimed = Arc::clone(&claimed);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u32;
+                loop {
+                    if let Some(t) = deque.steal() {
+                        assert!(
+                            !claimed[t.job as usize].swap(true, Ordering::SeqCst),
+                            "task {} stolen twice",
+                            t.job
+                        );
+                        got += 1;
+                    } else if done.load(Ordering::SeqCst) && deque.is_empty() {
+                        break;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                got
+            }));
+        }
+
+        // Owner: push everything, popping now and then like a real worker.
+        let mut owner_got = 0u32;
+        for i in 0..TASKS {
+            let mut task = Task { job: i, attempt: 1 };
+            loop {
+                match deque.push(task) {
+                    Ok(()) => break,
+                    Err(t) => {
+                        task = t;
+                        // Full: drain one locally to make room.
+                        if let Some(p) = deque.pop() {
+                            assert!(!claimed[p.job as usize].swap(true, Ordering::SeqCst));
+                            owner_got += 1;
+                        }
+                    }
+                }
+            }
+            if i % 7 == 0 {
+                if let Some(p) = deque.pop() {
+                    assert!(!claimed[p.job as usize].swap(true, Ordering::SeqCst));
+                    owner_got += 1;
+                }
+            }
+        }
+        while let Some(p) = deque.pop() {
+            assert!(!claimed[p.job as usize].swap(true, Ordering::SeqCst));
+            owner_got += 1;
+        }
+        done.store(true, Ordering::SeqCst);
+
+        let stolen: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(owner_got + stolen, TASKS, "no task lost, none doubled");
+        assert!(claimed.iter().all(|c| c.load(Ordering::SeqCst)));
+    }
+
+    #[test]
+    fn injector_batch_refill_fills_own_deque() {
+        let inj = Injector::new();
+        let own = WsDeque::new(4);
+        inj.push_all((0..10).map(|i| Task { job: i, attempt: 1 }));
+        let first = inj.pop_batch(&own, 4).unwrap();
+        assert_eq!(first.job, 0, "injector is FIFO");
+        assert_eq!(own.len(), 3, "batch minus the returned head");
+        assert_eq!(inj.len(), 6);
+        // Own deque serves the batch before the next refill.
+        assert_eq!(own.steal().unwrap().job, 1);
+    }
+}

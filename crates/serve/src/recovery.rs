@@ -1,0 +1,319 @@
+//! The server journal and crash recovery.
+//!
+//! `pim-serve` writes a single append-only JSONL journal with two record
+//! kinds interleaved in arrival order:
+//!
+//! ```text
+//! {"journal":"pim-serve","version":1}
+//! {"kind":"sub","id":"fig18","client":"repro","spec":"experiment:fig18"}
+//! {"job":"fig18","status":"ok","attempts":1,"output":"..."}
+//! ```
+//!
+//! * a **submission** line is written (and flushed) *before* the job is
+//!   enqueued — write-ahead, so an admitted job can never be lost;
+//! * a **result** line is written when the job reaches a terminal state,
+//!   in exactly the harness journal format
+//!   ([`pim_harness::journal::record_line`]), so both journals share one
+//!   parser.
+//!
+//! On restart the server replays the journal: jobs with an intact result
+//! are restored verbatim (bit-identical payloads — results carry their
+//! output as strings), jobs with only a submission are re-enqueued, and
+//! corrupt lines of any kind are skipped and counted, inheriting the
+//! harness reader's tolerance for truncated tails, interleaved partial
+//! writes, duplicates, and invalid UTF-8. Recovery is why a `SIGKILL`ed
+//! server resumes instead of re-running the world.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use pim_harness::journal::{parse_flat_object, parse_result_line, record_line, Field};
+use pim_harness::JobResult;
+use pim_trace::json::write_escaped;
+
+use crate::ServeError;
+
+/// Magic name in the header line.
+const MAGIC: &str = "pim-serve";
+/// Journal format version.
+const VERSION: u64 = 1;
+
+/// One replayed submission, in journal (arrival) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submission {
+    /// Job id.
+    pub id: String,
+    /// Owning client name.
+    pub client: String,
+    /// Job spec, e.g. `experiment:fig18`.
+    pub spec: String,
+}
+
+/// Everything replayed from a server journal.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// Submissions in arrival order, deduplicated by id (first wins).
+    pub submissions: Vec<Submission>,
+    /// Terminal results keyed by job id (later record wins, as in the
+    /// harness journal).
+    pub results: BTreeMap<String, JobResult>,
+    /// Corrupt or unrecognized body lines skipped during replay.
+    pub skipped: usize,
+    /// Duplicate submission or result records tolerated during replay.
+    pub duplicates: usize,
+}
+
+impl RecoveredState {
+    /// Jobs that were admitted but have no terminal result — the re-run
+    /// backlog after a crash.
+    pub fn unfinished(&self) -> impl Iterator<Item = &Submission> {
+        self.submissions.iter().filter(|s| !self.results.contains_key(&s.id))
+    }
+}
+
+/// Append-only server journal writer; every line is flushed before the
+/// corresponding state change becomes visible.
+pub struct ServeJournal {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl ServeJournal {
+    /// Start a fresh journal (truncates) and write the header.
+    pub fn create(path: &Path) -> Result<Self, ServeError> {
+        let file = File::create(path).map_err(|e| ServeError::io(path, &e))?;
+        let mut w = Self { path: path.to_path_buf(), out: BufWriter::new(file) };
+        w.line(&format!("{{\"journal\":\"{MAGIC}\",\"version\":{VERSION}}}"))?;
+        Ok(w)
+    }
+
+    /// Open an existing journal and replay it, then keep appending. A
+    /// missing file degrades to [`ServeJournal::create`] with an empty
+    /// state, so first start and restart share a command line.
+    pub fn recover(path: &Path) -> Result<(Self, RecoveredState), ServeError> {
+        if !path.exists() {
+            return Ok((Self::create(path)?, RecoveredState::default()));
+        }
+        let state = read_serve_journal(path)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| ServeError::io(path, &e))?;
+        Ok((Self { path: path.to_path_buf(), out: BufWriter::new(file) }, state))
+    }
+
+    /// Write-ahead record of an admitted submission.
+    pub fn record_submission(&mut self, sub: &Submission) -> Result<(), ServeError> {
+        let mut s = String::from("{\"kind\":\"sub\",\"id\":");
+        write_escaped(&mut s, &sub.id);
+        s.push_str(",\"client\":");
+        write_escaped(&mut s, &sub.client);
+        s.push_str(",\"spec\":");
+        write_escaped(&mut s, &sub.spec);
+        s.push('}');
+        self.line(&s)
+    }
+
+    /// Record a terminal result (harness journal format).
+    pub fn record_result(&mut self, r: &JobResult) -> Result<(), ServeError> {
+        self.line(&record_line(r))
+    }
+
+    fn line(&mut self, s: &str) -> Result<(), ServeError> {
+        self.out
+            .write_all(s.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.flush())
+            .map_err(|e| ServeError::io(&self.path, &e))
+    }
+}
+
+/// Replay a server journal.
+///
+/// # Errors
+///
+/// Only unreadable files and a missing/foreign header line are errors.
+/// Body damage never is: corrupt lines are skipped and counted,
+/// duplicates are tolerated, and a result whose submission line was
+/// destroyed is still restored (the orphaned result is re-attached to a
+/// synthesized submission so clients can still `wait` for it).
+pub fn read_serve_journal(path: &Path) -> Result<RecoveredState, ServeError> {
+    let bytes = std::fs::read(path).map_err(|e| ServeError::io(path, &e))?;
+    // Lossy decode: invalid UTF-8 garbles only its own line.
+    let text = String::from_utf8_lossy(&bytes);
+    let mut lines = text.lines();
+    let header = lines.next().and_then(parse_flat_object).ok_or_else(|| {
+        ServeError::journal(path, "missing or unreadable header line")
+    })?;
+    match (header.get("journal"), header.get("version")) {
+        (Some(Field::Str(m)), Some(Field::Num(v))) if m == MAGIC && *v == VERSION => {}
+        _ => return Err(ServeError::journal(path, "header is not a pim-serve v1 journal")),
+    }
+
+    let mut state = RecoveredState::default();
+    let mut seen_subs: BTreeMap<String, usize> = BTreeMap::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(sub) = parse_submission_line(line) {
+            if seen_subs.contains_key(&sub.id) {
+                state.duplicates += 1;
+            } else {
+                seen_subs.insert(sub.id.clone(), state.submissions.len());
+                state.submissions.push(sub);
+            }
+            continue;
+        }
+        if let Some(result) = parse_result_line(line) {
+            if state.results.insert(result.id.clone(), result).is_some() {
+                state.duplicates += 1;
+            }
+            continue;
+        }
+        state.skipped += 1;
+    }
+
+    // Orphaned results (their submission line was destroyed): synthesize
+    // a submission so the job still exists, terminal, waitable.
+    let orphans: Vec<String> = state
+        .results
+        .keys()
+        .filter(|id| !seen_subs.contains_key(*id))
+        .cloned()
+        .collect();
+    for id in orphans {
+        state.submissions.push(Submission {
+            id,
+            client: String::new(),
+            spec: String::new(),
+        });
+    }
+    Ok(state)
+}
+
+fn parse_submission_line(line: &str) -> Option<Submission> {
+    let fields = parse_flat_object(line)?;
+    let get = |key: &str| match fields.get(key) {
+        Some(Field::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    if get("kind")? != "sub" {
+        return None;
+    }
+    Some(Submission { id: get("id")?, client: get("client")?, spec: get("spec")? })
+}
+
+#[cfg(test)]
+mod tests {
+    use pim_harness::JobStatus;
+
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pim-serve-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sub(id: &str) -> Submission {
+        Submission { id: id.into(), client: "c1".into(), spec: format!("kernel:{id}") }
+    }
+
+    #[test]
+    fn write_ahead_then_results_replay_in_order() {
+        let path = tmp("replay.jsonl");
+        {
+            let mut j = ServeJournal::create(&path).unwrap();
+            j.record_submission(&sub("a")).unwrap();
+            j.record_submission(&sub("b")).unwrap();
+            j.record_result(&JobResult::ok("a", 1, "out-a".into())).unwrap();
+            j.record_submission(&sub("c")).unwrap();
+        }
+        let (_, state) = ServeJournal::recover(&path).unwrap();
+        let ids: Vec<&str> = state.submissions.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["a", "b", "c"], "submission order is arrival order");
+        assert_eq!(state.results.len(), 1);
+        assert_eq!(state.results["a"].output.as_deref(), Some("out-a"));
+        let unfinished: Vec<&str> = state.unfinished().map(|s| s.id.as_str()).collect();
+        assert_eq!(unfinished, ["b", "c"], "only jobs without a result re-run");
+        assert_eq!((state.skipped, state.duplicates), (0, 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_degrades_to_fresh_journal() {
+        let path = tmp("fresh.jsonl");
+        std::fs::remove_file(&path).ok();
+        let (mut j, state) = ServeJournal::recover(&path).unwrap();
+        assert!(state.submissions.is_empty());
+        j.record_submission(&sub("x")).unwrap();
+        drop(j);
+        let (_, state) = ServeJournal::recover(&path).unwrap();
+        assert_eq!(state.submissions.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_matrix_is_skipped_and_counted() {
+        let path = tmp("corrupt.jsonl");
+        {
+            let mut j = ServeJournal::create(&path).unwrap();
+            j.record_submission(&sub("a")).unwrap();
+            j.record_result(&JobResult::ok("a", 1, "out-a".into())).unwrap();
+            j.record_submission(&sub("b")).unwrap();
+        }
+        // Torn-write debris: a truncated result line, raw NULs, invalid
+        // UTF-8, a duplicated submission, and a duplicated result.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"job\":\"half\",\"sta").unwrap();
+        f.write_all(b"\n\x00\x00\x00\n").unwrap();
+        f.write_all(b"{\"kind\":\"sub\",\"id\":\"\xff\xfe\n").unwrap();
+        f.write_all(b"{\"kind\":\"sub\",\"id\":\"a\",\"client\":\"c1\",\"spec\":\"kernel:a\"}\n")
+            .unwrap();
+        f.write_all(b"{\"job\":\"a\",\"status\":\"ok\",\"attempts\":2,\"output\":\"later\"}\n")
+            .unwrap();
+        drop(f);
+
+        let state = read_serve_journal(&path).unwrap();
+        assert_eq!(state.skipped, 3, "torn line + NUL line + invalid-UTF-8 line");
+        assert_eq!(state.duplicates, 2, "one dup submission, one dup result");
+        assert_eq!(state.submissions.len(), 2);
+        assert_eq!(state.results["a"].output.as_deref(), Some("later"), "later record wins");
+        assert_eq!(state.unfinished().count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn orphaned_result_synthesizes_its_submission() {
+        let path = tmp("orphan.jsonl");
+        {
+            let mut j = ServeJournal::create(&path).unwrap();
+            j.record_result(&JobResult::failed(
+                "ghost",
+                JobStatus::Failed,
+                1,
+                &pim_harness::JobFailure::Panicked { message: "boom".into() },
+            ))
+            .unwrap();
+        }
+        let state = read_serve_journal(&path).unwrap();
+        assert_eq!(state.submissions.len(), 1, "synthesized so the result stays waitable");
+        assert_eq!(state.submissions[0].id, "ghost");
+        assert!(state.submissions[0].spec.is_empty());
+        assert_eq!(state.unfinished().count(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_journal_is_rejected() {
+        let path = tmp("foreign.jsonl");
+        std::fs::write(&path, "{\"journal\":\"pim-harness\",\"version\":1,\"jobs\":3}\n").unwrap();
+        assert!(ServeJournal::recover(&path).is_err());
+        std::fs::write(&path, "garbage\n").unwrap();
+        assert!(ServeJournal::recover(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,231 @@
+//! The TCP listener and per-connection protocol loop.
+//!
+//! One thread per connection, JSONL request/response (see
+//! [`crate::protocol`]). The same port also answers plain HTTP `GET`
+//! (`/metrics`, `/healthz`) so scrape tooling needs no special client —
+//! the first bytes of a connection decide which dialect it speaks.
+//!
+//! The accept loop polls the [`crate::signal`] latch: SIGTERM or ctrl-c
+//! starts a graceful drain (stop admitting, finish in-flight, journal
+//! everything), after which [`Server::run`] returns. Connection threads
+//! use a bounded read timeout so they notice the stop and exit instead
+//! of blocking forever on idle peers.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pim_trace::Tracer;
+
+use crate::protocol::{Reject, RejectKind, Request, Response, ShutdownMode, PROTOCOL_VERSION, SERVER_NAME};
+use crate::scheduler::{Scheduler, SubmitOutcome, WaitOutcome};
+use crate::{signal, ServeError};
+
+/// The listening service. Owns nothing but the socket — the scheduler is
+/// shared so embedders (and tests) can drive it directly.
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    tracer: Tracer,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:7009`, or port `0` for an
+    /// ephemeral port — see [`Server::local_addr`]).
+    pub fn bind(addr: &str, scheduler: Arc<Scheduler>, tracer: Tracer) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::net(&e))?;
+        let local_addr = listener.local_addr().map_err(|e| ServeError::net(&e))?;
+        listener.set_nonblocking(true).map_err(|e| ServeError::net(&e))?;
+        Ok(Self { listener, scheduler, tracer, local_addr })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Accept and serve until the scheduler stops (drain completed or
+    /// hard stop). Returns once the scheduler has fully wound down.
+    pub fn run(&self) -> Result<(), ServeError> {
+        loop {
+            if signal::requested() && !self.scheduler.is_draining() {
+                eprintln!("pim-serve: shutdown signal received, draining");
+                self.scheduler.drain();
+            }
+            if self.scheduler.is_stopped() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    let scheduler = Arc::clone(&self.scheduler);
+                    let tracer = self.tracer.clone();
+                    let _ = std::thread::Builder::new()
+                        .name(format!("pim-serve-conn-{peer}"))
+                        .spawn(move || serve_connection(stream, peer, &scheduler, &tracer));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(ServeError::net(&e)),
+            }
+        }
+        self.scheduler.join();
+        Ok(())
+    }
+}
+
+fn serve_connection(stream: TcpStream, peer: SocketAddr, scheduler: &Arc<Scheduler>, tracer: &Tracer) {
+    // Bounded reads so this thread notices a server stop under an idle
+    // connection instead of blocking forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // Until a hello names the client, quotas key on the peer address.
+    let mut client = peer.to_string();
+
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => {
+                if buf.trim().is_empty() {
+                    return; // clean EOF
+                }
+                // EOF mid-line: process what arrived, then close.
+            }
+            Ok(_) if !buf.ends_with('\n') => continue, // partial read, keep accumulating
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // read_line may have consumed a partial line into `buf`;
+                // keep it and retry unless the server is going away.
+                if scheduler.is_stopped() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let line = std::mem::take(&mut buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("GET ") || line.starts_with("HEAD ") {
+            serve_http(&mut reader, &mut writer, line, scheduler, tracer);
+            return; // HTTP/1.0 style: one response, close
+        }
+        let response = match Request::parse(line) {
+            Err(reason) => Response::Rejected(Reject::new(RejectKind::BadRequest, reason)),
+            Ok(Request::Hello { client: name }) => {
+                client = name;
+                Response::Hello { server: SERVER_NAME.into(), version: PROTOCOL_VERSION }
+            }
+            Ok(Request::Submit { id, spec }) => match scheduler.submit(&client, &id, &spec) {
+                SubmitOutcome::Accepted { state } => {
+                    Response::Accepted { id, state: state.to_string() }
+                }
+                SubmitOutcome::Rejected(rej) => Response::Rejected(rej),
+            },
+            Ok(Request::Wait { id, timeout_ms }) => {
+                match scheduler.wait(&id, timeout_ms.map(Duration::from_millis)) {
+                    WaitOutcome::Done(r) => Response::Result(r),
+                    WaitOutcome::Timeout => Response::Rejected(Reject::new(
+                        RejectKind::Timeout,
+                        format!("job {id:?} not finished within the wait bound"),
+                    )),
+                    WaitOutcome::Unknown => Response::Rejected(Reject::new(
+                        RejectKind::UnknownJob,
+                        format!("no job {id:?} was ever admitted"),
+                    )),
+                    WaitOutcome::Stopped => Response::Rejected(Reject::new(
+                        RejectKind::Internal,
+                        "server stopped before the job finished; its submission is journaled",
+                    )),
+                }
+            }
+            Ok(Request::Stats) => Response::Stats(scheduler.stats()),
+            Ok(Request::Metrics) => {
+                let json = tracer.metrics().to_json();
+                if write_line(&mut writer, &json).is_err() {
+                    return;
+                }
+                buf.clear();
+                continue;
+            }
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Shutdown { mode }) => {
+                let resp = Response::ShuttingDown {
+                    mode: match mode {
+                        ShutdownMode::Drain => "drain".into(),
+                        ShutdownMode::Now => "now".into(),
+                    },
+                };
+                // Acknowledge first: a drain can outlive the connection.
+                let _ = write_line(&mut writer, &resp.render());
+                match mode {
+                    ShutdownMode::Drain => scheduler.drain(),
+                    ShutdownMode::Now => scheduler.stop_now(),
+                }
+                buf.clear();
+                continue;
+            }
+        };
+        if write_line(&mut writer, &response.render()).is_err() {
+            return;
+        }
+        buf.clear();
+    }
+}
+
+fn write_line(w: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Answer one HTTP request on a connection that opened with `GET`/`HEAD`.
+fn serve_http(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_line: &str,
+    scheduler: &Arc<Scheduler>,
+    tracer: &Tracer,
+) {
+    // Drain the header block (best-effort; the read timeout bounds it).
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim().is_empty() => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = match path {
+        "/metrics" => ("200 OK", format!("{}\n", tracer.metrics().to_json())),
+        "/healthz" => {
+            let stats = scheduler.stats();
+            let state = if scheduler.is_stopped() {
+                "stopped"
+            } else if stats.draining == 1 {
+                "draining"
+            } else {
+                "ok"
+            };
+            ("200 OK", format!("{state}\n"))
+        }
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    let head_only = request_line.starts_with("HEAD ");
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        if head_only { "" } else { body.as_str() }
+    );
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.flush();
+}

@@ -182,6 +182,25 @@ impl MetricsRegistry {
         }
     }
 
+    /// Register gauge `name` at `initial` only if it does not exist yet.
+    /// Lets a subsystem declare its full gauge set up front so snapshots
+    /// are shape-stable from the first scrape.
+    pub fn register_gauge(&mut self, name: &str, initial: f64) {
+        self.gauges.entry(name.to_string()).or_insert(initial);
+    }
+
+    /// Add `delta` (possibly negative) to gauge `name`, creating it at
+    /// zero first. Occupancy-style gauges (queue depth, in-flight jobs)
+    /// are maintained with paired `+1`/`-1` deltas.
+    pub fn gauge_add(&mut self, name: &str, delta: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Current value of gauge `name` (zero if never set).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
     /// Record `value` into histogram `name` (created with
     /// [`DEFAULT_BOUNDS`] on first use).
     pub fn observe(&mut self, name: &str, value: u64) {
@@ -307,6 +326,21 @@ mod tests {
             r.snapshot().to_json()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn gauge_registration_and_deltas() {
+        let mut r = MetricsRegistry::new();
+        r.register_gauge("depth", 0.0);
+        assert_eq!(r.gauge_value("depth"), 0.0);
+        r.gauge_add("depth", 3.0);
+        r.gauge_add("depth", -1.0);
+        assert_eq!(r.gauge_value("depth"), 2.0);
+        // register_gauge never clobbers a live value.
+        r.register_gauge("depth", 99.0);
+        assert_eq!(r.gauge_value("depth"), 2.0);
+        assert_eq!(r.gauge_value("never-touched"), 0.0);
+        assert!(r.snapshot().to_json().contains("\"depth\":2"));
     }
 
     #[test]

@@ -184,6 +184,30 @@ impl Tracer {
         }
     }
 
+    /// Register gauge `name` at `initial` without overwriting an existing
+    /// value, so a scrape endpoint reports the full gauge set from the
+    /// first snapshot rather than only gauges that have been touched.
+    pub fn register_gauge(&self, name: &str, initial: f64) {
+        if let Some(mut inner) = self.lock() {
+            inner.metrics.register_gauge(name, initial);
+        }
+    }
+
+    /// Add `delta` to gauge `name` (registered at zero on first use).
+    /// Deltas may be negative; used for live occupancy-style gauges such
+    /// as queue depths and in-flight job counts.
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        if let Some(mut inner) = self.lock() {
+            inner.metrics.gauge_add(name, delta);
+        }
+    }
+
+    /// Current value of gauge `name` (zero if never set; always zero for
+    /// a disabled tracer).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.lock().map(|i| i.metrics.gauge_value(name)).unwrap_or(0.0)
+    }
+
     /// Record `value` into histogram `name`.
     pub fn observe(&self, name: &str, value: u64) {
         if let Some(mut inner) = self.lock() {

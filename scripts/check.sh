@@ -49,4 +49,7 @@ if [[ -n "$committed" && "$committed" != "$current" ]]; then
 fi
 grep -o '"wall_ms": [0-9]*' BENCH_repro.json | head -1
 
+echo "==> chaos smoke: pim-serve SIGKILL mid-sweep, recover, bit-identical output"
+scripts/chaos_smoke.sh
+
 echo "==> all checks passed"
