@@ -14,8 +14,9 @@
 //! Every sweep runs under the supervised harness: `--jobs N` fans the
 //! work across N panic-isolated workers (merged output is byte-identical
 //! to `--jobs 1`), `--journal` checkpoints each finished job to a JSONL
-//! file, and `--resume` re-runs only the jobs a killed sweep left
-//! unfinished. `--trace` writes a Chrome trace-event file (open in
+//! file (`--fsync off|data|full` picks how hard each record is pushed to
+//! stable storage), and `--resume` re-runs only the jobs a killed sweep
+//! left unfinished. `--trace` writes a Chrome trace-event file (open in
 //! Perfetto or `chrome://tracing`); `--metrics` writes the flat metrics
 //! dump from the same traced sweep. `--json` prints the paper-vs-measured
 //! scorecard plus the harness failure report as JSON, archives both
@@ -46,7 +47,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use pim_harness::HarnessPolicy;
+use pim_harness::{FsyncPolicy, HarnessPolicy};
 use pim_trace::JsonValue;
 
 struct Cli {
@@ -64,6 +65,7 @@ struct Cli {
     drain: bool,
     quota: usize,
     queue_depth: usize,
+    fsync: FsyncPolicy,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -82,6 +84,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         drain: false,
         quota: 64,
         queue_depth: 1024,
+        fsync: FsyncPolicy::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -131,7 +134,19 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .parse::<usize>()
                     .map_err(|_| format!("--queue-depth needs a non-negative integer, got {n}"))?;
             }
-            other => return Err(format!("unknown argument {other}")),
+            "--fsync" => {
+                let v = it.next().ok_or("--fsync needs off|data|full")?;
+                cli.fsync = FsyncPolicy::parse(v)
+                    .ok_or(format!("--fsync needs off|data|full, got {v}"))?;
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--fsync=") {
+                    cli.fsync = FsyncPolicy::parse(v)
+                        .ok_or(format!("--fsync needs off|data|full, got {v}"))?;
+                } else {
+                    return Err(format!("unknown argument {other}"));
+                }
+            }
         }
     }
     if cli.journal.is_some() && cli.resume.is_some() {
@@ -150,7 +165,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
 
 impl Cli {
     fn policy(&self) -> HarnessPolicy {
-        HarnessPolicy { workers: self.jobs, ..HarnessPolicy::default() }
+        HarnessPolicy { workers: self.jobs, fsync: self.fsync, ..HarnessPolicy::default() }
     }
 
     /// The journal path (if any) and whether to resume from it.
@@ -171,9 +186,10 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro [--list | --experiment <id> | --json | --selftest-harness | \
-                 --trace <path>] [--metrics <path>] [--jobs <n>] [--journal <path> | --resume <path>]\n\
+                 --trace <path>] [--metrics <path>] [--jobs <n>] [--journal <path> | --resume <path>] \
+                 [--fsync off|data|full]\n\
                  \x20      repro --serve <addr> [--jobs <n>] [--journal <path>] \
-                 [--quota <n>] [--queue-depth <n>]\n\
+                 [--quota <n>] [--queue-depth <n>] [--fsync off|data|full]\n\
                  \x20      repro --connect <addr> [--drain]"
             );
             return ExitCode::FAILURE;
@@ -195,6 +211,7 @@ fn main() -> ExitCode {
             journal: journal.map(Path::to_path_buf),
             quota: cli.quota,
             queue_depth: cli.queue_depth,
+            fsync: cli.fsync,
         };
         return match pim_bench::serve_cli::run_server(&opts) {
             Ok(()) => ExitCode::SUCCESS,

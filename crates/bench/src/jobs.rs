@@ -231,6 +231,7 @@ pub fn selftest(workers: usize) -> Result<(SweepReport, Vec<String>), HarnessErr
         // Generous enough for the smoke kernels, but the runaway kernel
         // burns host events forever and trips it within milliseconds.
         watchdog: Watchdog::new(u64::MAX, 2_000_000),
+        ..Default::default()
     };
     let mut jobs = metrics_jobs(true);
     jobs.push(Job::new("panicker", |_ctx| -> Result<String, DmpimError> {

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pim_core::DmpimError;
-use pim_harness::{FailureSummary, JobResult};
+use pim_harness::{FailureSummary, FsyncPolicy, JobResult};
 use pim_serve::{
     signal, Client, QuotaPolicy, Scheduler, Resolver, ServeError, ServePolicy, Server,
     ShutdownMode,
@@ -49,6 +49,8 @@ pub struct ServeOptions {
     pub quota: usize,
     /// Global queue bound (0 = unlimited).
     pub queue_depth: usize,
+    /// Journal durability (`--fsync=off|data|full`).
+    pub fsync: FsyncPolicy,
 }
 
 /// Run the service until a drain completes (SIGTERM/ctrl-c or a client
@@ -61,6 +63,7 @@ pub fn run_server(opts: &ServeOptions) -> Result<(), ServeError> {
             max_in_flight_per_client: opts.quota,
             max_queue_depth: opts.queue_depth,
         },
+        fsync: opts.fsync,
         ..ServePolicy::default()
     };
     let tracer = Tracer::new();
@@ -76,7 +79,7 @@ pub fn run_server(opts: &ServeOptions) -> Result<(), ServeError> {
         server.local_addr(),
         opts.workers.max(1),
         match &opts.journal {
-            Some(p) => format!(", journal {}", p.display()),
+            Some(p) => format!(", journal {} (fsync={})", p.display(), opts.fsync.label()),
             None => ", no journal".to_string(),
         }
     );

@@ -1,0 +1,452 @@
+//! Seeded, deterministic fault schedules for the chaos I/O wrappers.
+//!
+//! A [`ChaosConfig`] describes *rates and onsets* (probability of a torn
+//! write, byte budget before the disk "fills", ...); a [`ChaosPlan`] binds a
+//! config to a SplitMix64 seed and deals out one [`ReadEvent`]/[`WriteEvent`]
+//! per I/O call, in call order. Two plans built from the same `(config,
+//! seed)` deal identical event sequences, which is what makes a chaos run
+//! replayable: the fault schedule is part of the experiment input, exactly
+//! like `pim_faults::FaultPlan` is for simulated hardware faults.
+
+use std::io;
+use std::time::Duration;
+
+use pim_faults::SplitMix64;
+
+/// Rates and onsets for injected I/O faults. All fields are plain data so
+/// configs can be built inline in tests; `ChaosConfig::none()` disables
+/// everything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability an op fails with `ErrorKind::Interrupted` (retryable).
+    pub interrupt: f64,
+    /// Probability an op fails with `ErrorKind::WouldBlock` (retryable).
+    pub would_block: f64,
+    /// Probability a write returns `Ok(0)` (maps to `WriteZero` in
+    /// `write_all`-style loops; retryable here because the injected
+    /// condition is transient).
+    pub write_zero: f64,
+    /// Probability a write is *torn*: a strict prefix of the buffer reaches
+    /// the inner writer and the call still fails with `BrokenPipe`. Models a
+    /// process or connection dying mid-write.
+    pub torn_write: f64,
+    /// Probability a write is short: only a prefix is accepted and reported.
+    /// Legal `Write` behaviour that callers must loop over.
+    pub short_write: f64,
+    /// Probability a read is truncated to a random prefix of the requested
+    /// buffer. Legal `Read` behaviour that callers must loop over.
+    pub short_read: f64,
+    /// Once this many bytes have been written through the wrapper, every
+    /// subsequent write fails with `ErrorKind::StorageFull` (ENOSPC-style).
+    /// Permanent for the life of the plan.
+    pub disk_full_after: Option<u64>,
+    /// Reset the "connection" after N total ops, where N is drawn uniformly
+    /// from `[lo, hi)` at plan construction. Every op after the onset fails
+    /// with `ErrorKind::ConnectionReset`. Permanent for the life of the
+    /// plan — a reconnecting client gets a fresh plan and a fresh draw.
+    pub reset_ops: Option<(u64, u64)>,
+    /// Optional per-op latency injected by the wrappers (slow-peer model).
+    pub op_delay: Option<Duration>,
+    /// Progress guarantee: after this many *consecutive* retryable faults
+    /// (interrupt / would-block / write-zero / torn write) the next op is
+    /// forced through clean. Keeps bounded-retry callers live under high
+    /// fault rates. Zero means "no cap" (only sensible in targeted tests).
+    pub max_consecutive: u32,
+}
+
+impl ChaosConfig {
+    /// No faults at all; wrappers become transparent.
+    pub fn none() -> Self {
+        Self {
+            interrupt: 0.0,
+            would_block: 0.0,
+            write_zero: 0.0,
+            torn_write: 0.0,
+            short_write: 0.0,
+            short_read: 0.0,
+            disk_full_after: None,
+            reset_ops: None,
+            op_delay: None,
+            max_consecutive: 4,
+        }
+    }
+
+    /// Torn-write family: prefixes of records reach the device and the call
+    /// fails; plus background short/interrupted writes.
+    pub fn torn_writes() -> Self {
+        Self {
+            torn_write: 0.12,
+            short_write: 0.20,
+            interrupt: 0.10,
+            ..Self::none()
+        }
+    }
+
+    /// Short-read family: reads come back truncated, with occasional
+    /// `Interrupted` noise. Nothing is lost; callers must loop.
+    pub fn short_reads() -> Self {
+        Self {
+            short_read: 0.45,
+            interrupt: 0.10,
+            ..Self::none()
+        }
+    }
+
+    /// Retryable-noise family: `Interrupted`/`WouldBlock`/`Ok(0)` storms
+    /// with no data loss for callers that retry.
+    pub fn interrupts() -> Self {
+        Self {
+            interrupt: 0.30,
+            would_block: 0.15,
+            write_zero: 0.10,
+            ..Self::none()
+        }
+    }
+
+    /// Disk-full family: writes succeed until `bytes` have passed through,
+    /// then fail permanently with `StorageFull`.
+    pub fn disk_full(bytes: u64) -> Self {
+        Self {
+            disk_full_after: Some(bytes),
+            ..Self::none()
+        }
+    }
+
+    /// Reset family: the stream dies after a seed-drawn number of ops in
+    /// `[lo, hi)` and stays dead.
+    pub fn reset_between(lo: u64, hi: u64) -> Self {
+        Self {
+            reset_ops: Some((lo, hi)),
+            ..Self::none()
+        }
+    }
+}
+
+/// What the plan decided for one read call.
+#[derive(Debug)]
+pub enum ReadEvent {
+    /// Forward the read untouched.
+    Pass,
+    /// Truncate the destination buffer to `max` bytes before forwarding.
+    Short { max: usize },
+    /// Fail the call without touching the inner reader.
+    Fault(io::Error),
+}
+
+/// What the plan decided for one write call.
+#[derive(Debug)]
+pub enum WriteEvent {
+    /// Forward `keep` bytes (`keep == len` is a full write; less is a legal
+    /// short write the caller must loop over).
+    Pass { keep: usize },
+    /// Return `Ok(0)` without touching the inner writer.
+    Zero,
+    /// Write `keep` bytes (a strict prefix) to the inner writer, then fail
+    /// the call with `BrokenPipe`. The caller believes nothing landed.
+    Torn { keep: usize },
+    /// Fail the call without touching the inner writer.
+    Fault(io::Error),
+}
+
+/// A seeded stream of I/O fault decisions. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    cfg: ChaosConfig,
+    rng: SplitMix64,
+    ops: u64,
+    written: u64,
+    consecutive: u32,
+    reset_at: Option<u64>,
+}
+
+/// The error injected for a torn write.
+pub fn torn_error() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "chaos: torn write")
+}
+
+/// The error injected once the disk-full onset has passed.
+pub fn disk_full_error() -> io::Error {
+    io::Error::new(io::ErrorKind::StorageFull, "chaos: disk full (ENOSPC)")
+}
+
+/// The error injected once the connection-reset onset has passed.
+pub fn reset_error() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, "chaos: connection reset")
+}
+
+/// True if `e` is the ENOSPC-style condition the chaos layer injects (or a
+/// real one from the OS).
+pub fn is_disk_full(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::StorageFull || e.raw_os_error() == Some(28)
+}
+
+impl ChaosPlan {
+    /// Bind a config to a seed.
+    pub fn new(cfg: ChaosConfig, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let reset_at = cfg.reset_ops.map(|(lo, hi)| {
+            if hi > lo {
+                rng.next_range(lo, hi)
+            } else {
+                lo
+            }
+        });
+        Self {
+            cfg,
+            rng,
+            ops: 0,
+            written: 0,
+            consecutive: 0,
+            reset_at,
+        }
+    }
+
+    /// Derive an independent sub-plan (e.g. separate read/write directions
+    /// of one stream) so the two directions consume disjoint draw streams.
+    pub fn fork(cfg: ChaosConfig, seed: u64, salt: u64) -> Self {
+        Self::new(cfg, seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Total ops (reads + writes) this plan has adjudicated.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Bytes acknowledged as written through the paired writer; drives the
+    /// disk-full onset. Called by `ChaosWriter` after a successful write.
+    pub fn account_written(&mut self, n: usize) {
+        self.written = self.written.saturating_add(n as u64);
+    }
+
+    /// Per-op latency from the config (applied by the wrappers).
+    pub fn op_delay(&self) -> Option<Duration> {
+        self.cfg.op_delay
+    }
+
+    fn reset_tripped(&self) -> bool {
+        matches!(self.reset_at, Some(at) if self.ops >= at)
+    }
+
+    fn disk_full_tripped(&self) -> bool {
+        matches!(self.cfg.disk_full_after, Some(at) if self.written >= at)
+    }
+
+    /// True once the cap on consecutive retryable faults forces the next op
+    /// through clean.
+    fn force_clean(&mut self) -> bool {
+        if self.cfg.max_consecutive > 0 && self.consecutive >= self.cfg.max_consecutive {
+            self.consecutive = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Decide one read of up to `len` bytes.
+    pub fn read_event(&mut self, len: usize) -> ReadEvent {
+        if self.reset_tripped() {
+            return ReadEvent::Fault(reset_error());
+        }
+        self.ops += 1;
+        if self.force_clean() {
+            return ReadEvent::Pass;
+        }
+        if self.rng.chance(self.cfg.interrupt) {
+            self.consecutive += 1;
+            return ReadEvent::Fault(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "chaos: interrupted read",
+            ));
+        }
+        if self.rng.chance(self.cfg.would_block) {
+            self.consecutive += 1;
+            return ReadEvent::Fault(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "chaos: read would block",
+            ));
+        }
+        if len > 1 && self.rng.chance(self.cfg.short_read) {
+            self.consecutive = 0;
+            let max = self.rng.next_range(1, len as u64) as usize;
+            return ReadEvent::Short { max };
+        }
+        self.consecutive = 0;
+        ReadEvent::Pass
+    }
+
+    /// Decide one write of `len` bytes (`len > 0`).
+    pub fn write_event(&mut self, len: usize) -> WriteEvent {
+        if self.disk_full_tripped() {
+            return WriteEvent::Fault(disk_full_error());
+        }
+        if self.reset_tripped() {
+            return WriteEvent::Fault(reset_error());
+        }
+        self.ops += 1;
+        if self.force_clean() {
+            return WriteEvent::Pass { keep: len };
+        }
+        if self.rng.chance(self.cfg.interrupt) {
+            self.consecutive += 1;
+            return WriteEvent::Fault(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "chaos: interrupted write",
+            ));
+        }
+        if self.rng.chance(self.cfg.would_block) {
+            self.consecutive += 1;
+            return WriteEvent::Fault(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "chaos: write would block",
+            ));
+        }
+        if self.rng.chance(self.cfg.write_zero) {
+            self.consecutive += 1;
+            return WriteEvent::Zero;
+        }
+        if self.rng.chance(self.cfg.torn_write) {
+            self.consecutive += 1;
+            let keep = if len > 1 {
+                self.rng.next_below(len as u64) as usize
+            } else {
+                0
+            };
+            return WriteEvent::Torn { keep };
+        }
+        if len > 1 && self.rng.chance(self.cfg.short_write) {
+            self.consecutive = 0;
+            let keep = self.rng.next_range(1, len as u64) as usize;
+            return WriteEvent::Pass { keep };
+        }
+        self.consecutive = 0;
+        WriteEvent::Pass { keep: len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event_tag(e: &WriteEvent) -> String {
+        match e {
+            WriteEvent::Pass { keep } => format!("pass:{keep}"),
+            WriteEvent::Zero => "zero".into(),
+            WriteEvent::Torn { keep } => format!("torn:{keep}"),
+            WriteEvent::Fault(err) => format!("fault:{:?}", err.kind()),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = ChaosConfig {
+            interrupt: 0.2,
+            torn_write: 0.2,
+            short_write: 0.2,
+            write_zero: 0.1,
+            ..ChaosConfig::none()
+        };
+        let mut a = ChaosPlan::new(cfg, 99);
+        let mut b = ChaosPlan::new(cfg, 99);
+        for _ in 0..500 {
+            assert_eq!(event_tag(&a.write_event(64)), event_tag(&b.write_event(64)));
+        }
+    }
+
+    #[test]
+    fn forked_plans_diverge() {
+        let cfg = ChaosConfig {
+            interrupt: 0.5,
+            ..ChaosConfig::none()
+        };
+        let mut r = ChaosPlan::fork(cfg, 7, 1);
+        let mut w = ChaosPlan::fork(cfg, 7, 2);
+        let seq_r: Vec<_> = (0..64).map(|_| event_tag(&r.write_event(8))).collect();
+        let seq_w: Vec<_> = (0..64).map(|_| event_tag(&w.write_event(8))).collect();
+        assert_ne!(seq_r, seq_w);
+    }
+
+    #[test]
+    fn consecutive_fault_cap_guarantees_progress() {
+        let cfg = ChaosConfig {
+            interrupt: 1.0, // every draw wants to fault
+            max_consecutive: 3,
+            ..ChaosConfig::none()
+        };
+        let mut p = ChaosPlan::new(cfg, 5);
+        let mut clean = 0;
+        for _ in 0..100 {
+            if matches!(p.write_event(16), WriteEvent::Pass { keep: 16 }) {
+                clean += 1;
+            }
+        }
+        // One forced-clean op per (cap + 1) ops.
+        assert_eq!(clean, 25);
+    }
+
+    #[test]
+    fn disk_full_onset_is_permanent() {
+        let mut p = ChaosPlan::new(ChaosConfig::disk_full(10), 1);
+        assert!(matches!(p.write_event(8), WriteEvent::Pass { keep: 8 }));
+        p.account_written(8);
+        assert!(matches!(p.write_event(8), WriteEvent::Pass { keep: 8 }));
+        p.account_written(8); // 16 >= 10: full from here on
+        for _ in 0..10 {
+            match p.write_event(8) {
+                WriteEvent::Fault(e) => assert!(is_disk_full(&e)),
+                other => panic!("expected disk-full fault, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reset_onset_is_drawn_from_range_and_permanent() {
+        let cfg = ChaosConfig::reset_between(3, 6);
+        let mut p = ChaosPlan::new(cfg, 11);
+        let mut ok_ops = 0u64;
+        loop {
+            match p.read_event(32) {
+                ReadEvent::Fault(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+                    break;
+                }
+                _ => ok_ops += 1,
+            }
+            assert!(ok_ops < 10, "reset never tripped");
+        }
+        assert!((3..6).contains(&ok_ops), "onset {ok_ops} outside [3,6)");
+        for _ in 0..5 {
+            assert!(matches!(p.read_event(32), ReadEvent::Fault(_)));
+            assert!(matches!(p.write_event(32), WriteEvent::Fault(_)));
+        }
+    }
+
+    #[test]
+    fn none_config_is_transparent() {
+        let mut p = ChaosPlan::new(ChaosConfig::none(), 123);
+        for _ in 0..100 {
+            assert!(matches!(p.read_event(64), ReadEvent::Pass));
+            assert!(matches!(p.write_event(64), WriteEvent::Pass { keep: 64 }));
+        }
+    }
+
+    #[test]
+    fn short_events_stay_in_bounds() {
+        let cfg = ChaosConfig {
+            short_read: 1.0,
+            short_write: 1.0,
+            max_consecutive: 0,
+            ..ChaosConfig::none()
+        };
+        let mut p = ChaosPlan::new(cfg, 77);
+        for _ in 0..200 {
+            match p.read_event(64) {
+                ReadEvent::Short { max } => assert!((1..64).contains(&max)),
+                ReadEvent::Pass => {}
+                e => panic!("unexpected {e:?}"),
+            }
+            match p.write_event(64) {
+                WriteEvent::Pass { keep } => assert!((1..=64).contains(&keep)),
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+    }
+}

@@ -42,6 +42,7 @@ pub mod report;
 pub mod supervisor;
 
 pub use job::{Job, JobCtx, JobFailure, JobResult, JobStatus};
+pub use journal::{FsyncPolicy, JournalSink, RecordWriter};
 pub use report::{FailureSummary, SweepReport};
 pub use supervisor::{Harness, HarnessError, HarnessPolicy};
 

@@ -95,6 +95,11 @@ pub struct SweepReport {
     /// runs; nonzero means the journal was damaged but the sweep healed
     /// by re-running the affected jobs.
     pub journal_skipped: usize,
+    /// Terminal results that could not be persisted to the journal (torn
+    /// write, disk full, …). The sweep still completed — journal
+    /// degradation never aborts computation — but the affected jobs will
+    /// re-run if this journal is later resumed.
+    pub journal_dropped: usize,
 }
 
 impl SweepReport {
@@ -130,6 +135,7 @@ impl SweepReport {
             .set("summary", summary.to_json_value())
             .set("resumed", self.resumed as u64)
             .set("journal_skipped", self.journal_skipped as u64)
+            .set("journal_dropped", self.journal_dropped as u64)
             .set("jobs", jobs)
     }
 }
@@ -163,7 +169,12 @@ mod tests {
 
     #[test]
     fn report_json_is_deterministic() {
-        let rep = SweepReport { results: sample(), resumed: 1, journal_skipped: 0 };
+        let rep = SweepReport {
+            results: sample(),
+            resumed: 1,
+            journal_skipped: 0,
+            journal_dropped: 0,
+        };
         let a = rep.to_json_value().render();
         let b = rep.to_json_value().render();
         assert_eq!(a, b);

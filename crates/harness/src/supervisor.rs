@@ -22,11 +22,12 @@ use std::sync::mpsc::{RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use pim_chaos::ChaosConfig;
 use pim_faults::Watchdog;
 use pim_trace::Tracer;
 
 use crate::job::{Job, JobCtx, JobFailure, JobResult, JobStatus};
-use crate::journal::{read_journal, JournalWriter};
+use crate::journal::{compact_journal, read_journal, FsyncPolicy, JournalWriter};
 use crate::report::SweepReport;
 
 /// Retry, quarantine, deadline, and parallelism policy for one sweep.
@@ -47,6 +48,8 @@ pub struct HarnessPolicy {
     pub wall_deadline: Option<Duration>,
     /// Simulated-time watchdog handed to every job via [`JobCtx`].
     pub watchdog: Watchdog,
+    /// Journal durability: when to force record bytes to stable storage.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for HarnessPolicy {
@@ -59,6 +62,7 @@ impl Default for HarnessPolicy {
             backoff_cap: Duration::from_millis(80),
             wall_deadline: None,
             watchdog: Watchdog::unlimited(),
+            fsync: FsyncPolicy::Off,
         }
     }
 }
@@ -139,12 +143,19 @@ pub struct Harness {
     tracer: Tracer,
     journal: Option<PathBuf>,
     resume: bool,
+    journal_chaos: Option<(ChaosConfig, u64)>,
 }
 
 impl Harness {
     /// A harness with the given policy, no tracing, no journal.
     pub fn new(policy: HarnessPolicy) -> Self {
-        Self { policy, tracer: Tracer::disabled(), journal: None, resume: false }
+        Self {
+            policy,
+            tracer: Tracer::disabled(),
+            journal: None,
+            resume: false,
+            journal_chaos: None,
+        }
     }
 
     /// Attach a tracer; each job gets its own `job:<id>` track.
@@ -167,6 +178,15 @@ impl Harness {
     pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
         self.journal = Some(path.into());
         self.resume = true;
+        self
+    }
+
+    /// Wrap the journal file in a seeded chaos fault plan (testing only):
+    /// journal writes then suffer the plan's torn writes, transient stalls
+    /// and disk-full onsets while the sweep itself keeps computing.
+    #[must_use]
+    pub fn with_journal_chaos(mut self, cfg: ChaosConfig, seed: u64) -> Self {
+        self.journal_chaos = Some((cfg, seed));
         self
     }
 
@@ -204,34 +224,76 @@ impl Harness {
                         resumed += 1;
                     }
                 }
-                Some(JournalWriter::append(path)?)
+                if state.skipped > 0 || state.duplicates > 0 {
+                    // Heal the damage before appending: rewrite the journal
+                    // as header + intact records via atomic tmp+rename. A
+                    // failed compaction (e.g. full disk) is not fatal — the
+                    // reader tolerates the debris anyway.
+                    if let Err(e) = compact_journal(path, &state, jobs.len()) {
+                        eprintln!("pim-harness: journal compaction skipped: {e}");
+                    }
+                }
+                Some(JournalWriter::append_opts(path, self.policy.fsync, self.journal_chaos)?)
             }
             // Resuming from a journal that does not exist yet degrades to
             // a fresh journaled run, so the first and the resumed
             // invocation can share a command line.
-            (Some(path), _) => Some(JournalWriter::create(path, jobs.len())?),
+            (Some(path), _) => {
+                match JournalWriter::create_opts(
+                    path,
+                    jobs.len(),
+                    self.policy.fsync,
+                    self.journal_chaos,
+                ) {
+                    Ok(w) => Some(w),
+                    // The file was created but the header write failed
+                    // (torn write, disk already full, …). A headerless
+                    // journal can never be resumed, so drop it and keep
+                    // computing unjournaled rather than aborting the sweep.
+                    Err(e) if path.exists() => {
+                        eprintln!(
+                            "pim-harness: journal disabled (header write failed), \
+                             sweep continues unjournaled: {e}"
+                        );
+                        let _ = std::fs::remove_file(path);
+                        None
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             (None, _) => None,
         };
+        // With the journal requested but unavailable, every pending result
+        // counts as dropped from persistence.
+        let journal_disabled = self.journal.is_some() && writer.is_none();
 
         let pending: Vec<usize> =
             (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
-        if !pending.is_empty() {
-            self.supervise(&jobs, &pending, &mut slots, writer.as_mut())?;
+        let mut journal_dropped = if pending.is_empty() {
+            0
+        } else {
+            self.supervise(&jobs, &pending, &mut slots, writer.as_mut())?
+        };
+        if journal_disabled {
+            journal_dropped += pending.len();
         }
         drop(writer);
 
         let results = slots.into_iter().map(|s| s.expect("every job has a terminal result")).collect();
-        Ok(SweepReport { results, resumed, journal_skipped })
+        Ok(SweepReport { results, resumed, journal_skipped, journal_dropped })
     }
 
-    /// Run the pending jobs on the pool, filling `slots`.
+    /// Run the pending jobs on the pool, filling `slots`. Returns how many
+    /// terminal results could not be journaled (journal degradation: the
+    /// sweep keeps computing; dropped records simply re-run on resume).
     fn supervise(
         &self,
         jobs: &[Job],
         pending: &[usize],
         slots: &mut [Option<JobResult>],
-        mut writer: Option<&mut JournalWriter>,
-    ) -> Result<(), HarnessError> {
+        writer: Option<&mut JournalWriter>,
+    ) -> Result<usize, HarnessError> {
+        let mut writer = JournalLane { writer, dropped: 0, warned: false };
         let workers = self.policy.workers.max(1).min(pending.len().max(1));
         let shared = Arc::new(Shared::default());
         let jobs_arc: Arc<Vec<Job>> = Arc::new(jobs.to_vec());
@@ -323,7 +385,7 @@ impl Harness {
                     match outcome {
                         Ok(output) => {
                             let r = JobResult::ok(jobs[job_idx].id.clone(), attempt, output);
-                            record(&mut writer, &r)?;
+                            writer.record(&r);
                             slots[job_idx] = Some(r);
                             remaining -= 1;
                         }
@@ -348,7 +410,7 @@ impl Harness {
                                         attempt,
                                         &failure,
                                     );
-                                    record(&mut writer, &r)?;
+                                    writer.record(&r);
                                     slots[job_idx] = Some(r);
                                     remaining -= 1;
                                 }
@@ -410,7 +472,7 @@ impl Harness {
                                     attempt,
                                     &failure,
                                 );
-                                record(&mut writer, &r)?;
+                                writer.record(&r);
                                 slots[job_idx] = Some(r);
                                 remaining -= 1;
                             }
@@ -428,7 +490,7 @@ impl Harness {
         }
         drop(rx);
         pool.join_live();
-        Ok(())
+        Ok(writer.dropped)
     }
 
     /// Decide what to do with a failed attempt.
@@ -453,11 +515,30 @@ impl Harness {
     }
 }
 
-fn record(writer: &mut Option<&mut JournalWriter>, r: &JobResult) -> Result<(), HarnessError> {
-    if let Some(w) = writer {
-        w.record(r)?;
+/// Degrading journal front-end for the supervisor: a failed record write
+/// (torn write, full disk, …) is counted and logged once instead of
+/// aborting the sweep — the computation always completes; a dropped record
+/// simply re-runs on the next resume.
+struct JournalLane<'a> {
+    writer: Option<&'a mut JournalWriter>,
+    dropped: usize,
+    warned: bool,
+}
+
+impl JournalLane<'_> {
+    fn record(&mut self, r: &JobResult) {
+        if let Some(w) = self.writer.as_deref_mut() {
+            if let Err(e) = w.record(r) {
+                self.dropped += 1;
+                if !self.warned {
+                    self.warned = true;
+                    eprintln!(
+                        "pim-harness: journal degraded (record dropped, sweep continues): {e}"
+                    );
+                }
+            }
+        }
     }
-    Ok(())
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -10,6 +10,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use pim_chaos::ChaosConfig;
 use pim_harness::journal::record_line;
 use pim_harness::{Harness, HarnessPolicy, Job, JobResult, JobStatus};
 
@@ -122,6 +123,52 @@ fn resume_survives_the_full_corruption_matrix_without_rerunning_intact_work() {
     assert_eq!(lines, lines2, "resumed sweep is bit-identical to the healed one");
 
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn journal_written_through_interrupts_and_short_writes_resumes_complete() {
+    // Transient writer faults — injected `Interrupted`/`WouldBlock` and
+    // short writes — must be retried through invisibly: every record
+    // lands intact and a resume restores all six jobs without re-running
+    // any of them.
+    let cfg = ChaosConfig {
+        interrupt: 0.35,
+        would_block: 0.20,
+        write_zero: 0.10,
+        short_write: 0.50,
+        ..ChaosConfig::none()
+    };
+    for seed in 0..8 {
+        let path = temp_path(&format!("transient-{seed}.jsonl"));
+        std::fs::remove_file(&path).ok();
+
+        let runs = counters();
+        let report = Harness::new(HarnessPolicy { workers: 2, ..HarnessPolicy::default() })
+            .with_journal(&path)
+            .with_journal_chaos(cfg, seed)
+            .run(jobs(&runs))
+            .unwrap();
+        assert!(report.all_ok());
+        assert_eq!(
+            report.journal_dropped, 0,
+            "seed {seed}: transient faults must never drop a record"
+        );
+
+        let runs2 = counters();
+        let resumed = Harness::new(HarnessPolicy { workers: 2, ..HarnessPolicy::default() })
+            .resume_from(&path)
+            .run(jobs(&runs2))
+            .unwrap();
+        assert_eq!(resumed.resumed, IDS.len(), "seed {seed}: every record must survive");
+        assert_eq!(resumed.journal_skipped, 0, "seed {seed}: no torn debris expected");
+        for id in IDS {
+            assert_eq!(runs2[id].load(Ordering::SeqCst), 0, "seed {seed}: {id} re-ran");
+        }
+        let lines: Vec<String> = report.results.iter().map(record_line).collect();
+        let lines2: Vec<String> = resumed.results.iter().map(record_line).collect();
+        assert_eq!(lines, lines2, "seed {seed}: restored records diverged");
+        std::fs::remove_file(&path).ok();
+    }
 }
 
 #[test]

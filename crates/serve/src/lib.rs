@@ -46,7 +46,7 @@ pub mod scheduler;
 pub mod server;
 pub mod signal;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use protocol::{Reject, RejectKind, Request, Response, ShutdownMode, Stats};
 pub use quota::QuotaPolicy;
 pub use scheduler::{Resolver, Scheduler, ServePolicy, SubmitOutcome, WaitOutcome};
@@ -84,6 +84,13 @@ pub enum ServeError {
     },
     /// The server refused a request with a typed rejection.
     Rejected(Reject),
+    /// A client-side deadline elapsed waiting for the server. Unlike
+    /// [`ServeError::Net`], a timeout is terminal — the client does not
+    /// auto-reconnect on it, because the server may still be working.
+    Timeout {
+        /// What timed out.
+        what: String,
+    },
     /// Internal invariant failure (thread spawn, poisoned lock).
     Internal {
         /// Description.
@@ -121,6 +128,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Rejected(r) => {
                 write!(f, "rejected ({}): {}", r.kind.label(), r.reason)
             }
+            ServeError::Timeout { what } => write!(f, "timed out: {what}"),
             ServeError::Internal { what } => write!(f, "internal error: {what}"),
         }
     }

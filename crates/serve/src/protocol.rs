@@ -278,6 +278,12 @@ pub struct Stats {
     pub recovered: u64,
     /// 1 while draining for shutdown.
     pub draining: u64,
+    /// Journal records (submissions or results) that could not be
+    /// persisted. The jobs still ran and their results are served from
+    /// memory; only crash-recovery coverage is degraded.
+    pub journal_dropped: u64,
+    /// 1 once any journal write has failed (sticky until restart).
+    pub journal_degraded: u64,
 }
 
 /// A server response (one line).
@@ -355,7 +361,8 @@ impl Response {
                 "{{\"type\":\"stats\",\"submitted\":{},\"completed\":{},\"succeeded\":{},\
                  \"failed\":{},\"quarantined\":{},\"retries\":{},\"overloaded\":{},\
                  \"steals\":{},\"in_flight\":{},\"workers\":{},\"clients\":{},\
-                 \"recovered\":{},\"draining\":{}}}",
+                 \"recovered\":{},\"draining\":{},\"journal_dropped\":{},\
+                 \"journal_degraded\":{}}}",
                 st.submitted,
                 st.completed,
                 st.succeeded,
@@ -369,6 +376,8 @@ impl Response {
                 st.clients,
                 st.recovered,
                 st.draining,
+                st.journal_dropped,
+                st.journal_degraded,
             ),
             Response::Pong => "{\"type\":\"pong\"}".to_string(),
             Response::ShuttingDown { mode } => {
@@ -420,6 +429,9 @@ impl Response {
                 clients: num("clients")?,
                 recovered: num("recovered")?,
                 draining: num("draining")?,
+                // Absent on pre-chaos servers; default to healthy.
+                journal_dropped: num("journal_dropped").unwrap_or(0),
+                journal_degraded: num("journal_degraded").unwrap_or(0),
             })),
             "pong" => Some(Response::Pong),
             "shutdown" => Some(Response::ShuttingDown { mode: get("mode")? }),
@@ -479,6 +491,11 @@ mod tests {
                 error: Some("exceeded deadline".into()),
             }),
             Response::Stats(Stats { submitted: 23, in_flight: 4, ..Stats::default() }),
+            Response::Stats(Stats {
+                journal_dropped: 3,
+                journal_degraded: 1,
+                ..Stats::default()
+            }),
             Response::Pong,
             Response::ShuttingDown { mode: "drain".into() },
         ];

@@ -25,12 +25,11 @@
 //! server resumes instead of re-running the world.
 
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::fs::File;
 use std::path::{Path, PathBuf};
 
 use pim_harness::journal::{parse_flat_object, parse_result_line, record_line, Field};
-use pim_harness::JobResult;
+use pim_harness::{FsyncPolicy, JobResult, JournalSink, RecordWriter};
 use pim_trace::json::write_escaped;
 
 use crate::ServeError;
@@ -73,19 +72,58 @@ impl RecoveredState {
     }
 }
 
-/// Append-only server journal writer; every line is flushed before the
-/// corresponding state change becomes visible.
+/// The header line every pim-serve journal starts with.
+fn header_line() -> String {
+    format!("{{\"journal\":\"{MAGIC}\",\"version\":{VERSION}}}")
+}
+
+/// One write-ahead submission record.
+fn submission_line(sub: &Submission) -> String {
+    let mut s = String::from("{\"kind\":\"sub\",\"id\":");
+    write_escaped(&mut s, &sub.id);
+    s.push_str(",\"client\":");
+    write_escaped(&mut s, &sub.client);
+    s.push_str(",\"spec\":");
+    write_escaped(&mut s, &sub.spec);
+    s.push('}');
+    s
+}
+
+/// Append-only server journal writer on the harness's hardened
+/// [`RecordWriter`]: transient write faults (`Interrupted`,
+/// `WouldBlock`, zero-length writes) are retried to completion, a failed
+/// record leaves the writer *dirty* so the next line is guarded by a
+/// newline (torn fragments isolate on their own unparseable line), and
+/// the [`FsyncPolicy`] decides how much durability each record buys.
 pub struct ServeJournal {
-    path: PathBuf,
-    out: BufWriter<File>,
+    out: RecordWriter,
 }
 
 impl ServeJournal {
     /// Start a fresh journal (truncates) and write the header.
     pub fn create(path: &Path) -> Result<Self, ServeError> {
-        let file = File::create(path).map_err(|e| ServeError::io(path, &e))?;
-        let mut w = Self { path: path.to_path_buf(), out: BufWriter::new(file) };
-        w.line(&format!("{{\"journal\":\"{MAGIC}\",\"version\":{VERSION}}}"))?;
+        Self::create_opts(path, FsyncPolicy::default())
+    }
+
+    /// [`ServeJournal::create`] with an explicit durability policy.
+    pub fn create_opts(path: &Path, fsync: FsyncPolicy) -> Result<Self, ServeError> {
+        let out = RecordWriter::create(path, fsync).map_err(|e| ServeError::io(path, &e))?;
+        let mut w = Self { out };
+        w.line(&header_line())?;
+        Ok(w)
+    }
+
+    /// Build a journal over an arbitrary sink (tests inject
+    /// chaos-wrapped files here). The header is written through the
+    /// sink, so a faulting sink can fail journal creation the same way a
+    /// faulting disk would.
+    pub fn from_sink(
+        path: &Path,
+        sink: Box<dyn JournalSink>,
+        fsync: FsyncPolicy,
+    ) -> Result<Self, ServeError> {
+        let mut w = Self { out: RecordWriter::from_sink(path, sink, fsync) };
+        w.line(&header_line())?;
         Ok(w)
     }
 
@@ -93,27 +131,35 @@ impl ServeJournal {
     /// missing file degrades to [`ServeJournal::create`] with an empty
     /// state, so first start and restart share a command line.
     pub fn recover(path: &Path) -> Result<(Self, RecoveredState), ServeError> {
+        Self::recover_opts(path, FsyncPolicy::default())
+    }
+
+    /// [`ServeJournal::recover`] with an explicit durability policy. If
+    /// the replay found damage (skipped lines or duplicates), the journal
+    /// is first compacted — rewritten atomically (tmp + rename) from the
+    /// recovered state — so debris does not accumulate across restarts.
+    /// Compaction failure is non-fatal: the damaged journal is still
+    /// readable, so the server keeps appending to it.
+    pub fn recover_opts(
+        path: &Path,
+        fsync: FsyncPolicy,
+    ) -> Result<(Self, RecoveredState), ServeError> {
         if !path.exists() {
-            return Ok((Self::create(path)?, RecoveredState::default()));
+            return Ok((Self::create_opts(path, fsync)?, RecoveredState::default()));
         }
         let state = read_serve_journal(path)?;
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
-            .map_err(|e| ServeError::io(path, &e))?;
-        Ok((Self { path: path.to_path_buf(), out: BufWriter::new(file) }, state))
+        if state.skipped > 0 || state.duplicates > 0 {
+            if let Err(e) = compact_serve_journal(path, &state) {
+                eprintln!("pim-serve: journal compaction skipped: {e}");
+            }
+        }
+        let out = RecordWriter::append(path, fsync).map_err(|e| ServeError::io(path, &e))?;
+        Ok((Self { out }, state))
     }
 
     /// Write-ahead record of an admitted submission.
     pub fn record_submission(&mut self, sub: &Submission) -> Result<(), ServeError> {
-        let mut s = String::from("{\"kind\":\"sub\",\"id\":");
-        write_escaped(&mut s, &sub.id);
-        s.push_str(",\"client\":");
-        write_escaped(&mut s, &sub.client);
-        s.push_str(",\"spec\":");
-        write_escaped(&mut s, &sub.spec);
-        s.push('}');
-        self.line(&s)
+        self.line(&submission_line(sub))
     }
 
     /// Record a terminal result (harness journal format).
@@ -122,12 +168,40 @@ impl ServeJournal {
     }
 
     fn line(&mut self, s: &str) -> Result<(), ServeError> {
-        self.out
-            .write_all(s.as_bytes())
-            .and_then(|()| self.out.write_all(b"\n"))
-            .and_then(|()| self.out.flush())
-            .map_err(|e| ServeError::io(&self.path, &e))
+        let path = self.out.path().to_path_buf();
+        self.out.write_line(s).map_err(|e| ServeError::io(&path, &e))
     }
+}
+
+/// Rewrite a damaged journal from its recovered state: header, then each
+/// surviving submission (synthesized orphans excepted — their marker is
+/// the *absence* of a submission line) followed by its result. The new
+/// file is synced and renamed over the old one, so a crash mid-compaction
+/// leaves either the old journal or the new one, never a mix.
+fn compact_serve_journal(path: &Path, state: &RecoveredState) -> std::io::Result<()> {
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    let mut text = header_line();
+    text.push('\n');
+    for sub in &state.submissions {
+        let synthesized = sub.client.is_empty() && sub.spec.is_empty();
+        if !synthesized {
+            text.push_str(&submission_line(sub));
+            text.push('\n');
+        }
+        if let Some(r) = state.results.get(&sub.id) {
+            text.push_str(&record_line(r));
+            text.push('\n');
+        }
+    }
+    std::fs::write(&tmp, text.as_bytes())?;
+    File::open(&tmp)?.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Replay a server journal.
@@ -208,6 +282,9 @@ fn parse_submission_line(line: &str) -> Option<Submission> {
 
 #[cfg(test)]
 mod tests {
+    use std::fs::OpenOptions;
+    use std::io::Write;
+
     use pim_harness::JobStatus;
 
     use super::*;
@@ -305,6 +382,61 @@ mod tests {
         assert!(state.submissions[0].spec.is_empty());
         assert_eq!(state.unfinished().count(), 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_compacts_a_damaged_journal_atomically() {
+        let path = tmp("compact.jsonl");
+        {
+            let mut j = ServeJournal::create(&path).unwrap();
+            j.record_submission(&sub("a")).unwrap();
+            j.record_result(&JobResult::ok("a", 1, "out-a".into())).unwrap();
+            j.record_submission(&sub("b")).unwrap();
+        }
+        // Damage: torn debris, a duplicate submission, and an orphaned
+        // result whose submission line never made it.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"job\":\"half\",\"sta").unwrap();
+        f.write_all(b"\n{\"kind\":\"sub\",\"id\":\"a\",\"client\":\"c1\",\"spec\":\"kernel:a\"}\n")
+            .unwrap();
+        f.write_all(b"{\"job\":\"ghost\",\"status\":\"ok\",\"attempts\":1,\"output\":\"boo\"}\n")
+            .unwrap();
+        drop(f);
+
+        let (_, state) = ServeJournal::recover(&path).unwrap();
+        assert_eq!(state.skipped, 1, "recover still reports what it healed");
+        assert_eq!(state.duplicates, 1);
+
+        // The journal on disk was compacted: a second recover is clean,
+        // with identical surviving state and no leftover tmp file.
+        let (_, clean) = ServeJournal::recover(&path).unwrap();
+        assert_eq!((clean.skipped, clean.duplicates), (0, 0));
+        let ids: Vec<&str> = clean.submissions.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["a", "b", "ghost"]);
+        assert_eq!(clean.results["a"].output.as_deref(), Some("out-a"));
+        assert_eq!(clean.results["ghost"].output.as_deref(), Some("boo"));
+        assert!(
+            clean.submissions[2].spec.is_empty(),
+            "orphan stays synthesized across compaction"
+        );
+        assert!(!PathBuf::from(format!("{}.tmp", path.display())).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_over_a_failing_sink_reports_create_failure() {
+        struct Dead;
+        impl std::io::Write for Dead {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::StorageFull))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        impl pim_harness::JournalSink for Dead {}
+        let err = ServeJournal::from_sink(Path::new("/dev/null"), Box::new(Dead), FsyncPolicy::Off);
+        assert!(err.is_err(), "header write through a dead sink must fail creation");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pim_faults::{DmpimError, Watchdog};
-use pim_harness::{JobCtx, JobFailure, JobResult, JobStatus};
+use pim_harness::{FsyncPolicy, JobCtx, JobFailure, JobResult, JobStatus};
 use pim_trace::Tracer;
 
 use crate::deque::{Injector, Task, WsDeque};
@@ -71,6 +71,11 @@ pub struct ServePolicy {
     pub deque_capacity: usize,
     /// Tasks pulled from the injector per refill.
     pub refill_batch: usize,
+    /// Journal durability: how much each record is synced before the
+    /// corresponding state change becomes visible. Defaults to `Data`
+    /// (fdatasync per record) because the journal is a write-ahead log —
+    /// an un-synced submission can be admitted, acknowledged, and lost.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServePolicy {
@@ -86,6 +91,7 @@ impl Default for ServePolicy {
             quota: QuotaPolicy::default(),
             deque_capacity: 64,
             refill_batch: 8,
+            fsync: FsyncPolicy::Data,
         }
     }
 }
@@ -170,6 +176,12 @@ struct Counters {
     steals: AtomicU64,
     recovered: AtomicU64,
     live_workers: AtomicU64,
+    /// Journal records (submissions or results) that failed to persist.
+    journal_dropped: AtomicU64,
+    /// Sticky: set on the first journal write failure, never cleared.
+    journal_degraded: AtomicBool,
+    /// The degradation warning is logged once, not per record.
+    journal_warned: AtomicBool,
 }
 
 struct Core {
@@ -220,12 +232,23 @@ impl Scheduler {
     ) -> Result<Self, ServeError> {
         let (journal, recovered) = match journal_path {
             Some(path) => {
-                let (j, state) = ServeJournal::recover(path)?;
+                let (j, state) = ServeJournal::recover_opts(path, policy.fsync)?;
                 (Some(j), state)
             }
             None => (None, RecoveredState::default()),
         };
+        Self::start_with_journal(policy, resolver, tracer, journal, recovered)
+    }
 
+    /// [`Scheduler::start`] over an already-open journal (tests inject
+    /// chaos-wrapped sinks through [`ServeJournal::from_sink`] here).
+    pub fn start_with_journal(
+        policy: ServePolicy,
+        resolver: Resolver,
+        tracer: Tracer,
+        journal: Option<ServeJournal>,
+        recovered: RecoveredState,
+    ) -> Result<Self, ServeError> {
         // Shape-stable gauges so the first /metrics scrape already shows
         // every key.
         for g in ["serve.in_flight", "serve.workers", "serve.clients", "serve.queue_depth"] {
@@ -346,13 +369,12 @@ impl Scheduler {
         let sub = Submission { id: id.to_string(), client: client.to_string(), spec: spec.to_string() };
         if let Some(j) = st.journal.as_mut() {
             if let Err(e) = j.record_submission(&sub) {
-                // Write-ahead failed: roll the admission back; nothing
-                // was enqueued, so the refusal is honest.
-                st.ledger.release(client);
-                return SubmitOutcome::Rejected(Reject::new(
-                    RejectKind::Internal,
-                    format!("journal write failed: {e}"),
-                ));
+                // Write-ahead failed (torn write, disk full, …): admit
+                // anyway and degrade. Refusing work because the *journal*
+                // is sick would turn a durability problem into an
+                // availability outage; the cost is that this job will not
+                // recover if the server crashes before finishing it.
+                core.note_journal_drop("submission", &sub.id, &e);
             }
         }
         let idx = st.entries.len();
@@ -459,7 +481,19 @@ impl Scheduler {
             clients,
             recovered: c.recovered.load(Ordering::Relaxed),
             draining,
+            journal_dropped: c.journal_dropped.load(Ordering::Relaxed),
+            journal_degraded: u64::from(c.journal_degraded.load(Ordering::Relaxed)),
         }
+    }
+
+    /// `(degraded, dropped)`: has any journal write failed, and how many
+    /// records were lost. Feeds `/healthz`.
+    pub fn journal_health(&self) -> (bool, u64) {
+        let c = &self.core.counters;
+        (
+            c.journal_degraded.load(Ordering::Relaxed),
+            c.journal_dropped.load(Ordering::Relaxed),
+        )
     }
 
     /// Graceful shutdown: stop admitting, finish everything in flight
@@ -515,6 +549,22 @@ impl Scheduler {
 }
 
 impl Core {
+    /// Fold one failed journal write into the degradation state: count
+    /// it, latch the sticky degraded flag, and log the first occurrence
+    /// (later drops only move the counters — a sick disk would otherwise
+    /// flood the log at job rate).
+    fn note_journal_drop(&self, what: &str, id: &str, err: &ServeError) {
+        self.counters.journal_dropped.fetch_add(1, Ordering::Relaxed);
+        self.counters.journal_degraded.store(true, Ordering::Relaxed);
+        self.tracer.count("serve.journal_dropped", 1);
+        if !self.counters.journal_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "pim-serve: journal degraded ({what} record for {id:?} dropped, \
+                 service continues): {err}"
+            );
+        }
+    }
+
     fn count_terminal(&self, status: JobStatus) {
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         match status {
@@ -804,7 +854,7 @@ fn handle_done(
         if let Err(err) = j.record_result(&result) {
             // The result is still served from memory; only the recovery
             // record for a *future* crash is degraded.
-            eprintln!("pim-serve: journal write failed for {:?}: {err}", result.id);
+            core.note_journal_drop("result", &result.id, &err);
         }
     }
     st.ledger.release(&client);
@@ -1093,6 +1143,52 @@ mod tests {
         }
         s2.drain();
         s2.join();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_degradation_keeps_serving_and_is_reported() {
+        use pim_chaos::{ChaosConfig, ChaosFile, ChaosPlan};
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("pim-serve-sched-degraded-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        // Disk-full onset right after the header: every record write
+        // fails, but the service must keep computing and serving results
+        // from memory, reporting the degradation in stats.
+        let file = ChaosFile::create(&path, ChaosPlan::new(ChaosConfig::disk_full(40), 7)).unwrap();
+        let journal =
+            ServeJournal::from_sink(&path, Box::new(file), FsyncPolicy::Off).unwrap();
+        let s = Scheduler::start_with_journal(
+            quick_policy(),
+            echo_resolver(),
+            Tracer::disabled(),
+            Some(journal),
+            RecoveredState::default(),
+        )
+        .unwrap();
+        for i in 0..10 {
+            assert!(
+                matches!(s.submit("c1", &format!("j{i}"), &format!("s{i}")), SubmitOutcome::Accepted { .. }),
+                "a sick journal must not refuse admission"
+            );
+        }
+        for i in 0..10 {
+            match s.wait(&format!("j{i}"), Some(Duration::from_secs(10))) {
+                WaitOutcome::Done(r) => assert_eq!(r.output.as_deref(), Some(format!("ran:s{i}").as_str())),
+                other => panic!("j{i}: {other:?}"),
+            }
+        }
+        let stats = s.stats();
+        assert_eq!(stats.succeeded, 10);
+        assert_eq!(stats.journal_degraded, 1, "degradation is sticky and visible");
+        assert!(stats.journal_dropped >= 10, "every failed record is counted: {}", stats.journal_dropped);
+        let (degraded, dropped) = s.journal_health();
+        assert!(degraded);
+        assert_eq!(dropped, stats.journal_dropped);
+        s.drain();
+        s.join();
         std::fs::remove_file(&path).ok();
     }
 

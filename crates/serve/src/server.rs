@@ -8,8 +8,18 @@
 //! The accept loop polls the [`crate::signal`] latch: SIGTERM or ctrl-c
 //! starts a graceful drain (stop admitting, finish in-flight, journal
 //! everything), after which [`Server::run`] returns. Connection threads
-//! use a bounded read timeout so they notice the stop and exit instead
-//! of blocking forever on idle peers.
+//! are hardened against hostile or broken peers:
+//!
+//! * **bounded reads** — a 500 ms read timeout lets the thread notice a
+//!   server stop under an idle peer instead of blocking forever;
+//! * **bounded lines** — request lines are read through a capped
+//!   accumulator ([`MAX_REQUEST_LINE`] / [`MAX_HTTP_LINE`]), so a peer
+//!   streaming an endless newline-free line gets a typed `bad-request`
+//!   and a closed connection, not unbounded server memory;
+//! * **bounded writes** — a write deadline on every accepted stream
+//!   means a peer that stops reading (slowloris) cannot pin the thread;
+//!   HTTP response write failures are counted
+//!   (`serve.http_write_errors`) and logged once per connection.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -21,6 +31,15 @@ use pim_trace::Tracer;
 use crate::protocol::{Reject, RejectKind, Request, Response, ShutdownMode, PROTOCOL_VERSION, SERVER_NAME};
 use crate::scheduler::{Scheduler, SubmitOutcome, WaitOutcome};
 use crate::{signal, ServeError};
+
+/// Longest accepted JSONL request line (bytes, excluding the newline).
+/// Generous for real requests — a submit line is tens of bytes — while
+/// bounding what a hostile peer can make the server buffer.
+pub const MAX_REQUEST_LINE: usize = 64 * 1024;
+/// Longest accepted HTTP request or header line.
+pub const MAX_HTTP_LINE: usize = 8 * 1024;
+/// Most header lines drained before the server answers anyway.
+const MAX_HTTP_HEADER_LINES: usize = 100;
 
 /// The listening service. Owns nothing but the socket — the scheduler is
 /// shared so embedders (and tests) can drive it directly.
@@ -76,44 +95,124 @@ impl Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, peer: SocketAddr, scheduler: &Arc<Scheduler>, tracer: &Tracer) {
-    // Bounded reads so this thread notices a server stop under an idle
-    // connection instead of blocking forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    // Until a hello names the client, quotas key on the peer address.
-    let mut client = peer.to_string();
+/// Outcome of one capped line read.
+enum CappedLine {
+    /// A complete line, newline stripped (lossy-decoded if not UTF-8).
+    Line(String),
+    /// Clean EOF at a line boundary.
+    Eof,
+    /// EOF mid-line; what arrived before it.
+    EofPartial(String),
+    /// The line exceeded the cap; the connection should be closed.
+    TooLong,
+    /// The stall callback asked to give up (server stopping, or an HTTP
+    /// header block that went quiet).
+    Stalled,
+    /// Hard read error.
+    Failed,
+}
 
-    let mut buf = String::new();
+/// Read one newline-terminated line without ever buffering more than
+/// `cap` bytes, regardless of how the peer frames its writes. `on_stall`
+/// is consulted on every read timeout (`WouldBlock`/`TimedOut`): return
+/// `true` to abort the read, `false` to keep waiting.
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+    on_stall: &dyn Fn() -> bool,
+) -> CappedLine {
+    let mut buf: Vec<u8> = Vec::new();
     loop {
-        match reader.read_line(&mut buf) {
-            Ok(0) => {
-                if buf.trim().is_empty() {
-                    return; // clean EOF
-                }
-                // EOF mid-line: process what arrived, then close.
+        let (consumed, done) = match reader.fill_buf() {
+            Ok([]) => {
+                return if buf.is_empty() {
+                    CappedLine::Eof
+                } else {
+                    CappedLine::EofPartial(String::from_utf8_lossy(&buf).into_owned())
+                };
             }
-            Ok(_) if !buf.ends_with('\n') => continue, // partial read, keep accumulating
-            Ok(_) => {}
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                // read_line may have consumed a partial line into `buf`;
-                // keep it and retry unless the server is going away.
-                if scheduler.is_stopped() {
-                    return;
+            Ok(chunk) => match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&chunk[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(chunk);
+                    (chunk.len(), false)
+                }
+            },
+            Err(e) if e.kind() == ErrorKind::WouldBlock
+                || e.kind() == ErrorKind::TimedOut
+                || e.kind() == ErrorKind::Interrupted =>
+            {
+                if on_stall() {
+                    return CappedLine::Stalled;
                 }
                 continue;
             }
-            Err(_) => return,
+            Err(_) => return CappedLine::Failed,
+        };
+        reader.consume(consumed);
+        if buf.len() > cap {
+            return CappedLine::TooLong;
         }
-        let line = std::mem::take(&mut buf);
+        if done {
+            return CappedLine::Line(String::from_utf8_lossy(&buf).into_owned());
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, peer: SocketAddr, scheduler: &Arc<Scheduler>, tracer: &Tracer) {
+    // Bounded reads so this thread notices a server stop under an idle
+    // connection; bounded writes so a peer that stops reading cannot pin
+    // it (slowloris).
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // One-line request/response traffic is latency-bound: without
+    // nodelay, Nagle + delayed ACK adds ~40 ms to every exchange.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let reader = BufReader::new(read_half);
+    serve_lines(reader, stream, &peer.to_string(), scheduler, tracer);
+}
+
+/// The dialect-sniffing request loop, generic over the transport so unit
+/// tests can drive it with in-memory readers and writers.
+fn serve_lines<R: BufRead, W: Write>(
+    mut reader: R,
+    mut writer: W,
+    peer: &str,
+    scheduler: &Arc<Scheduler>,
+    tracer: &Tracer,
+) {
+    // Until a hello names the client, quotas key on the peer address.
+    let mut client = peer.to_string();
+    loop {
+        let (line, eof) = match read_line_capped(&mut reader, MAX_REQUEST_LINE, &|| {
+            scheduler.is_stopped()
+        }) {
+            CappedLine::Line(l) => (l, false),
+            // EOF mid-line: process what arrived, then close.
+            CappedLine::EofPartial(l) => (l, true),
+            CappedLine::TooLong => {
+                let rej = Response::Rejected(Reject::new(
+                    RejectKind::BadRequest,
+                    format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                ));
+                let _ = write_line(&mut writer, &rej.render());
+                return;
+            }
+            CappedLine::Eof | CappedLine::Stalled | CappedLine::Failed => return,
+        };
         let line = line.trim();
         if line.is_empty() {
+            if eof {
+                return;
+            }
             continue;
         }
         if line.starts_with("GET ") || line.starts_with("HEAD ") {
-            serve_http(&mut reader, &mut writer, line, scheduler, tracer);
+            serve_http(&mut reader, &mut writer, line, peer, scheduler, tracer);
             return; // HTTP/1.0 style: one response, close
         }
         let response = match Request::parse(line) {
@@ -148,10 +247,9 @@ fn serve_connection(stream: TcpStream, peer: SocketAddr, scheduler: &Arc<Schedul
             Ok(Request::Stats) => Response::Stats(scheduler.stats()),
             Ok(Request::Metrics) => {
                 let json = tracer.metrics().to_json();
-                if write_line(&mut writer, &json).is_err() {
+                if write_line(&mut writer, &json).is_err() || eof {
                     return;
                 }
-                buf.clear();
                 continue;
             }
             Ok(Request::Ping) => Response::Pong,
@@ -168,40 +266,46 @@ fn serve_connection(stream: TcpStream, peer: SocketAddr, scheduler: &Arc<Schedul
                     ShutdownMode::Drain => scheduler.drain(),
                     ShutdownMode::Now => scheduler.stop_now(),
                 }
-                buf.clear();
+                if eof {
+                    return;
+                }
                 continue;
             }
         };
-        if write_line(&mut writer, &response.render()).is_err() {
+        if write_line(&mut writer, &response.render()).is_err() || eof {
             return;
         }
-        buf.clear();
     }
 }
 
-fn write_line(w: &mut TcpStream, line: &str) -> std::io::Result<()> {
-    w.write_all(line.as_bytes())?;
-    w.write_all(b"\n")?;
+fn write_line<W: Write>(w: &mut W, line: &str) -> std::io::Result<()> {
+    // One framed write: a separate newline write would let Nagle hold it
+    // back a full delayed-ACK interval.
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    w.write_all(framed.as_bytes())?;
     w.flush()
 }
 
 /// Answer one HTTP request on a connection that opened with `GET`/`HEAD`.
-fn serve_http(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut TcpStream,
+fn serve_http<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
     request_line: &str,
+    peer: &str,
     scheduler: &Arc<Scheduler>,
     tracer: &Tracer,
 ) {
-    // Drain the header block (best-effort; the read timeout bounds it).
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) if line.trim().is_empty() => break,
-            Ok(_) => continue,
-            Err(_) => break,
+    // Drain the header block, bounded in line length, line count, and
+    // patience: a header line over the cap, too many header lines, or a
+    // peer that goes quiet all end the drain (the response still goes
+    // out — scrape tooling should not be failed by a sloppy client).
+    for _ in 0..MAX_HTTP_HEADER_LINES {
+        match read_line_capped(reader, MAX_HTTP_LINE, &|| true) {
+            CappedLine::Line(l) if l.trim().is_empty() => break,
+            CappedLine::Line(_) => continue,
+            _ => break,
         }
     }
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
@@ -216,7 +320,13 @@ fn serve_http(
             } else {
                 "ok"
             };
-            ("200 OK", format!("{state}\n"))
+            let (degraded, dropped) = scheduler.journal_health();
+            let body = if degraded {
+                format!("{state}\njournal: degraded ({dropped} records dropped)\n")
+            } else {
+                format!("{state}\n")
+            };
+            ("200 OK", body)
         }
         _ => ("404 Not Found", "not found\n".to_string()),
     };
@@ -226,6 +336,80 @@ fn serve_http(
         body.len(),
         if head_only { "" } else { body.as_str() }
     );
-    let _ = writer.write_all(response.as_bytes());
-    let _ = writer.flush();
+    if let Err(e) = writer.write_all(response.as_bytes()).and_then(|()| writer.flush()) {
+        // One HTTP response per connection, so this logs at most once per
+        // connection; the counter is what dashboards watch.
+        tracer.count("serve.http_write_errors", 1);
+        eprintln!("pim-serve: http response write to {peer} failed: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Cursor;
+
+    use pim_harness::JobCtx;
+    use pim_trace::Tracer;
+
+    use super::*;
+    use crate::scheduler::{Resolver, ServePolicy};
+
+    fn test_scheduler() -> Arc<Scheduler> {
+        let resolver: Resolver = Arc::new(|spec: &str, _ctx: &JobCtx| Ok(format!("ran:{spec}")));
+        Arc::new(
+            Scheduler::start(ServePolicy::default(), resolver, Tracer::disabled(), None).unwrap(),
+        )
+    }
+
+    fn drive(input: &[u8]) -> String {
+        let scheduler = test_scheduler();
+        let tracer = Tracer::disabled();
+        let mut out = Vec::new();
+        serve_lines(Cursor::new(input.to_vec()), &mut out, "test-peer", &scheduler, &tracer);
+        scheduler.drain();
+        scheduler.join();
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    #[test]
+    fn oversized_request_line_gets_typed_rejection_and_close() {
+        // A newline-free flood larger than the cap, followed by a valid
+        // request that must never be processed (connection closes first).
+        let mut input = vec![b'x'; MAX_REQUEST_LINE + 1024];
+        input.extend_from_slice(b"\n{\"op\":\"ping\"}\n");
+        let out = drive(&input);
+        assert!(out.contains("\"error\":\"bad-request\""), "{out}");
+        assert!(out.contains("exceeds"), "{out}");
+        assert!(!out.contains("pong"), "connection must close after the rejection: {out}");
+    }
+
+    #[test]
+    fn capped_reader_handles_fragmented_lines() {
+        // A line delivered one byte at a time through a tiny BufReader
+        // still assembles correctly under the cap.
+        let input = b"{\"op\":\"ping\"}\n";
+        let mut reader = BufReader::with_capacity(1, Cursor::new(input.to_vec()));
+        match read_line_capped(&mut reader, MAX_REQUEST_LINE, &|| false) {
+            CappedLine::Line(l) => assert_eq!(l, "{\"op\":\"ping\"}"),
+            _ => panic!("expected a complete line"),
+        }
+    }
+
+    #[test]
+    fn oversized_http_header_lines_do_not_block_the_response() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"GET /healthz HTTP/1.1\r\n");
+        input.extend_from_slice(b"X-Flood: ");
+        input.extend(std::iter::repeat_n(b'y', MAX_HTTP_LINE + 100));
+        input.extend_from_slice(b"\r\n\r\n");
+        let out = drive(&input);
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(out.contains("ok\n"), "{out}");
+    }
+
+    #[test]
+    fn eof_mid_line_still_processes_the_partial_request() {
+        let out = drive(b"{\"op\":\"ping\"}"); // no trailing newline
+        assert!(out.contains("pong"), "{out}");
+    }
 }

@@ -1,16 +1,33 @@
 #!/usr/bin/env bash
-# Chaos smoke for pim-serve: SIGKILL the sweep service mid-run, restart
-# it on the same journal, rerun the client, and require the recovered
-# sweep's stdout to be byte-identical to an uninterrupted serial run.
+# Chaos smoke: two layers of fault tolerance, end to end.
 #
-#   scripts/chaos_smoke.sh
+#   scripts/chaos_smoke.sh            # SIGKILL smoke + 8-seed fault matrix
+#   scripts/chaos_smoke.sh --full     # same, with the full 64-seed matrix
 #
-# Assumes target/release/repro is already built (scripts/check.sh builds
-# it first). Exercises, over a real TCP socket and a real process kill:
+# Layer 1 — process death: SIGKILL the pim-serve sweep service mid-run,
+# restart it on the same journal, rerun the client, and require the
+# recovered sweep's stdout to be byte-identical to an uninterrupted
+# serial run. Exercises, over a real TCP socket and a real process kill:
 # write-ahead journaling, idempotent re-submission, journal replay of
 # finished jobs, and re-execution of jobs the crash destroyed.
+#
+# Layer 2 — I/O faults: the seeded `pim-chaos` matrix
+# (crates/{harness,serve}/tests/chaos_matrix.rs) drives torn writes,
+# short reads, interrupt storms, disk-full onsets, and mid-stream
+# connection resets through the journal and the wire, asserting every
+# seed converges to byte-identical output and every surviving journal
+# resumes bit-identically. Default is 8 seeds per family; `--full` (or
+# PIM_CHAOS_SEEDS) forces the full 64-seed matrix.
+#
+# Assumes target/release/repro is already built (scripts/check.sh builds
+# it first).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+matrix_seeds="${PIM_CHAOS_SEEDS:-8}"
+if [[ "${1:-}" == "--full" ]]; then
+    matrix_seeds=64
+fi
 
 repro=target/release/repro
 cargo build -q --release -p pim-bench --bin repro
@@ -63,3 +80,8 @@ if ! cmp -s "$chaos_dir/serial.txt" "$chaos_dir/served.txt"; then
     exit 1
 fi
 echo "chaos smoke: ok (recovered sweep byte-identical to serial run)"
+
+echo "chaos smoke: seeded fault matrix ($matrix_seeds seeds/family)"
+PIM_CHAOS_SEEDS="$matrix_seeds" cargo test -q -p pim-harness --test chaos_matrix
+PIM_CHAOS_SEEDS="$matrix_seeds" cargo test -q -p pim-serve --test chaos_matrix
+echo "chaos smoke: ok (fault matrix converged on all $matrix_seeds seeds/family)"
