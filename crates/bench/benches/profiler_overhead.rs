@@ -1,0 +1,86 @@
+//! Wall-clock overhead of the `pim-obs` self-profiler.
+//!
+//! Runs the same kernel sweep three ways — no profiler in the loop (the
+//! baseline), a disabled profiler whose `scope()` calls sit on the hot
+//! path, and an enabled profiler recording every scope — comparing
+//! best-of-N wall times. The disabled profiler is the claimed
+//! single-branch no-op: its best-of-N ratio against the baseline is
+//! asserted under 1.05 in full mode, which is what licenses leaving
+//! `profiler.scope(..)` calls permanently in `repro`'s sweep code.
+//! `--smoke` (used by `scripts/check.sh`) runs a single small repetition
+//! and only prints the ratios — wall-clock assertions are too noisy for
+//! shared CI runners.
+//!
+//! ```text
+//! cargo bench -p pim-bench --bench profiler_overhead            # assert <5%
+//! cargo bench -p pim-bench --bench profiler_overhead -- --smoke # print only
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pim_chrome::tiling::TextureTilingKernel;
+use pim_core::{ExecutionMode, OffloadEngine};
+use pim_obs::Profiler;
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Baseline,
+    Disabled,
+    Enabled,
+}
+
+/// Best-of-`reps` wall time of one profiled sweep, in seconds. A fresh
+/// profiler per rep keeps the enabled-mode phase map from accumulating
+/// across repetitions.
+fn best_of(reps: u32, px: usize, mode: Mode) -> f64 {
+    let mut best = f64::INFINITY;
+    for rep in 0..reps {
+        let profiler = match mode {
+            Mode::Baseline | Mode::Disabled => Profiler::disabled(),
+            Mode::Enabled => Profiler::new(),
+        };
+        let engine = OffloadEngine::new();
+        let mut k = TextureTilingKernel::new(px, px, u64::from(rep));
+        let t0 = Instant::now();
+        match mode {
+            Mode::Baseline => {
+                black_box(engine.run(&mut k, ExecutionMode::PimAcc));
+            }
+            Mode::Disabled | Mode::Enabled => {
+                let _scope = profiler.scope("bench/tiling/pim-acc");
+                black_box(engine.run(&mut k, ExecutionMode::PimAcc));
+            }
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (reps, px) = if smoke { (3, 128) } else { (20, 512) };
+    black_box(best_of(2, px, Mode::Baseline)); // warmup
+    let base = best_of(reps, px, Mode::Baseline);
+    let off = best_of(reps, px, Mode::Disabled);
+    let on = best_of(reps, px, Mode::Enabled);
+    println!(
+        "profiler_overhead: baseline {:>8.2} ms, disabled-profiler {:>8.2} ms (x{:.4}), enabled {:>8.2} ms (x{:.2})",
+        base * 1e3,
+        off * 1e3,
+        off / base,
+        on * 1e3,
+        on / base
+    );
+    if smoke {
+        println!("profiler_overhead: smoke mode, ratio not asserted");
+        return;
+    }
+    let ratio = off / base;
+    assert!(
+        ratio < 1.05,
+        "disabled-profiler overhead {:.2}% exceeds the 5% budget",
+        (ratio - 1.0) * 100.0
+    );
+    println!("profiler_overhead: PASS (disabled profiler <5% overhead)");
+}

@@ -8,6 +8,9 @@
 //! cargo run -p pim-bench --release --bin repro -- --json --jobs 4 --journal sweep.jsonl
 //! cargo run -p pim-bench --release --bin repro -- --json --jobs 4 --resume sweep.jsonl
 //! cargo run -p pim-bench --release --bin repro -- --trace trace.json --metrics metrics.json
+//! cargo run -p pim-bench --release --bin repro -- --explain          # attribution + BENCH_explain.json
+//! cargo run -p pim-bench --release --bin repro -- --json --profile   # wall-clock phase table on stderr
+//! cargo run -p pim-bench --release --bin repro -- --perf-gate        # history vs BENCH_baseline.json
 //! cargo run -p pim-bench --release --bin repro -- --selftest-harness
 //! ```
 //!
@@ -24,6 +27,18 @@
 //! any non-waived divergent verdict or any quarantined/failed job.
 //! `--selftest-harness` runs a tiny sweep with an injected panic and a
 //! hung simulation and verifies the harness isolates both.
+//!
+//! Observability mode (see `DESIGN.md` §4h): `--explain` runs the
+//! bottleneck-attribution sweep (per-kernel × per-mode cycle/energy
+//! breakdowns across six cost components), prints the table plus a
+//! component-wise account of the measured-vs-paper headline speedup gap,
+//! and archives `BENCH_explain.json`. `--profile` turns on the pim-obs
+//! self-profiler (a no-op branch when off — asserted <5% overhead by the
+//! `profiler_overhead` bench) and prints the phase table to stderr.
+//! `--perf-gate` medians the recent `BENCH_history.jsonl` runs (appended
+//! by every `--json` sweep) against the committed `BENCH_baseline.json`
+//! budgets: machine-speed-corrected, warn >10%, fail >25%, noise floor
+//! 50 ms (see `scripts/perf_gate.sh`).
 //!
 //! Service mode (see `DESIGN.md` §4f):
 //!
@@ -53,6 +68,9 @@ use pim_trace::JsonValue;
 struct Cli {
     list: bool,
     json: bool,
+    explain: bool,
+    profile: bool,
+    perf_gate: bool,
     selftest: bool,
     experiment: Option<String>,
     trace: Option<String>,
@@ -72,6 +90,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         list: false,
         json: false,
+        explain: false,
+        profile: false,
+        perf_gate: false,
         selftest: false,
         experiment: None,
         trace: None,
@@ -91,6 +112,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         match a.as_str() {
             "--list" => cli.list = true,
             "--json" => cli.json = true,
+            "--explain" => cli.explain = true,
+            "--profile" => cli.profile = true,
+            "--perf-gate" => cli.perf_gate = true,
             "--selftest-harness" => cli.selftest = true,
             "--experiment" => {
                 cli.experiment =
@@ -185,9 +209,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro [--list | --experiment <id> | --json | --selftest-harness | \
-                 --trace <path>] [--metrics <path>] [--jobs <n>] [--journal <path> | --resume <path>] \
-                 [--fsync off|data|full]\n\
+                "usage: repro [--list | --experiment <id> | --json | --explain | --perf-gate | \
+                 --selftest-harness | --trace <path>] [--metrics <path>] [--profile] [--jobs <n>] \
+                 [--journal <path> | --resume <path>] [--fsync off|data|full]\n\
                  \x20      repro --serve <addr> [--jobs <n>] [--journal <path>] \
                  [--quota <n>] [--queue-depth <n>] [--fsync off|data|full]\n\
                  \x20      repro --connect <addr> [--drain]"
@@ -201,6 +225,27 @@ fn main() -> ExitCode {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
+    }
+
+    // The self-profiler: disabled it never reads the clock (see the
+    // profiler_overhead bench); --profile turns it on and prints the
+    // phase table to stderr after the command finishes.
+    let profiler =
+        if cli.profile { pim_obs::Profiler::new() } else { pim_obs::Profiler::disabled() };
+    let code = dispatch(&cli, &profiler);
+    if cli.profile {
+        eprint!("{}", profiler.render_table());
+    }
+    code
+}
+
+fn dispatch(cli: &Cli, profiler: &pim_obs::Profiler) -> ExitCode {
+    if cli.perf_gate {
+        return perf_gate();
+    }
+
+    if cli.explain {
+        return explain(cli, profiler);
     }
 
     if let Some(addr) = &cli.serve {
@@ -239,11 +284,11 @@ fn main() -> ExitCode {
     }
 
     if cli.selftest {
-        return selftest(&cli);
+        return selftest(cli);
     }
 
     if cli.json {
-        return json_scorecard(&cli);
+        return json_scorecard(cli, profiler);
     }
 
     if cli.trace.is_some() || cli.metrics.is_some() {
@@ -279,23 +324,82 @@ fn main() -> ExitCode {
         };
     }
 
-    all_experiments(&cli)
+    all_experiments(cli, profiler)
+}
+
+/// `--perf-gate`: compare the recent `BENCH_history.jsonl` window
+/// against the committed `BENCH_baseline.json` budgets.
+fn perf_gate() -> ExitCode {
+    let config = pim_bench::perf_gate::GateConfig::default();
+    match pim_bench::perf_gate::run_gate(
+        Path::new("BENCH_history.jsonl"),
+        Path::new("BENCH_baseline.json"),
+        &config,
+    ) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("perf gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--explain`: the cross-layer attribution sweep. Prints the human
+/// table + headline-gap prose and archives `BENCH_explain.json`.
+fn explain(cli: &Cli, profiler: &pim_obs::Profiler) -> ExitCode {
+    let (records, report) = {
+        let _scope = profiler.scope("repro/explain/sweep");
+        match pim_bench::explain::explain_sweep(false, cli.policy(), profiler) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("harness error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    print!("{}", pim_bench::explain::explain_text(&records));
+    let doc = {
+        let _scope = profiler.scope("repro/explain/render");
+        pim_bench::explain::explain_json(&records, &report)
+    };
+    if let Err(e) = std::fs::write("BENCH_explain.json", doc) {
+        eprintln!("failed to write BENCH_explain.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote BENCH_explain.json ({} records)", records.len());
+    let summary = report.summary();
+    eprintln!("harness: {}", summary.one_line());
+    if summary.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// The default run: every experiment as a supervised harness job. One
 /// panicking or hung experiment no longer kills the whole regeneration —
 /// its siblings complete and the failure report says what broke.
-fn all_experiments(cli: &Cli) -> ExitCode {
+fn all_experiments(cli: &Cli, profiler: &pim_obs::Profiler) -> ExitCode {
     let mut harness = pim_harness::Harness::new(cli.policy());
     let (journal, resume) = cli.journal();
     if let Some(path) = journal {
         harness = if resume { harness.resume_from(path) } else { harness.with_journal(path) };
     }
-    let report = match harness.run(pim_bench::jobs::experiment_jobs()) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("harness error: {e}");
-            return ExitCode::FAILURE;
+    let report = {
+        let _scope = profiler.scope("repro/all/sweep");
+        match harness.run(pim_bench::jobs::experiment_jobs()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("harness error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     for r in &report.results {
@@ -320,17 +424,20 @@ fn all_experiments(cli: &Cli) -> ExitCode {
 }
 
 /// `--json`: the harness-driven scorecard sweep, with CI gating.
-fn json_scorecard(cli: &Cli) -> ExitCode {
+fn json_scorecard(cli: &Cli, profiler: &pim_obs::Profiler) -> ExitCode {
     let t0 = Instant::now();
     let (journal, resume) = cli.journal();
-    let (entries, report, timings) =
+    let (entries, report, timings) = {
+        let _scope = profiler.scope("repro/json/sweep");
         match pim_bench::jobs::scorecard_sweep(false, cli.policy(), journal, resume) {
             Ok(out) => out,
             Err(e) => {
                 eprintln!("harness error: {e}");
                 return ExitCode::FAILURE;
             }
-        };
+        }
+    };
+    let _render_scope = profiler.scope("repro/json/render-and-write");
     let doc = pim_bench::scorecard::to_json_with_harness(&entries, Some(&report));
     println!("{doc}");
     let wall_ms = t0.elapsed().as_millis() as u64;
@@ -347,9 +454,16 @@ fn json_scorecard(cli: &Cli) -> ExitCode {
     }
     // Per-experiment wall times, collected outside the journal so resumed
     // sweeps keep bit-identical results (resumed jobs have no entry here).
+    // Aggregated across attempts: a retried job reports total ms + count.
+    let aggregated = pim_bench::jobs::aggregate_timings(&timings);
     let mut exps = JsonValue::array();
-    for (id, ms) in &timings {
-        exps = exps.push(JsonValue::object().set("id", id.as_str()).set("wall_ms", *ms));
+    for (id, ms, attempts) in &aggregated {
+        exps = exps.push(
+            JsonValue::object()
+                .set("id", id.as_str())
+                .set("wall_ms", *ms)
+                .set("attempts", *attempts),
+        );
     }
     let bench = JsonValue::object()
         .set("source", "dmpim repro --json")
@@ -363,6 +477,12 @@ fn json_scorecard(cli: &Cli) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote BENCH_repro.json ({wall_ms} ms)");
+    // Feed the perf-regression gate: one compact line per run.
+    let line = pim_bench::perf_gate::history_line(wall_ms, &aggregated);
+    if let Err(e) = append_line("BENCH_history.jsonl", &line) {
+        eprintln!("failed to append BENCH_history.jsonl: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let summary = report.summary();
     let failures = pim_bench::scorecard::gate_failures(&entries, Some(&summary));
@@ -399,6 +519,12 @@ fn selftest(cli: &Cli) -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+fn append_line(path: &str, line: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{line}")
 }
 
 fn banner(id: &str) {

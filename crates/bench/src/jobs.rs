@@ -113,32 +113,57 @@ pub fn measure_kernel(
     measure(n, kind, factory, tracer, watchdog)
 }
 
-/// Shared sink for per-job wall times. Timing lives *outside* the job
-/// payloads and the resume journal on purpose: journal lines (and thus
-/// merged [`pim_harness::JobResult`]s) stay bit-identical across runs,
-/// while timing — which never is — travels on the side. Jobs restored
-/// from a resume journal simply have no timing entry.
+/// Shared sink for per-attempt wall times. Timing lives *outside* the
+/// job payloads and the resume journal on purpose: journal lines (and
+/// thus merged [`pim_harness::JobResult`]s) stay bit-identical across
+/// runs, while timing — which never is — travels on the side. Every
+/// attempt pushes its own entry (retried and failed attempts included),
+/// so a retried job's abandoned wall time is visible instead of silently
+/// replaced. Jobs restored from a resume journal simply have no entry.
 pub type JobTimings = Arc<Mutex<Vec<(String, u64)>>>;
+
+/// Wrap a job body so each attempt's wall time lands in `timings` —
+/// success or failure — under the job's name.
+pub fn timed_job<F>(name: &'static str, timings: Option<JobTimings>, body: F) -> Job
+where
+    F: Fn(&pim_harness::JobCtx) -> Result<String, DmpimError> + Send + Sync + 'static,
+{
+    Job::new(name, move |ctx| {
+        let t0 = Instant::now();
+        let out = body(ctx);
+        if let Some(sink) = &timings {
+            if let Ok(mut v) = sink.lock() {
+                v.push((name.to_string(), t0.elapsed().as_millis() as u64));
+            }
+        }
+        out
+    })
+}
 
 fn metrics_jobs_timed(smoke: bool, timings: Option<JobTimings>) -> Vec<Job> {
     kernel_catalog(smoke)
         .into_iter()
         .map(|(name, kind, factory)| {
-            let timings = timings.clone();
-            Job::new(name, move |ctx| {
-                let t0 = Instant::now();
-                let out = measure(name, kind, factory, &ctx.tracer, ctx.watchdog);
-                if let (Ok(_), Some(sink)) = (&out, &timings) {
-                    if let Ok(mut v) = sink.lock() {
-                        // Retried attempts re-push; keep the latest.
-                        v.retain(|(n, _)| n != name);
-                        v.push((name.to_string(), t0.elapsed().as_millis() as u64));
-                    }
-                }
-                out
+            timed_job(name, timings.clone(), move |ctx| {
+                measure(name, kind, factory, &ctx.tracer, ctx.watchdog)
             })
         })
         .collect()
+}
+
+/// Fold per-attempt timings into per-job `(id, total_ms, attempts)`
+/// aggregates, preserving first-seen order.
+pub fn aggregate_timings(timings: &[(String, u64)]) -> Vec<(String, u64, u64)> {
+    let mut out: Vec<(String, u64, u64)> = Vec::new();
+    for (name, ms) in timings {
+        if let Some(slot) = out.iter_mut().find(|(n, ..)| n == name) {
+            slot.1 += ms;
+            slot.2 += 1;
+        } else {
+            out.push((name.clone(), *ms, 1));
+        }
+    }
+    out
 }
 
 /// One measurement job per catalog kernel.
@@ -305,6 +330,38 @@ mod tests {
             assert_eq!(a.quantity, b.quantity);
             assert_eq!(a.measured.to_bits(), b.measured.to_bits(), "{}/{}", a.id, a.quantity);
         }
+    }
+
+    #[test]
+    fn timings_record_every_attempt_including_failures() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        use pim_core::FaultKind;
+
+        let timings: JobTimings = Arc::new(Mutex::new(Vec::new()));
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&tries);
+        let job = timed_job("flaky", Some(Arc::clone(&timings)), move |_ctx| {
+            if t.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(DmpimError::FaultTransient { kind: FaultKind::BitFlip, at_ps: 1 })
+            } else {
+                Ok("done".to_string())
+            }
+        });
+        let policy = HarnessPolicy {
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let report = Harness::new(policy).run(vec![job]).unwrap();
+        assert!(report.all_ok(), "{:?}", report.summary());
+        let v = timings.lock().unwrap();
+        assert_eq!(v.len(), 2, "one timing entry per attempt, failures included: {v:?}");
+        assert!(v.iter().all(|(n, _)| n == "flaky"), "{v:?}");
+        let agg = aggregate_timings(&v);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].0, "flaky");
+        assert_eq!(agg[0].2, 2, "aggregate counts both attempts");
     }
 
     #[test]

@@ -9,8 +9,10 @@ use pim_core::DmpimError;
 
 pub mod ablate_exp;
 pub mod chrome_exp;
+pub mod explain;
 pub mod jobs;
 pub mod obs;
+pub mod perf_gate;
 pub mod scorecard;
 pub mod serve_cli;
 pub mod summary_exp;

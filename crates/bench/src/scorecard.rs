@@ -249,11 +249,34 @@ pub fn to_json_with_harness(entries: &[ScorecardEntry], harness: Option<&SweepRe
     }
     let mut doc = JsonValue::object()
         .set("source", "dmpim repro --json")
-        .set("scorecard", arr);
+        .set("scorecard", arr)
+        .set("scorecard_summary", summary_value(entries));
     if let Some(report) = harness {
         doc = doc.set("harness", report.to_json_value());
     }
     doc.render_pretty()
+}
+
+/// The `scorecard_summary` block: verdict counts plus the waived
+/// divergences, so dashboards can read the reproduction's state without
+/// re-deriving it from the entry array.
+fn summary_value(entries: &[ScorecardEntry]) -> JsonValue {
+    let count = |v: &str| entries.iter().filter(|e| e.verdict == v).count() as u64;
+    let mut waived = JsonValue::array();
+    for e in entries {
+        if e.verdict == "divergent"
+            && WAIVED_DIVERGENCES.iter().any(|&(id, q)| id == e.id && q == e.quantity)
+        {
+            waived = waived
+                .push(JsonValue::object().set("id", e.id).set("quantity", e.quantity));
+        }
+    }
+    JsonValue::object()
+        .set("entries", entries.len() as u64)
+        .set("match", count("match"))
+        .set("band", count("band"))
+        .set("divergent", count("divergent"))
+        .set("waived", waived)
 }
 
 #[cfg(test)]

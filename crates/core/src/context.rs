@@ -16,6 +16,87 @@ use crate::platform::Platform;
 /// Default attribution tag for work outside any [`SimContext::scoped`] call.
 pub const OTHER_TAG: &str = "other";
 
+/// Simulated-time cost attribution across the six model layers the
+/// `--explain` mode reports on: compute, private caches, coherence,
+/// DRAM queueing, DRAM service, and the PIM vault/TSV link.
+///
+/// Accumulated as f64 picoseconds because exposed-stall scaling and
+/// fault-plan throttling stretch integer latencies by real factors; each
+/// context accumulates in deterministic program order, so the totals are
+/// bit-identical across serial and parallel sweeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Engine execution time (retired op mixes).
+    pub compute_ps: f64,
+    /// Private-cache / SRAM time (hit lead-ins + line occupancy).
+    pub cache_ps: f64,
+    /// Offload-transition coherence cost (flushes, hand-off messages).
+    pub coherence_ps: f64,
+    /// Memory-controller and off-chip channel queueing/transfer time.
+    pub dram_queue_ps: f64,
+    /// DRAM array service time (activate + column access).
+    pub dram_service_ps: f64,
+    /// Stacked vault/TSV link time on the PIM internal path.
+    pub pim_link_ps: f64,
+}
+
+impl CostBreakdown {
+    /// Component labels, in [`CostBreakdown::as_array`] order.
+    pub const LABELS: [&'static str; 6] =
+        ["compute", "cache", "coherence", "dram-queue", "dram-service", "pim-link"];
+
+    /// The six components as an array in [`CostBreakdown::LABELS`] order.
+    pub fn as_array(&self) -> [f64; 6] {
+        [
+            self.compute_ps,
+            self.cache_ps,
+            self.coherence_ps,
+            self.dram_queue_ps,
+            self.dram_service_ps,
+            self.pim_link_ps,
+        ]
+    }
+
+    /// Total attributed simulated time, in ps.
+    pub fn total_ps(&self) -> f64 {
+        self.as_array().iter().sum()
+    }
+
+    /// Normalized shares in [`CostBreakdown::LABELS`] order. Sums to 1.0
+    /// (within f64 rounding) whenever any time was attributed; all zero
+    /// otherwise.
+    pub fn shares(&self) -> [f64; 6] {
+        let total = self.total_ps();
+        let mut a = self.as_array();
+        if total > 0.0 {
+            for v in &mut a {
+                *v /= total;
+            }
+        }
+        a
+    }
+}
+
+impl std::ops::Add for CostBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            compute_ps: self.compute_ps + rhs.compute_ps,
+            cache_ps: self.cache_ps + rhs.cache_ps,
+            coherence_ps: self.coherence_ps + rhs.coherence_ps,
+            dram_queue_ps: self.dram_queue_ps + rhs.dram_queue_ps,
+            dram_service_ps: self.dram_service_ps + rhs.dram_service_ps,
+            pim_link_ps: self.pim_link_ps + rhs.pim_link_ps,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CostBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
 /// Per-function-tag accounting (drives the paper's per-function breakdowns).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TagStats {
@@ -68,6 +149,7 @@ pub struct SimContext {
     faults: Option<FaultPlan>,
     watchdog: Watchdog,
     host_events: u64,
+    cost: CostBreakdown,
     error: Option<DmpimError>,
     tracer: Tracer,
     tracks: Option<CtxTracks>,
@@ -111,6 +193,7 @@ impl SimContext {
             faults: None,
             watchdog: Watchdog::unlimited(),
             host_events: 0,
+            cost: CostBreakdown::default(),
             error: config_error,
             tracer: Tracer::disabled(),
             tracks: None,
@@ -325,6 +408,17 @@ impl SimContext {
             self.tracer.observe(stall_metric(self.timing.engine), stall);
         }
         self.now_ps += stall;
+        // Attribute the exposed stall across model layers in the same
+        // proportions as the access's exact latency split (ECC correction
+        // and throttle stretch every component uniformly).
+        if out.latency_ps > 0 {
+            let scale = stall as f64 / out.latency_ps as f64;
+            let b = out.breakdown;
+            self.cost.cache_ps += b.cache_ps as f64 * scale;
+            self.cost.dram_queue_ps += b.queue_ps as f64 * scale;
+            self.cost.dram_service_ps += b.service_ps as f64 * scale;
+            self.cost.pim_link_ps += b.link_ps as f64 * scale;
+        }
         if self.port != Port::Cpu && out.memory_lines > 0 {
             self.coherence.directory_lookups(out.memory_lines);
         }
@@ -366,6 +460,7 @@ impl SimContext {
             }
         }
         self.now_ps += dur;
+        self.cost.compute_ps += dur as f64;
         let engine = self.timing.engine;
         if self.tracks.is_some() {
             self.tracer.count(ops_metric(engine), mix.total());
@@ -388,7 +483,9 @@ impl SimContext {
         self.ops(mix);
         let full = self.now_ps - t0;
         self.now_ps = t0 + full / threads.max(1);
-        // Keep per-tag time consistent with the wall clock.
+        // Keep per-tag time and attributed compute consistent with the
+        // wall clock.
+        self.cost.compute_ps -= (full - full / threads.max(1)) as f64;
         let acc = self.account();
         acc.time_ps -= full - full / threads.max(1);
     }
@@ -446,6 +543,7 @@ impl SimContext {
         }
         act.offchip_bytes += cost.message_bytes;
         self.now_ps += cost.latency_ps;
+        self.cost.coherence_ps += cost.latency_ps as f64;
         let msg_pj = 2.0 * self.params.coherence_msg_pj;
         let e = self.params.price_activity(&act);
         let acc = self.account();
@@ -499,6 +597,14 @@ impl SimContext {
     /// Stats for one tag, if it was ever used.
     pub fn tag(&self, tag: &str) -> Option<&TagStats> {
         self.accounts.get(tag)
+    }
+
+    /// Simulated-time cost attribution across the six model layers
+    /// (compute / cache / coherence / DRAM queue / DRAM service /
+    /// PIM link) accumulated by every access, op retirement, and
+    /// offload transition on this context.
+    pub fn cost_breakdown(&self) -> CostBreakdown {
+        self.cost
     }
 
     /// Coherence counters (messages, flushes, directory lookups).
@@ -732,6 +838,39 @@ mod tests {
         c.ops(OpMix::scalar(1000));
         assert_eq!(c.now_ps(), 0);
         assert_eq!(c.instructions(), 0);
+    }
+
+    #[test]
+    fn cost_breakdown_attributes_each_operation_kind() {
+        let mut c = SimContext::new(Platform::pim(), EngineTiming::pim_core(), Port::PimCore);
+        assert_eq!(c.cost_breakdown(), CostBreakdown::default());
+        c.ops(OpMix::scalar(1000));
+        let after_ops = c.cost_breakdown();
+        assert!(after_ops.compute_ps > 0.0);
+        assert_eq!(after_ops.cache_ps + after_ops.dram_service_ps, 0.0);
+        c.read(0, 1 << 20);
+        let after_read = c.cost_breakdown();
+        assert!(after_read.cache_ps > 0.0);
+        assert!(after_read.dram_service_ps > 0.0);
+        assert!(after_read.pim_link_ps > 0.0);
+        assert_eq!(after_read.dram_queue_ps, 0.0, "pim port never queues off-chip");
+        c.offload_transition(1 << 20, true);
+        assert!(c.cost_breakdown().coherence_ps > 0.0);
+        let shares = c.cost_breakdown().shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{shares:?}");
+    }
+
+    #[test]
+    fn cost_breakdown_tracks_the_clock() {
+        // With no fault plan, attributed time equals elapsed simulated
+        // time up to the exposed-stall model's per-access rounding.
+        let mut c = ctx();
+        c.ops(OpMix::scalar(500));
+        c.read(0, 1 << 16);
+        c.write(0, 1 << 16);
+        let total = c.cost_breakdown().total_ps();
+        let now = c.now_ps() as f64;
+        assert!((total - now).abs() / now < 1e-6, "{total} vs {now}");
     }
 
     #[test]

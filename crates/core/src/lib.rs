@@ -63,7 +63,7 @@ pub use pim_faults::rng;
 
 pub use area::{AreaModel, PimTargetKind};
 pub use buffer::{Buffer, Tracked};
-pub use context::{SimContext, TagStats};
+pub use context::{CostBreakdown, SimContext, TagStats};
 pub use identify::{Candidacy, CandidateProfile};
 pub use kernel::Kernel;
 pub use offload::{

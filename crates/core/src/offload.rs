@@ -9,7 +9,7 @@ use pim_faults::{DmpimError, FaultConfig, FaultPlan, FaultStats, Watchdog};
 use pim_memsim::{Activity, Port, Ps};
 use pim_trace::{JsonValue, Tracer};
 
-use crate::context::{SimContext, TagStats};
+use crate::context::{CostBreakdown, SimContext, TagStats};
 use crate::kernel::Kernel;
 use crate::platform::Platform;
 
@@ -142,6 +142,9 @@ pub struct RunReport {
     pub instructions: u64,
     /// LLC (or PIM-L1) misses per kilo-instruction.
     pub mpki: f64,
+    /// Simulated-time attribution across the six model layers (includes
+    /// abandoned attempts on resilient runs; backoff idles unattributed).
+    pub cost: CostBreakdown,
     /// Resilience record; `None` for runs without faults or watchdog.
     pub degradation: Option<Degradation>,
 }
@@ -210,6 +213,11 @@ impl RunReport {
             Some(d) => d.to_json_value(),
             None => JsonValue::Null,
         };
+        let mut cost = JsonValue::object();
+        for (label, ps) in CostBreakdown::LABELS.iter().zip(self.cost.as_array()) {
+            cost = cost.set(label, ps);
+        }
+        cost = cost.set("total_ps", self.cost.total_ps());
         JsonValue::object()
             .set("kernel", self.kernel)
             .set("mode", self.mode.label())
@@ -220,6 +228,7 @@ impl RunReport {
             .set("mpki", self.mpki)
             .set("energy", energy)
             .set("activity", activity)
+            .set("cost_ps", cost)
             .set("by_tag", by_tag)
             .set("degradation", degradation)
     }
@@ -418,6 +427,7 @@ impl OffloadEngine {
             by_tag: ctx.tag_stats().clone(),
             instructions: ctx.instructions(),
             mpki: ctx.mpki(),
+            cost: ctx.cost_breakdown(),
             degradation: None,
         }
     }
@@ -482,6 +492,7 @@ impl OffloadEngine {
         // unavailability window.
         let mut world_ps: Ps = 0;
         let mut abandoned_energy = EnergyBreakdown::new();
+        let mut abandoned_cost = CostBreakdown::default();
         let mut attempt_no: u64 = 0;
         let mut last_error: Option<DmpimError> = None;
 
@@ -541,6 +552,7 @@ impl OffloadEngine {
                     Some(e) => {
                         degradation.abandoned_ps += ctx.now_ps();
                         abandoned_energy += ctx.total_energy();
+                        abandoned_cost += ctx.cost_breakdown();
                         world_ps += ctx.now_ps();
                         let transient = e.is_transient();
                         last_error = Some(e);
@@ -590,6 +602,7 @@ impl OffloadEngine {
         if overhead_ps > 0 || degradation.abandoned_pj > 0.0 {
             report.runtime_ps += overhead_ps;
             report.energy += abandoned_energy;
+            report.cost += abandoned_cost;
             let recovery = report.by_tag.entry(FAULT_RECOVERY_TAG).or_default();
             recovery.time_ps += overhead_ps;
             recovery.energy += abandoned_energy;
@@ -896,6 +909,33 @@ mod tests {
             .find(|e| e.name == "stream" && e.ts_ps > 0)
             .expect("fallback attempt span");
         assert!(cpu_attempt.ts_ps > 0);
+    }
+
+    #[test]
+    fn reports_carry_a_consistent_cost_breakdown() {
+        let eng = OffloadEngine::new();
+        for mode in ExecutionMode::ALL {
+            let r = eng.run(&mut Stream, mode);
+            let shares = r.cost.shares();
+            assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{mode}: {shares:?}");
+            // Attributed time stays within the end-to-end runtime.
+            assert!(r.cost.total_ps() <= r.runtime_ps as f64 * (1.0 + 1e-9), "{mode}");
+            if mode == ExecutionMode::CpuOnly {
+                assert_eq!(r.cost.pim_link_ps + r.cost.coherence_ps, 0.0);
+                assert!(r.cost.dram_queue_ps > 0.0);
+            } else {
+                assert!(r.cost.coherence_ps > 0.0, "{mode} pays offload transitions");
+                assert!(r.cost.pim_link_ps > 0.0, "{mode} uses the vault link");
+            }
+        }
+        // Degraded runs fold the abandoned attempts' cost in.
+        let cfg = FaultConfig { vault_fail_prob: 1.0, horizon_ps: 1, ..FaultConfig::none() };
+        let r = OffloadEngine::new().with_faults(cfg, 9).run(&mut Stream, ExecutionMode::PimAcc);
+        assert_eq!(r.executed, ExecutionMode::CpuOnly);
+        assert!(r.cost.total_ps() > 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"cost_ps\""));
+        assert!(json.contains("\"dram-service\""));
     }
 
     #[test]

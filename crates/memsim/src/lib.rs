@@ -50,7 +50,7 @@ pub use config::{DramKind, MemConfig};
 pub use error::ConfigError;
 pub use dram::{BankArray, DramConfig, DramStats, SchedulerPolicy};
 pub use stacked::{StackedConfig, StackedMemory};
-pub use system::{AccessOutcome, MemorySystem, Port};
+pub use system::{AccessOutcome, LatencyBreakdown, MemorySystem, Port};
 
 // The fault-injection layer lives below the simulator so every crate in the
 // workspace shares one error type and one notion of time.

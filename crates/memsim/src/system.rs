@@ -33,11 +33,40 @@ impl Port {
     }
 }
 
+/// Exact decomposition of one access's critical-path latency.
+///
+/// The four components always sum to the access's `latency_ps`, so
+/// downstream attribution (the `--explain` cost model) can apportion
+/// exposed stall time across model layers without re-walking the access.
+/// The lead-in `max` is attributed to whichever candidate won it, the
+/// per-line occupancy to the SRAM level that absorbed it, and the
+/// memory-wait tail to the slowest memory line's queue/array/link split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Private-cache / SRAM time: hit lead-ins plus per-line occupancy.
+    pub cache_ps: Ps,
+    /// Memory-controller and off-chip channel queueing/transfer time.
+    pub queue_ps: Ps,
+    /// DRAM array service time (row activate + column access).
+    pub service_ps: Ps,
+    /// Vault/TSV link time on the stacked internal path (PIM ports).
+    pub link_ps: Ps,
+}
+
+impl LatencyBreakdown {
+    /// Sum of all components; equals the owning access's `latency_ps`.
+    pub fn total_ps(&self) -> Ps {
+        self.cache_ps + self.queue_ps + self.service_ps + self.link_ps
+    }
+}
+
 /// Latency and component activity of one (possibly ranged) access.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessOutcome {
     /// Critical-path latency seen by the issuing engine, in ps.
     pub latency_ps: Ps,
+    /// Exact split of `latency_ps` across cache/queue/service/link time.
+    pub breakdown: LatencyBreakdown,
     /// Component activity for the energy model.
     pub activity: Activity,
     /// Cache lines that missed the last private level and went to memory.
@@ -259,6 +288,10 @@ impl MemorySystem {
         {
             let mut out = AccessOutcome {
                 latency_ps: self.config.l1_hit_ps + 500,
+                breakdown: LatencyBreakdown {
+                    cache_ps: self.config.l1_hit_ps + 500,
+                    ..LatencyBreakdown::default()
+                },
                 lines: 1,
                 ..AccessOutcome::default()
             };
@@ -278,13 +311,21 @@ impl MemorySystem {
         let mut occupancy: Ps = 0;
         let mut mem_finish: Ps = now;
         let mut writebacks: u64 = 0;
+        // Split of the winning lead candidate and of the slowest memory
+        // line's wait, so `out.breakdown` sums exactly to `latency_ps`.
+        let mut lead_split = LatencyBreakdown::default();
+        let mut wait_split = LatencyBreakdown::default();
         let cfg = self.config;
         for line in lines_of(addr, bytes) {
             out.lines += 1;
             out.activity.l1_accesses += 1;
             let l1 = self.cpu_l1.access(line, kind);
             if l1.hit {
-                lead = lead.max(cfg.l1_hit_ps);
+                if cfg.l1_hit_ps > lead {
+                    lead = cfg.l1_hit_ps;
+                    lead_split =
+                        LatencyBreakdown { cache_ps: lead, ..LatencyBreakdown::default() };
+                }
                 occupancy += 500; // one line per 2 GHz cycle
                 continue;
             }
@@ -299,7 +340,12 @@ impl MemorySystem {
             out.activity.llc_accesses += 1;
             let llc = self.llc.access(line, AccessKind::Read);
             if llc.hit {
-                lead = lead.max(cfg.l1_hit_ps + cfg.llc_hit_ps);
+                let cand = cfg.l1_hit_ps + cfg.llc_hit_ps;
+                if cand > lead {
+                    lead = cand;
+                    lead_split =
+                        LatencyBreakdown { cache_ps: cand, ..LatencyBreakdown::default() };
+                }
                 occupancy += 2_000;
                 continue;
             }
@@ -310,10 +356,33 @@ impl MemorySystem {
             out.memory_lines += 1;
             out.activity.memctrl_requests += 1;
             let (lat, array) = self.memory_read(line, &mut out.activity, now);
-            lead = lead.max(cfg.l1_hit_ps + cfg.llc_hit_ps + cfg.memctrl_ps + array);
-            mem_finish = mem_finish.max(now + lat);
+            let cand = cfg.l1_hit_ps + cfg.llc_hit_ps + cfg.memctrl_ps + array;
+            if cand > lead {
+                lead = cand;
+                lead_split = LatencyBreakdown {
+                    cache_ps: cfg.l1_hit_ps + cfg.llc_hit_ps,
+                    queue_ps: cfg.memctrl_ps,
+                    service_ps: array,
+                    link_ps: 0,
+                };
+            }
+            if now + lat > mem_finish {
+                mem_finish = now + lat;
+                let service = array.min(lat);
+                wait_split = LatencyBreakdown {
+                    service_ps: service,
+                    queue_ps: lat - service,
+                    ..LatencyBreakdown::default()
+                };
+            }
         }
         out.latency_ps = lead + occupancy + (mem_finish - now);
+        out.breakdown = LatencyBreakdown {
+            cache_ps: lead_split.cache_ps + occupancy + wait_split.cache_ps,
+            queue_ps: lead_split.queue_ps + wait_split.queue_ps,
+            service_ps: lead_split.service_ps + wait_split.service_ps,
+            link_ps: lead_split.link_ps + wait_split.link_ps,
+        };
         // Arm the fast path only when this access was itself a
         // single-line L1 hit (no LLC or memory involvement).
         self.last_line = if out.lines == 1
@@ -369,6 +438,10 @@ impl MemorySystem {
             if cache.coalesced_hit(addr, kind) {
                 let mut out = AccessOutcome {
                     latency_ps: hit_ps + 1_000,
+                    breakdown: LatencyBreakdown {
+                        cache_ps: hit_ps + 1_000,
+                        ..LatencyBreakdown::default()
+                    },
                     lines: 1,
                     ..AccessOutcome::default()
                 };
@@ -408,6 +481,9 @@ impl MemorySystem {
                 return Err(DmpimError::PortUnsupported { port: port.label() })
             }
         };
+        // Array-service estimate per row hit/miss, used to split each
+        // line's vault latency into DRAM service vs TSV-link time.
+        let vault_cfg = stacked.config().vault;
         let note_vault = |per_vault: &mut Vec<(usize, u64, Ps)>, vault: usize, lat: Ps| {
             match per_vault.iter_mut().find(|e| e.0 == vault) {
                 Some(e) => {
@@ -417,6 +493,9 @@ impl MemorySystem {
                 None => per_vault.push((vault, 1, lat)),
             }
         };
+        // Wait split of the slowest memory line (service vs link), so the
+        // final breakdown sums exactly to `latency_ps`.
+        let mut wait_split = LatencyBreakdown::default();
         for line in lines_of(addr, bytes) {
             out.lines += 1;
             if port == Port::PimAccel {
@@ -464,9 +543,30 @@ impl MemorySystem {
                 note_vault(&mut per_vault, o.vault, o.latency_ps);
             }
             lead = lead.max(hit_ps);
-            mem_finish = mem_finish.max(now + o.latency_ps);
+            if now + o.latency_ps > mem_finish {
+                mem_finish = now + o.latency_ps;
+                let array = if o.row_hit {
+                    vault_cfg.row_hit_ps
+                } else {
+                    vault_cfg.row_hit_ps + vault_cfg.row_miss_extra_ps
+                };
+                let service = array.min(o.latency_ps);
+                wait_split = LatencyBreakdown {
+                    service_ps: service,
+                    link_ps: o.latency_ps - service,
+                    ..LatencyBreakdown::default()
+                };
+            }
         }
         out.latency_ps = lead + occupancy + (mem_finish - now);
+        // `lead` only ever carries the private SRAM hit latency on the PIM
+        // path, so it lands in `cache_ps` wholesale.
+        out.breakdown = LatencyBreakdown {
+            cache_ps: lead + occupancy,
+            queue_ps: 0,
+            service_ps: wait_split.service_ps,
+            link_ps: wait_split.link_ps,
+        };
         if let Some(h) = hooks.as_ref() {
             let t = &h.tracer;
             t.count("mem.pim.accesses", 1);
@@ -807,6 +907,48 @@ mod tests {
         assert!(s.avg_read_latency_ps() > 0.0);
         // Writes land in DRAM only on eviction, so only assert reads here;
         // the write-side accounting is covered by dram.rs unit tests.
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_latency() {
+        // CPU path on LPDDR3: cold streams, warm hits, single lines.
+        let mut m = base();
+        for (addr, bytes) in
+            [(0u64, 4096u64), (0, 64), (1 << 20, 64), (1 << 20, 64), (0, 1 << 16)]
+        {
+            let out = m.access(addr, bytes, AccessKind::Read, 0);
+            assert_eq!(out.breakdown.total_ps(), out.latency_ps, "cpu {addr:#x}+{bytes}");
+        }
+        // PIM ports on the stacked backend, plus a CPU crossing.
+        let mut p = pim();
+        for port in [Port::PimCore, Port::PimAccel] {
+            for (addr, bytes) in [(0u64, 4096u64), (0, 64), (0, 64), (1 << 22, 1 << 16)] {
+                let out = p.access_from(port, addr, bytes, AccessKind::Read, 0).unwrap();
+                assert_eq!(out.breakdown.total_ps(), out.latency_ps, "{port:?} {addr:#x}");
+            }
+        }
+        let out = p.access(1 << 24, 4096, AccessKind::Read, 0);
+        assert_eq!(out.breakdown.total_ps(), out.latency_ps);
+    }
+
+    #[test]
+    fn breakdown_localizes_memory_time() {
+        // A cold streaming read must attribute most latency past the caches.
+        let mut m = base();
+        let cold = m.access(0, 1 << 16, AccessKind::Read, 0);
+        assert!(cold.breakdown.service_ps > 0, "{:?}", cold.breakdown);
+        assert!(cold.breakdown.queue_ps > 0, "{:?}", cold.breakdown);
+        assert_eq!(cold.breakdown.link_ps, 0);
+        // A warm repeat is pure cache time.
+        let warm = m.access(0, 64, AccessKind::Read, cold.latency_ps);
+        assert_eq!(warm.breakdown.cache_ps, warm.latency_ps);
+        assert_eq!(warm.breakdown.service_ps + warm.breakdown.queue_ps, 0);
+        // PIM internal path: no off-chip queueing, but TSV link time shows.
+        let mut p = pim();
+        let out = p.access_from(Port::PimCore, 0, 1 << 16, AccessKind::Read, 0).unwrap();
+        assert_eq!(out.breakdown.queue_ps, 0);
+        assert!(out.breakdown.service_ps > 0, "{:?}", out.breakdown);
+        assert!(out.breakdown.link_ps > 0, "{:?}", out.breakdown);
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Wall-clock self-profiler: scoped timers over host time.
+//!
+//! The simulator's tracer measures *simulated* picoseconds; this profiler
+//! measures where *host* wall time goes — experiment × phase × simulator
+//! subsystem — so a slow repro run can be localized without an external
+//! profiler. Mirrors [`pim_trace::Tracer`]'s handle design: a disabled
+//! profiler is a `None` and every operation is a single branch, which the
+//! `profiler_overhead` bench holds to <5% against no profiler at all.
+//!
+//! Keys are `/`-separated paths (`"texture_tiling/run/simulate"`); the
+//! reporting helpers aggregate by prefix. Worker threads take a
+//! [`Profiler::local`] handle that buffers observations in a plain map
+//! and merges them into the shared profiler once on drop, so per-scope
+//! cost on the hot path is a map insert, not a mutex acquisition.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use pim_trace::JsonValue;
+
+/// Accumulated wall time and call count for one key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Total wall time, in nanoseconds.
+    pub wall_ns: u64,
+    /// Number of scopes that closed on this key.
+    pub calls: u64,
+}
+
+impl PhaseStat {
+    /// Wall time in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ns as f64 / 1e6
+    }
+
+    fn merge(&mut self, other: PhaseStat) {
+        self.wall_ns = self.wall_ns.saturating_add(other.wall_ns);
+        self.calls = self.calls.saturating_add(other.calls);
+    }
+}
+
+/// A cloneable handle to a shared wall-clock profile.
+///
+/// `Profiler::disabled()` carries no allocation at all; cloning either
+/// variant is cheap (an `Option<Arc>` copy).
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<Mutex<BTreeMap<String, PhaseStat>>>>,
+}
+
+impl Profiler {
+    /// An enabled profiler with an empty profile.
+    pub fn new() -> Self {
+        Self { inner: Some(Arc::new(Mutex::new(BTreeMap::new()))) }
+    }
+
+    /// A disabled profiler: every operation is a no-op behind one branch.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Time a scope: wall time from this call until the returned guard
+    /// drops is added under `key`. Disabled profilers never read the
+    /// clock.
+    pub fn scope(&self, key: &str) -> ProfileScope<'_> {
+        match &self.inner {
+            Some(_) => ProfileScope { profiler: self, key: Some(key.to_string()), t0: Some(Instant::now()) },
+            None => ProfileScope { profiler: self, key: None, t0: None },
+        }
+    }
+
+    /// Record `wall_ns` under `key` directly (used by merged locals and
+    /// callers that already measured).
+    pub fn record_ns(&self, key: &str, wall_ns: u64) {
+        if let Some(inner) = &self.inner {
+            if let Ok(mut map) = inner.lock() {
+                map.entry(key.to_string())
+                    .or_default()
+                    .merge(PhaseStat { wall_ns, calls: 1 });
+            }
+        }
+    }
+
+    /// A thread-local buffer over this profiler: scopes record into a
+    /// plain map without locking, and everything merges into the shared
+    /// profile when the local handle drops (or on [`LocalProfiler::flush`]).
+    pub fn local(&self) -> LocalProfiler {
+        LocalProfiler { parent: self.clone(), buffer: BTreeMap::new() }
+    }
+
+    /// Snapshot of the profile, by key.
+    pub fn report(&self) -> BTreeMap<String, PhaseStat> {
+        match &self.inner {
+            Some(inner) => inner.lock().map(|m| m.clone()).unwrap_or_default(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// The profile as a JSON object keyed by scope path, each entry
+    /// `{wall_ms, calls}` (stable order: `BTreeMap` keys).
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        for (key, stat) in self.report() {
+            o = o.set(
+                &key,
+                JsonValue::object().set("wall_ms", stat.wall_ms()).set("calls", stat.calls),
+            );
+        }
+        o
+    }
+
+    /// A human-readable table of the profile, widest consumers first.
+    pub fn render_table(&self) -> String {
+        let report = self.report();
+        let total_ns: u64 = report.values().map(|s| s.wall_ns).sum();
+        let mut rows: Vec<(&String, &PhaseStat)> = report.iter().collect();
+        rows.sort_by(|a, b| b.1.wall_ns.cmp(&a.1.wall_ns).then(a.0.cmp(b.0)));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<52} {:>10} {:>8} {:>7}\n",
+            "scope", "wall ms", "calls", "share"
+        ));
+        for (key, stat) in rows {
+            let share = if total_ns == 0 {
+                0.0
+            } else {
+                stat.wall_ns as f64 / total_ns as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "{:<52} {:>10.2} {:>8} {:>6.1}%\n",
+                key,
+                stat.wall_ms(),
+                stat.calls,
+                share
+            ));
+        }
+        out
+    }
+}
+
+/// RAII guard from [`Profiler::scope`]; records elapsed wall time on drop.
+#[derive(Debug)]
+pub struct ProfileScope<'a> {
+    profiler: &'a Profiler,
+    key: Option<String>,
+    t0: Option<Instant>,
+}
+
+impl Drop for ProfileScope<'_> {
+    fn drop(&mut self) {
+        if let (Some(key), Some(t0)) = (self.key.take(), self.t0) {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.profiler.record_ns(&key, ns);
+        }
+    }
+}
+
+/// A lock-free per-thread buffer over a shared [`Profiler`].
+#[derive(Debug)]
+pub struct LocalProfiler {
+    parent: Profiler,
+    buffer: BTreeMap<String, PhaseStat>,
+}
+
+impl LocalProfiler {
+    /// Whether the parent profiler records anything.
+    pub fn enabled(&self) -> bool {
+        self.parent.enabled()
+    }
+
+    /// Time a closure's wall time under `key` (no-op timing when the
+    /// parent is disabled; the closure always runs).
+    pub fn time<R>(&mut self, key: &str, f: impl FnOnce() -> R) -> R {
+        if !self.parent.enabled() {
+            return f();
+        }
+        let t0 = Instant::now();
+        let r = f();
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.buffer
+            .entry(key.to_string())
+            .or_default()
+            .merge(PhaseStat { wall_ns: ns, calls: 1 });
+        r
+    }
+
+    /// Merge the buffered observations into the shared profiler now.
+    pub fn flush(&mut self) {
+        if let Some(inner) = &self.parent.inner {
+            if let Ok(mut map) = inner.lock() {
+                for (key, stat) in std::mem::take(&mut self.buffer) {
+                    map.entry(key).or_default().merge(stat);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for LocalProfiler {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_accumulate_under_their_key() {
+        let p = Profiler::new();
+        {
+            let _a = p.scope("exp/run");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _b = p.scope("exp/run");
+        }
+        let report = p.report();
+        assert_eq!(report["exp/run"].calls, 2);
+        assert!(report["exp/run"].wall_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        {
+            let _s = p.scope("never");
+        }
+        p.record_ns("never", 1);
+        assert!(!p.enabled());
+        assert!(p.report().is_empty());
+        assert_eq!(p.to_json_value().render(), "{}");
+    }
+
+    #[test]
+    fn local_buffers_merge_on_drop() {
+        let p = Profiler::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    let mut local = p.local();
+                    for _ in 0..10 {
+                        local.time("worker/job", || std::hint::black_box(1 + 1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(p.report()["worker/job"].calls, 40);
+    }
+
+    #[test]
+    fn table_and_json_are_stable_and_share_normalized() {
+        let p = Profiler::new();
+        p.record_ns("b/slow", 3_000_000);
+        p.record_ns("a/fast", 1_000_000);
+        let table = p.render_table();
+        let slow_at = table.find("b/slow").unwrap();
+        let fast_at = table.find("a/fast").unwrap();
+        assert!(slow_at < fast_at, "widest consumer first:\n{table}");
+        assert!(table.contains("75.0%"));
+        let json = p.to_json_value().render();
+        assert!(json.contains("\"a/fast\""));
+        assert_eq!(json, p.to_json_value().render());
+        let parsed = JsonValue::parse(&json).unwrap();
+        assert_eq!(parsed.get("b/slow").unwrap().get("calls").unwrap().as_u64(), Some(1));
+    }
+}

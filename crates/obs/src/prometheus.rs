@@ -1,0 +1,228 @@
+//! Prometheus text-exposition rendering of a [`MetricsReport`].
+//!
+//! Implements the text format version 0.0.4 expected by a Prometheus
+//! scrape: one `# HELP` and `# TYPE` header per metric family, counters
+//! and gauges as single samples, histograms as cumulative `_bucket`
+//! series with an explicit `+Inf` bucket plus `_sum` and `_count`.
+//! Metric names from the simulator use dots and dashes
+//! (`serve.in_flight`, `jobs.wall-ms`); they are sanitized to the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar and prefixed with `dmpim_` so the
+//! exported namespace is collision-free. `MetricsReport` is backed by
+//! `BTreeMap`s, so output is byte-stable for a given snapshot.
+
+use pim_trace::{HistogramSnapshot, MetricsReport};
+
+/// The Content-Type a scrape endpoint must send with this output.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Map an internal metric name onto the Prometheus grammar: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and the result is
+/// prefixed with `dmpim_` (which also guarantees a legal leading
+/// character).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("dmpim_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a HELP line: backslashes and newlines per the exposition spec.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Format a sample value. Prometheus accepts Go-style floats; Rust's
+/// default `f64` formatting matches except for the infinities.
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf".into() } else { "-Inf".into() }
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, raw_name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# HELP {name} Histogram `{}` (bucket bounds in simulated ps).\n", escape_help(raw_name)));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, bound) in h.bounds.iter().enumerate() {
+        cumulative += h.counts.get(i).copied().unwrap_or(0);
+        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Render a full metrics snapshot in the Prometheus text format.
+pub fn render_prometheus(report: &MetricsReport) -> String {
+    let mut out = String::new();
+    for (raw, value) in &report.counters {
+        let name = sanitize_metric_name(raw);
+        out.push_str(&format!("# HELP {name} Counter `{}`.\n", escape_help(raw)));
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (raw, value) in &report.gauges {
+        let name = sanitize_metric_name(raw);
+        out.push_str(&format!("# HELP {name} Gauge `{}`.\n", escape_help(raw)));
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name} {}\n", fmt_value(*value)));
+    }
+    for (raw, h) in &report.histograms {
+        render_histogram(&mut out, &sanitize_metric_name(raw), raw, h);
+    }
+    out
+}
+
+/// A minimal validator for the exposition format, used by tests and the
+/// serve integration suite: checks that every non-comment line is
+/// `name{labels} value`, that every sample was preceded by a `# TYPE`
+/// header for its family, and that histogram bucket counts are
+/// cumulative. Returns the number of sample lines on success.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    let mut last_bucket: Option<(String, u64)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |what: &str| Err(format!("line {}: {what}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            if parts.next().is_none() || name.is_empty() {
+                return err("malformed comment header");
+            }
+            if keyword == "TYPE" {
+                typed.push(name.to_string());
+            } else if keyword != "HELP" {
+                return err("unknown comment keyword");
+            }
+            continue;
+        }
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return err("sample line without value"),
+        };
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return err("unparseable sample value");
+        }
+        let name = series.split('{').next().unwrap_or("");
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return err("illegal metric name");
+        }
+        let family_ok = typed.iter().any(|t| {
+            name == t
+                || name.strip_prefix(t.as_str()).is_some_and(|s| {
+                    matches!(s, "_bucket" | "_sum" | "_count")
+                })
+        });
+        if !family_ok {
+            return err("sample without a preceding # TYPE");
+        }
+        if let Some(rest) = series.strip_suffix("\"}") {
+            if let Some((bucket_name, _le)) = rest.split_once("_bucket{le=\"") {
+                let count: u64 = value.parse().map_err(|_| {
+                    format!("line {}: non-integer bucket count: {line:?}", lineno + 1)
+                })?;
+                if let Some((prev_name, prev_count)) = &last_bucket {
+                    if prev_name == bucket_name && count < *prev_count {
+                        return err("histogram buckets not cumulative");
+                    }
+                }
+                last_bucket = Some((bucket_name.to_string(), count));
+            }
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::Tracer;
+
+    fn sample_report() -> MetricsReport {
+        let t = Tracer::new();
+        t.count("serve.jobs_completed", 7);
+        t.gauge("serve.in_flight", 2.0);
+        t.gauge("util.fraction", 0.625);
+        t.register_histogram("job.wall-ms", &[10, 100, 1000]);
+        t.observe("job.wall-ms", 5);
+        t.observe("job.wall-ms", 100);
+        t.observe("job.wall-ms", 5_000);
+        t.metrics()
+    }
+
+    #[test]
+    fn sanitizes_names_into_the_prometheus_grammar() {
+        assert_eq!(sanitize_metric_name("serve.in_flight"), "dmpim_serve_in_flight");
+        assert_eq!(sanitize_metric_name("job wall-ms"), "dmpim_job_wall_ms");
+        assert_eq!(sanitize_metric_name("a:b"), "dmpim_a:b");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms_with_headers() {
+        let text = render_prometheus(&sample_report());
+        assert!(text.contains("# TYPE dmpim_serve_jobs_completed counter\n"));
+        assert!(text.contains("dmpim_serve_jobs_completed 7\n"));
+        assert!(text.contains("# TYPE dmpim_serve_in_flight gauge\n"));
+        assert!(text.contains("dmpim_serve_in_flight 2\n"));
+        assert!(text.contains("dmpim_util_fraction 0.625\n"));
+        assert!(text.contains("# TYPE dmpim_job_wall_ms histogram\n"));
+        // Cumulative buckets: 5 <= 10 -> 1; 100 <= 100 -> 2; 5000 only in +Inf.
+        assert!(text.contains("dmpim_job_wall_ms_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("dmpim_job_wall_ms_bucket{le=\"100\"} 2\n"));
+        assert!(text.contains("dmpim_job_wall_ms_bucket{le=\"1000\"} 2\n"));
+        assert!(text.contains("dmpim_job_wall_ms_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("dmpim_job_wall_ms_sum 5105\n"));
+        assert!(text.contains("dmpim_job_wall_ms_count 3\n"));
+        // Every HELP line names the raw metric so operators can map back.
+        assert!(text.contains("`job.wall-ms`"));
+    }
+
+    #[test]
+    fn rendered_output_passes_the_validator() {
+        let text = render_prometheus(&sample_report());
+        // counter 1 + gauges 2 + histogram (4 buckets + sum + count) = 9.
+        assert_eq!(validate_prometheus(&text), Ok(9));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_prometheus("no_type_header 1\n").is_err());
+        assert!(validate_prometheus("# TYPE x counter\nx one\n").is_err());
+        assert!(validate_prometheus("# TYPE bad-name counter\nbad-name 1\n").is_err());
+        let shrinking = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n";
+        assert!(validate_prometheus(shrinking).is_err());
+    }
+
+    #[test]
+    fn empty_report_renders_empty_document() {
+        assert_eq!(render_prometheus(&MetricsReport::default()), "");
+        assert_eq!(validate_prometheus(""), Ok(0));
+    }
+
+    #[test]
+    fn infinite_gauges_use_prometheus_spelling() {
+        let mut r = MetricsReport::default();
+        r.gauges.insert("inf".into(), f64::INFINITY);
+        let text = render_prometheus(&r);
+        assert!(text.contains("dmpim_inf +Inf\n"));
+        assert!(validate_prometheus(&text).is_ok());
+    }
+}

@@ -254,6 +254,10 @@ impl Scheduler {
         for g in ["serve.in_flight", "serve.workers", "serve.clients", "serve.queue_depth"] {
             tracer.register_gauge(g, 0.0);
         }
+        // Per-attempt wall-time histogram in ms (1 ms .. ~4 s, then
+        // overflow): registered up front so a Prometheus scrape sees the
+        // family before the first job completes.
+        tracer.register_histogram("serve.job_wall_ms", &[1, 4, 16, 64, 256, 1_024, 4_096]);
 
         let core = Arc::new(Core {
             policy: policy.clone(),
@@ -650,11 +654,29 @@ fn worker_loop(
             watchdog: core.policy.watchdog,
         };
         let resolver = Arc::clone(&core.resolver);
+        let t0 = Instant::now();
         let outcome = match catch_unwind(AssertUnwindSafe(|| resolver(&spec, &ctx))) {
             Ok(Ok(payload)) => Ok(payload),
             Ok(Err(e)) => Err(JobFailure::Sim(e)),
             Err(panic) => Err(JobFailure::Panicked { message: panic_message(&*panic) }),
         };
+        // Per-attempt progress metrics (host wall time; the trace instant
+        // stitches the attempt outcome into the job's Perfetto track).
+        let wall_ms = t0.elapsed().as_millis() as u64;
+        core.tracer.count("serve.attempts", 1);
+        core.tracer.observe("serve.job_wall_ms", wall_ms);
+        if core.tracer.enabled() {
+            core.tracer.instant_args(
+                track,
+                "attempt-finished",
+                0,
+                vec![
+                    ("attempt", pim_trace::ArgValue::U64(task.attempt as u64)),
+                    ("wall_ms", pim_trace::ArgValue::U64(wall_ms)),
+                    ("ok", pim_trace::ArgValue::U64(u64::from(outcome.is_ok()))),
+                ],
+            );
+        }
         if tx.send(Msg::Done { task, outcome }).is_err() {
             break;
         }

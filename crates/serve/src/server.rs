@@ -308,9 +308,19 @@ fn serve_http<R: BufRead, W: Write>(
             _ => break,
         }
     }
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, body) = match path {
-        "/metrics" => ("200 OK", format!("{}\n", tracer.metrics().to_json())),
+    let target = request_line.split_whitespace().nth(1).unwrap_or("/");
+    // `/metrics?format=prometheus` must route like `/metrics`: the query
+    // string selects the representation, the path selects the resource.
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    let prometheus = query.split('&').any(|kv| kv == "format=prometheus");
+    const JSON: &str = "application/json";
+    let (status, content_type, body) = match path {
+        "/metrics" if prometheus => (
+            "200 OK",
+            pim_obs::PROMETHEUS_CONTENT_TYPE,
+            pim_obs::render_prometheus(&tracer.metrics()),
+        ),
+        "/metrics" => ("200 OK", JSON, format!("{}\n", tracer.metrics().to_json())),
         "/healthz" => {
             let stats = scheduler.stats();
             let state = if scheduler.is_stopped() {
@@ -321,18 +331,22 @@ fn serve_http<R: BufRead, W: Write>(
                 "ok"
             };
             let (degraded, dropped) = scheduler.journal_health();
-            let body = if degraded {
-                format!("{state}\njournal: degraded ({dropped} records dropped)\n")
-            } else {
-                format!("{state}\n")
-            };
-            ("200 OK", body)
+            let body = pim_trace::JsonValue::object()
+                .set("state", state)
+                .set(
+                    "journal",
+                    pim_trace::JsonValue::object()
+                        .set("degraded", degraded)
+                        .set("dropped", dropped),
+                )
+                .render();
+            ("200 OK", JSON, format!("{body}\n"))
         }
-        _ => ("404 Not Found", "not found\n".to_string()),
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
     };
     let head_only = request_line.starts_with("HEAD ");
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         body.len(),
         if head_only { "" } else { body.as_str() }
     );
@@ -404,7 +418,50 @@ mod tests {
         input.extend_from_slice(b"\r\n\r\n");
         let out = drive(&input);
         assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
-        assert!(out.contains("ok\n"), "{out}");
+        assert!(out.contains("\"state\":\"ok\""), "{out}");
+    }
+
+    #[test]
+    fn http_endpoints_send_per_representation_content_types() {
+        let health = drive(b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.contains("Content-Type: application/json\r\n"), "{health}");
+        assert!(health.contains("\"journal\":{\"degraded\":false"), "{health}");
+
+        let json_metrics = drive(b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(json_metrics.contains("Content-Type: application/json\r\n"), "{json_metrics}");
+        assert!(json_metrics.contains("\"counters\""), "{json_metrics}");
+
+        let missing = drive(b"GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.contains("Content-Type: text/plain; charset=utf-8\r\n"), "{missing}");
+    }
+
+    #[test]
+    fn prometheus_format_query_switches_representation() {
+        // Drive with an enabled tracer so the exposition has content.
+        let scheduler = test_scheduler();
+        let tracer = Tracer::new();
+        tracer.count("serve.completed", 3);
+        tracer.observe("job.wall_ms", 42);
+        let mut out = Vec::new();
+        serve_lines(
+            Cursor::new(b"GET /metrics?format=prometheus HTTP/1.1\r\n\r\n".to_vec()),
+            &mut out,
+            "test-peer",
+            &scheduler,
+            &tracer,
+        );
+        scheduler.drain();
+        scheduler.join();
+        let out = String::from_utf8_lossy(&out).into_owned();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(
+            out.contains(&format!("Content-Type: {}\r\n", pim_obs::PROMETHEUS_CONTENT_TYPE)),
+            "{out}"
+        );
+        let body = out.split("\r\n\r\n").nth(1).unwrap_or("");
+        assert!(body.contains("# TYPE dmpim_serve_completed counter"), "{out}");
+        assert!(body.contains("dmpim_job_wall_ms_bucket{le=\"+Inf\"} 1"), "{out}");
+        pim_obs::validate_prometheus(body).expect("exposition parses");
     }
 
     #[test]

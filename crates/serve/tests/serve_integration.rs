@@ -99,14 +99,38 @@ fn submit_wait_stats_and_metrics_scrape_over_tcp() {
     let mut body = String::new();
     http.read_to_string(&mut body).unwrap();
     assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+    assert!(body.contains("Content-Type: application/json\r\n"), "{body}");
     assert!(body.contains("serve.in_flight"), "{body}");
+
+    // The same resource in the Prometheus text representation: correct
+    // Content-Type header, every line parses, and the per-job wall-time
+    // histogram plus the attempt counter from the sweep are present.
+    let mut http = TcpStream::connect(&addr).unwrap();
+    http.write_all(b"GET /metrics?format=prometheus HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut prom = String::new();
+    http.read_to_string(&mut prom).unwrap();
+    assert!(prom.starts_with("HTTP/1.1 200 OK"), "{prom}");
+    assert!(
+        prom.contains(&format!("Content-Type: {}\r\n", pim_obs::PROMETHEUS_CONTENT_TYPE)),
+        "{prom}"
+    );
+    let prom_body = prom.split("\r\n\r\n").nth(1).expect("http body");
+    let samples = pim_obs::validate_prometheus(prom_body).expect("every metric line parses");
+    assert!(samples > 0, "{prom_body}");
+    assert!(prom_body.contains("# TYPE dmpim_serve_completed counter"), "{prom_body}");
+    assert!(prom_body.contains("# TYPE dmpim_serve_attempts counter"), "{prom_body}");
+    assert!(prom_body.contains("# TYPE dmpim_serve_in_flight gauge"), "{prom_body}");
+    assert!(prom_body.contains("# TYPE dmpim_serve_job_wall_ms histogram"), "{prom_body}");
+    assert!(prom_body.contains("dmpim_serve_job_wall_ms_bucket{le=\"+Inf\"} 10"), "{prom_body}");
+    assert!(prom_body.contains("dmpim_serve_job_wall_ms_count 10"), "{prom_body}");
 
     let mut http = TcpStream::connect(&addr).unwrap();
     http.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
     let mut health = String::new();
     http.read_to_string(&mut health).unwrap();
     assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
-    assert!(health.contains("ok"), "{health}");
+    assert!(health.contains("\"state\":\"ok\""), "{health}");
+    assert!(health.contains("Content-Type: application/json\r\n"), "{health}");
 
     let mut http = TcpStream::connect(&addr).unwrap();
     http.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();

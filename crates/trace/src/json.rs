@@ -89,6 +89,79 @@ impl JsonValue {
         }
     }
 
+    /// Parse a JSON document produced by this writer (or any standard
+    /// JSON text). Numbers parse as `U64`/`I64` when they are integral
+    /// and fit, `F64` otherwise; exponent notation is accepted on input
+    /// even though the writer never emits it.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first syntax error, with its byte
+    /// offset. Trailing non-whitespace after the document is an error.
+    pub fn parse(text: &str) -> Result<Self, JsonParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonParseError { at: pos, what: "trailing characters" });
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 (integers widen; `None` for non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::I64(v) => Some(*v as f64),
+            JsonValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 (`None` for non-integers and negatives).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            JsonValue::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value's elements (`None` for non-arrays).
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields (`None` for non-objects).
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Append the compact rendering to `out`.
     pub fn write(&self, out: &mut String) {
         match self {
@@ -126,6 +199,205 @@ impl JsonValue {
             }
         }
     }
+}
+
+/// The first syntax error hit by [`JsonValue::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the error in the input.
+    pub at: usize,
+    /// What the parser expected or rejected.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8, what: &'static str) -> Result<(), JsonParseError> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonParseError { at: *pos, what })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonParseError { at: *pos, what: "unexpected end of input" }),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    JsonValue::Str(s) => s,
+                    _ => return Err(JsonParseError { at: *pos, what: "expected string key" }),
+                };
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':', "expected ':'")?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(JsonParseError { at: *pos, what: "expected ',' or '}'" }),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(JsonParseError { at: *pos, what: "expected ',' or ']'" }),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &'static str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonParseError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonParseError { at: *pos, what: "invalid literal" })
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
+    expect(bytes, pos, b'"', "expected '\"'")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonParseError { at: *pos, what: "unterminated string" }),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonParseError { at: *pos, what: "invalid \\u escape" })?;
+                        // Surrogate pairs are not emitted by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonParseError { at: *pos, what: "invalid escape" }),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so offsets
+                // at char boundaries are safe to slice).
+                let rest = &bytes[*pos..];
+                let s = std::str::from_utf8(rest)
+                    .map_err(|_| JsonParseError { at: *pos, what: "invalid utf-8" })?;
+                let c = s
+                    .chars()
+                    .next()
+                    .ok_or(JsonParseError { at: *pos, what: "unterminated string" })?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonParseError { at: start, what: "invalid number" })?;
+    if text.is_empty() || text == "-" {
+        return Err(JsonParseError { at: start, what: "expected a value" });
+    }
+    if !float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::U64(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(JsonValue::I64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::F64)
+        .map_err(|_| JsonParseError { at: start, what: "invalid number" })
 }
 
 /// Write `s` as a JSON string literal (quotes, escapes) into `out`.
@@ -256,5 +528,56 @@ mod tests {
     fn set_and_push_ignore_wrong_variants() {
         assert_eq!(JsonValue::Null.set("k", 1u64), JsonValue::Null);
         assert_eq!(JsonValue::Null.push(1u64), JsonValue::Null);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = JsonValue::object()
+            .set("name", "pim \"quoted\"\n")
+            .set("n", 3u64)
+            .set("neg", -7i64)
+            .set("ok", true)
+            .set("ratio", 0.52734375)
+            .set("items", JsonValue::array().push(1u64).push(JsonValue::Null))
+            .set("nested", JsonValue::object().set("k", 2.5));
+        let parsed = JsonValue::parse(&v.render()).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(parsed.render(), v.render());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_exponents() {
+        let v = JsonValue::parse(" { \"a\" : [ 1e3 , -2.5E-1 ] }\n").unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1000.0));
+        assert_eq!(arr[1].as_f64(), Some(-0.25));
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::U64(42));
+        assert_eq!(JsonValue::parse("-42").unwrap(), JsonValue::I64(-42));
+        assert_eq!(JsonValue::parse("42.5").unwrap(), JsonValue::F64(42.5));
+        assert_eq!(JsonValue::parse("42").unwrap().as_f64(), Some(42.0));
+        assert_eq!(JsonValue::parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "{\"a\":1,}", "truex", "1 2", "\"open"] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = r#"{"wall_ms":12.5,"experiments":[{"id":"a","wall_ms":3}]}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        assert_eq!(v.get("wall_ms").unwrap().as_f64(), Some(12.5));
+        let exps = v.get("experiments").unwrap().as_array().unwrap();
+        assert_eq!(exps[0].get("id").unwrap().as_str(), Some("a"));
+        assert_eq!(exps[0].get("wall_ms").unwrap().as_u64(), Some(3));
+        assert_eq!(v.as_object().unwrap().len(), 2);
+        assert!(v.get("missing").is_none());
     }
 }

@@ -52,7 +52,7 @@ pub mod metrics;
 pub mod tracer;
 
 pub use event::{ArgValue, EventKind, TraceEvent, TrackId};
-pub use json::JsonValue;
+pub use json::{JsonParseError, JsonValue};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport};
 pub use tracer::Tracer;
 

@@ -350,4 +350,68 @@ mod tests {
         r.observe("lat", 2);
         assert_eq!(r.snapshot().histograms["lat"].bounds, vec![1, 2, 3]);
     }
+
+    #[test]
+    fn every_default_bound_is_an_inclusive_upper_edge() {
+        // A value exactly on a bound must land in that bound's bucket,
+        // and bound+1 must land in the next one.
+        for (i, &bound) in DEFAULT_BOUNDS.iter().enumerate() {
+            let mut h = Histogram::default();
+            h.observe(bound);
+            h.observe(bound + 1);
+            let s = h.snapshot();
+            assert_eq!(s.counts[i], 1, "bound {bound} not inclusive");
+            assert_eq!(s.counts[i + 1], 1, "bound {bound}+1 in wrong bucket");
+            assert_eq!(s.count, 2);
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_catches_everything_past_the_last_bound() {
+        let last = *DEFAULT_BOUNDS.last().unwrap();
+        let mut h = Histogram::default();
+        h.observe(last); // last real bucket
+        h.observe(last + 1); // first overflow value
+        h.observe(u64::MAX); // extreme overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts.len(), DEFAULT_BOUNDS.len() + 1);
+        assert_eq!(s.counts[DEFAULT_BOUNDS.len() - 1], 1);
+        assert_eq!(s.counts[DEFAULT_BOUNDS.len()], 2, "overflow bucket");
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn observed_sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::with_bounds(&[10]);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn zero_value_lands_in_the_first_bucket() {
+        let mut h = Histogram::default();
+        h.observe(0);
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_bucket_structure() {
+        let mut h = Histogram::with_bounds(&[10, 100]);
+        h.observe(10);
+        h.observe(1_000);
+        let rendered = h.snapshot().to_json_value().render();
+        let v = JsonValue::parse(&rendered).unwrap();
+        let bounds: Vec<u64> =
+            v.get("bounds").unwrap().as_array().unwrap().iter().map(|b| b.as_u64().unwrap()).collect();
+        let counts: Vec<u64> =
+            v.get("counts").unwrap().as_array().unwrap().iter().map(|c| c.as_u64().unwrap()).collect();
+        assert_eq!(bounds, vec![10, 100]);
+        assert_eq!(counts, vec![1, 0, 1]);
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(2));
+    }
 }

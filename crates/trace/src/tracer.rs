@@ -306,6 +306,29 @@ mod tests {
     }
 
     #[test]
+    fn dropped_counter_survives_export_round_trip() {
+        // The 4M default cap is too big to exercise directly; a tracer
+        // with a tiny cap proves the same path: events past the cap are
+        // counted, and the count survives a chrome-trace export/parse
+        // round trip as machine-readable metadata.
+        let t = Tracer::with_max_events(3);
+        let track = t.track("x");
+        for i in 0..10 {
+            t.complete(track, "e", i, 1);
+        }
+        assert_eq!(t.dropped_events(), 7);
+        let doc = crate::JsonValue::parse(&t.chrome_trace()).expect("valid trace json");
+        assert_eq!(doc.get("otherData").unwrap().get("droppedEvents").unwrap().as_u64(), Some(7));
+        // 3 surviving events + process_name + thread_name/thread_sort_index.
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 3 + 3);
+        // An uncapped tracer emits no droppedEvents key at all.
+        let clean = Tracer::new();
+        clean.instant(clean.track("y"), "e", 0);
+        let doc = crate::JsonValue::parse(&clean.chrome_trace()).unwrap();
+        assert!(doc.get("otherData").is_none_or(|o| o.get("droppedEvents").is_none()));
+    }
+
+    #[test]
     fn none_track_events_are_ignored() {
         let t = Tracer::new();
         t.complete(TrackId::NONE, "ghost", 0, 1);

@@ -23,6 +23,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> trace-overhead bench (smoke)"
 cargo bench -q -p pim-bench --bench trace_overhead -- --smoke
 
+echo "==> profiler-overhead bench (smoke)"
+cargo bench -q -p pim-bench --bench profiler_overhead -- --smoke
+
 echo "==> harness selftest (injected panic + hung simulation)"
 # Small supervised sweep: two real kernel jobs, one injected panic, one
 # watchdog-tripped runaway. The binary exits non-zero unless the failure
@@ -41,9 +44,10 @@ echo "==> perf smoke: repro --json scorecard drift gate"
 # timing fields move run to run by design; the simulated results must
 # not — the access fast path and any future perf work are held to
 # bit-identical scorecards.
-committed=$(git show HEAD:BENCH_repro.json 2>/dev/null | grep '"scorecard"' || true)
+# (The colon keeps the newer "scorecard_summary" line out of the match.)
+committed=$(git show HEAD:BENCH_repro.json 2>/dev/null | grep '"scorecard":' || true)
 cargo run -q --release -p pim-bench --bin repro -- --json >/dev/null
-current=$(grep '"scorecard"' BENCH_repro.json)
+current=$(grep '"scorecard":' BENCH_repro.json)
 if [[ -n "$committed" && "$committed" != "$current" ]]; then
     echo "perf smoke: scorecard drifted from committed BENCH_repro.json"
     echo "committed: $committed"
@@ -51,6 +55,40 @@ if [[ -n "$committed" && "$committed" != "$current" ]]; then
     exit 1
 fi
 grep -o '"wall_ms": [0-9]*' BENCH_repro.json | head -1
+
+echo "==> explain: attribution sweep + share-partition gate"
+# Regenerates BENCH_explain.json and requires every record's cycle- and
+# energy-share vector to sum to 1 (the attribution must be a true
+# partition of the modeled cost), plus a named dominant component in the
+# headline-gap prose.
+explain_out=$(cargo run -q --release -p pim-bench --bin repro -- --explain)
+echo "$explain_out" | grep -q 'dominant component:' || { echo "explain: missing dominant component"; exit 1; }
+python3 - <<'EOF'
+import json
+doc = json.load(open('BENCH_explain.json'))
+for r in doc['records']:
+    for key in ('cycle_ps', 'energy_pj'):
+        lanes = {k: v for k, v in r[key].items() if k != 'total'}
+        total = sum(lanes.values())
+        if total <= 0:
+            raise SystemExit(f"explain: {r['kernel']}/{r['mode']} {key} total {total}")
+        share_sum = sum(v / total for v in lanes.values())
+        if abs(share_sum - 1.0) > 1e-9:
+            raise SystemExit(f"explain: {r['kernel']}/{r['mode']} {key} shares sum {share_sum}")
+        if 'total' in r[key] and abs(r[key]['total'] - total) > 1e-6 * max(total, 1.0):
+            raise SystemExit(f"explain: {r['kernel']}/{r['mode']} {key} total field disagrees")
+print(f"explain: {len(doc['records'])} records, shares partition to 1.0")
+EOF
+
+echo "==> perf gate: history vs committed BENCH_baseline.json"
+# The --json run above appended this run's timings to BENCH_history.jsonl;
+# gate on the median of the recent window (machine-speed corrected,
+# warn >10%, fail >25%, noise floor 50 ms).
+if [[ -f BENCH_baseline.json ]]; then
+    cargo run -q --release -p pim-bench --bin repro -- --perf-gate
+else
+    echo "perf gate: no BENCH_baseline.json committed yet; skipping"
+fi
 
 echo "==> chaos smoke: SIGKILL recovery + seeded fault matrix (smoke seeds)"
 scripts/chaos_smoke.sh

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf-regression gate: median-of-3 `repro --json` sweeps against the
+# committed BENCH_baseline.json budgets.
+#
+#   scripts/perf_gate.sh            # 3 fresh runs, then gate
+#   scripts/perf_gate.sh --reuse    # gate the existing BENCH_history.jsonl
+#   scripts/perf_gate.sh --rebase   # 3 fresh runs, rewrite the baseline
+#
+# Each `repro --json` run appends one compact timing line to
+# BENCH_history.jsonl; `repro --perf-gate` medians the newest three and
+# compares per-experiment wall times with the baseline, corrected by the
+# overall machine-speed ratio (so a slower CI host shifts no verdicts).
+# Soft threshold +10% prints a `::warning::` annotation; hard threshold
+# +25% fails; baselines under 50 ms are jitter and skipped.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-run}"
+
+if [[ "$mode" != "--reuse" ]]; then
+    # Fresh history: three runs so one noisy sample cannot move the median.
+    rm -f BENCH_history.jsonl
+    for i in 1 2 3; do
+        echo "==> perf gate: timing run $i/3"
+        cargo run -q --release -p pim-bench --bin repro -- --json >/dev/null
+    done
+fi
+
+if [[ "$mode" == "--rebase" ]]; then
+    # The baseline is the median run verbatim: pick the history line whose
+    # total is the median of the three.
+    python3 - <<'EOF'
+import json
+runs = [json.loads(l) for l in open('BENCH_history.jsonl') if l.strip()]
+runs.sort(key=lambda r: r['wall_ms'])
+base = runs[len(runs) // 2]
+doc = {'wall_ms': base['wall_ms'],
+       'experiments': [{'id': e['id'], 'wall_ms': e['wall_ms']} for e in base['experiments']]}
+open('BENCH_baseline.json', 'w').write(json.dumps(doc, indent=2) + '\n')
+print('rebased BENCH_baseline.json: total', base['wall_ms'], 'ms,',
+      len(base['experiments']), 'experiments')
+EOF
+    exit 0
+fi
+
+echo "==> perf gate: evaluating against BENCH_baseline.json"
+cargo run -q --release -p pim-bench --bin repro -- --perf-gate
