@@ -40,6 +40,24 @@
 //! budgets: machine-speed-corrected, warn >10%, fail >25%, noise floor
 //! 50 ms (see `scripts/perf_gate.sh`).
 //!
+//! Fleet mode (see `DESIGN.md` §4i):
+//!
+//! ```text
+//! cargo run -p pim-bench --release --bin repro -- --fleet \
+//!     --devices 1000000 --seed 7 --jobs 4 --fleet-checkpoint fleet.ckpt
+//! ```
+//!
+//! `--fleet` sweeps a deterministically sampled device population
+//! (DRAM class, cache size, thermal envelope, fault rate, workload mix)
+//! through the analytic energy model, folding results into
+//! constant-memory sketches. `--fleet-checkpoint` makes the sweep
+//! crash-safe: every folded batch is persisted atomically and a killed
+//! run resumes to a byte-identical `BENCH_fleet.json`. `--mem-budget`
+//! caps resident sketch state (resolution degrades, recorded in the
+//! report, instead of OOM-ing); `--fleet-offset` replays a quarantined
+//! shard's device range in isolation. Wall time feeds the perf gate as
+//! the `fleet-sweep` experiment.
+//!
 //! Service mode (see `DESIGN.md` §4f):
 //!
 //! ```text
@@ -72,6 +90,15 @@ struct Cli {
     profile: bool,
     perf_gate: bool,
     selftest: bool,
+    fleet: bool,
+    devices: u64,
+    seed: u64,
+    shard_size: u64,
+    mem_budget: u64,
+    fleet_checkpoint: Option<String>,
+    fleet_offset: u64,
+    fleet_fail_every: Option<u64>,
+    fleet_shard_delay_ms: u64,
     experiment: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
@@ -94,6 +121,15 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         profile: false,
         perf_gate: false,
         selftest: false,
+        fleet: false,
+        devices: 100_000,
+        seed: 7,
+        shard_size: 1_000,
+        mem_budget: 64 << 20,
+        fleet_checkpoint: None,
+        fleet_offset: 0,
+        fleet_fail_every: None,
+        fleet_shard_delay_ms: 0,
         experiment: None,
         trace: None,
         metrics: None,
@@ -116,6 +152,61 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--profile" => cli.profile = true,
             "--perf-gate" => cli.perf_gate = true,
             "--selftest-harness" => cli.selftest = true,
+            "--fleet" => cli.fleet = true,
+            "--devices" => {
+                let n = it.next().ok_or("--devices needs a count")?;
+                cli.devices = n
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--devices needs a positive integer, got {n}"))?;
+            }
+            "--seed" => {
+                let n = it.next().ok_or("--seed needs a value")?;
+                cli.seed =
+                    n.parse::<u64>().map_err(|_| format!("--seed needs an integer, got {n}"))?;
+            }
+            "--shard-size" => {
+                let n = it.next().ok_or("--shard-size needs a count")?;
+                cli.shard_size = n
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--shard-size needs a positive integer, got {n}"))?;
+            }
+            "--mem-budget" => {
+                let n = it.next().ok_or("--mem-budget needs bytes")?;
+                cli.mem_budget = n
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--mem-budget needs a byte count, got {n}"))?;
+            }
+            "--fleet-checkpoint" => {
+                cli.fleet_checkpoint =
+                    Some(it.next().ok_or("--fleet-checkpoint needs a path")?.clone());
+            }
+            "--fleet-offset" => {
+                let n = it.next().ok_or("--fleet-offset needs a device index")?;
+                cli.fleet_offset = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("--fleet-offset needs an integer, got {n}"))?;
+            }
+            "--fleet-fail-every" => {
+                let n = it.next().ok_or("--fleet-fail-every needs a shard count")?;
+                cli.fleet_fail_every = Some(
+                    n.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("--fleet-fail-every needs a positive integer, got {n}"))?,
+                );
+            }
+            "--fleet-shard-delay-ms" => {
+                let n = it.next().ok_or("--fleet-shard-delay-ms needs milliseconds")?;
+                cli.fleet_shard_delay_ms = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("--fleet-shard-delay-ms needs an integer, got {n}"))?;
+            }
             "--experiment" => {
                 cli.experiment =
                     Some(it.next().ok_or("--experiment needs an id")?.clone());
@@ -214,7 +305,10 @@ fn main() -> ExitCode {
                  [--journal <path> | --resume <path>] [--fsync off|data|full]\n\
                  \x20      repro --serve <addr> [--jobs <n>] [--journal <path>] \
                  [--quota <n>] [--queue-depth <n>] [--fsync off|data|full]\n\
-                 \x20      repro --connect <addr> [--drain]"
+                 \x20      repro --connect <addr> [--drain]\n\
+                 \x20      repro --fleet [--devices <n>] [--seed <n>] [--shard-size <n>] \
+                 [--jobs <n>] [--mem-budget <bytes>] [--fleet-checkpoint <path>] \
+                 [--fleet-offset <n>]"
             );
             return ExitCode::FAILURE;
         }
@@ -242,6 +336,10 @@ fn main() -> ExitCode {
 fn dispatch(cli: &Cli, profiler: &pim_obs::Profiler) -> ExitCode {
     if cli.perf_gate {
         return perf_gate();
+    }
+
+    if cli.fleet {
+        return fleet(cli, profiler);
     }
 
     if cli.explain {
@@ -325,6 +423,41 @@ fn dispatch(cli: &Cli, profiler: &pim_obs::Profiler) -> ExitCode {
     }
 
     all_experiments(cli, profiler)
+}
+
+/// `--fleet`: the crash-safe population sweep (see `DESIGN.md` §4i).
+/// Writes the deterministic `BENCH_fleet.json` report and appends a
+/// `fleet-sweep` timing line for the perf gate.
+fn fleet(cli: &Cli, profiler: &pim_obs::Profiler) -> ExitCode {
+    let opts = pim_bench::fleet_cli::FleetOptions {
+        devices: cli.devices,
+        seed: cli.seed,
+        offset: cli.fleet_offset,
+        shard_size: cli.shard_size,
+        workers: cli.jobs,
+        mem_budget_bytes: cli.mem_budget,
+        checkpoint: cli.fleet_checkpoint.as_ref().map(std::path::PathBuf::from),
+        fail_every: cli.fleet_fail_every,
+        shard_delay_ms: cli.fleet_shard_delay_ms,
+        ..pim_bench::fleet_cli::FleetOptions::default()
+    };
+    let outcome = {
+        let _scope = profiler.scope("repro/fleet/sweep");
+        match pim_bench::fleet_cli::run_fleet_cli(&opts) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("fleet sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if !outcome.state.quarantined.is_empty() {
+        eprintln!(
+            "fleet: {} shard(s) quarantined (replay seeds in BENCH_fleet.json)",
+            outcome.state.quarantined.len()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// `--perf-gate`: compare the recent `BENCH_history.jsonl` window

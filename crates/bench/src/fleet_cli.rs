@@ -1,0 +1,274 @@
+//! `repro --fleet`: the crash-safe population-sweep front end.
+//!
+//! Runs [`pim_fleet::run_fleet`] over a deterministically sampled device
+//! population, prints the human summary (energy-reduction distribution,
+//! the paper's ≥40% headline share, regression attribution, quarantined
+//! shards with replay commands), writes the deterministic report to
+//! `BENCH_fleet.json`, and appends a `fleet-sweep` line to
+//! `BENCH_history.jsonl` so `repro --perf-gate` budgets fleet wall time
+//! alongside the kernel experiments.
+//!
+//! The report document is a pure function of the sweep key: wall times
+//! and runtime counters (resumed shards, checkpoint writes) go to stderr
+//! only, so a killed-and-resumed sweep writes a byte-identical
+//! `BENCH_fleet.json` to an uninterrupted one.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pim_fleet::{fleet_report, run_fleet, FleetConfig, FleetError, FleetOutcome};
+use pim_trace::{JsonValue, Tracer};
+
+/// CLI-shaped knobs for a fleet sweep.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Devices to sweep (`--devices`).
+    pub devices: u64,
+    /// Population seed (`--seed`).
+    pub seed: u64,
+    /// First absolute device index (`--fleet-offset`, for shard replay).
+    pub offset: u64,
+    /// Devices per shard (`--shard-size`).
+    pub shard_size: u64,
+    /// Harness workers (`--jobs`).
+    pub workers: usize,
+    /// Soft sketch memory budget in bytes (`--mem-budget`).
+    pub mem_budget_bytes: u64,
+    /// Checkpoint path (`--fleet-checkpoint`); also read on resume.
+    pub checkpoint: Option<PathBuf>,
+    /// Fault-injection knob: every n-th shard times out (`--fleet-fail-every`).
+    pub fail_every: Option<u64>,
+    /// Per-shard delay so kill tests can land mid-run
+    /// (`--fleet-shard-delay-ms`).
+    pub shard_delay_ms: u64,
+    /// Deterministic report output path.
+    pub report_path: PathBuf,
+    /// History file for the perf gate; `None` skips the append.
+    pub history_path: Option<PathBuf>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            devices: 100_000,
+            seed: 7,
+            offset: 0,
+            shard_size: 1_000,
+            workers: 1,
+            mem_budget_bytes: 64 << 20,
+            checkpoint: None,
+            fail_every: None,
+            shard_delay_ms: 0,
+            report_path: PathBuf::from("BENCH_fleet.json"),
+            history_path: Some(PathBuf::from("BENCH_history.jsonl")),
+        }
+    }
+}
+
+/// Human rendering of the deterministic report (stdout).
+pub fn fleet_text(report: &JsonValue) -> String {
+    let mut out = String::new();
+    let get = |o: &JsonValue, k: &str| o.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    let geti = |o: &JsonValue, k: &str| {
+        o.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0)
+    };
+    let pop = report.get("population").cloned().unwrap_or_else(JsonValue::object);
+    let _ = writeln!(
+        out,
+        "fleet sweep: {} devices (seed {}, offset {}, {} shards of {})",
+        get(&pop, "devices"),
+        get(&pop, "seed"),
+        get(&pop, "offset"),
+        get(&pop, "shards"),
+        get(&pop, "shard_size"),
+    );
+    let done = get(report, "devices_done");
+    let _ = writeln!(
+        out,
+        "  aggregated {} devices across {} completed shards ({} quarantined)",
+        done,
+        get(&pop, "completed_shards"),
+        get(&pop, "quarantined_shards"),
+    );
+    if let Some(bp) = report.get("energy_reduction_bp") {
+        let pct = |k: &str| geti(bp, k) / 100.0;
+        let _ = writeln!(
+            out,
+            "  energy reduction: mean {:.1}%, p10 {:.1}%, p50 {:.1}%, p90 {:.1}%, p99 {:.1}%",
+            pct("mean"),
+            pct("p10"),
+            pct("p50"),
+            pct("p90"),
+            pct("p99"),
+        );
+    }
+    let ge40 = get(report, "devices_ge_40pct_reduction");
+    let regressed = get(report, "devices_regressed");
+    if done > 0 {
+        let _ = writeln!(
+            out,
+            "  >=40% reduction: {} devices ({:.1}%); regressed under PIM: {} ({:.2}%)",
+            ge40,
+            ge40 as f64 * 100.0 / done as f64,
+            regressed,
+            regressed as f64 * 100.0 / done as f64,
+        );
+    }
+    if let Some(attr) = report.get("regression_attribution").and_then(JsonValue::as_array) {
+        if !attr.is_empty() {
+            let _ = writeln!(out, "  regression attribution (count-min, over-counts only):");
+            for t in attr.iter().take(6) {
+                let _ = writeln!(
+                    out,
+                    "    {:<16} ~{} regressed devices",
+                    t.get("token").and_then(JsonValue::as_str).unwrap_or("?"),
+                    get(t, "regressions_est"),
+                );
+            }
+        }
+    }
+    if let Some(q) = report.get("quarantined").and_then(JsonValue::as_array) {
+        for rec in q {
+            let _ = writeln!(
+                out,
+                "  quarantined shard {} (devices {}..+{}, seed {}, {}): replay with `{}`",
+                get(rec, "shard"),
+                get(rec, "start"),
+                get(rec, "devices"),
+                get(rec, "seed"),
+                rec.get("error_label").and_then(JsonValue::as_str).unwrap_or("?"),
+                rec.get("replay").and_then(JsonValue::as_str).unwrap_or("?"),
+            );
+        }
+    }
+    out
+}
+
+/// Run the sweep, write artifacts, and return the outcome for exit-code
+/// logic. Errors are strings ready for `eprintln!`.
+pub fn run_fleet_cli(opts: &FleetOptions) -> Result<FleetOutcome, String> {
+    let t0 = Instant::now();
+    let cfg = FleetConfig {
+        seed: opts.seed,
+        devices: opts.devices,
+        offset: opts.offset,
+        shard_size: opts.shard_size.max(1),
+        workers: opts.workers.max(1),
+        mem_budget_bytes: opts.mem_budget_bytes,
+        checkpoint: opts.checkpoint.clone(),
+        checkpoint_chaos: None,
+        stop_after_shards: None,
+        fail_shard_every: opts.fail_every,
+        shard_delay_ms: opts.shard_delay_ms,
+    };
+    let tracer = Tracer::disabled();
+    let outcome = run_fleet(&cfg, &tracer).map_err(|e| match e {
+        FleetError::Mismatch(what) => format!(
+            "{what}\n(the checkpoint belongs to a different sweep; \
+             delete it or match its parameters)"
+        ),
+        other => other.to_string(),
+    })?;
+    let wall_ms = t0.elapsed().as_millis() as u64;
+
+    let report = fleet_report(&outcome.state);
+    print!("{}", fleet_text(&report));
+    let mut doc = report.render_pretty();
+    doc.push('\n');
+    std::fs::write(&opts.report_path, doc)
+        .map_err(|e| format!("failed to write {}: {e}", opts.report_path.display()))?;
+
+    // Runtime counters are stderr-only: the report file stays a pure
+    // function of the sweep key so kill+resume is byte-identical.
+    eprintln!(
+        "wrote {} ({wall_ms} ms; {} shards this run, {} resumed, {} checkpoints written, {} dropped{})",
+        opts.report_path.display(),
+        outcome.processed_shards,
+        outcome.resumed_shards,
+        outcome.checkpoint_writes,
+        outcome.checkpoint_dropped,
+        if outcome.recovered_from_corrupt_checkpoint { ", recovered from corrupt checkpoint" } else { "" },
+    );
+
+    if let Some(history) = &opts.history_path {
+        let line = crate::perf_gate::history_line(
+            wall_ms,
+            &[("fleet-sweep".to_string(), wall_ms, 1)],
+        );
+        use std::io::Write as _;
+        let append = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(e) = append {
+            eprintln!("failed to append {}: {e}", history.display());
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pim-fleet-cli-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn cli_run_writes_deterministic_report_and_history_line() {
+        let report_a = temp("rep-a.json");
+        let report_b = temp("rep-b.json");
+        let hist = temp("hist.jsonl");
+        let _ = std::fs::remove_file(&hist);
+        let opts = FleetOptions {
+            devices: 1_000,
+            shard_size: 100,
+            workers: 2,
+            report_path: report_a.clone(),
+            history_path: Some(hist.clone()),
+            ..FleetOptions::default()
+        };
+        run_fleet_cli(&opts).unwrap();
+        run_fleet_cli(&FleetOptions { report_path: report_b.clone(), ..opts }).unwrap();
+        assert_eq!(
+            std::fs::read(&report_a).unwrap(),
+            std::fs::read(&report_b).unwrap(),
+            "same sweep key must write byte-identical reports"
+        );
+        let hist_text = std::fs::read_to_string(&hist).unwrap();
+        assert_eq!(hist_text.lines().count(), 2);
+        for line in hist_text.lines() {
+            let parsed = crate::perf_gate::RunTiming::parse(line).unwrap();
+            assert_eq!(parsed.experiments.len(), 1);
+            assert_eq!(parsed.experiments[0].0, "fleet-sweep");
+        }
+        for p in [&report_a, &report_b, &hist] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn fleet_text_mentions_quarantine_replay() {
+        let report_path = temp("quarantine.json");
+        let opts = FleetOptions {
+            devices: 1_000,
+            shard_size: 100,
+            workers: 2,
+            fail_every: Some(5),
+            report_path: report_path.clone(),
+            history_path: None,
+            ..FleetOptions::default()
+        };
+        let outcome = run_fleet_cli(&opts).unwrap();
+        assert_eq!(outcome.state.quarantined.len(), 2);
+        let text = fleet_text(&fleet_report(&outcome.state));
+        assert!(text.contains("quarantined shard"), "{text}");
+        assert!(text.contains("--fleet-offset"), "{text}");
+        let _ = std::fs::remove_file(&report_path);
+    }
+}

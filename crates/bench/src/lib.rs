@@ -10,6 +10,7 @@ use pim_core::DmpimError;
 pub mod ablate_exp;
 pub mod chrome_exp;
 pub mod explain;
+pub mod fleet_cli;
 pub mod jobs;
 pub mod obs;
 pub mod perf_gate;

@@ -180,12 +180,42 @@ fn median(mut xs: Vec<u64>) -> u64 {
     }
 }
 
-/// Compare the newest `config.window` history entries against the
-/// baseline.
+/// Compare the newest history entries against the baseline.
+///
+/// The history is heterogeneous: `repro --json` appends full scorecard
+/// lines while `repro --fleet` appends single-experiment fleet lines.
+/// Totals are only comparable between runs that did comparable work, so
+/// the machine-speed correction is computed from the newest
+/// `config.window` **scale-comparable** lines — those containing at
+/// least half of the baseline's experiment ids. Per-experiment samples
+/// are drawn from the newest `config.window` lines *containing that
+/// experiment*, wherever they sit in the file, so a burst of fleet runs
+/// neither skews the kernel budgets nor starves the fleet budget of
+/// samples. Homogeneous histories behave exactly as before.
 pub fn evaluate(history: &[RunTiming], baseline: &RunTiming, config: &GateConfig) -> GateReport {
-    let window: Vec<&RunTiming> =
-        history.iter().rev().take(config.window.max(1)).collect();
-    let median_total_ms = median(window.iter().map(|r| r.total_ms).collect());
+    let window = config.window.max(1);
+    let need = baseline.experiments.len().div_ceil(2).max(1);
+    let comparable: Vec<&RunTiming> = history
+        .iter()
+        .rev()
+        .filter(|r| {
+            baseline
+                .experiments
+                .iter()
+                .filter(|(id, _)| r.experiments.iter().any(|(n, _)| n == id))
+                .count()
+                >= need
+        })
+        .take(window)
+        .collect();
+    // Degenerate histories (no comparable line at all) fall back to the
+    // raw newest window rather than a dead gate.
+    let scale_window: Vec<&RunTiming> = if comparable.is_empty() {
+        history.iter().rev().take(window).collect()
+    } else {
+        comparable
+    };
+    let median_total_ms = median(scale_window.iter().map(|r| r.total_ms).collect());
     let machine_scale = if baseline.total_ms == 0 {
         1.0
     } else {
@@ -193,11 +223,13 @@ pub fn evaluate(history: &[RunTiming], baseline: &RunTiming, config: &GateConfig
     };
     let mut findings = Vec::new();
     for (id, baseline_ms) in &baseline.experiments {
-        let samples: Vec<u64> = window
+        let samples: Vec<u64> = history
             .iter()
+            .rev()
             .filter_map(|r| {
                 r.experiments.iter().find(|(n, _)| n == id).map(|&(_, ms)| ms)
             })
+            .take(window)
             .collect();
         let mut f = Finding {
             id: id.clone(),
@@ -224,7 +256,7 @@ pub fn evaluate(history: &[RunTiming], baseline: &RunTiming, config: &GateConfig
         findings.push(f);
     }
     GateReport {
-        runs_used: window.len(),
+        runs_used: scale_window.len(),
         baseline_total_ms: baseline.total_ms,
         median_total_ms,
         machine_scale,
@@ -369,6 +401,58 @@ mod tests {
         assert_eq!(a.verdict, Verdict::Warn, "{report:?}");
         assert!(report.passed());
         assert!(report.render().contains("::warning::"), "{}", report.render());
+    }
+
+    #[test]
+    fn fleet_only_lines_do_not_skew_the_machine_scale() {
+        // Two fleet runs land after the last scorecard run. The old gate
+        // took the raw newest window — median total 100 ms → machine
+        // scale 0.1 → every kernel "regresses" 10x. The hardened gate
+        // computes the scale only from scale-comparable lines and samples
+        // each experiment from the newest lines containing it.
+        let baseline = run(1000, &[("a", 600), ("b", 400)]);
+        let history = vec![
+            run(1010, &[("a", 605), ("b", 405)]),
+            run(100, &[("fleet-sweep", 100)]),
+            run(110, &[("fleet-sweep", 110)]),
+        ];
+        let report = evaluate(&history, &baseline, &GateConfig::default());
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.median_total_ms, 1010, "scale from the scorecard line only");
+        let a = report.findings.iter().find(|f| f.id == "a").unwrap();
+        assert_eq!(a.verdict, Verdict::Ok, "{}", report.render());
+        assert_eq!(a.median_ms, 605, "sampled from the line that contains it");
+    }
+
+    #[test]
+    fn fleet_budget_is_sampled_from_fleet_lines() {
+        let baseline = run(1000, &[("a", 500), ("b", 350), ("fleet-sweep", 150)]);
+        let history = vec![
+            run(1000, &[("a", 500), ("b", 350)]),
+            run(160, &[("fleet-sweep", 155)]),
+            run(1010, &[("a", 505), ("b", 355)]),
+        ];
+        let report = evaluate(&history, &baseline, &GateConfig::default());
+        let fleet = report.findings.iter().find(|f| f.id == "fleet-sweep").unwrap();
+        assert_eq!(fleet.verdict, Verdict::Ok, "{}", report.render());
+        assert_eq!(fleet.median_ms, 155);
+        // And a genuine fleet regression still fails.
+        let bad = vec![
+            run(1000, &[("a", 500), ("b", 350)]),
+            run(400, &[("fleet-sweep", 400)]),
+        ];
+        let report = evaluate(&bad, &baseline, &GateConfig::default());
+        let fleet = report.findings.iter().find(|f| f.id == "fleet-sweep").unwrap();
+        assert_eq!(fleet.verdict, Verdict::Fail, "{}", report.render());
+    }
+
+    #[test]
+    fn history_with_no_comparable_lines_falls_back_to_raw_window() {
+        let baseline = run(1000, &[("a", 600), ("b", 400)]);
+        let history = vec![run(1000, &[("other", 1000)])];
+        let report = evaluate(&history, &baseline, &GateConfig::default());
+        assert_eq!(report.runs_used, 1);
+        assert!(report.passed(), "missing data skips, never fails: {}", report.render());
     }
 
     #[test]

@@ -1,0 +1,649 @@
+//! The fleet sweep orchestrator.
+//!
+//! A sweep partitions the device population into contiguous shards,
+//! streams bounded batches of shard jobs through the `pim-harness`
+//! worker pool, and folds each shard's sketch summary into the global
+//! [`FleetState`] **in shard-index order** — the one fold order that,
+//! combined with exact integer sketch merges, makes the final state a
+//! pure function of `(seed, devices, offset, shard_size, sketch
+//! geometry)` regardless of worker count, batching, crashes, or resumes.
+//!
+//! Robustness properties:
+//!
+//! * After every folded batch the full state is checkpointed atomically
+//!   ([`crate::checkpoint`]); a SIGKILL loses at most one batch of work
+//!   and a resume replays exactly the missing shards.
+//! * Shards that panic or time out are retried by the harness and then
+//!   **quarantined**: recorded with their replayable seed and device
+//!   range, excluded from aggregation, and reported — one bricked
+//!   configuration cannot sink a million-device sweep.
+//! * A soft memory budget degrades sketch resolution (recorded in the
+//!   report as `degraded_steps`) instead of OOM-ing.
+//! * Checkpoint write failures (disk full, torn tmp write) degrade —
+//!   the sweep keeps computing with a stale checkpoint — rather than
+//!   abort.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use pim_chaos::ChaosConfig;
+use pim_energy::EnergyParams;
+use pim_faults::DmpimError;
+use pim_harness::{Harness, HarnessPolicy, Job, JobStatus};
+use pim_trace::{JsonValue, Tracer};
+
+use crate::checkpoint::{load_checkpoint, write_checkpoint, FleetState, QuarantineRecord, SweepKey};
+use crate::profile::{energy_reduction_shifted_bp, sample_profile, shifted_to_signed_bp, token_vocabulary};
+use crate::sketch::{CountMinSketch, FixedHistogram, QuantileSketch, SketchConfig};
+use crate::FleetError;
+
+/// Shifted-basis-point encoding of "no change": signed 0 bp.
+pub const SHIFTED_ZERO_BP: u64 = 10_000;
+/// Shifted-basis-point encoding of the paper's 40%-reduction bar.
+pub const SHIFTED_40PCT_BP: u64 = 14_000;
+
+/// Everything that shapes a fleet sweep.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Population seed: device `i`'s profile is a pure function of
+    /// `(seed, i)`.
+    pub seed: u64,
+    /// Devices to sweep.
+    pub devices: u64,
+    /// First absolute device index (nonzero to replay a quarantined
+    /// shard's range in isolation).
+    pub offset: u64,
+    /// Devices per shard.
+    pub shard_size: u64,
+    /// Harness worker threads.
+    pub workers: usize,
+    /// Soft budget for resident sketch state; resolution degrades (never
+    /// OOM) until the estimate fits.
+    pub mem_budget_bytes: u64,
+    /// Checkpoint path; `None` disables crash safety.
+    pub checkpoint: Option<PathBuf>,
+    /// Inject I/O faults into checkpoint writes (durability testing).
+    pub checkpoint_chaos: Option<(ChaosConfig, u64)>,
+    /// Test knob: stop after this many shards processed *this run*,
+    /// without checkpointing the final partial batch — the in-process
+    /// state a SIGKILL would discard.
+    pub stop_after_shards: Option<u64>,
+    /// Test knob: every n-th shard trips a watchdog timeout and rides the
+    /// retry → quarantine path.
+    pub fail_shard_every: Option<u64>,
+    /// Test knob: per-shard delay so an external `kill -9` can land
+    /// mid-run deterministically enough for smoke tests.
+    pub shard_delay_ms: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            devices: 10_000,
+            offset: 0,
+            shard_size: 1_000,
+            workers: 2,
+            mem_budget_bytes: 64 << 20,
+            checkpoint: None,
+            checkpoint_chaos: None,
+            stop_after_shards: None,
+            fail_shard_every: None,
+            shard_delay_ms: 0,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The sweep identity checkpoints are validated against.
+    pub fn key(&self) -> SweepKey {
+        SweepKey {
+            seed: self.seed,
+            devices: self.devices,
+            offset: self.offset,
+            shard_size: self.shard_size.max(1),
+        }
+    }
+}
+
+/// What a sweep run produced beyond the mergeable state: runtime-only
+/// counters that legitimately differ between an uninterrupted run and a
+/// kill + resume (and are therefore **excluded** from the deterministic
+/// report).
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Final aggregation state (pure function of the sweep key for
+    /// completed sweeps).
+    pub state: FleetState,
+    /// Shards restored from the checkpoint instead of recomputed.
+    pub resumed_shards: u64,
+    /// Shards evaluated this run.
+    pub processed_shards: u64,
+    /// Checkpoints written durably.
+    pub checkpoint_writes: u64,
+    /// Checkpoint writes that failed and were skipped (sweep continued).
+    pub checkpoint_dropped: u64,
+    /// True when `stop_after_shards` cut the run short.
+    pub stopped_early: bool,
+    /// True when an unreadable checkpoint was discarded and the sweep
+    /// recomputed from scratch.
+    pub recovered_from_corrupt_checkpoint: bool,
+}
+
+/// One shard's aggregation summary — the payload a shard job returns
+/// through the harness as a string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// First absolute device index.
+    pub start: u64,
+    /// Devices evaluated.
+    pub devices: u64,
+    /// Devices whose PIM configuration regressed.
+    pub regressed: u64,
+    /// Shard-local sketches (same geometry as the sweep's).
+    pub reduction_q: QuantileSketch,
+    /// Shard-local reduction histogram.
+    pub reduction_hist: FixedHistogram,
+    /// Shard-local attribution counts.
+    pub attribution: CountMinSketch,
+}
+
+impl ShardSummary {
+    /// Render as the shard job's payload string (deterministic).
+    pub fn render(&self) -> String {
+        JsonValue::object()
+            .set("start", self.start)
+            .set("devices", self.devices)
+            .set("regressed", self.regressed)
+            .set("reduction_q", self.reduction_q.to_json_value())
+            .set("reduction_hist", self.reduction_hist.to_json_value())
+            .set("attribution", self.attribution.to_json_value())
+            .render()
+    }
+
+    /// Parse a payload back.
+    pub fn parse(text: &str) -> Result<Self, FleetError> {
+        let doc = JsonValue::parse(text)
+            .map_err(|e| FleetError::Corrupt(format!("shard summary parse: {e}")))?;
+        let num = |k: &str| {
+            doc.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| FleetError::Corrupt(format!("shard summary missing {k}")))
+        };
+        let sub = |k: &str| {
+            doc.get(k).ok_or_else(|| FleetError::Corrupt(format!("shard summary missing {k}")))
+        };
+        Ok(Self {
+            start: num("start")?,
+            devices: num("devices")?,
+            regressed: num("regressed")?,
+            reduction_q: QuantileSketch::from_json_value(sub("reduction_q")?)?,
+            reduction_hist: FixedHistogram::from_json_value(sub("reduction_hist")?)?,
+            attribution: CountMinSketch::from_json_value(sub("attribution")?)?,
+        })
+    }
+}
+
+/// Evaluate one shard: sample each device's profile, run the analytic
+/// energy model, fold into shard-local sketches. Pure function of its
+/// arguments.
+pub fn evaluate_shard(seed: u64, start: u64, devices: u64, cfg: SketchConfig) -> ShardSummary {
+    let params = EnergyParams::default();
+    let mut s = ShardSummary {
+        start,
+        devices: 0,
+        regressed: 0,
+        reduction_q: QuantileSketch::new(cfg.sub_bits),
+        reduction_hist: FixedHistogram::for_reductions(),
+        attribution: CountMinSketch::new(cfg.cm_width, cfg.cm_depth),
+    };
+    for d in start..start + devices {
+        let profile = sample_profile(seed, d);
+        let shifted = energy_reduction_shifted_bp(&profile, &params);
+        s.reduction_q.observe(shifted);
+        s.reduction_hist.observe(shifted);
+        if shifted < SHIFTED_ZERO_BP {
+            s.regressed += 1;
+            for token in profile.tokens() {
+                s.attribution.increment(&token, 1);
+            }
+        }
+        s.devices += 1;
+    }
+    s
+}
+
+/// Pick the sketch resolution that fits the memory budget. Returns the
+/// config and how many degradation steps it took.
+fn budgeted_config(workers: usize, budget_bytes: u64) -> (SketchConfig, u32) {
+    let mut cfg = SketchConfig::default();
+    let mut steps = 0u32;
+    // Resident trios: the global fold state plus up to one in-flight and
+    // one completed summary per worker.
+    let trios = 1 + 3 * workers.max(1) as u64;
+    while trios * cfg.trio_bytes() > budget_bytes.max(1) {
+        if !cfg.degrade() {
+            break;
+        }
+        steps += 1;
+    }
+    (cfg, steps)
+}
+
+/// Run a fleet sweep to completion (or to the `stop_after_shards` kill
+/// point), resuming from the checkpoint when one exists.
+pub fn run_fleet(cfg: &FleetConfig, tracer: &Tracer) -> Result<FleetOutcome, FleetError> {
+    let key = cfg.key();
+    let shards = key.shards();
+
+    let (budget_cfg, budget_steps) = budgeted_config(cfg.workers, cfg.mem_budget_bytes);
+    let mut recovered_from_corrupt = false;
+    let mut state = match &cfg.checkpoint {
+        Some(path) => match load_checkpoint(path, &key) {
+            // Resume adopts the checkpoint's frozen sketch geometry so
+            // merges stay exact even if the budget changed between runs.
+            Ok(Some(s)) => s,
+            Ok(None) => FleetState::new(key, budget_cfg, budget_steps),
+            Err(FleetError::Corrupt(what)) => {
+                // Unreadable checkpoints are discarded, never trusted:
+                // recomputing is slow but always correct.
+                tracer.count("fleet.checkpoint_corrupt", 1);
+                eprintln!("fleet: discarding corrupt checkpoint ({what}); recomputing");
+                recovered_from_corrupt = true;
+                FleetState::new(key, budget_cfg, budget_steps)
+            }
+            Err(e) => return Err(e),
+        },
+        None => FleetState::new(key, budget_cfg, budget_steps),
+    };
+
+    let resumed_shards =
+        state.completed.count_set() + state.quarantined.len() as u64;
+    tracer.gauge("fleet.shards_total", shards as f64);
+    tracer.count("fleet.shards_resumed", resumed_shards);
+
+    let pending: Vec<u64> = (0..shards)
+        .filter(|&i| !state.completed.get(i) && !state.quarantined.iter().any(|q| q.shard == i))
+        .collect();
+
+    let policy = HarnessPolicy {
+        workers: cfg.workers.max(1),
+        wall_deadline: Some(Duration::from_secs(120)),
+        ..HarnessPolicy::default()
+    };
+    let batch_size = (cfg.workers.max(1) * 2).max(4);
+
+    let mut processed = 0u64;
+    let mut checkpoint_writes = 0u64;
+    let mut checkpoint_dropped = 0u64;
+    let mut stopped_early = false;
+
+    for chunk in pending.chunks(batch_size) {
+        let mut batch: Vec<u64> = chunk.to_vec();
+        let mut killed_after_batch = false;
+        if let Some(limit) = cfg.stop_after_shards {
+            let left = limit.saturating_sub(processed);
+            if left == 0 {
+                stopped_early = true;
+                break;
+            }
+            if batch.len() as u64 >= left {
+                batch.truncate(left as usize);
+                killed_after_batch = true;
+                stopped_early = true;
+            }
+        }
+
+        let jobs: Vec<Job> = batch
+            .iter()
+            .map(|&shard| {
+                let start = key.offset + shard * key.shard_size;
+                let count = key.shard_size.min(key.offset + key.devices - start);
+                let job_seed = key.seed ^ start;
+                let sketch_cfg = state.sketch_cfg;
+                let sweep_seed = key.seed;
+                let fail_every = cfg.fail_shard_every;
+                let delay_ms = cfg.shard_delay_ms;
+                Job::new(format!("shard-{shard:08}"), move |_ctx| {
+                    if let Some(n) = fail_every {
+                        if n > 0 && (shard + 1) % n == 0 {
+                            return Err(DmpimError::WatchdogTimeout {
+                                what: "fleet-shard",
+                                limit: n,
+                                at_ps: shard,
+                            });
+                        }
+                    }
+                    if delay_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(delay_ms));
+                    }
+                    Ok(evaluate_shard(sweep_seed, start, count, sketch_cfg).render())
+                })
+                .with_seed(job_seed)
+            })
+            .collect();
+
+        let report = Harness::new(policy.clone())
+            .with_tracer(tracer)
+            .run(jobs)
+            .map_err(|e| FleetError::Harness(e.to_string()))?;
+
+        // Results arrive in input order; fold in that (shard-index) order
+        // so the merged state is independent of worker scheduling.
+        for (&shard, r) in batch.iter().zip(&report.results) {
+            debug_assert_eq!(r.id, format!("shard-{shard:08}"));
+            let start = key.offset + shard * key.shard_size;
+            let count = key.shard_size.min(key.offset + key.devices - start);
+            match (r.status, &r.output) {
+                (JobStatus::Succeeded, Some(payload)) => {
+                    let summary = ShardSummary::parse(payload)?;
+                    state.reduction_q.merge(&summary.reduction_q)?;
+                    state.reduction_hist.merge(&summary.reduction_hist)?;
+                    state.attribution.merge(&summary.attribution)?;
+                    state.devices_done += summary.devices;
+                    state.regressed += summary.regressed;
+                    state.completed.set(shard);
+                    tracer.count("fleet.shards_completed", 1);
+                }
+                _ => {
+                    // Failed or quarantined after the harness's own retry
+                    // policy: bench the shard with everything needed to
+                    // replay it in isolation.
+                    state.quarantined.push(QuarantineRecord {
+                        shard,
+                        start,
+                        devices: count,
+                        seed: r.seed.unwrap_or(key.seed ^ start),
+                        error_label: r
+                            .error_label
+                            .clone()
+                            .unwrap_or_else(|| "unknown".to_string()),
+                    });
+                    tracer.count("fleet.shards_quarantined", 1);
+                }
+            }
+        }
+        processed += batch.len() as u64;
+
+        if killed_after_batch {
+            // Simulated SIGKILL: the fold above lives only in this
+            // process's memory; the checkpoint still holds the previous
+            // batch boundary, exactly like a real kill.
+            break;
+        }
+
+        if let Some(path) = &cfg.checkpoint {
+            match write_checkpoint(path, &state, cfg.checkpoint_chaos, processed) {
+                Ok(()) => {
+                    checkpoint_writes += 1;
+                    tracer.count("fleet.checkpoint_writes", 1);
+                }
+                Err(_) => {
+                    // Degrade, don't abort: the sweep keeps computing and
+                    // the next boundary retries the write.
+                    checkpoint_dropped += 1;
+                    tracer.count("fleet.checkpoint_dropped", 1);
+                }
+            }
+        }
+    }
+
+    tracer.gauge("fleet.devices_done", state.devices_done as f64);
+    Ok(FleetOutcome {
+        state,
+        resumed_shards,
+        processed_shards: processed,
+        checkpoint_writes,
+        checkpoint_dropped,
+        stopped_early,
+        recovered_from_corrupt_checkpoint: recovered_from_corrupt,
+    })
+}
+
+/// Render the deterministic fleet report: a pure function of the final
+/// [`FleetState`], containing **no wall times or runtime counters**, so
+/// an uninterrupted sweep and a kill + resume render byte-identical
+/// documents.
+pub fn fleet_report(state: &FleetState) -> JsonValue {
+    let q = &state.reduction_q;
+    let quantile_bp = |p: f64| shifted_to_signed_bp(q.quantile(p));
+    let mean_bp = if q.count() == 0 {
+        0
+    } else {
+        shifted_to_signed_bp(q.sum() / q.count())
+    };
+
+    // Attribution: rank every vocabulary token by estimated regression
+    // count (count-min never under-counts), descending then lexicographic
+    // for a deterministic order.
+    let mut tokens: Vec<(String, u64)> = token_vocabulary()
+        .into_iter()
+        .map(|t| {
+            let est = state.attribution.estimate(&t);
+            (t, est)
+        })
+        .filter(|(_, est)| *est > 0)
+        .collect();
+    tokens.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut attribution = JsonValue::array();
+    for (token, est) in &tokens {
+        attribution = attribution.push(
+            JsonValue::object()
+                .set("token", token.as_str())
+                .set("regressions_est", *est),
+        );
+    }
+
+    let mut quarantined = JsonValue::array();
+    for qr in &state.quarantined {
+        quarantined = quarantined.push(
+            JsonValue::object()
+                .set("shard", qr.shard)
+                .set("start", qr.start)
+                .set("devices", qr.devices)
+                .set("seed", qr.seed)
+                .set("error_label", qr.error_label.as_str())
+                .set(
+                    "replay",
+                    format!(
+                        "repro --fleet --devices {} --seed {} --fleet-offset {}",
+                        qr.devices, state.key.seed, qr.start
+                    )
+                    .as_str(),
+                ),
+        );
+    }
+
+    JsonValue::object()
+        .set(
+            "population",
+            JsonValue::object()
+                .set("seed", state.key.seed)
+                .set("devices", state.key.devices)
+                .set("offset", state.key.offset)
+                .set("shard_size", state.key.shard_size)
+                .set("shards", state.key.shards())
+                .set("completed_shards", state.completed.count_set())
+                .set("quarantined_shards", state.quarantined.len() as u64),
+        )
+        .set(
+            "sketch",
+            JsonValue::object()
+                .set("sub_bits", u64::from(state.sketch_cfg.sub_bits))
+                .set("cm_width", state.sketch_cfg.cm_width as u64)
+                .set("cm_depth", state.sketch_cfg.cm_depth as u64)
+                .set("degraded_steps", u64::from(state.degraded_steps))
+                .set("quantile_rel_error_bound", state.reduction_q.relative_error_bound()),
+        )
+        .set("devices_done", state.devices_done)
+        .set(
+            "energy_reduction_bp",
+            JsonValue::object()
+                .set("mean", mean_bp)
+                .set("p10", quantile_bp(0.10))
+                .set("p50", quantile_bp(0.50))
+                .set("p90", quantile_bp(0.90))
+                .set("p99", quantile_bp(0.99)),
+        )
+        .set("devices_ge_40pct_reduction", state.reduction_hist.count_ge(SHIFTED_40PCT_BP))
+        .set("devices_regressed", state.reduction_hist.count_lt(SHIFTED_ZERO_BP))
+        .set("regression_attribution", attribution)
+        .set("quarantined", quarantined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pim-fleet-sweep-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn quick_cfg(devices: u64) -> FleetConfig {
+        FleetConfig { devices, shard_size: 100, workers: 2, ..FleetConfig::default() }
+    }
+
+    #[test]
+    fn report_is_independent_of_worker_count_and_batching() {
+        let base = run_fleet(&quick_cfg(2_000), &Tracer::disabled()).unwrap();
+        let serial = run_fleet(
+            &FleetConfig { workers: 1, shard_size: 37, ..quick_cfg(2_000) },
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let wide = run_fleet(
+            &FleetConfig { workers: 4, shard_size: 250, ..quick_cfg(2_000) },
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let a = fleet_report(&base.state).render();
+        // Shard size changes the shard count in the population header but
+        // must not change any aggregate: compare the distribution fields.
+        for o in [&serial, &wide] {
+            assert_eq!(o.state.devices_done, 2_000);
+            assert_eq!(
+                fleet_report(&o.state).get("energy_reduction_bp").unwrap().render(),
+                fleet_report(&base.state).get("energy_reduction_bp").unwrap().render()
+            );
+            assert_eq!(o.state.regressed, base.state.regressed);
+        }
+        // Same config twice → byte-identical full report.
+        let again = run_fleet(&quick_cfg(2_000), &Tracer::disabled()).unwrap();
+        assert_eq!(a, fleet_report(&again.state).render());
+    }
+
+    #[test]
+    fn kill_and_resume_is_byte_identical() {
+        let ckpt = temp_path("resume");
+        let _ = std::fs::remove_file(&ckpt);
+        let cfg = FleetConfig { checkpoint: Some(ckpt.clone()), ..quick_cfg(3_000) };
+
+        let uninterrupted = run_fleet(&FleetConfig { checkpoint: None, ..cfg.clone() }, &Tracer::disabled())
+            .unwrap();
+
+        // Kill after 7 shards (mid-batch: the partial fold is discarded).
+        let killed = run_fleet(
+            &FleetConfig { stop_after_shards: Some(7), ..cfg.clone() },
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        assert!(killed.stopped_early);
+        assert!(killed.state.devices_done < 3_000);
+
+        let resumed = run_fleet(&cfg, &Tracer::disabled()).unwrap();
+        assert!(resumed.resumed_shards > 0, "must restore shards from the checkpoint");
+        assert_eq!(resumed.state.devices_done, 3_000);
+        assert_eq!(
+            fleet_report(&resumed.state).render(),
+            fleet_report(&uninterrupted.state).render(),
+            "kill + resume must render a byte-identical report"
+        );
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn failing_shards_are_quarantined_with_replayable_seeds() {
+        let out = run_fleet(
+            &FleetConfig { fail_shard_every: Some(5), ..quick_cfg(1_000) },
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        assert_eq!(out.state.quarantined.len(), 2, "shards 4 and 9 trip the knob");
+        for q in &out.state.quarantined {
+            assert_eq!(q.seed, 7 ^ q.start, "seed must replay the shard exactly");
+            assert_eq!(q.error_label, "watchdog-timeout");
+        }
+        // Healthy shards still aggregated.
+        assert_eq!(out.state.devices_done, 800);
+        let rep = fleet_report(&out.state).render();
+        assert!(rep.contains("\"quarantined_shards\":2"), "{rep}");
+        assert!(rep.contains("--fleet-offset"), "replay hint present: {rep}");
+    }
+
+    #[test]
+    fn quarantined_shard_replays_in_isolation() {
+        // Quarantine shard 4 (devices 400..500), then replay exactly that
+        // range with --fleet-offset semantics and check it aggregates.
+        let out = run_fleet(
+            &FleetConfig { fail_shard_every: Some(5), ..quick_cfg(500) },
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let q = &out.state.quarantined[0];
+        let replay = run_fleet(
+            &FleetConfig {
+                devices: q.devices,
+                offset: q.start,
+                shard_size: q.devices,
+                ..quick_cfg(0)
+            },
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        assert_eq!(replay.state.devices_done, q.devices);
+        // The replayed range must equal a direct evaluation of the same
+        // absolute device indices.
+        let direct = evaluate_shard(7, q.start, q.devices, replay.state.sketch_cfg);
+        assert_eq!(replay.state.regressed, direct.regressed);
+    }
+
+    #[test]
+    fn memory_budget_degrades_resolution_and_is_reported() {
+        let tight = run_fleet(
+            &FleetConfig { mem_budget_bytes: 64 << 10, ..quick_cfg(300) },
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        assert!(tight.state.degraded_steps > 0);
+        assert!(tight.state.sketch_cfg.sub_bits < SketchConfig::default().sub_bits);
+        let rep = fleet_report(&tight.state).render();
+        assert!(rep.contains(&format!("\"degraded_steps\":{}", tight.state.degraded_steps)));
+        // Degraded geometry still aggregates every device.
+        assert_eq!(tight.state.devices_done, 300);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_recovers_by_recomputing() {
+        let ckpt = temp_path("corrupt");
+        std::fs::write(&ckpt, "not json at all").unwrap();
+        let cfg = FleetConfig { checkpoint: Some(ckpt.clone()), ..quick_cfg(500) };
+        let out = run_fleet(&cfg, &Tracer::disabled()).unwrap();
+        assert!(out.recovered_from_corrupt_checkpoint);
+        assert_eq!(out.state.devices_done, 500);
+        let clean = run_fleet(&FleetConfig { checkpoint: None, ..cfg }, &Tracer::disabled()).unwrap();
+        assert_eq!(fleet_report(&out.state).render(), fleet_report(&clean.state).render());
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn checkpoint_for_a_different_sweep_is_fatal() {
+        let ckpt = temp_path("wrongkey");
+        let cfg_a = FleetConfig { checkpoint: Some(ckpt.clone()), seed: 1, ..quick_cfg(200) };
+        run_fleet(&cfg_a, &Tracer::disabled()).unwrap();
+        let cfg_b = FleetConfig { seed: 2, ..cfg_a };
+        assert!(matches!(run_fleet(&cfg_b, &Tracer::disabled()), Err(FleetError::Mismatch(_))));
+        let _ = std::fs::remove_file(&ckpt);
+    }
+}

@@ -28,6 +28,10 @@ pub struct Job {
     pub id: String,
     /// The work itself.
     pub run: Arc<JobFn>,
+    /// Deterministic seed this job was derived from, if any. Carried into
+    /// the terminal [`JobResult`] and the journal so quarantined
+    /// configurations can be replayed from the failure report alone.
+    pub seed: Option<u64>,
 }
 
 impl Job {
@@ -36,7 +40,14 @@ impl Job {
     where
         F: Fn(&JobCtx) -> Result<String, DmpimError> + Send + Sync + 'static,
     {
-        Self { id: id.into(), run: Arc::new(f) }
+        Self { id: id.into(), run: Arc::new(f), seed: None }
+    }
+
+    /// Attach the deterministic seed this job was derived from.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
     }
 }
 
@@ -170,6 +181,10 @@ pub struct JobResult {
     pub error_label: Option<String>,
     /// Human-readable terminal failure, if any.
     pub error: Option<String>,
+    /// Seed copied from [`Job::seed`] (round-tripped through the journal)
+    /// so failed or quarantined configurations are replayable from the
+    /// report alone.
+    pub seed: Option<u64>,
 }
 
 impl JobResult {
@@ -182,6 +197,7 @@ impl JobResult {
             output: Some(output),
             error_label: None,
             error: None,
+            seed: None,
         }
     }
 
@@ -194,7 +210,15 @@ impl JobResult {
             output: None,
             error_label: Some(failure.label().to_string()),
             error: Some(failure.to_string()),
+            seed: None,
         }
+    }
+
+    /// Attach the originating job's seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: Option<u64>) -> Self {
+        self.seed = seed;
+        self
     }
 }
 

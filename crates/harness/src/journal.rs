@@ -353,6 +353,9 @@ pub fn record_line(r: &JobResult) -> String {
         line.push_str(",\"output\":");
         write_escaped(&mut line, out);
     }
+    if let Some(seed) = r.seed {
+        line.push_str(&format!(",\"seed\":{seed}"));
+    }
     line.push('}');
     line
 }
@@ -453,6 +456,10 @@ fn result_from_fields(fields: &BTreeMap<String, Field>) -> Option<JobResult> {
     if status == JobStatus::Succeeded && output.is_none() {
         return None;
     }
+    let seed = match fields.get("seed") {
+        Some(Field::Num(n)) => Some(*n),
+        _ => None,
+    };
     Some(JobResult {
         id,
         status,
@@ -460,6 +467,7 @@ fn result_from_fields(fields: &BTreeMap<String, Field>) -> Option<JobResult> {
         output,
         error_label: get_str("error_label"),
         error: get_str("error"),
+        seed,
     })
 }
 
@@ -610,6 +618,14 @@ mod tests {
                 2,
                 &JobFailure::WallTimeout { limit_ms: 25 },
             ),
+            JobResult::ok("seeded", 1, "payload".into()).with_seed(Some(u64::MAX)),
+            JobResult::failed(
+                "seeded-quarantine",
+                JobStatus::Quarantined,
+                2,
+                &JobFailure::WallTimeout { limit_ms: 25 },
+            )
+            .with_seed(Some(7)),
         ];
         {
             let mut w = JournalWriter::create(&path, results.len()).unwrap();

@@ -113,6 +113,13 @@ impl SweepReport {
         self.summary().all_ok()
     }
 
+    /// Quarantined results, in input order: the shards/jobs benched after
+    /// repeated timeouts, each with its seed (when the job carried one) so
+    /// the exact configuration can be replayed from the report alone.
+    pub fn quarantined(&self) -> Vec<&JobResult> {
+        self.results.iter().filter(|r| r.status == JobStatus::Quarantined).collect()
+    }
+
     /// Render the failure report (summary + per-job dispositions) as a
     /// JSON object for scorecards and artifacts.
     pub fn to_json_value(&self) -> JsonValue {
@@ -129,13 +136,31 @@ impl SweepReport {
             if let Some(err) = &r.error {
                 o = o.set("error", err.as_str());
             }
+            if let Some(seed) = r.seed {
+                o = o.set("seed", seed);
+            }
             jobs = jobs.push(o);
+        }
+        // Quarantined jobs get a dedicated, scriptable block: id + seed +
+        // taxonomy label, so a replay driver does not have to sift the
+        // full per-job list.
+        let mut quarantined = JsonValue::array();
+        for r in self.quarantined() {
+            let mut o = JsonValue::object().set("job", r.id.as_str());
+            if let Some(seed) = r.seed {
+                o = o.set("seed", seed);
+            }
+            if let Some(label) = &r.error_label {
+                o = o.set("error_label", label.as_str());
+            }
+            quarantined = quarantined.push(o);
         }
         JsonValue::object()
             .set("summary", summary.to_json_value())
             .set("resumed", self.resumed as u64)
             .set("journal_skipped", self.journal_skipped as u64)
             .set("journal_dropped", self.journal_dropped as u64)
+            .set("quarantined", quarantined)
             .set("jobs", jobs)
     }
 }
@@ -150,7 +175,8 @@ mod tests {
             JobResult::ok("a", 1, "1".into()),
             JobResult::ok("b", 3, "2".into()),
             JobResult::failed("c", JobStatus::Failed, 1, &JobFailure::Panicked { message: "x".into() }),
-            JobResult::failed("d", JobStatus::Quarantined, 2, &JobFailure::WallTimeout { limit_ms: 5 }),
+            JobResult::failed("d", JobStatus::Quarantined, 2, &JobFailure::WallTimeout { limit_ms: 5 })
+                .with_seed(Some(0xBEEF)),
         ]
     }
 
@@ -181,5 +207,28 @@ mod tests {
         assert!(a.contains("\"quarantined\":1"));
         assert!(a.contains("\"resumed\":1"));
         assert!(a.contains("\"error_label\":\"panic\""));
+    }
+
+    #[test]
+    fn quarantined_jobs_are_listed_with_replayable_seeds() {
+        let rep = SweepReport {
+            results: sample(),
+            resumed: 0,
+            journal_skipped: 0,
+            journal_dropped: 0,
+        };
+        let q = rep.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].id, "d");
+        assert_eq!(q[0].seed, Some(0xBEEF));
+        let json = rep.to_json_value().render();
+        // The dedicated block carries id + seed + taxonomy so replays are
+        // scriptable without sifting the per-job list.
+        assert!(
+            json.contains(
+                "\"quarantined\":[{\"job\":\"d\",\"seed\":48879,\"error_label\":\"wall-timeout\"}]"
+            ),
+            "{json}"
+        );
     }
 }

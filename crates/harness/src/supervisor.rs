@@ -384,7 +384,8 @@ impl Harness {
                     let st = state.get_mut(&job_idx).expect("supervised job");
                     match outcome {
                         Ok(output) => {
-                            let r = JobResult::ok(jobs[job_idx].id.clone(), attempt, output);
+                            let r = JobResult::ok(jobs[job_idx].id.clone(), attempt, output)
+                                .with_seed(jobs[job_idx].seed);
                             writer.record(&r);
                             slots[job_idx] = Some(r);
                             remaining -= 1;
@@ -409,7 +410,8 @@ impl Harness {
                                         status,
                                         attempt,
                                         &failure,
-                                    );
+                                    )
+                                    .with_seed(jobs[job_idx].seed);
                                     writer.record(&r);
                                     slots[job_idx] = Some(r);
                                     remaining -= 1;
@@ -471,7 +473,8 @@ impl Harness {
                                     status,
                                     attempt,
                                     &failure,
-                                );
+                                )
+                                .with_seed(jobs[job_idx].seed);
                                 writer.record(&r);
                                 slots[job_idx] = Some(r);
                                 remaining -= 1;

@@ -46,6 +46,7 @@ fn record(id: &str, attempts: u32) -> String {
         output: Some(format!("out:{id}")),
         error_label: None,
         error: None,
+        seed: None,
     })
 }
 

@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 use pim_chaos::{ChaosConfig, ChaosPlan, ChaosReader, ChaosWriter};
 use pim_harness::JobResult;
 
+use crate::deque::Priority;
 use crate::protocol::{Request, Response, ShutdownMode, Stats, PROTOCOL_VERSION};
 use crate::ServeError;
 
@@ -264,10 +265,24 @@ impl Client {
         }
     }
 
-    /// Submit a job; returns the accepted state (`queued`, `attached`,
-    /// `done`) or the typed rejection as an error.
+    /// Submit a job in the default (`Normal`) lane; returns the accepted
+    /// state (`queued`, `attached`, `done`) or the typed rejection as an
+    /// error.
     pub fn submit(&mut self, id: &str, spec: &str) -> Result<String, ServeError> {
-        match self.call(&Request::Submit { id: id.into(), spec: spec.into() })? {
+        self.submit_priority(id, spec, Priority::Normal)
+    }
+
+    /// [`Client::submit`] with an explicit priority class. `High` jobs
+    /// jump the server's global backlog (fairness-bounded — see
+    /// [`Priority`]).
+    pub fn submit_priority(
+        &mut self,
+        id: &str,
+        spec: &str,
+        priority: Priority,
+    ) -> Result<String, ServeError> {
+        let req = Request::Submit { id: id.into(), spec: spec.into(), priority };
+        match self.call(&req)? {
             Response::Accepted { state, .. } => Ok(state),
             Response::Rejected(rej) => Err(ServeError::Rejected(rej)),
             other => Err(ServeError::protocol(format!("unexpected submit reply: {other:?}"))),

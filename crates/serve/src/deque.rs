@@ -23,6 +23,39 @@ use std::collections::VecDeque;
 use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
+/// Per-job scheduling class. Priority acts at the [`Injector`]: `High`
+/// submissions drain ahead of `Normal` ones, with a fairness escape
+/// valve (see [`Injector`]) so a sustained high-priority stream can
+/// never starve the normal queue. Tasks already batched into a worker's
+/// deque are past the queueing decision and run regardless of class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Jump the global backlog (interactive probes, deadline jobs).
+    High,
+    /// The default class for bulk sweep work.
+    #[default]
+    Normal,
+}
+
+impl Priority {
+    /// Wire/journal label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+        }
+    }
+
+    /// Inverse of [`Priority::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            _ => None,
+        }
+    }
+}
+
 /// A scheduler task: one attempt of one job, packed into a `u64` so it
 /// fits an atomic deque slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,13 +176,62 @@ impl WsDeque {
     }
 }
 
-/// The global FIFO injector: submissions and retries enter here; idle
+/// The two priority FIFOs behind the injector's mutex, plus the
+/// fairness state that keeps the normal lane live under high pressure.
+#[derive(Debug, Default)]
+struct Lanes {
+    high: VecDeque<Task>,
+    normal: VecDeque<Task>,
+    /// Dequeues served since startup; every [`FAIRNESS_STRIDE`]-th one
+    /// offers the normal lane first.
+    served: u64,
+}
+
+/// One in every this-many injector dequeues serves the normal lane
+/// ahead of the high lane, bounding normal-lane wait to a constant
+/// factor of service rate no matter how deep the high lane runs.
+const FAIRNESS_STRIDE: u64 = 4;
+
+impl Lanes {
+    fn next(&mut self) -> Option<Task> {
+        if self.high.is_empty() && self.normal.is_empty() {
+            return None;
+        }
+        self.served = self.served.wrapping_add(1);
+        let normal_first = self.served.is_multiple_of(FAIRNESS_STRIDE);
+        let (first, second) = if normal_first {
+            (&mut self.normal, &mut self.high)
+        } else {
+            (&mut self.high, &mut self.normal)
+        };
+        first.pop_front().or_else(|| second.pop_front())
+    }
+
+    fn lane(&mut self, priority: Priority) -> &mut VecDeque<Task> {
+        match priority {
+            Priority::High => &mut self.high,
+            Priority::Normal => &mut self.normal,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+}
+
+/// The global injector: submissions and retries enter here; idle
 /// workers refill their deques from it in batches. A plain mutex-guarded
-/// ring is the right tool — the injector is the *cold* path (one lock per
-/// batch), while the per-worker deques keep the hot path lock-free.
+/// pair of rings is the right tool — the injector is the *cold* path
+/// (one lock per batch), while the per-worker deques keep the hot path
+/// lock-free.
+///
+/// Two lanes, one per [`Priority`]. Dequeues prefer the high lane, but
+/// every [`FAIRNESS_STRIDE`]-th dequeue serves the normal lane first, so
+/// bulk work keeps flowing (starvation-free) under any volume of
+/// high-priority traffic.
 #[derive(Debug, Default)]
 pub struct Injector {
-    queue: Mutex<VecDeque<Task>>,
+    queue: Mutex<Lanes>,
     /// Signalled on pushes and on shutdown; workers park here when idle.
     pub cv: Condvar,
 }
@@ -160,25 +242,28 @@ impl Injector {
         Self::default()
     }
 
-    /// Enqueue one task and wake one parked worker.
-    pub fn push(&self, task: Task) {
+    /// Enqueue one task in its priority lane and wake one parked worker.
+    pub fn push(&self, task: Task, priority: Priority) {
         if let Ok(mut q) = self.queue.lock() {
-            q.push_back(task);
+            q.lane(priority).push_back(task);
         }
         self.cv.notify_one();
     }
 
-    /// Enqueue many tasks and wake all parked workers.
-    pub fn push_all(&self, tasks: impl IntoIterator<Item = Task>) {
+    /// Enqueue many `(task, priority)` pairs and wake all parked workers.
+    pub fn push_all(&self, tasks: impl IntoIterator<Item = (Task, Priority)>) {
         if let Ok(mut q) = self.queue.lock() {
-            q.extend(tasks);
+            for (task, priority) in tasks {
+                q.lane(priority).push_back(task);
+            }
         }
         self.cv.notify_all();
     }
 
-    /// Pop one task (oldest first).
+    /// Pop one task (priority order, fairness-interleaved; FIFO within a
+    /// lane).
     pub fn pop(&self) -> Option<Task> {
-        self.queue.lock().ok().and_then(|mut q| q.pop_front())
+        self.queue.lock().ok().and_then(|mut q| q.next())
     }
 
     /// Pop up to `max` tasks: the first is returned for immediate
@@ -186,11 +271,14 @@ impl Injector {
     /// it fills). One injector lock amortizes a whole batch of work.
     pub fn pop_batch(&self, own: &WsDeque, max: usize) -> Option<Task> {
         let mut q = self.queue.lock().ok()?;
-        let first = q.pop_front()?;
+        let first = q.next()?;
         for _ in 1..max {
-            let Some(t) = q.pop_front() else { break };
+            let Some(t) = q.next() else { break };
             if let Err(t) = own.push(t) {
-                q.push_front(t);
+                // No room: put it back at the head of its class-agnostic
+                // position — the high lane, so it is not demoted behind
+                // later normal work it had already beaten.
+                q.high.push_front(t);
                 break;
             }
         }
@@ -203,13 +291,13 @@ impl Injector {
     /// periodically re-scanning sibling deques for stealable work.
     pub fn wait(&self, timeout: std::time::Duration) {
         if let Ok(q) = self.queue.lock() {
-            if q.is_empty() {
+            if q.len() == 0 {
                 let _ = self.cv.wait_timeout(q, timeout);
             }
         }
     }
 
-    /// Number of queued tasks.
+    /// Number of queued tasks across both lanes.
     pub fn len(&self) -> usize {
         self.queue.lock().map(|q| q.len()).unwrap_or(0)
     }
@@ -335,12 +423,61 @@ mod tests {
     fn injector_batch_refill_fills_own_deque() {
         let inj = Injector::new();
         let own = WsDeque::new(4);
-        inj.push_all((0..10).map(|i| Task { job: i, attempt: 1 }));
+        inj.push_all((0..10).map(|i| (Task { job: i, attempt: 1 }, Priority::Normal)));
         let first = inj.pop_batch(&own, 4).unwrap();
-        assert_eq!(first.job, 0, "injector is FIFO");
+        assert_eq!(first.job, 0, "injector is FIFO within a lane");
         assert_eq!(own.len(), 3, "batch minus the returned head");
         assert_eq!(inj.len(), 6);
         // Own deque serves the batch before the next refill.
         assert_eq!(own.steal().unwrap().job, 1);
+    }
+
+    #[test]
+    fn priority_labels_round_trip() {
+        for p in [Priority::High, Priority::Normal] {
+            assert_eq!(Priority::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Priority::from_label("urgent"), None);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn high_lane_drains_first_but_normal_is_never_starved() {
+        let inj = Injector::new();
+        // 8 normal submissions already queued when a burst of 8 highs
+        // lands on top.
+        inj.push_all((0..8).map(|i| (Task { job: i, attempt: 1 }, Priority::Normal)));
+        inj.push_all((100..108).map(|i| (Task { job: i, attempt: 1 }, Priority::High)));
+        let order: Vec<u32> = std::iter::from_fn(|| inj.pop()).map(|t| t.job).collect();
+        assert_eq!(order.len(), 16, "nothing lost");
+        // Highs dominate the front of the schedule...
+        let first_half_highs = order[..8].iter().filter(|&&j| j >= 100).count();
+        assert!(first_half_highs >= 6, "high lane jumps the backlog: {order:?}");
+        // ...but the fairness stride admits a normal task at least once
+        // per stride while highs are still pending (starvation-free).
+        let first_normal = order.iter().position(|&j| j < 100).unwrap();
+        assert!(
+            first_normal < FAIRNESS_STRIDE as usize,
+            "a normal task must be served within one stride: {order:?}"
+        );
+        // Within each lane, FIFO order is preserved.
+        let highs: Vec<u32> = order.iter().copied().filter(|&j| j >= 100).collect();
+        let normals: Vec<u32> = order.iter().copied().filter(|&j| j < 100).collect();
+        assert_eq!(highs, (100..108).collect::<Vec<_>>());
+        assert_eq!(normals, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_lanes_do_not_burn_fairness_credit() {
+        let inj = Injector::new();
+        // Draining an all-normal queue must yield everything even though
+        // the high lane stays empty (the stride offer falls through).
+        inj.push_all((0..10).map(|i| (Task { job: i, attempt: 1 }, Priority::Normal)));
+        let got: Vec<u32> = std::iter::from_fn(|| inj.pop()).map(|t| t.job).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        // And an all-high queue likewise.
+        inj.push_all((0..10).map(|i| (Task { job: i, attempt: 1 }, Priority::High)));
+        let got: Vec<u32> = std::iter::from_fn(|| inj.pop()).map(|t| t.job).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
     }
 }

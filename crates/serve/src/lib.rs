@@ -11,6 +11,12 @@
 //!   bounded Chase–Lev-style deque; a global injector feeds bursts in
 //!   amortized batches and idle workers steal from loaded siblings, so
 //!   one slow client cannot leave cores idle.
+//! * **Priority classes** ([`deque`]) — each submission carries a typed
+//!   `priority` (`high` | `normal`); the injector keeps one lane per
+//!   class, draining `high` first with a fairness stride that serves the
+//!   normal lane every few dequeues, so interactive probes overtake bulk
+//!   sweeps without ever starving them. Retries and journal recovery
+//!   preserve a job's class.
 //! * **Admission control** ([`quota`]) — per-client in-flight quotas and
 //!   a global queue bound; an overloaded server answers a typed
 //!   `overloaded` rejection immediately instead of hanging or growing
@@ -47,6 +53,7 @@ pub mod server;
 pub mod signal;
 
 pub use client::{Client, ClientConfig};
+pub use deque::Priority;
 pub use protocol::{Reject, RejectKind, Request, Response, ShutdownMode, Stats};
 pub use quota::QuotaPolicy;
 pub use scheduler::{Resolver, Scheduler, ServePolicy, SubmitOutcome, WaitOutcome};

@@ -8,6 +8,7 @@
 //! ```text
 //! {"op":"hello","client":"repro"}
 //! {"op":"submit","id":"fig18","spec":"experiment:fig18"}
+//! {"op":"submit","id":"probe","spec":"kernel:compression","priority":"high"}
 //! {"op":"wait","id":"fig18","timeout_ms":5000}
 //! {"op":"stats"}            {"op":"metrics"}
 //! {"op":"ping"}             {"op":"shutdown","mode":"drain"}
@@ -31,6 +32,8 @@
 use pim_harness::journal::{parse_flat_object, parse_result_line, record_line, Field};
 use pim_harness::JobResult;
 use pim_trace::json::write_escaped;
+
+use crate::deque::Priority;
 
 /// Wire protocol version, negotiated in the `hello` exchange.
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -71,6 +74,10 @@ pub enum Request {
         id: String,
         /// What to run, e.g. `experiment:fig18`.
         spec: String,
+        /// Queueing class. Omitted on the wire for `Normal` (the
+        /// default), so pre-priority clients and servers interoperate
+        /// byte-identically.
+        priority: Priority,
     },
     /// Block until the job is terminal (or the optional timeout).
     Wait {
@@ -101,11 +108,15 @@ impl Request {
                 s.push_str("\"hello\",\"client\":");
                 write_escaped(&mut s, client);
             }
-            Request::Submit { id, spec } => {
+            Request::Submit { id, spec, priority } => {
                 s.push_str("\"submit\",\"id\":");
                 write_escaped(&mut s, id);
                 s.push_str(",\"spec\":");
                 write_escaped(&mut s, spec);
+                if *priority != Priority::Normal {
+                    s.push_str(",\"priority\":");
+                    write_escaped(&mut s, priority.label());
+                }
             }
             Request::Wait { id, timeout_ms } => {
                 s.push_str("\"wait\",\"id\":");
@@ -143,6 +154,11 @@ impl Request {
             "submit" => Ok(Request::Submit {
                 id: get("id").ok_or_else(|| "submit needs \"id\"".to_string())?,
                 spec: get("spec").ok_or_else(|| "submit needs \"spec\"".to_string())?,
+                priority: match get("priority") {
+                    None => Priority::Normal,
+                    Some(p) => Priority::from_label(&p)
+                        .ok_or_else(|| format!("unknown priority {p:?}"))?,
+                },
             }),
             "wait" => Ok(Request::Wait {
                 id: get("id").ok_or_else(|| "wait needs \"id\"".to_string())?,
@@ -450,7 +466,16 @@ mod tests {
     fn requests_round_trip() {
         let cases = vec![
             Request::Hello { client: "repro \"1\"".into() },
-            Request::Submit { id: "fig18".into(), spec: "experiment:fig18".into() },
+            Request::Submit {
+                id: "fig18".into(),
+                spec: "experiment:fig18".into(),
+                priority: Priority::Normal,
+            },
+            Request::Submit {
+                id: "probe".into(),
+                spec: "kernel:compression".into(),
+                priority: Priority::High,
+            },
             Request::Wait { id: "fig18".into(), timeout_ms: Some(250) },
             Request::Wait { id: "fig18".into(), timeout_ms: None },
             Request::Stats,
@@ -472,6 +497,29 @@ mod tests {
         assert!(Request::parse("{\"op\":\"submit\"}").is_err(), "missing id/spec");
         assert!(Request::parse("{\"op\":\"warp\"}").is_err());
         assert!(Request::parse("{\"id\":\"x\"}").is_err(), "missing op");
+        assert!(
+            Request::parse("{\"op\":\"submit\",\"id\":\"x\",\"spec\":\"s\",\"priority\":\"urgent\"}")
+                .is_err(),
+            "unknown priority label is a typed error, not a silent default"
+        );
+    }
+
+    #[test]
+    fn normal_priority_renders_byte_identically_to_pre_priority_wire() {
+        // Interop: a Normal submit must not grow a field, so old servers
+        // and new clients (and vice versa) keep speaking the same bytes.
+        let line = Request::Submit {
+            id: "fig18".into(),
+            spec: "experiment:fig18".into(),
+            priority: Priority::Normal,
+        }
+        .render();
+        assert_eq!(line, "{\"op\":\"submit\",\"id\":\"fig18\",\"spec\":\"experiment:fig18\"}");
+        // And an absent field parses back to Normal.
+        match Request::parse(&line) {
+            Ok(Request::Submit { priority, .. }) => assert_eq!(priority, Priority::Normal),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -489,6 +537,7 @@ mod tests {
                 output: None,
                 error_label: Some("wall-timeout".into()),
                 error: Some("exceeded deadline".into()),
+                seed: Some(41),
             }),
             Response::Stats(Stats { submitted: 23, in_flight: 4, ..Stats::default() }),
             Response::Stats(Stats {

@@ -32,6 +32,7 @@ use pim_harness::journal::{parse_flat_object, parse_result_line, record_line, Fi
 use pim_harness::{FsyncPolicy, JobResult, JournalSink, RecordWriter};
 use pim_trace::json::write_escaped;
 
+use crate::deque::Priority;
 use crate::ServeError;
 
 /// Magic name in the header line.
@@ -48,6 +49,8 @@ pub struct Submission {
     pub client: String,
     /// Job spec, e.g. `experiment:fig18`.
     pub spec: String,
+    /// Queueing class; recovered jobs re-enqueue in their original lane.
+    pub priority: Priority,
 }
 
 /// Everything replayed from a server journal.
@@ -77,7 +80,9 @@ fn header_line() -> String {
     format!("{{\"journal\":\"{MAGIC}\",\"version\":{VERSION}}}")
 }
 
-/// One write-ahead submission record.
+/// One write-ahead submission record. `priority` is written only when
+/// non-default, keeping pre-priority journals byte-identical and
+/// readable by both directions.
 fn submission_line(sub: &Submission) -> String {
     let mut s = String::from("{\"kind\":\"sub\",\"id\":");
     write_escaped(&mut s, &sub.id);
@@ -85,6 +90,10 @@ fn submission_line(sub: &Submission) -> String {
     write_escaped(&mut s, &sub.client);
     s.push_str(",\"spec\":");
     write_escaped(&mut s, &sub.spec);
+    if sub.priority != Priority::Normal {
+        s.push_str(",\"priority\":");
+        write_escaped(&mut s, sub.priority.label());
+    }
     s.push('}');
     s
 }
@@ -263,6 +272,7 @@ pub fn read_serve_journal(path: &Path) -> Result<RecoveredState, ServeError> {
             id,
             client: String::new(),
             spec: String::new(),
+            priority: Priority::Normal,
         });
     }
     Ok(state)
@@ -277,7 +287,18 @@ fn parse_submission_line(line: &str) -> Option<Submission> {
     if get("kind")? != "sub" {
         return None;
     }
-    Some(Submission { id: get("id")?, client: get("client")?, spec: get("spec")? })
+    Some(Submission {
+        id: get("id")?,
+        client: get("client")?,
+        spec: get("spec")?,
+        // Absent = pre-priority record = Normal; an unparseable label
+        // makes the whole line corrupt (skipped and counted) rather
+        // than silently demoting the job.
+        priority: match get("priority") {
+            None => Priority::Normal,
+            Some(p) => Priority::from_label(&p)?,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -296,7 +317,39 @@ mod tests {
     }
 
     fn sub(id: &str) -> Submission {
-        Submission { id: id.into(), client: "c1".into(), spec: format!("kernel:{id}") }
+        Submission {
+            id: id.into(),
+            client: "c1".into(),
+            spec: format!("kernel:{id}"),
+            priority: Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn priority_survives_the_journal_and_defaults_to_normal() {
+        let path = tmp("priority.jsonl");
+        {
+            let mut j = ServeJournal::create(&path).unwrap();
+            j.record_submission(&Submission { priority: Priority::High, ..sub("hot") }).unwrap();
+            j.record_submission(&sub("cold")).unwrap();
+        }
+        // A pre-priority record (no field at all) reads back as Normal.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"kind\":\"sub\",\"id\":\"old\",\"client\":\"c1\",\"spec\":\"kernel:old\"}\n")
+            .unwrap();
+        // A garbled label is corrupt, not silently demoted.
+        f.write_all(b"{\"kind\":\"sub\",\"id\":\"bad\",\"client\":\"c1\",\"spec\":\"s\",\"priority\":\"urgent\"}\n")
+            .unwrap();
+        drop(f);
+
+        let state = read_serve_journal(&path).unwrap();
+        let by_id = |id: &str| state.submissions.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(by_id("hot").priority, Priority::High);
+        assert_eq!(by_id("cold").priority, Priority::Normal);
+        assert_eq!(by_id("old").priority, Priority::Normal);
+        assert!(state.submissions.iter().all(|s| s.id != "bad"));
+        assert_eq!(state.skipped, 1, "the garbled-priority line is counted");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -37,7 +37,7 @@ use pim_faults::{DmpimError, Watchdog};
 use pim_harness::{FsyncPolicy, JobCtx, JobFailure, JobResult, JobStatus};
 use pim_trace::Tracer;
 
-use crate::deque::{Injector, Task, WsDeque};
+use crate::deque::{Injector, Priority, Task, WsDeque};
 use crate::protocol::{Reject, RejectKind, Stats};
 use crate::quota::{ClientLedger, QuotaPolicy};
 use crate::recovery::{RecoveredState, ServeJournal, Submission};
@@ -144,6 +144,8 @@ struct Entry {
     id: String,
     client: String,
     spec: String,
+    /// Queueing class; retries re-enter the injector in the same lane.
+    priority: Priority,
     /// Current valid attempt (1-based). Bumped on every retry dispatch
     /// and on every write-off, so stale `Done`s from abandoned workers
     /// are detected by comparison.
@@ -317,7 +319,7 @@ impl Scheduler {
                     st.ledger.release(&sub.client);
                     core.count_terminal(r.status);
                 } else {
-                    tasks.push(Task { job: idx as u32, attempt: 1 });
+                    tasks.push((Task { job: idx as u32, attempt: 1 }, sub.priority));
                     core.tracer.gauge_add("serve.in_flight", 1.0);
                     core.tracer.gauge_add("serve.queue_depth", 1.0);
                 }
@@ -325,6 +327,7 @@ impl Scheduler {
                     id: sub.id,
                     client: sub.client,
                     spec: sub.spec,
+                    priority: sub.priority,
                     attempt: 1,
                     strikes: 0,
                     transient_retries: 0,
@@ -336,10 +339,23 @@ impl Scheduler {
         core.injector.push_all(tasks);
     }
 
+    /// Submit one job in the default (`Normal`) priority lane.
+    pub fn submit(&self, client: &str, id: &str, spec: &str) -> SubmitOutcome {
+        self.submit_priority(client, id, spec, Priority::Normal)
+    }
+
     /// Submit one job. Admission control, the write-ahead journal line,
     /// and the enqueue happen atomically under the state lock, so a
-    /// crash can never admit a job without journaling it.
-    pub fn submit(&self, client: &str, id: &str, spec: &str) -> SubmitOutcome {
+    /// crash can never admit a job without journaling it. `priority`
+    /// picks the injector lane; an idempotent re-submission attaches to
+    /// the existing job and does not re-litigate its class.
+    pub fn submit_priority(
+        &self,
+        client: &str,
+        id: &str,
+        spec: &str,
+        priority: Priority,
+    ) -> SubmitOutcome {
         let core = &self.core;
         let Ok(mut st) = core.state.lock() else {
             return SubmitOutcome::Rejected(Reject::new(RejectKind::Internal, "state poisoned"));
@@ -370,7 +386,12 @@ impl Scheduler {
             self.core.tracer.count("serve.overloaded", 1);
             return SubmitOutcome::Rejected(rej);
         }
-        let sub = Submission { id: id.to_string(), client: client.to_string(), spec: spec.to_string() };
+        let sub = Submission {
+            id: id.to_string(),
+            client: client.to_string(),
+            spec: spec.to_string(),
+            priority,
+        };
         if let Some(j) = st.journal.as_mut() {
             if let Err(e) = j.record_submission(&sub) {
                 // Write-ahead failed (torn write, disk full, …): admit
@@ -387,6 +408,7 @@ impl Scheduler {
             id: sub.id,
             client: sub.client,
             spec: sub.spec,
+            priority: sub.priority,
             attempt: 1,
             strikes: 0,
             transient_retries: 0,
@@ -398,7 +420,7 @@ impl Scheduler {
         core.tracer.gauge_add("serve.queue_depth", 1.0);
         core.tracer.gauge("serve.clients", st.ledger.client_count() as f64);
         drop(st);
-        core.injector.push(Task { job: idx as u32, attempt: 1 });
+        core.injector.push(Task { job: idx as u32, attempt: 1 }, priority);
         SubmitOutcome::Accepted { state: "queued" }
     }
 
@@ -720,15 +742,16 @@ fn supervise(
     // Keyed by (job, attempt) — a written-off attempt's key simply goes
     // stale and is dropped when its Done (if any) arrives.
     let mut outstanding: HashMap<(u32, u32), Outstanding> = HashMap::new();
-    let mut delayed: Vec<(Instant, Task)> = Vec::new();
+    let mut delayed: Vec<(Instant, Task, Priority)> = Vec::new();
 
     loop {
-        // Promote due retries into the injector.
+        // Promote due retries into the injector, preserving each job's
+        // priority lane.
         let now = Instant::now();
         let mut promoted = Vec::new();
-        delayed.retain(|(due, task)| {
+        delayed.retain(|(due, task, priority)| {
             if *due <= now {
-                promoted.push(*task);
+                promoted.push((*task, *priority));
                 false
             } else {
                 true
@@ -754,7 +777,7 @@ fn supervise(
         let next_at = outstanding
             .values()
             .filter_map(|o| o.deadline)
-            .chain(delayed.iter().map(|(due, _)| *due))
+            .chain(delayed.iter().map(|(due, _, _)| *due))
             .min();
         let wait = next_at.map_or(Duration::from_millis(100), |at| {
             at.saturating_duration_since(Instant::now()).max(Duration::from_millis(1))
@@ -825,7 +848,7 @@ fn handle_done(
     core: &Arc<Core>,
     task: Task,
     outcome: Result<String, JobFailure>,
-    delayed: &mut Vec<(Instant, Task)>,
+    delayed: &mut Vec<(Instant, Task, Priority)>,
 ) {
     let Ok(mut st) = core.state.lock() else { return };
     let Some(e) = st.entries.get_mut(task.job as usize) else { return };
@@ -864,7 +887,7 @@ fn handle_done(
                     let next = Task { job: task.job, attempt: e.attempt };
                     core.counters.retries.fetch_add(1, Ordering::Relaxed);
                     core.tracer.count("serve.retries", 1);
-                    delayed.push((Instant::now() + delay, next));
+                    delayed.push((Instant::now() + delay, next, e.priority));
                     return;
                 }
             }

@@ -221,12 +221,14 @@ fn serve_lines<R: BufRead, W: Write>(
                 client = name;
                 Response::Hello { server: SERVER_NAME.into(), version: PROTOCOL_VERSION }
             }
-            Ok(Request::Submit { id, spec }) => match scheduler.submit(&client, &id, &spec) {
-                SubmitOutcome::Accepted { state } => {
-                    Response::Accepted { id, state: state.to_string() }
+            Ok(Request::Submit { id, spec, priority }) => {
+                match scheduler.submit_priority(&client, &id, &spec, priority) {
+                    SubmitOutcome::Accepted { state } => {
+                        Response::Accepted { id, state: state.to_string() }
+                    }
+                    SubmitOutcome::Rejected(rej) => Response::Rejected(rej),
                 }
-                SubmitOutcome::Rejected(rej) => Response::Rejected(rej),
-            },
+            }
             Ok(Request::Wait { id, timeout_ms }) => {
                 match scheduler.wait(&id, timeout_ms.map(Duration::from_millis)) {
                     WaitOutcome::Done(r) => Response::Result(r),

@@ -297,3 +297,69 @@ fn crash_recovery_over_tcp_resumes_and_results_are_bit_identical() {
     handle.join().unwrap().unwrap();
     std::fs::remove_file(&journal).ok();
 }
+
+#[test]
+fn high_priority_submissions_overtake_queued_normals_over_tcp() {
+    use std::sync::Mutex;
+
+    use pim_serve::Priority;
+
+    // A resolver that records completion order. One worker and a refill
+    // batch of 1 make execution strictly serial in injector dequeue
+    // order, so the recorded order IS the queueing decision.
+    let order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let o = Arc::clone(&order);
+    let resolver: Resolver = Arc::new(move |spec: &str, _ctx| {
+        if spec == "block" {
+            thread::sleep(Duration::from_millis(400));
+        }
+        o.lock().unwrap().push(spec.to_string());
+        Ok(spec.to_string())
+    });
+    let policy = ServePolicy { workers: 1, refill_batch: 1, ..quick_policy() };
+    let tracer = Tracer::new();
+    let scheduler = Arc::new(Scheduler::start(policy, resolver, tracer.clone(), None).unwrap());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&scheduler), tracer).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&addr, "it").unwrap();
+    // Occupy the only worker so everything below queues in the injector.
+    client.submit("blocker", "block").unwrap();
+    thread::sleep(Duration::from_millis(100));
+    // Bulk work first, then an interactive burst on top of it.
+    for n in 0..4u64 {
+        client.submit(&format!("n{n}"), &format!("normal-{n}")).unwrap();
+    }
+    for n in 0..4u64 {
+        client.submit_priority(&format!("h{n}"), &format!("high-{n}"), Priority::High).unwrap();
+    }
+    for id in ["blocker", "n0", "n1", "n2", "n3", "h0", "h1", "h2", "h3"] {
+        let r = client.wait(id, Some(Duration::from_secs(30))).unwrap();
+        assert_eq!(r.status, JobStatus::Succeeded, "{id}");
+    }
+
+    let got = order.lock().unwrap().clone();
+    assert_eq!(got[0], "block");
+    let after: Vec<&str> = got[1..].iter().map(String::as_str).collect();
+    // The high burst overtakes the earlier-submitted normals...
+    assert!(
+        after[0].starts_with("high-") && after[1].starts_with("high-"),
+        "high lane must drain first: {after:?}"
+    );
+    let highs_in_first_four = after[..4].iter().filter(|s| s.starts_with("high-")).count();
+    assert!(highs_in_first_four >= 3, "high lane dominates the front: {after:?}");
+    // ...but the fairness stride keeps the normal lane live while highs
+    // are still pending (starvation-free).
+    let first_normal = after.iter().position(|s| s.starts_with("normal-")).unwrap();
+    assert!(first_normal < 4, "a normal job must run within one stride: {after:?}");
+    // Within each class, FIFO submission order is preserved.
+    let highs: Vec<&str> = after.iter().copied().filter(|s| s.starts_with("high-")).collect();
+    let normals: Vec<&str> = after.iter().copied().filter(|s| s.starts_with("normal-")).collect();
+    assert_eq!(highs, ["high-0", "high-1", "high-2", "high-3"]);
+    assert_eq!(normals, ["normal-0", "normal-1", "normal-2", "normal-3"]);
+
+    client.shutdown(ShutdownMode::Drain).unwrap();
+    handle.join().unwrap().unwrap();
+    scheduler.join();
+}

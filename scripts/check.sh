@@ -80,10 +80,27 @@ for r in doc['records']:
 print(f"explain: {len(doc['records'])} records, shares partition to 1.0")
 EOF
 
+echo "==> fleet sweep: 1M-device population + report drift gate"
+# One full-scale fleet sweep in the repo root: appends a `fleet-sweep`
+# wall-time line to BENCH_history.jsonl (so the perf gate below budgets
+# it — the 10k smoke sweeps run in temp dirs and feed nothing) and
+# regenerates BENCH_fleet.json, which must match the committed report
+# byte for byte: it is a pure function of the sweep key, so any drift
+# is a real behavior change in the sampler, the energy model, or the
+# sketches.
+committed_fleet=$(git show HEAD:BENCH_fleet.json 2>/dev/null || true)
+cargo run -q --release -p pim-bench --bin repro -- \
+    --fleet --devices 1000000 --seed 7 --jobs 2 >/dev/null
+if [[ -n "$committed_fleet" ]] && ! cmp -s <(printf '%s' "$committed_fleet") BENCH_fleet.json; then
+    echo "fleet sweep: BENCH_fleet.json drifted from the committed report"
+    diff <(printf '%s' "$committed_fleet") BENCH_fleet.json | head -20
+    exit 1
+fi
+
 echo "==> perf gate: history vs committed BENCH_baseline.json"
-# The --json run above appended this run's timings to BENCH_history.jsonl;
-# gate on the median of the recent window (machine-speed corrected,
-# warn >10%, fail >25%, noise floor 50 ms).
+# The --json and --fleet runs above appended this run's timings to
+# BENCH_history.jsonl; gate on the median of the recent window
+# (machine-speed corrected, warn >10%, fail >25%, noise floor 50 ms).
 if [[ -f BENCH_baseline.json ]]; then
     cargo run -q --release -p pim-bench --bin repro -- --perf-gate
 else
@@ -92,5 +109,8 @@ fi
 
 echo "==> chaos smoke: SIGKILL recovery + seeded fault matrix (smoke seeds)"
 scripts/chaos_smoke.sh
+
+echo "==> fleet smoke: 10k-device sweep, kill+resume bit-identity, quarantine replay"
+scripts/fleet_smoke.sh
 
 echo "==> all checks passed"

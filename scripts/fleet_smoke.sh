@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Fleet smoke: crash-safe population sweeps, end to end.
+#
+#   scripts/fleet_smoke.sh
+#
+# Three assertions over a real `repro --fleet` binary:
+#
+# 1. **Kill + resume bit-identity** — sweep a 10k-device population to
+#    completion, then rerun the same sweep with a checkpoint, SIGKILL it
+#    mid-run, resume from the checkpoint, and require the resumed
+#    BENCH_fleet.json to be byte-identical to the uninterrupted one.
+#    (The report is a pure function of the sweep key; wall times and
+#    resume counters go to stderr only.)
+# 2. **Quarantine replay** — a sweep with injected shard timeouts must
+#    list every quarantined shard with a replayable seed/offset command.
+# 3. **Perf-gate feed** — each sweep appends a `fleet-sweep` line to
+#    BENCH_history.jsonl so `repro --perf-gate` budgets fleet wall time.
+#
+# Assumes target/release/repro is already built (scripts/check.sh builds
+# it first).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+repro="$PWD/target/release/repro"
+cargo build -q --release -p pim-bench --bin repro
+
+fleet_dir=$(mktemp -d)
+trap 'rm -rf "$fleet_dir"' EXIT
+devices=10000
+seed=7
+
+# Reference: one uninterrupted sweep.
+mkdir "$fleet_dir/ref"
+(cd "$fleet_dir/ref" && "$repro" --fleet --devices "$devices" --seed "$seed" --jobs 2 \
+    >/dev/null 2>&1)
+
+# Kill + resume: slow the shards down so SIGKILL lands mid-sweep, then
+# resume from the checkpoint at full speed.
+mkdir "$fleet_dir/crash"
+(cd "$fleet_dir/crash" && exec "$repro" --fleet --devices "$devices" --seed "$seed" --jobs 2 \
+    --fleet-checkpoint fleet.ckpt --fleet-shard-delay-ms 60 >/dev/null 2>&1) &
+sweep_pid=$!
+disown "$sweep_pid" # keep bash's "Killed" job notice out of the log
+sleep 0.2
+kill -9 "$sweep_pid" 2>/dev/null || true
+while kill -0 "$sweep_pid" 2>/dev/null; do sleep 0.05; done
+if [[ ! -f "$fleet_dir/crash/fleet.ckpt" ]]; then
+    echo "fleet smoke: SIGKILL landed before the first checkpoint; resume starts fresh"
+fi
+# Resume to completion, then rerun once more: the second pass must find
+# the checkpoint complete and recompute nothing.
+(cd "$fleet_dir/crash" && "$repro" --fleet --devices "$devices" --seed "$seed" \
+    --jobs 2 --fleet-checkpoint fleet.ckpt >/dev/null 2>&1)
+resume_err=$(cd "$fleet_dir/crash" && "$repro" --fleet --devices "$devices" --seed "$seed" \
+    --jobs 2 --fleet-checkpoint fleet.ckpt 2>&1 >/dev/null)
+
+if ! cmp -s "$fleet_dir/ref/BENCH_fleet.json" "$fleet_dir/crash/BENCH_fleet.json"; then
+    echo "fleet smoke: resumed report diverged from the uninterrupted sweep"
+    diff "$fleet_dir/ref/BENCH_fleet.json" "$fleet_dir/crash/BENCH_fleet.json" | head -20
+    exit 1
+fi
+# The second checkpointed rerun must have recomputed nothing.
+if ! grep -q "0 shards this run" <<<"$resume_err"; then
+    echo "fleet smoke: completed checkpoint was not honored on rerun: $resume_err"
+    exit 1
+fi
+echo "fleet smoke: ok (kill+resume report byte-identical to uninterrupted sweep)"
+
+# Quarantine: injected shard timeouts must surface replayable commands.
+mkdir "$fleet_dir/quarantine"
+quarantine_out=$(cd "$fleet_dir/quarantine" && "$repro" --fleet --devices "$devices" \
+    --seed "$seed" --jobs 2 --fleet-fail-every 4 2>/dev/null)
+if ! grep -q "quarantined shard" <<<"$quarantine_out"; then
+    echo "fleet smoke: injected shard failures were not quarantined"
+    exit 1
+fi
+if ! grep -q -- "--fleet-offset" <<<"$quarantine_out"; then
+    echo "fleet smoke: quarantined shards lack replayable seed/offset commands"
+    exit 1
+fi
+echo "fleet smoke: ok (quarantined shards listed with replay commands)"
+
+# Perf-gate feed: every sweep appends a fleet-sweep timing line.
+if ! grep -q '"fleet-sweep"' "$fleet_dir/ref/BENCH_history.jsonl"; then
+    echo "fleet smoke: sweep did not append a fleet-sweep line to BENCH_history.jsonl"
+    exit 1
+fi
+echo "fleet smoke: ok (fleet-sweep wall time recorded for the perf gate)"

@@ -7,8 +7,10 @@
 #   scripts/perf_gate.sh --rebase   # 3 fresh runs, rewrite the baseline
 #
 # Each `repro --json` run appends one compact timing line to
-# BENCH_history.jsonl; `repro --perf-gate` medians the newest three and
-# compares per-experiment wall times with the baseline, corrected by the
+# BENCH_history.jsonl, and each timing pass also runs a 1M-device
+# `repro --fleet` sweep, which appends its own single-experiment
+# `fleet-sweep` line; `repro --perf-gate` medians the newest window per
+# experiment and compares wall times with the baseline, corrected by the
 # overall machine-speed ratio (so a slower CI host shifts no verdicts).
 # Soft threshold +10% prints a `::warning::` annotation; hard threshold
 # +25% fails; baselines under 50 ms are jitter and skipped.
@@ -23,22 +25,31 @@ if [[ "$mode" != "--reuse" ]]; then
     for i in 1 2 3; do
         echo "==> perf gate: timing run $i/3"
         cargo run -q --release -p pim-bench --bin repro -- --json >/dev/null
+        cargo run -q --release -p pim-bench --bin repro -- \
+            --fleet --devices 1000000 --seed 7 --jobs 2 >/dev/null
     done
 fi
 
 if [[ "$mode" == "--rebase" ]]; then
-    # The baseline is the median run verbatim: pick the history line whose
-    # total is the median of the three.
+    # The baseline is the median scorecard run verbatim (the history line
+    # whose total is the median of the three), plus the median of the
+    # single-experiment fleet-sweep lines appended as one more budget.
     python3 - <<'EOF'
 import json
 runs = [json.loads(l) for l in open('BENCH_history.jsonl') if l.strip()]
-runs.sort(key=lambda r: r['wall_ms'])
-base = runs[len(runs) // 2]
-doc = {'wall_ms': base['wall_ms'],
-       'experiments': [{'id': e['id'], 'wall_ms': e['wall_ms']} for e in base['experiments']]}
+def is_fleet(r):
+    exps = r['experiments']
+    return len(exps) == 1 and exps[0]['id'] == 'fleet-sweep'
+sweeps = sorted((r for r in runs if not is_fleet(r)), key=lambda r: r['wall_ms'])
+fleets = sorted(r['experiments'][0]['wall_ms'] for r in runs if is_fleet(r))
+base = sweeps[len(sweeps) // 2]
+exps = [{'id': e['id'], 'wall_ms': e['wall_ms']} for e in base['experiments']]
+if fleets:
+    exps.append({'id': 'fleet-sweep', 'wall_ms': fleets[len(fleets) // 2]})
+doc = {'wall_ms': base['wall_ms'], 'experiments': exps}
 open('BENCH_baseline.json', 'w').write(json.dumps(doc, indent=2) + '\n')
 print('rebased BENCH_baseline.json: total', base['wall_ms'], 'ms,',
-      len(base['experiments']), 'experiments')
+      len(exps), 'experiments')
 EOF
     exit 0
 fi
