@@ -57,27 +57,55 @@ fn random_stream(ctx: &mut SimContext) {
     }
 }
 
+/// Strided plane walk issued as ranged descriptors: each `read_rows`
+/// call covers a 512 B x 1024-row rectangle of a 1 KB-pitch,
+/// LLC-resident plane in a single descriptor — the hot-rect shape the
+/// VP9 kernels hand the engine, where row streaks hit and commit in
+/// batch. With the fast path off the same calls decompose into the
+/// per-row scalar walk, so fast vs slow is ranged vs scalar.
+fn ranged_stream(ctx: &mut SimContext) {
+    let buf = ctx.alloc(1 << 20);
+    for rect in 0..16u64 {
+        ctx.read_rows(buf.addr((rect * 31) % 512), 512, 1024, 1024);
+    }
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = |n: u32| if smoke { 2 } else { n };
     for port in [Port::Cpu, Port::PimCore, Port::PimAccel] {
         println!("[{port:?}]");
-        bench("repeat_16k_fast", 50, || {
+        bench("repeat_16k_fast", iters(50), || {
             let mut c = ctx(port, true);
             repeat_stream(&mut c);
             c.now_ps()
         });
-        bench("repeat_16k_slow", 50, || {
+        bench("repeat_16k_slow", iters(50), || {
             let mut c = ctx(port, false);
             repeat_stream(&mut c);
             c.now_ps()
         });
-        bench("random_16k_fast", 50, || {
+        bench("random_16k_fast", iters(50), || {
             let mut c = ctx(port, true);
             random_stream(&mut c);
             c.now_ps()
         });
-        bench("random_16k_slow", 50, || {
+        bench("random_16k_slow", iters(50), || {
             let mut c = ctx(port, false);
             random_stream(&mut c);
+            c.now_ps()
+        });
+        // ranged_vs_scalar: the same 64k-row strided walk as one
+        // descriptor per column (fast) and decomposed into the per-row
+        // scalar loop (slow) — the headline ratio of this PR.
+        bench("ranged_vs_scalar/ranged_64k", iters(50), || {
+            let mut c = ctx(port, true);
+            ranged_stream(&mut c);
+            c.now_ps()
+        });
+        bench("ranged_vs_scalar/scalar_64k", iters(50), || {
+            let mut c = ctx(port, false);
+            ranged_stream(&mut c);
             c.now_ps()
         });
     }

@@ -15,7 +15,7 @@
 
 use pim_core::area::AreaModel;
 use pim_core::report::mean;
-use pim_core::{JsonValue, PimTargetKind, RunReport};
+use pim_core::{ExecutionMode, JsonValue, PimTargetKind, RunReport};
 use pim_harness::{FailureSummary, SweepReport};
 
 /// One paper-vs-measured comparison.
@@ -119,6 +119,97 @@ impl KernelMetrics {
             return None;
         }
         Some(Self { name, kind, dm, core_cut, acc_cut, acc_speed })
+    }
+}
+
+/// One study-mode measurement of a sharded kernel sweep, in a form that
+/// survives a journal round-trip.
+///
+/// [`KernelMetrics::from_reports`] only reads each report's total energy,
+/// runtime and (for the CPU baseline) data-movement fraction, so a shard
+/// carries exactly those three values. Floats use shortest round-trip
+/// formatting; [`metrics_from_shards`] then applies the same arithmetic
+/// to the same bit patterns, making a sharded sweep's merged metrics
+/// bit-identical to an unsharded one's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeShard {
+    /// Kernel display name (catalog key).
+    pub name: String,
+    /// Which paper target the kernel belongs to.
+    pub kind: PimTargetKind,
+    /// The study mode this shard measured.
+    pub mode: ExecutionMode,
+    /// The run's total energy, `RunReport::energy.total_pj()`.
+    pub total_pj: f64,
+    /// The run's end-to-end runtime in ps.
+    pub runtime_ps: u64,
+    /// The run's data-movement energy fraction (used from the CPU-Only
+    /// shard; carried on all three for symmetry).
+    pub dm: f64,
+}
+
+impl ModeShard {
+    /// Capture the merge-relevant values of one study-mode report.
+    pub fn from_report(name: &str, kind: PimTargetKind, report: &RunReport) -> Self {
+        Self {
+            name: name.to_string(),
+            kind,
+            mode: report.mode,
+            total_pj: report.energy.total_pj(),
+            runtime_ps: report.runtime_ps,
+            dm: report.energy.data_movement_fraction(),
+        }
+    }
+
+    /// Encode as `shard|name|kind|mode|total_pj|runtime_ps|dm`. The
+    /// `shard|` prefix keeps shard lines from parsing as
+    /// [`KernelMetrics`] lines and vice versa ("shard" is not a kind
+    /// label, and a kernel name is not one either).
+    pub fn to_line(&self) -> String {
+        format!(
+            "shard|{}|{}|{}|{}|{}|{}",
+            self.name,
+            self.kind.label(),
+            self.mode.label(),
+            self.total_pj,
+            self.runtime_ps,
+            self.dm
+        )
+    }
+
+    /// Inverse of [`ModeShard::to_line`]; `None` on any malformed field.
+    pub fn parse(line: &str) -> Option<Self> {
+        let rest = line.strip_prefix("shard|")?;
+        let mut parts = rest.split('|');
+        let name = parts.next()?.to_string();
+        let kind_label = parts.next()?;
+        let kind = PimTargetKind::ALL.into_iter().find(|k| k.label() == kind_label)?;
+        let mode_label = parts.next()?;
+        let mode = ExecutionMode::ALL.into_iter().find(|m| m.label() == mode_label)?;
+        let total_pj = parts.next()?.parse().ok()?;
+        let runtime_ps = parts.next()?.parse().ok()?;
+        let dm = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Self { name, kind, mode, total_pj, runtime_ps, dm })
+    }
+}
+
+/// Merge the three study-mode shards of one kernel into its metrics.
+///
+/// Performs bit-for-bit the arithmetic of [`KernelMetrics::from_reports`]
+/// on the values the shards transported, so the result is bit-identical
+/// to measuring all three modes in one job — the property that keeps a
+/// sharded scorecard byte-identical at any worker count.
+pub fn metrics_from_shards(cpu: &ModeShard, core: &ModeShard, acc: &ModeShard) -> KernelMetrics {
+    KernelMetrics {
+        name: cpu.name.clone(),
+        kind: cpu.kind,
+        dm: cpu.dm,
+        core_cut: 1.0 - core.total_pj / cpu.total_pj,
+        acc_cut: 1.0 - acc.total_pj / cpu.total_pj,
+        acc_speed: cpu.runtime_ps as f64 / acc.runtime_ps as f64,
     }
 }
 
@@ -340,6 +431,35 @@ mod tests {
         assert!(KernelMetrics::parse("n|texture tiling|0.1|0.2|0.3|1.0|extra").is_none());
         assert!(KernelMetrics::parse("n|texture tiling|0.1|0.2|xyz|1.0").is_none());
         assert!(KernelMetrics::parse("n|texture tiling|0.1|0.2|0.3|1.0").is_some());
+    }
+
+    #[test]
+    fn shard_lines_round_trip_and_do_not_collide_with_metric_lines() {
+        let s = ModeShard {
+            name: "motion estimation".to_string(),
+            kind: PimTargetKind::MotionEstimation,
+            mode: ExecutionMode::PimAcc,
+            total_pj: 0.1 + 0.2,
+            runtime_ps: 123_456_789,
+            dm: 1.0 / 3.0,
+        };
+        let back = ModeShard::parse(&s.to_line()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.total_pj.to_bits(), s.total_pj.to_bits());
+        // A shard line must not parse as a plain metrics line, and vice
+        // versa — the sweep mixes both in one result stream.
+        assert!(KernelMetrics::parse(&s.to_line()).is_none());
+        let m = KernelMetrics {
+            name: "texture tiling".to_string(),
+            kind: PimTargetKind::TextureTiling,
+            dm: 0.5,
+            core_cut: 0.4,
+            acc_cut: 0.3,
+            acc_speed: 1.5,
+        };
+        assert!(ModeShard::parse(&m.to_line()).is_none());
+        assert!(ModeShard::parse("shard|n|no-such-kind|CPU-Only|1|2|3").is_none());
+        assert!(ModeShard::parse("shard|n|texture tiling|no-such-mode|1|2|3").is_none());
     }
 
     #[test]

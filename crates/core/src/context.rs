@@ -6,7 +6,8 @@ use pim_cpusim::{EngineTiming, OpMix};
 use pim_energy::{Component, EnergyBreakdown, EnergyParams, Engine, OpClass};
 use pim_faults::{DmpimError, FaultKind, FaultPlan, FaultStats, Watchdog};
 use pim_memsim::{
-    AccessKind, Activity, CoherenceModel, MemorySystem, Port, Ps, LINE_BYTES,
+    line_count, AccessKind, AccessOutcome, Activity, CoherenceModel, MemorySystem, Port, Ps,
+    CPU_LINE_PS, LINE_BYTES, PIM_LINE_PS, PIM_L1_HIT_PS, SCRATCH_HIT_PS,
 };
 use pim_trace::{TrackId, Tracer};
 
@@ -156,6 +157,22 @@ pub struct SimContext {
     /// Offset added to `now_ps` when stamping trace events, so resilient
     /// drivers can place each attempt on one world timeline.
     base_ps: Ps,
+}
+
+/// Per-row accounting template for a ranged-access hit streak: what one
+/// all-hit row of a fixed line count books on the current port/engine.
+#[derive(Debug, Clone, Copy)]
+struct RowTemplate {
+    /// Exposed stall per row, in ps.
+    stall: Ps,
+    /// Per-row increment of `CostBreakdown::cache_ps` (the scalar path's
+    /// `latency * (stall / latency)`, kept in its exact f64 form).
+    cache_add: f64,
+    /// Per-row energy into the L1 component, in pJ.
+    row_pj: f64,
+    /// Whether activity lands in `scratch_accesses` (PIM accelerator)
+    /// rather than `l1_accesses`.
+    scratch: bool,
 }
 
 /// Track ids this context emits on (resolved once at attach time).
@@ -404,6 +421,14 @@ impl SimContext {
             let at_ps = self.now_ps;
             self.trip(DmpimError::FaultTransient { kind: FaultKind::BitFlip, at_ps });
         }
+        self.commit_outcome(&out, stall);
+    }
+
+    /// Book one access outcome: trace the stall, advance the clock, split
+    /// the exposed stall across cost layers, count coherence lookups, and
+    /// price the activity into the current tag's ledger. Shared tail of
+    /// [`SimContext::access`] and the ranged engine's partial-row path.
+    fn commit_outcome(&mut self, out: &AccessOutcome, stall: Ps) {
         if self.tracks.is_some() {
             self.tracer.observe(stall_metric(self.timing.engine), stall);
         }
@@ -438,6 +463,178 @@ impl SimContext {
     /// A store of `bytes` at `addr`.
     pub fn write(&mut self, addr: u64, bytes: u64) {
         self.access(addr, bytes, AccessKind::Write);
+    }
+
+    /// Perform `rows` accesses of `row_bytes` each, at `addr`,
+    /// `addr + row_stride`, `addr + 2*row_stride`, ... — the stride/
+    /// run-length descriptor the ranged engine consumes.
+    ///
+    /// Bit-identical to the scalar loop
+    /// `for i in 0..rows { self.access(addr + i*row_stride, row_bytes, kind) }`
+    /// (same clock, ledger, energy bits, cache state, watchdog trips), but
+    /// rows whose lines all hit the first private cache level are committed
+    /// in batches: one set-lookup per distinct line and one template-priced
+    /// accounting pass per streak, instead of the full per-access walk.
+    /// With a fault plan or tracer attached (or the fast path disabled) the
+    /// engine falls back to the scalar loop, which draws per-access faults
+    /// and emits per-access trace events in the reference order.
+    pub fn access_range(
+        &mut self,
+        addr: u64,
+        row_bytes: u64,
+        row_stride: u64,
+        rows: u64,
+        kind: AccessKind,
+    ) {
+        if row_bytes == 0 || rows == 0 || self.error.is_some() {
+            return;
+        }
+        let mut done = 0;
+        if self.faults.is_none() && self.tracks.is_none() {
+            done = self.ranged_fast(addr, row_bytes, row_stride, rows, kind);
+        }
+        for i in done..rows {
+            self.access(addr + i * row_stride, row_bytes, kind);
+        }
+    }
+
+    /// Ranged loads (see [`SimContext::access_range`]).
+    pub fn read_rows(&mut self, addr: u64, row_bytes: u64, row_stride: u64, rows: u64) {
+        self.access_range(addr, row_bytes, row_stride, rows, AccessKind::Read);
+    }
+
+    /// Ranged stores (see [`SimContext::access_range`]).
+    pub fn write_rows(&mut self, addr: u64, row_bytes: u64, row_stride: u64, rows: u64) {
+        self.access_range(addr, row_bytes, row_stride, rows, AccessKind::Write);
+    }
+
+    /// Latency/energy template of one all-hit row of `lines` lines on the
+    /// current port: every committed streak row books exactly these values,
+    /// which equal what the scalar walk computes for the same row.
+    fn row_template(&self, lines: u64) -> RowTemplate {
+        let (latency, scratch) = match self.port {
+            Port::Cpu => (self.mem.config().l1_hit_ps + CPU_LINE_PS * lines, false),
+            Port::PimCore => (PIM_L1_HIT_PS + PIM_LINE_PS * lines, false),
+            Port::PimAccel => (SCRATCH_HIT_PS + PIM_LINE_PS * lines, true),
+        };
+        let stall = self.timing.exposed_stall_ps(latency);
+        // Same split arithmetic as `commit_outcome`: an all-hit row's
+        // breakdown is pure cache time, so only that lane moves.
+        let cache_add = if latency > 0 {
+            latency as f64 * (stall as f64 / latency as f64)
+        } else {
+            0.0
+        };
+        // An all-hit row prices into the L1 component only; every other
+        // lane of `price_activity` adds an exact +0.0, and the L1 lane's
+        // own two terms reduce to a single product because the unused one
+        // is `0 * pj == +0.0` (adding +0.0 never changes a non-negative
+        // f64). So the direct product below is bit-equal to pricing the
+        // full Activity record.
+        let row_pj = if scratch {
+            lines as f64 * self.params.scratch_access_pj
+        } else {
+            lines as f64 * self.params.l1_access_pj
+        };
+        RowTemplate { stall, cache_add, row_pj, scratch }
+    }
+
+    /// The ranged fast path: commit hit streaks in batches, complete each
+    /// partial row on the reference walk, and stop at the first condition
+    /// the batch engine cannot express. Returns the number of leading rows
+    /// fully processed; the caller replays the rest through the scalar
+    /// loop (`rows` once a watchdog trip or memory error poisoned us —
+    /// the remaining accesses would be no-ops).
+    fn ranged_fast(
+        &mut self,
+        addr: u64,
+        row_bytes: u64,
+        row_stride: u64,
+        rows: u64,
+        kind: AccessKind,
+    ) -> u64 {
+        let mut done = 0u64;
+        while done < rows {
+            let base = addr + done * row_stride;
+            let t = self.row_template(line_count(base, row_bytes));
+            // The scalar loop ticks (host event + watchdog check) *before*
+            // each row's walk; bound the streak so no tick inside it can
+            // trip, and reproduce the exact trip via `tick()` when the
+            // very next one would.
+            let allowed = if self.watchdog.is_armed() {
+                self.watchdog.allowance(self.now_ps, self.host_events, t.stall)
+            } else {
+                u64::MAX
+            };
+            if allowed == 0 {
+                self.tick();
+                return rows;
+            }
+            let want = (rows - done).min(allowed);
+            let r = self.mem.try_rows(self.port, base, row_bytes, row_stride, want, kind);
+            let full = r.full_rows;
+            if full > 0 {
+                self.host_events += full;
+                self.now_ps += t.stall * full;
+                // The integer counters batch associatively; the two f64
+                // accumulators take their adds one row at a time so the
+                // bit pattern matches the scalar sequence exactly.
+                let tag = self.tag_stack.last().copied().unwrap_or(OTHER_TAG);
+                let acc = self.accounts.entry(tag).or_default();
+                let lane = acc.energy.get_mut(Component::L1);
+                let mut e_acc = *lane;
+                let mut c_acc = self.cost.cache_ps;
+                for _ in 0..full {
+                    e_acc += t.row_pj;
+                    c_acc += t.cache_add;
+                }
+                *lane = e_acc;
+                self.cost.cache_ps = c_acc;
+                acc.time_ps += t.stall * full;
+                if t.scratch {
+                    acc.activity.scratch_accesses += r.lines_per_row * full;
+                } else {
+                    acc.activity.l1_accesses += r.lines_per_row * full;
+                }
+                done += full;
+            }
+            if let Some(hits) = r.partial_hits {
+                // The row at `done` had its first `hits` lines committed
+                // as hits before one missed; its tick cannot trip (its
+                // index is below `allowed`). Finish it on the reference
+                // walk, which books misses/writebacks/queueing exactly.
+                if !self.tick() {
+                    return rows;
+                }
+                let row_addr = addr + done * row_stride;
+                let out = match self.mem.finish_row(
+                    self.port,
+                    row_addr,
+                    row_bytes,
+                    kind,
+                    self.now_ps,
+                    hits,
+                ) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        self.trip(e);
+                        return rows;
+                    }
+                };
+                let stall = self.timing.exposed_stall_ps(out.latency_ps);
+                self.commit_outcome(&out, stall);
+                done += 1;
+            } else if full == 0 {
+                // Zero progress: the memory system's fast path is gated
+                // off (coalescing disabled, tracer hooks, unsupported
+                // port). Hand the rest to the scalar loop for the
+                // reference behavior, including any port error.
+                return done;
+            }
+            // `full > 0 && partial_hits == None`: the streak ended at a
+            // row-shape change or at `want`; loop to start a new streak.
+        }
+        rows
     }
 
     /// Retire an operation mix on the active engine.

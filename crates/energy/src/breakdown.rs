@@ -70,7 +70,17 @@ impl EnergyBreakdown {
     }
 
     fn idx(c: Component) -> usize {
-        COMPONENTS.iter().position(|&x| x == c).expect("component in table")
+        // Must match the order of `COMPONENTS` (asserted in tests); a
+        // match compiles to a constant, unlike a linear search, and this
+        // sits on the per-access energy-pricing hot path.
+        match c {
+            Component::Cpu => 0,
+            Component::L1 => 1,
+            Component::Llc => 2,
+            Component::Interconnect => 3,
+            Component::MemCtrl => 4,
+            Component::Dram => 5,
+        }
     }
 
     /// Energy of one component, in pJ.
@@ -82,6 +92,15 @@ impl EnergyBreakdown {
     pub fn add_pj(&mut self, c: Component, pj: f64) {
         debug_assert!(pj >= 0.0, "energy must be non-negative");
         self.values[Self::idx(c)] += pj;
+    }
+
+    /// Mutable access to one component's accumulator, in pJ.
+    ///
+    /// Used by the ranged-access engine to replay a streak of identical
+    /// per-row adds against a single lane; ordinary callers should prefer
+    /// [`Self::add_pj`].
+    pub fn get_mut(&mut self, c: Component) -> &mut f64 {
+        &mut self.values[Self::idx(c)]
     }
 
     /// Total energy across all components, in pJ.
@@ -159,6 +178,13 @@ impl fmt::Display for EnergyBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn idx_matches_presentation_order() {
+        for (i, &c) in COMPONENTS.iter().enumerate() {
+            assert_eq!(EnergyBreakdown::idx(c), i, "{c}");
+        }
+    }
 
     #[test]
     fn add_and_total() {

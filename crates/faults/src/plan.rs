@@ -490,6 +490,30 @@ impl Watchdog {
         }
         Ok(())
     }
+
+    /// How many consecutive events pass the watchdog, for batched engines.
+    ///
+    /// Event `i` (0-based) is checked with counters
+    /// `(now_ps + i * step_ps, host_events + i + 1)` — the same sequence a
+    /// scalar loop produces when every event advances simulated time by
+    /// `step_ps` *after* its check. Returns the largest `n` such that
+    /// events `0..n` all pass; `0` means the very next check trips.
+    pub fn allowance(&self, now_ps: Ps, host_events: u64, step_ps: Ps) -> u64 {
+        let mut n = u64::MAX;
+        if let Some(limit) = self.max_host_events {
+            n = n.min(limit.saturating_sub(host_events));
+        }
+        if let Some(limit) = self.max_sim_ps {
+            if now_ps > limit {
+                return 0;
+            }
+            // Event i passes iff now + i*step <= limit.
+            if let Some(extra) = (limit - now_ps).checked_div(step_ps) {
+                n = n.min(extra + 1);
+            }
+        }
+        n
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,7 @@ pub struct Cache {
     sets: Vec<Way>,
     ways: usize,
     set_mask: u64,
+    set_shift: u32,
     tick: u64,
     stats: CacheStats,
     /// Memoized `(line, absolute way index)` of the most recent access.
@@ -145,6 +146,7 @@ impl Cache {
             sets: vec![Way::default(); sets * config.associativity],
             ways: config.associativity,
             set_mask: sets as u64 - 1,
+            set_shift: (sets as u64 - 1).count_ones(),
             tick: 0,
             stats: CacheStats::default(),
             last_hit: None,
@@ -192,6 +194,99 @@ impl Cache {
         }
     }
 
+    /// Commit hit transitions for up to `n` consecutive lines starting at
+    /// `first_line`, stopping at (and not mutating on) the first miss.
+    /// Returns how many lines hit. Bit-identical to calling
+    /// [`Self::try_hit_line`] in a loop: ticks advance one per hit, each
+    /// way's `lru` gets its own tick value, and the memo ends on the last
+    /// hit line — the counters are simply added in one batch at the end.
+    pub(crate) fn try_hit_run(&mut self, first_line: u64, n: u64, kind: AccessKind) -> u64 {
+        let write = kind.is_write();
+        let mut tick = self.tick;
+        let mut last_hit = self.last_hit;
+        let mut committed = 0u64;
+        while committed < n {
+            let line = first_line + committed;
+            let idx = match last_hit {
+                // The memo can only match on the first line of a run
+                // (lines strictly increase), exactly as in the scalar
+                // walk, where each hit rewrites the memo to its own line.
+                Some((l, way)) if self.fast && l == line => way as usize,
+                _ => {
+                    let set = (line & self.set_mask) as usize;
+                    let tag = line >> self.set_shift;
+                    let base = set * self.ways;
+                    match self.sets[base..base + self.ways]
+                        .iter()
+                        .position(|w| w.valid && w.tag == tag)
+                    {
+                        Some(i) => base + i,
+                        None => break,
+                    }
+                }
+            };
+            tick += 1;
+            let w = &mut self.sets[idx];
+            w.lru = tick;
+            if write {
+                w.dirty = true;
+            }
+            last_hit = Some((line, idx as u32));
+            committed += 1;
+        }
+        if committed > 0 {
+            self.tick = tick;
+            self.stats.accesses += committed;
+            self.stats.hits += committed;
+            self.last_hit = last_hit;
+        }
+        committed
+    }
+
+    /// Commit-if-hit for a single line: if the line is resident, apply
+    /// the exact hit-path state transitions ([`Self::access`]'s hit arm:
+    /// tick, access, hit, MRU, dirty-on-write, memo) and return `true`.
+    /// On a miss *nothing* is mutated and `false` is returned, so the
+    /// caller can replay the miss through [`Self::access`] with
+    /// bit-identical results.
+    ///
+    /// Kept as the single-line reference implementation the
+    /// `try_hit_run` differential test replays; production code takes
+    /// the batched path.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub(crate) fn try_hit_line(&mut self, line: u64, kind: AccessKind) -> bool {
+        if self.fast {
+            if let Some((l, way)) = self.last_hit {
+                if l == line {
+                    self.record_repeat_hit(way as usize, kind);
+                    return true;
+                }
+            }
+        }
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
+        let base = set * self.ways;
+        let hit = self.sets[base..base + self.ways]
+            .iter()
+            .position(|w| w.valid && w.tag == tag);
+        match hit {
+            Some(i) => {
+                self.tick += 1;
+                self.stats.accesses += 1;
+                self.stats.hits += 1;
+                let w = &mut self.sets[base + i];
+                w.lru = self.tick;
+                if kind.is_write() {
+                    w.dirty = true;
+                }
+                self.last_hit = Some((line, (base + i) as u32));
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The geometry this cache was built with.
     pub fn config(&self) -> CacheConfig {
         self.config
@@ -223,7 +318,7 @@ impl Cache {
             }
         }
         let set = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
+        let tag = line >> self.set_shift;
         self.tick += 1;
         self.stats.accesses += 1;
 
@@ -252,7 +347,7 @@ impl Cache {
         let w = &mut ways[victim];
         let writeback = if w.valid && w.dirty {
             self.stats.writebacks += 1;
-            let victim_line = (w.tag << self.set_mask.count_ones()) | set as u64;
+            let victim_line = (w.tag << self.set_shift) | set as u64;
             Some(victim_line * LINE_BYTES)
         } else {
             None
@@ -266,7 +361,7 @@ impl Cache {
     pub fn contains(&self, addr: u64) -> bool {
         let line = addr / LINE_BYTES;
         let set = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
+        let tag = line >> self.set_shift;
         let base = set * self.ways;
         self.sets[base..base + self.ways]
             .iter()
@@ -391,6 +486,45 @@ mod tests {
         // Flushing both must report the same dirty count (same dirty bits
         // and the same victims were chosen throughout).
         assert_eq!(fast.flush_all(), slow.flush_all());
+    }
+
+    #[test]
+    fn try_hit_run_matches_per_line_loop() {
+        // Seed both caches with an identical mix of resident lines, then
+        // replay strided runs (some fully resident, some hitting holes)
+        // through the batch and the per-line reference. All state —
+        // stats, ticks (via later LRU decisions), memo, dirty bits —
+        // must stay identical.
+        let build = || {
+            let mut c = tiny();
+            for i in [0u64, 1, 2, 3, 5, 6, 9] {
+                c.access(i * LINE_BYTES, AccessKind::Read);
+            }
+            c
+        };
+        let mut batch = build();
+        let mut scalar = build();
+        for (first, n, kind) in [
+            (0u64, 4u64, AccessKind::Read),
+            (2, 3, AccessKind::Write),   // stops at hole (line 4)
+            (4, 2, AccessKind::Read),    // immediate miss: no mutation
+            (5, 2, AccessKind::Write),
+            (9, 1, AccessKind::Read),
+            (0, 11, AccessKind::Read),   // long run across holes
+        ] {
+            let a = batch.try_hit_run(first, n, kind);
+            let mut b = 0;
+            while b < n && scalar.try_hit_line(first + b, kind) {
+                b += 1;
+            }
+            assert_eq!(a, b, "run ({first},{n})");
+            assert_eq!(batch.stats(), scalar.stats());
+            assert_eq!(batch.last_hit, scalar.last_hit);
+            assert_eq!(batch.tick, scalar.tick);
+        }
+        // Dirty bits and LRU order must also agree: flush both and force
+        // identical evictions afterwards.
+        assert_eq!(batch.flush_all(), scalar.flush_all());
     }
 
     #[test]

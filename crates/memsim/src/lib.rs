@@ -42,7 +42,7 @@ pub mod error;
 pub mod stacked;
 pub mod system;
 
-pub use access::{AccessKind, Activity, LINE_BYTES};
+pub use access::{line_count, AccessKind, Activity, LINE_BYTES};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use channel::{Channel, ChannelFaultStats};
 pub use coherence::{CoherenceConfig, CoherenceModel, CoherenceStats};
@@ -50,7 +50,10 @@ pub use config::{DramKind, MemConfig};
 pub use error::ConfigError;
 pub use dram::{BankArray, DramConfig, DramStats, SchedulerPolicy};
 pub use stacked::{StackedConfig, StackedMemory};
-pub use system::{AccessOutcome, LatencyBreakdown, MemorySystem, Port};
+pub use system::{
+    AccessOutcome, LatencyBreakdown, MemorySystem, Port, RowsOutcome, CPU_LINE_PS,
+    PIM_L1_HIT_PS, PIM_LINE_PS, SCRATCH_HIT_PS,
+};
 
 // The fault-injection layer lives below the simulator so every crate in the
 // workspace shares one error type and one notion of time.

@@ -60,6 +60,31 @@ impl LatencyBreakdown {
     }
 }
 
+/// Private-cache hit lead-in on the PIM-core path (L1 at 1.5 GHz), in ps.
+pub const PIM_L1_HIT_PS: Ps = 2_000;
+/// Scratch-buffer hit lead-in on the PIM-accelerator path, in ps.
+pub const SCRATCH_HIT_PS: Ps = 1_000;
+/// Per-line occupancy of a CPU L1 line transfer (one line per 2 GHz cycle).
+pub const CPU_LINE_PS: Ps = 500;
+/// Per-line occupancy of a PIM SRAM line transfer (one line per 1 GHz cycle).
+pub const PIM_LINE_PS: Ps = 1_000;
+
+/// Outcome of [`MemorySystem::try_rows`]: how much of a strided descriptor
+/// was committed on the all-hit fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowsOutcome {
+    /// Lines per row of the committed streak (constant across it).
+    pub lines_per_row: u64,
+    /// Rows fully committed as all-hit rows. Each is bit-identical to a
+    /// scalar access whose every line hit the first private level.
+    pub full_rows: u64,
+    /// When `Some(k)`: the row at index `full_rows` had its first `k`
+    /// lines committed as hits before a line missed. The caller *must*
+    /// complete that row via [`MemorySystem::finish_row`] with
+    /// `skip_hits = k` before touching the system again.
+    pub partial_hits: Option<u64>,
+}
+
 /// Latency and component activity of one (possibly ranged) access.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessOutcome {
@@ -275,6 +300,106 @@ impl MemorySystem {
         }
     }
 
+    /// Ranged-engine entry point: commit as many all-hit rows of the
+    /// stride/run-length descriptor `(addr, bytes, stride) x rows` as
+    /// possible, touching only the first private cache level.
+    ///
+    /// Each committed row is bit-identical (cache state, stats, memos) to
+    /// the scalar walk `access_from(port, addr + i*stride, bytes, kind)`
+    /// whose every line hit. The streak stops at the first row with a
+    /// missing line (its leading hits are committed; finish it with
+    /// [`Self::finish_row`]), at the first row whose line count differs
+    /// from the streak's, or after `rows` rows.
+    ///
+    /// Returns a zero-progress outcome (and mutates nothing) whenever the
+    /// fast path cannot be used: coalescing disabled, a tracer attached,
+    /// a PIM port on a non-stacked backend, or an empty descriptor — the
+    /// caller then falls back to the scalar walk, which also reproduces
+    /// any port error.
+    pub fn try_rows(
+        &mut self,
+        port: Port,
+        addr: u64,
+        bytes: u64,
+        stride: u64,
+        rows: u64,
+        kind: AccessKind,
+    ) -> RowsOutcome {
+        let none = RowsOutcome::default();
+        if bytes == 0 || rows == 0 || !self.coalesce || self.hooks.is_some() {
+            return none;
+        }
+        let cache: &mut Cache = match port {
+            Port::Cpu => &mut self.cpu_l1,
+            Port::PimCore | Port::PimAccel => {
+                if !matches!(self.backend, Backend::Stacked(_)) {
+                    return none;
+                }
+                if port == Port::PimAccel {
+                    &mut self.scratch
+                } else {
+                    &mut self.pim_l1
+                }
+            }
+        };
+        let lines_per_row = (addr + bytes - 1) / LINE_BYTES - addr / LINE_BYTES + 1;
+        let mut full = 0u64;
+        let mut partial = None;
+        'rows: while full < rows {
+            let a = addr + full * stride;
+            let f = a / LINE_BYTES;
+            if (a + bytes - 1) / LINE_BYTES - f + 1 != lines_per_row {
+                break; // row shape changed; the next call starts a new streak
+            }
+            let hits = cache.try_hit_run(f, lines_per_row, kind);
+            if hits < lines_per_row {
+                partial = Some(hits);
+                break 'rows;
+            }
+            full += 1;
+        }
+        // Arm/disarm the system-level coalescing memo exactly as the
+        // scalar walk would after the last committed row (intermediate
+        // values are unobservable: nothing else touches the system during
+        // a streak). A partial row is finished by `finish_row`, which
+        // re-applies the rule itself.
+        if partial.is_none() && full > 0 {
+            self.last_line = if lines_per_row == 1 {
+                Some((port, (addr + (full - 1) * stride) / LINE_BYTES))
+            } else {
+                None
+            };
+        }
+        RowsOutcome { lines_per_row, full_rows: full, partial_hits: partial }
+    }
+
+    /// Complete the partial row a [`Self::try_rows`] streak stopped in:
+    /// resume the reference per-line walk after its first `skip_hits`
+    /// lines (whose hit transitions `try_rows` already committed). The
+    /// returned outcome is bit-identical to the full scalar access.
+    ///
+    /// # Errors
+    ///
+    /// [`DmpimError::PortUnsupported`] for a PIM port on a non-stacked
+    /// backend (unreachable after a successful `try_rows`).
+    pub fn finish_row(
+        &mut self,
+        port: Port,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        now: Ps,
+        skip_hits: u64,
+    ) -> Result<AccessOutcome, DmpimError> {
+        if bytes == 0 {
+            return Ok(AccessOutcome::default());
+        }
+        match port {
+            Port::Cpu => Ok(self.cpu_walk(addr, bytes, kind, now, skip_hits)),
+            Port::PimCore | Port::PimAccel => self.pim_walk(port, addr, bytes, kind, now, skip_hits),
+        }
+    }
+
     fn cpu_access(&mut self, addr: u64, bytes: u64, kind: AccessKind, now: Ps) -> AccessOutcome {
         let first_line = addr / LINE_BYTES;
         // Fast path: a single-line repeat of the previous L1 hit. The
@@ -306,6 +431,23 @@ impl MemorySystem {
             }
             return out;
         }
+        self.cpu_walk(addr, bytes, kind, now, 0)
+    }
+
+    /// The reference CPU per-line walk. `skip_hits` seeds the walk as if
+    /// its first `skip_hits` lines had already been walked and hit (their
+    /// cache-state transitions were committed by [`Cache::try_hit`]); the
+    /// loop resumes at exactly the line the scalar walk would be on, so
+    /// the outcome is bit-identical to a full scalar access.
+    fn cpu_walk(
+        &mut self,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        now: Ps,
+        skip_hits: u64,
+    ) -> AccessOutcome {
+        let first_line = addr / LINE_BYTES;
         let mut out = AccessOutcome::default();
         let mut lead: Ps = 0;
         let mut occupancy: Ps = 0;
@@ -316,7 +458,16 @@ impl MemorySystem {
         let mut lead_split = LatencyBreakdown::default();
         let mut wait_split = LatencyBreakdown::default();
         let cfg = self.config;
-        for line in lines_of(addr, bytes) {
+        if skip_hits > 0 {
+            out.lines = skip_hits;
+            out.activity.l1_accesses = skip_hits;
+            occupancy = CPU_LINE_PS * skip_hits;
+            if cfg.l1_hit_ps > 0 {
+                lead = cfg.l1_hit_ps;
+                lead_split = LatencyBreakdown { cache_ps: lead, ..LatencyBreakdown::default() };
+            }
+        }
+        for line in lines_of(addr, bytes).skip(skip_hits as usize) {
             out.lines += 1;
             out.activity.l1_accesses += 1;
             let l1 = self.cpu_l1.access(line, kind);
@@ -461,6 +612,21 @@ impl MemorySystem {
                 return Ok(out);
             }
         }
+        self.pim_walk(port, addr, bytes, kind, now, 0)
+    }
+
+    /// The reference PIM per-line walk; see [`Self::cpu_walk`] for the
+    /// `skip_hits` resume contract.
+    fn pim_walk(
+        &mut self,
+        port: Port,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        now: Ps,
+        skip_hits: u64,
+    ) -> Result<AccessOutcome, DmpimError> {
+        let first_line = addr / LINE_BYTES;
         let mut out = AccessOutcome::default();
         let mut lead: Ps = 0;
         let mut occupancy: Ps = 0;
@@ -471,10 +637,20 @@ impl MemorySystem {
         let mut per_vault: Vec<(usize, u64, Ps)> = Vec::new();
         let Self { pim_l1, scratch, backend, hooks, .. } = self;
         let (cache, hit_ps): (&mut Cache, Ps) = match port {
-            Port::PimCore => (pim_l1, 2_000),
-            Port::PimAccel => (scratch, 1_000),
+            Port::PimCore => (pim_l1, PIM_L1_HIT_PS),
+            Port::PimAccel => (scratch, SCRATCH_HIT_PS),
             Port::Cpu => return Err(DmpimError::PortUnsupported { port: port.label() }),
         };
+        if skip_hits > 0 {
+            out.lines = skip_hits;
+            if port == Port::PimAccel {
+                out.activity.scratch_accesses = skip_hits;
+            } else {
+                out.activity.l1_accesses = skip_hits;
+            }
+            occupancy = PIM_LINE_PS * skip_hits;
+            lead = hit_ps;
+        }
         let stacked = match backend {
             Backend::Stacked(s) => s,
             Backend::Lpddr3 { .. } => {
@@ -496,7 +672,7 @@ impl MemorySystem {
         // Wait split of the slowest memory line (service vs link), so the
         // final breakdown sums exactly to `latency_ps`.
         let mut wait_split = LatencyBreakdown::default();
-        for line in lines_of(addr, bytes) {
+        for line in lines_of(addr, bytes).skip(skip_hits as usize) {
             out.lines += 1;
             if port == Port::PimAccel {
                 out.activity.scratch_accesses += 1;

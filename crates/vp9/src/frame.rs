@@ -119,28 +119,43 @@ impl TrackedPlane {
         Self { plane, buf }
     }
 
-    /// Report access to the rectangle `(x, y, w, h)`, one ranged access per
-    /// row (how a streaming engine or cache sees 2-D block traffic).
+    /// Report access to the rectangle `(x, y, w, h)` as one ranged access
+    /// per row (how a streaming engine or cache sees 2-D block traffic).
     /// Coordinates are clamped to the plane.
+    ///
+    /// Edge clamping folds the rows into at most three stride/run-length
+    /// descriptors — rows clamped onto the top edge (stride 0), the
+    /// in-bounds middle (stride = plane width), rows clamped onto the
+    /// bottom edge (stride 0) — handed to the ranged engine in the same
+    /// order the per-row loop would issue them.
     pub fn touch_rect(&self, ctx: &mut SimContext, x: isize, y: isize, w: usize, h: usize, kind: AccessKind) {
         let pw = self.plane.width() as isize;
         let ph = self.plane.height() as isize;
-        for dy in 0..h as isize {
-            let yy = (y + dy).clamp(0, ph - 1);
-            let x0 = x.clamp(0, pw - 1);
-            let x1 = (x + w as isize).clamp(1, pw);
-            let n = (x1 - x0).max(1) as u64;
-            let off = (yy * pw + x0) as u64;
-            ctx.access(self.buf.addr(off), n, kind);
+        let h = h as isize;
+        let x0 = x.clamp(0, pw - 1);
+        let x1 = (x + w as isize).clamp(1, pw);
+        let n = (x1 - x0).max(1) as u64;
+        let top = (-y).clamp(0, h);
+        let mid = ((ph - y).clamp(0, h) - top).max(0);
+        let bot = h - top - mid;
+        if top > 0 {
+            ctx.access_range(self.buf.addr(x0 as u64), n, 0, top as u64, kind);
+        }
+        if mid > 0 {
+            let off = ((y + top) * pw + x0) as u64;
+            ctx.access_range(self.buf.addr(off), n, pw as u64, mid as u64, kind);
+        }
+        if bot > 0 {
+            let off = ((ph - 1) * pw + x0) as u64;
+            ctx.access_range(self.buf.addr(off), n, 0, bot as u64, kind);
         }
     }
 
-    /// Report a whole-plane streaming access.
+    /// Report a whole-plane streaming access: one row-per-scanline
+    /// descriptor for the ranged engine.
     pub fn touch_all(&self, ctx: &mut SimContext, kind: AccessKind) {
-        for y in 0..self.plane.height() {
-            let off = (y * self.plane.width()) as u64;
-            ctx.access(self.buf.addr(off), self.plane.width() as u64, kind);
-        }
+        let w = self.plane.width() as u64;
+        ctx.access_range(self.buf.addr(0), w, w, self.plane.height() as u64, kind);
     }
 }
 
@@ -193,25 +208,51 @@ impl SyntheticVideo {
         // evaluates, so the output is bit-identical.
         let mut col_sin = Vec::with_capacity(self.width);
         let mut col_phase = Vec::with_capacity(self.width);
+        let mut col_psin = Vec::with_capacity(self.width);
+        let mut col_pcos = Vec::with_capacity(self.width);
         let mut col_grad = Vec::with_capacity(self.width);
         for x in 0..self.width {
             let u = x as f64 + ox;
             col_sin.push((u * 0.131).sin());
-            col_phase.push(u * 0.023);
+            let phase = u * 0.023;
+            col_phase.push(phase);
+            col_psin.push(phase.sin());
+            col_pcos.push(phase.cos());
             col_grad.push((x as f64 / self.width as f64) * 24.0);
         }
         let noise = self.noise;
+        let mut trow = vec![0.0f64; self.width];
         for y in 0..self.height {
             let v = y as f64 + oy;
             let row_cos = (v * 0.077).cos();
             let row_phase = v * 0.041;
-            let row = &mut p.data[y * self.width..(y + 1) * self.width];
-            for (x, px) in row.iter_mut().enumerate() {
+            let rp_sin = row_phase.sin();
+            let rp_cos = row_phase.cos();
+            // Pass 1 (auto-vectorizable, no branches or libm): the second
+            // sinusoid expands sin(col + row) via the angle addition
+            // identity — a few ulps of error, ~1e-14 absolute. Zipped
+            // iterators keep bounds checks out of the inner loop.
+            for ((((t, &cs), &ps), &pc), &g) in
+                trow.iter_mut().zip(&col_sin).zip(&col_psin).zip(&col_pcos).zip(&col_grad)
+            {
                 // Smooth texture: two incommensurate sinusoids + gradient.
-                let t = 96.0
-                    + 60.0 * (col_sin[x] * row_cos)
-                    + 40.0 * ((col_phase[x] + row_phase).sin())
-                    + col_grad[x];
+                *t = 96.0 + 60.0 * (cs * row_cos) + 40.0 * (ps * rp_cos + pc * rp_sin) + g;
+            }
+            // Pass 2 (scalar: the noise RNG is sequential). The only
+            // consumer of t is the integer truncation, which changes only
+            // when t crosses an integer; if t lands within 1e-7 of one,
+            // fall back to the direct libm expression so the output stays
+            // bit-identical to the per-pixel form.
+            let row = &mut p.data[y * self.width..(y + 1) * self.width];
+            for (x, (px, &tv)) in row.iter_mut().zip(&trow).enumerate() {
+                let mut t = tv;
+                let frac = (t - t as i64 as f64).abs();
+                if !(1e-7..=1.0 - 1e-7).contains(&frac) {
+                    t = 96.0
+                        + 60.0 * (col_sin[x] * row_cos)
+                        + 40.0 * ((col_phase[x] + row_phase).sin())
+                        + col_grad[x];
+                }
                 let mut val = t.clamp(0.0, 255.0) as i32;
                 if noise > 0 {
                     let n = noise_rng.next_below(2 * noise as u64 + 1) as i32 - noise as i32;
@@ -253,6 +294,47 @@ mod tests {
         assert!(p.psnr(&p).is_infinite());
         let q = SyntheticVideo::new(32, 32, 0, 1).frame(3);
         assert!(p.psnr(&q) < 40.0);
+    }
+
+    #[test]
+    fn frame_matches_direct_per_pixel_formula() {
+        // The fast angle-addition synthesis must stay bit-identical to the
+        // original per-pixel libm expression.
+        for &(w, h, noise, seed) in &[(64usize, 48usize, 0u8, 1u64), (48, 64, 2, 0xd0), (128, 32, 3, 0x3e)] {
+            let v = SyntheticVideo::new(w, h, noise, seed);
+            for index in [0usize, 1, 7, 23] {
+                let got = v.frame(index);
+                let mut want = Plane::new(w, h);
+                let ox = index as f64 * 1.375;
+                let oy = index as f64 * 0.625;
+                let mut rng = SplitMix64::new(seed ^ (index as u64).wrapping_mul(0x9E37));
+                for y in 0..h {
+                    let vf = y as f64 + oy;
+                    let row_cos = (vf * 0.077).cos();
+                    let row_phase = vf * 0.041;
+                    for x in 0..w {
+                        let u = x as f64 + ox;
+                        let t = 96.0
+                            + 60.0 * ((u * 0.131).sin() * row_cos)
+                            + 40.0 * ((u * 0.023 + row_phase).sin())
+                            + (x as f64 / w as f64) * 24.0;
+                        let mut val = t.clamp(0.0, 255.0) as i32;
+                        if noise > 0 {
+                            val += rng.next_below(2 * noise as u64 + 1) as i32 - noise as i32;
+                        }
+                        want.set_pixel(x, y, val.clamp(0, 255) as u8);
+                    }
+                }
+                let bx = (w as f64 * 0.25 + index as f64 * 2.5) as usize % (w - 16);
+                let by = h / 3;
+                for y in by..(by + 12).min(h) {
+                    for x in bx..(bx + 14).min(w) {
+                        want.set_pixel(x, y, 230);
+                    }
+                }
+                assert_eq!(got, want, "{w}x{h} noise={noise} seed={seed:#x} frame {index}");
+            }
+        }
     }
 
     #[test]

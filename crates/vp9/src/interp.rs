@@ -38,11 +38,37 @@ fn round7(v: i32) -> i32 {
 /// Integer phases degrade to a plain (clamped) block copy. Out-of-frame
 /// taps use edge replication, as in the real codec.
 pub fn interpolate_block(reference: &Plane, x8: isize, y8: isize, w: usize, h: usize) -> Vec<u8> {
+    let mut tmp = Vec::new();
+    let mut out = Vec::new();
+    interpolate_block_into(reference, x8, y8, w, h, &mut tmp, &mut out);
+    out
+}
+
+/// [`interpolate_block`] writing into caller-owned scratch, so hot loops
+/// (sub-pel motion refinement, per-block interpolation sweeps) reuse the
+/// temp row buffer and output vector instead of allocating per call.
+///
+/// `tmp` holds the horizontal pass: after `round7(..).clamp(0, 255)`
+/// every intermediate fits `i16` (in fact `u8`), and the vertical-pass
+/// accumulators stay far below `i32::MAX`, so integer sums are exact and
+/// order-independent — the tap loops below accumulate coefficient-outer
+/// (better vectorization) yet produce bit-identical results to the
+/// per-pixel tap-inner form.
+pub fn interpolate_block_into(
+    reference: &Plane,
+    x8: isize,
+    y8: isize,
+    w: usize,
+    h: usize,
+    tmp: &mut Vec<i16>,
+    out: &mut Vec<u8>,
+) {
     let x0 = x8.div_euclid(8);
     let y0 = y8.div_euclid(8);
     let fx = x8.rem_euclid(8) as usize;
     let fy = y8.rem_euclid(8) as usize;
-    let mut out = vec![0u8; w * h];
+    out.clear();
+    out.resize(w * h, 0);
 
     let pw = reference.width() as isize;
     let ph = reference.height() as isize;
@@ -59,21 +85,36 @@ pub fn interpolate_block(reference: &Plane, x8: isize, y8: isize, w: usize, h: u
                 }
             }
         }
-        return out;
+        return;
     }
+
+    // Accumulator chunk: blocks are at most 64 wide in practice; wider
+    // requests fall back to per-pixel accumulation below.
+    const CHUNK: usize = 64;
 
     // Horizontal pass over h+7 rows into a temp buffer. Interior blocks
     // (all eight taps in-frame) index the row slice directly; edge blocks
-    // fall back to per-tap clamping. Both paths accumulate the taps in
-    // the same order, so the results are identical.
+    // fall back to per-tap clamping.
     let tmp_h = h + 7;
-    let mut tmp = vec![0i32; w * tmp_h];
+    tmp.clear();
+    tmp.resize(w * tmp_h, 0);
     let hf = &SUBPEL_FILTERS[fx];
     let interior_x = x0 - 3 >= 0 && x0 + w as isize + 4 <= pw;
     for ty in 0..tmp_h {
         let row = reference.row((y0 + ty as isize - 3).clamp(0, ph - 1) as usize);
         let trow = &mut tmp[ty * w..ty * w + w];
-        if interior_x {
+        if interior_x && w <= CHUNK {
+            let base = (x0 - 3) as usize;
+            let mut acc = [0i32; CHUNK];
+            for (t, &c) in hf.iter().enumerate() {
+                for (a, &px) in acc[..w].iter_mut().zip(&row[base + t..base + t + w]) {
+                    *a += c * px as i32;
+                }
+            }
+            for (o, &a) in trow.iter_mut().zip(&acc[..w]) {
+                *o = round7(a).clamp(0, 255) as i16;
+            }
+        } else if interior_x {
             let base = (x0 - 3) as usize;
             for (dx, o) in trow.iter_mut().enumerate() {
                 let taps = &row[base + dx..base + dx + 8];
@@ -81,7 +122,7 @@ pub fn interpolate_block(reference: &Plane, x8: isize, y8: isize, w: usize, h: u
                 for (t, &c) in hf.iter().enumerate() {
                     acc += c * taps[t] as i32;
                 }
-                *o = round7(acc).clamp(0, 255);
+                *o = round7(acc).clamp(0, 255) as i16;
             }
         } else {
             for (dx, o) in trow.iter_mut().enumerate() {
@@ -90,22 +131,35 @@ pub fn interpolate_block(reference: &Plane, x8: isize, y8: isize, w: usize, h: u
                     let sx = (x0 + dx as isize + t as isize - 3).clamp(0, pw - 1);
                     acc += c * row[sx as usize] as i32;
                 }
-                *o = round7(acc).clamp(0, 255);
+                *o = round7(acc).clamp(0, 255) as i16;
             }
         }
     }
-    // Vertical pass.
+    // Vertical pass, also coefficient-outer over contiguous rows.
     let vf = &SUBPEL_FILTERS[fy];
     for dy in 0..h {
-        for dx in 0..w {
-            let mut acc = 0i32;
+        let orow = &mut out[dy * w..dy * w + w];
+        if w <= CHUNK {
+            let mut acc = [0i32; CHUNK];
             for (t, &c) in vf.iter().enumerate() {
-                acc += c * tmp[(dy + t) * w + dx];
+                let srow = &tmp[(dy + t) * w..(dy + t) * w + w];
+                for (a, &v) in acc[..w].iter_mut().zip(srow) {
+                    *a += c * v as i32;
+                }
             }
-            out[dy * w + dx] = round7(acc).clamp(0, 255) as u8;
+            for (o, &a) in orow.iter_mut().zip(&acc[..w]) {
+                *o = round7(a).clamp(0, 255) as u8;
+            }
+        } else {
+            for (dx, o) in orow.iter_mut().enumerate() {
+                let mut acc = 0i32;
+                for (t, &c) in vf.iter().enumerate() {
+                    acc += c * tmp[(dy + t) * w + dx] as i32;
+                }
+                *o = round7(acc).clamp(0, 255) as u8;
+            }
         }
     }
-    out
 }
 
 /// Reference pixels fetched per output pixel for a given block size and

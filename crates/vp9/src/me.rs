@@ -6,7 +6,7 @@
 //! what makes ME the dominant source of encoder data movement (§7.2.1).
 
 use crate::frame::Plane;
-use crate::interp::interpolate_block;
+use crate::interp::interpolate_block_into;
 
 /// A motion vector in 1/8-pel units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,6 +33,34 @@ pub struct SearchStats {
     pub subpel_candidates: u64,
 }
 
+/// Exact SAD of two 16-byte rows via SSE2 `psadbw`. A sum of absolute
+/// differences is associative integer math, so this returns the same
+/// value as the scalar reduction.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn sad_row16(a: &[u8], b: &[u8]) -> u64 {
+    use std::arch::x86_64::*;
+    assert!(a.len() >= 16 && b.len() >= 16);
+    // SAFETY: lengths checked above; unaligned loads carry no alignment
+    // requirement, and SSE2 is part of the x86_64 baseline.
+    unsafe {
+        let va = _mm_loadu_si128(a.as_ptr() as *const __m128i);
+        let vb = _mm_loadu_si128(b.as_ptr() as *const __m128i);
+        let s = _mm_sad_epu8(va, vb);
+        _mm_cvtsi128_si64(s) as u64 + _mm_extract_epi16::<4>(s) as u64
+    }
+}
+
+/// SAD of one row pair (equal lengths).
+#[inline]
+fn row_sad(a: &[u8], b: &[u8]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if a.len() == 16 && b.len() == 16 {
+        return sad_row16(a, b);
+    }
+    a.iter().zip(b).map(|(x, y)| (*x as i64 - *y as i64).unsigned_abs()).sum()
+}
+
 /// SAD between the `bs` x `bs` block of `cur` at `(cx, cy)` and the
 /// block of `reference` at integer offset `(rx, ry)` (edge-clamped).
 pub fn sad(cur: &Plane, cx: usize, cy: usize, reference: &Plane, rx: isize, ry: isize, bs: usize) -> u64 {
@@ -46,10 +74,7 @@ pub fn sad(cur: &Plane, cx: usize, cy: usize, reference: &Plane, rx: isize, ry: 
         let rrow = reference.row(ry);
         if interior_x {
             // All reference columns in-frame: compare row slices directly.
-            let rrow = &rrow[rx as usize..rx as usize + bs];
-            for (a, b) in crow.iter().zip(rrow) {
-                total += (*a as i64 - *b as i64).unsigned_abs();
-            }
+            total += row_sad(crow, &rrow[rx as usize..rx as usize + bs]);
         } else {
             for (dx, a) in crow.iter().enumerate() {
                 let b = rrow[(rx + dx as isize).clamp(0, rw - 1) as usize];
@@ -60,15 +85,30 @@ pub fn sad(cur: &Plane, cx: usize, cy: usize, reference: &Plane, rx: isize, ry: 
     total
 }
 
-fn sad_subpel(cur: &Plane, cx: usize, cy: usize, reference: &Plane, x8: i32, y8: i32, bs: usize) -> u64 {
-    let pred = interpolate_block(reference, x8 as isize, y8 as isize, bs, bs);
+/// Reusable interpolation scratch for sub-pel SAD evaluation.
+#[derive(Default)]
+struct SubpelScratch {
+    tmp: Vec<i16>,
+    pred: Vec<u8>,
+}
+
+fn sad_subpel(
+    cur: &Plane,
+    cx: usize,
+    cy: usize,
+    reference: &Plane,
+    mv8: (i32, i32),
+    bs: usize,
+    scratch: &mut SubpelScratch,
+) -> u64 {
+    let (x8, y8) = mv8;
+    interpolate_block_into(reference, x8 as isize, y8 as isize, bs, bs, &mut scratch.tmp, &mut scratch.pred);
+    let pred = &scratch.pred;
     let mut total = 0u64;
     for dy in 0..bs {
         let crow = &cur.row(cy + dy)[cx..cx + bs];
         let prow = &pred[dy * bs..dy * bs + bs];
-        for (a, b) in crow.iter().zip(prow) {
-            total += (*a as i64 - *b as i64).unsigned_abs();
-        }
+        total += row_sad(crow, prow);
     }
     total
 }
@@ -144,10 +184,11 @@ pub fn subpel_refine(
     let mut stats = SearchStats::default();
     let mut best = MotionVector { x8: int_mv.0 * 8, y8: int_mv.1 * 8 };
     let mut best_sad = base_sad;
+    let mut scratch = SubpelScratch::default();
     for step in [4, 2, 1] {
         for (dx, dy) in [(-step, 0), (step, 0), (0, -step), (0, step)] {
             let c = MotionVector { x8: best.x8 + dx, y8: best.y8 + dy };
-            let s = sad_subpel(cur, cx, cy, reference, cx as i32 * 8 + c.x8, cy as i32 * 8 + c.y8, bs);
+            let s = sad_subpel(cur, cx, cy, reference, (cx as i32 * 8 + c.x8, cy as i32 * 8 + c.y8), bs, &mut scratch);
             stats.subpel_candidates += 1;
             if s < best_sad {
                 best_sad = s;
@@ -189,6 +230,16 @@ pub fn motion_search(
 mod tests {
     use super::*;
     use crate::frame::SyntheticVideo;
+
+    #[test]
+    fn row_sad_matches_scalar_reduction() {
+        let a: Vec<u8> = (0..16u32).map(|i| (i * 17 + 3) as u8).collect();
+        let b: Vec<u8> = (0..16u32).map(|i| (250 - i * 13) as u8).collect();
+        let want: u64 = a.iter().zip(&b).map(|(x, y)| (*x as i64 - *y as i64).unsigned_abs()).sum();
+        assert_eq!(row_sad(&a, &b), want);
+        assert_eq!(row_sad(&[0u8; 16], &[255u8; 16]), 16 * 255);
+        assert_eq!(row_sad(&a[..8], &b[..8]), a[..8].iter().zip(&b[..8]).map(|(x, y)| (*x as i64 - *y as i64).unsigned_abs()).sum());
+    }
 
     #[test]
     fn sad_of_identical_blocks_is_zero() {

@@ -26,6 +26,15 @@ cargo bench -q -p pim-bench --bench trace_overhead -- --smoke
 echo "==> profiler-overhead bench (smoke)"
 cargo bench -q -p pim-bench --bench profiler_overhead -- --smoke
 
+echo "==> hotpath bench incl. ranged_vs_scalar (smoke)"
+# Prints the ranged-descriptor engine against the forced per-row scalar
+# walk on all three ports; the bit-identity of the two paths is enforced
+# by tests/hotpath_differential.rs, this just keeps the bench compiling
+# and running.
+hotpath_out=$(cargo bench -q -p pim-bench --bench hotpath -- --smoke)
+echo "$hotpath_out" | grep -q 'ranged_vs_scalar' \
+    || { echo "hotpath bench: ranged_vs_scalar case missing"; exit 1; }
+
 echo "==> harness selftest (injected panic + hung simulation)"
 # Small supervised sweep: two real kernel jobs, one injected panic, one
 # watchdog-tripped runaway. The binary exits non-zero unless the failure
@@ -88,12 +97,14 @@ echo "==> fleet sweep: 1M-device population + report drift gate"
 # byte for byte: it is a pure function of the sweep key, so any drift
 # is a real behavior change in the sampler, the energy model, or the
 # sketches.
-committed_fleet=$(git show HEAD:BENCH_fleet.json 2>/dev/null || true)
 cargo run -q --release -p pim-bench --bin repro -- \
     --fleet --devices 1000000 --seed 7 --jobs 2 >/dev/null
-if [[ -n "$committed_fleet" ]] && ! cmp -s <(printf '%s' "$committed_fleet") BENCH_fleet.json; then
+# (Compare the raw blobs: command substitution would strip the report's
+# trailing newline and trip the gate on byte-identical files.)
+if git cat-file -e HEAD:BENCH_fleet.json 2>/dev/null \
+    && ! cmp -s <(git show HEAD:BENCH_fleet.json) BENCH_fleet.json; then
     echo "fleet sweep: BENCH_fleet.json drifted from the committed report"
-    diff <(printf '%s' "$committed_fleet") BENCH_fleet.json | head -20
+    diff <(git show HEAD:BENCH_fleet.json) BENCH_fleet.json | head -20
     exit 1
 fi
 
